@@ -1,0 +1,481 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (regenerating its data via internal/experiments), plus
+// ablation benchmarks for the design choices called out in DESIGN.md §5.
+//
+// The figure/table benchmarks use the Quick preset (the full 68,000-
+// subframe load sweep compressed 20x, coarse calibration grid) so a whole
+// `go test -bench=.` pass completes in well under a minute; cmd/lte-sim
+// -full runs the paper-exact scale. Headline quantities are attached to
+// each benchmark as custom metrics (W, activity, error) so the paper
+// comparison is visible directly in the bench output.
+package ltephy_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"ltephy/internal/cost"
+	"ltephy/internal/estimator"
+	"ltephy/internal/experiments"
+	"ltephy/internal/params"
+	"ltephy/internal/phy/modulation"
+	"ltephy/internal/power"
+	"ltephy/internal/sim"
+	"ltephy/internal/uplink"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     *experiments.Suite
+)
+
+// benchSuite returns the shared Quick-preset suite; heavy artifacts
+// (calibration, per-policy runs) are computed once and cached inside it.
+func benchSuite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	suiteOnce.Do(func() {
+		s, err := experiments.NewSuite(experiments.Quick())
+		if err != nil {
+			panic(err)
+		}
+		suite = s
+	})
+	return suite
+}
+
+// --- Figures 7-9: input parameter model traces ---
+
+func BenchmarkFig07UsersTrace(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig08PRBTrace(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig09LayersTrace(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig9(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 11: calibration sweep ---
+
+func BenchmarkFig11Calibration(b *testing.B) {
+	s := benchSuite(b)
+	var top float64
+	for i := 0; i < b.N; i++ {
+		cal, err := s.Calibration()
+		if err != nil {
+			b.Fatal(err)
+		}
+		keys := cal.Keys()
+		curve := cal.Curves[keys[len(keys)-1]]
+		top = curve[len(curve)-1].Activity
+	}
+	b.ReportMetric(top, "peak-activity") // paper: ~0.95
+}
+
+// --- Figure 12: estimation accuracy ---
+
+func BenchmarkFig12EstimationAccuracy(b *testing.B) {
+	s := benchSuite(b)
+	var stats *experiments.EstimationError
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, stats, err = s.Fig12()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(stats.AvgAbs, "avg-err") // paper: 0.012
+	b.ReportMetric(stats.MaxAbs, "max-err") // paper: 0.054
+}
+
+// --- Figure 13: active-core estimates ---
+
+func BenchmarkFig13ActiveCores(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig13(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figures 14-16 and Tables I-II: power study ---
+
+func BenchmarkFig14NapVsNonap(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig14(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	avgs, err := s.PowerAverages()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(avgs["NONAP"], "nonap-W") // paper: 25
+	b.ReportMetric(avgs["NAP"], "nap-W")     // paper: 20.5
+}
+
+func BenchmarkFig15AllPolicies(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig15(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig16PowerGating(b *testing.B) {
+	s := benchSuite(b)
+	var gated []float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		gated, err = s.GatedSeries()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(power.Mean(gated), "gated-W") // paper: 18.5
+}
+
+func BenchmarkTable1DynamicPower(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Table1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	avgs, err := s.PowerAverages()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(avgs["NONAP"]-s.Cfg.Power.BaseW, "nonap-dyn-W")      // paper: 11
+	b.ReportMetric(avgs["NAP+IDLE"]-s.Cfg.Power.BaseW, "napidle-dyn-W") // paper: 5.9
+}
+
+func BenchmarkTable2TotalPower(b *testing.B) {
+	s := benchSuite(b)
+	var avgs map[string]float64
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Table2(); err != nil {
+			b.Fatal(err)
+		}
+		var err error
+		avgs, err = s.PowerAverages()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(avgs["PowerGating"], "gating-W")                                    // paper: 18.5
+	b.ReportMetric(100*(avgs["IDLE"]-avgs["PowerGating"])/avgs["IDLE"], "vs-idle-pct") // paper: 11
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+// ablationTrace is a short mid-ramp trace shared by the ablation benches.
+func ablationTrace() *params.Trace {
+	m := params.NewRandomCompressed(3, 20)
+	for i := 0; i < 1200; i++ { // skip toward mid-ramp
+		m.Next()
+	}
+	return params.Record(m, 600)
+}
+
+// BenchmarkAblationMargin sweeps the Eq. 5 over-provisioning margin and
+// reports the latency cost of removing it (max lag in ms) and the power
+// cost of widening it.
+func BenchmarkAblationMargin(b *testing.B) {
+	s := benchSuite(b)
+	cal, err := s.Calibration()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, margin := range []int{0, 2, 4} {
+		margin := margin
+		b.Run(map[int]string{0: "margin0", 2: "margin2", 4: "margin4"}[margin], func(b *testing.B) {
+			var res *sim.Result
+			for i := 0; i < b.N; i++ {
+				trace := ablationTrace()
+				cfg := sim.DefaultConfig()
+				cfg.WindowSec = 0.1
+				cfg.Policy = sim.NAPIDLE
+				cfg.ActiveCores = func(_ int64, users []uplink.UserParams) int {
+					return cal.ActiveCoresWithMargin(users, cfg.Workers, margin)
+				}
+				var err error
+				res, err = sim.Run(cfg, trace, len(trace.Subframes))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			ser, err := power.Series(res, s.Cfg.Power)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(power.Mean(ser), "W")
+			b.ReportMetric(res.MaxLagCycles/cost.DefaultCoreHz*1000, "max-lag-ms")
+		})
+	}
+}
+
+// BenchmarkAblationGatingGroup sweeps the power-gate group size: finer
+// groups track the estimate tighter (more savings) at more toggles.
+func BenchmarkAblationGatingGroup(b *testing.B) {
+	s := benchSuite(b)
+	base, err := s.PowerSeries(sim.NAPIDLE)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := s.Run(sim.NAPIDLE)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, group := range []int{1, 4, 8, 16} {
+		group := group
+		b.Run(map[int]string{1: "group01", 4: "group04", 8: "group08", 16: "group16"}[group], func(b *testing.B) {
+			var gated []float64
+			for i := 0; i < b.N; i++ {
+				p := s.Cfg.Power
+				p.GateGroup = group
+				var err error
+				gated, err = power.ApplyGating(base, res, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(power.Mean(gated), "W")
+		})
+	}
+}
+
+// BenchmarkAblationGatingWindow sweeps the Eq. 7 window length: a longer
+// window toggles less but powers more cores.
+func BenchmarkAblationGatingWindow(b *testing.B) {
+	s := benchSuite(b)
+	base, err := s.PowerSeries(sim.NAPIDLE)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := s.Run(sim.NAPIDLE)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, half := range []int{0, 1, 2, 4} {
+		half := half
+		b.Run(map[int]string{0: "window1", 1: "window3", 2: "window5", 4: "window9"}[half], func(b *testing.B) {
+			var gated []float64
+			for i := 0; i < b.N; i++ {
+				p := s.Cfg.Power
+				p.GateWindowAhead = half
+				p.GateWindowBehind = half
+				var err error
+				gated, err = power.ApplyGating(base, res, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(power.Mean(gated), "W")
+		})
+	}
+}
+
+// BenchmarkAblationTaskParallelism compares the paper's task-level
+// parallelisation (Fig. 5) against user-level-only parallelism (Fig. 4):
+// same work, much worse per-subframe latency.
+func BenchmarkAblationTaskParallelism(b *testing.B) {
+	for _, userOnly := range []bool{false, true} {
+		userOnly := userOnly
+		name := "tasklevel"
+		if userOnly {
+			name = "userlevel"
+		}
+		b.Run(name, func(b *testing.B) {
+			var res *sim.Result
+			for i := 0; i < b.N; i++ {
+				trace := ablationTrace()
+				cfg := sim.DefaultConfig()
+				cfg.WindowSec = 0.1
+				cfg.UserLevelOnly = userOnly
+				var err error
+				res, err = sim.Run(cfg, trace, len(trace.Subframes))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.MaxLagCycles/cost.DefaultCoreHz*1000, "max-lag-ms")
+			b.ReportMetric(float64(res.LateSubframes), "late-jobs")
+		})
+	}
+}
+
+// BenchmarkAblationTurboFull compares the pass-through backend (the paper)
+// with full turbo decoding in the workload model: the decoder roughly
+// doubles the heavy users' cycle demand.
+func BenchmarkAblationTurboFull(b *testing.B) {
+	for _, full := range []bool{false, true} {
+		full := full
+		name := "passthrough"
+		if full {
+			name = "fullturbo"
+		}
+		b.Run(name, func(b *testing.B) {
+			var res *sim.Result
+			for i := 0; i < b.N; i++ {
+				trace := ablationTrace()
+				cfg := sim.DefaultConfig()
+				cfg.WindowSec = 0.1
+				cfg.Cost.TurboFull = full
+				var err error
+				res, err = sim.Run(cfg, trace, len(trace.Subframes))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.MeanActivity(), "activity")
+		})
+	}
+}
+
+// BenchmarkAblationEstimatorGrid sweeps the calibration grid: the linear
+// fit barely needs the paper's 100-point sweep.
+func BenchmarkAblationEstimatorGrid(b *testing.B) {
+	for _, step := range []int{10, 50, 100} {
+		step := step
+		b.Run(map[int]string{10: "step010", 50: "step050", 100: "step100"}[step], func(b *testing.B) {
+			var cal *estimator.Calibration
+			for i := 0; i < b.N; i++ {
+				cfg := sim.DefaultConfig()
+				cfg.WindowSec = 0.5
+				var err error
+				cal, err = estimator.Calibrate(cfg, estimator.Options{PRBStep: step, Windows: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			top := cal.Coeffs[estimator.Key{Layers: 4, Mod: modulation.QAM64}]
+			b.ReportMetric(top*200, "peak-estimate")
+		})
+	}
+}
+
+// BenchmarkExtensionDVFS measures the estimate-driven DVFS extension (the
+// paper's stated future work) against the trace.
+func BenchmarkExtensionDVFS(b *testing.B) {
+	s := benchSuite(b)
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		ser, err := s.PowerSeries(sim.DVFS)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean = power.Mean(ser)
+	}
+	b.ReportMetric(mean, "dvfs-W")
+}
+
+// BenchmarkExtensionTypicalLoad runs the power comparison at the paper's
+// "typical base station" operating point (~25% load: half the PRB pool)
+// and reports the relative saving of gating vs reactive management, which
+// the paper predicts grows at lower load.
+func BenchmarkExtensionTypicalLoad(b *testing.B) {
+	cfg := experiments.Quick()
+	cfg.PRBPool = 100
+	var rel float64
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.NewSuite(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		avgs, err := s.PowerAverages()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rel = 100 * (avgs["IDLE"] - avgs["PowerGating"]) / avgs["IDLE"]
+	}
+	b.ReportMetric(rel, "vs-idle-pct") // paper at 50% load: 11%; grows here
+}
+
+// BenchmarkExtensionLatency reports the per-policy latency tails.
+func BenchmarkExtensionLatency(b *testing.B) {
+	s := benchSuite(b)
+	var d *experiments.Dataset
+	for i := 0; i < b.N; i++ {
+		var err error
+		d, err = s.TableLatency()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = d
+	res, err := s.Run(sim.NAPIDLE)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.LatencyPercentile(0.99), "napidle-p99-periods")
+}
+
+// BenchmarkExtensionScaling reports the 16-core overload fraction.
+func BenchmarkExtensionScaling(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.TableScaling(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionSensitivity sweeps the Eq. 5 bias.
+func BenchmarkExtensionSensitivity(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.TableSensitivity(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionQueueing compares FIFO and SJF admission.
+func BenchmarkExtensionQueueing(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.TableQueueing(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionDiurnal runs the compressed day and reports the daily
+// energy under power gating.
+func BenchmarkExtensionDiurnal(b *testing.B) {
+	s := benchSuite(b)
+	var d *experiments.Dataset
+	for i := 0; i < b.N; i++ {
+		var err error
+		d, err = s.TableDiurnal()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Row 3 is PowerGating; column 2 is kWh/day.
+	var kwh float64
+	fmt.Sscanf(d.Rows[3][2], "%f", &kwh)
+	b.ReportMetric(kwh, "gated-kWh-day")
+}

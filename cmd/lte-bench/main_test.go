@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunParallel(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-subframes", "5", "-maxprb", "4", "-delta", "1ms", "-workers", "2"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"parallel: 5 subframes", "CRC pass", "activity", "as-if power"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunVerify(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-verify", "-subframes", "4", "-maxprb", "4", "-delta", "1ms"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "bit-identical") {
+		t.Errorf("verify output: %s", buf.String())
+	}
+}
+
+func TestRunSerial(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-serial", "-subframes", "3", "-maxprb", "4"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "serial: 3 subframes") {
+		t.Errorf("serial output: %s", buf.String())
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-turbo", "quantum"}, &buf); err == nil {
+		t.Error("unknown turbo mode accepted")
+	}
+	if err := run([]string{"-combiner", "magic"}, &buf); err == nil {
+		t.Error("unknown combiner accepted")
+	}
+	if err := run([]string{"-chanest", "psychic"}, &buf); err == nil {
+		t.Error("unknown channel estimator accepted")
+	}
+}

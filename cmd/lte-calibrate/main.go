@@ -1,0 +1,79 @@
+// lte-calibrate runs the paper's Section VI-A calibration: steady-state
+// activity versus PRB count for every (layers, modulation) pair on the
+// TILEPro64-substitute simulator (Fig. 11), and prints the fitted k_LM
+// coefficients of Eq. 3.
+//
+// Usage:
+//
+//	lte-calibrate [-step 2] [-workers 62] [-format table|csv] [-coeffs]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ltephy/internal/estimator"
+	"ltephy/internal/experiments"
+	"ltephy/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lte-calibrate:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags and writes the calibration output to w; extracted from
+// main so the command is testable.
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("lte-calibrate", flag.ContinueOnError)
+	fs.SetOutput(w)
+	step := fs.Int("step", 2, "PRB sweep step (paper: 2)")
+	workers := fs.Int("workers", sim.DefaultWorkers, "simulated worker cores")
+	format := fs.String("format", "table", "output format: table or csv")
+	coeffsOnly := fs.Bool("coeffs", false, "print only the fitted coefficients")
+	rows := fs.Int("rows", 30, "max rows for table output (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	simCfg := sim.DefaultConfig()
+	simCfg.Workers = *workers
+	simCfg.WindowSec = 0.5
+	cal, err := estimator.Calibrate(simCfg, estimator.Options{PRBStep: *step, Windows: 1})
+	if err != nil {
+		return err
+	}
+
+	if *coeffsOnly {
+		fmt.Fprintln(w, "k_LM coefficients (activity per PRB, Eq. 3):")
+		for _, k := range cal.Keys() {
+			fmt.Fprintf(w, "  %-6s %d layer(s): %.6f  (max fit error %.4f)\n",
+				k.Mod, k.Layers, cal.Coeffs[k], cal.MaxAbsError(k))
+		}
+		return nil
+	}
+
+	d := experiments.Fig11Dataset(cal)
+	switch *format {
+	case "csv":
+		if err := d.WriteCSV(w); err != nil {
+			return err
+		}
+	case "table":
+		if err := d.Render(w, *rows); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "fitted coefficients:")
+	for _, k := range cal.Keys() {
+		fmt.Fprintf(w, "  %-6s %dL: k = %.6f\n", k.Mod, k.Layers, cal.Coeffs[k])
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunCoeffs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-step", "100", "-coeffs"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"k_LM", "QPSK", "16QAM", "64QAM", "4 layer(s)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("coeffs output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTableAndCSV(t *testing.T) {
+	var table bytes.Buffer
+	if err := run([]string{"-step", "100", "-rows", "4"}, &table); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(table.String(), "fig11") || !strings.Contains(table.String(), "fitted coefficients") {
+		t.Errorf("table output incomplete:\n%s", table.String())
+	}
+	var csv bytes.Buffer
+	if err := run([]string{"-step", "100", "-format", "csv"}, &csv); err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(csv.String(), "\n", 2)[0]
+	if !strings.HasPrefix(header, "prb,") || !strings.Contains(header, "64QAM_4L") {
+		t.Errorf("CSV header = %q", header)
+	}
+}
+
+func TestRunBadFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-step", "100", "-format", "pdf"}, &buf); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunReport generates the whole report at quick scale and checks its
+// structure. This is the repository's broadest integration test: every
+// figure, table and extension study executes in one pass.
+func TestRunReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report generation takes ~10 s")
+	}
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "report.md")
+	if err := run([]string{"-o", outPath, "-csvdir", dir, "-rows", "4"}, os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := string(data)
+	for _, want := range []string{
+		"## Fig. 11", "## Fig. 12", "## Table II", "## Extension — estimate-driven DVFS",
+		"## Extension — a diurnal day", "total runtime",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	for _, csv := range []string{"fig12.csv", "table2.csv", "table-diurnal.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, csv)); err != nil {
+			t.Errorf("missing %s: %v", csv, err)
+		}
+	}
+}

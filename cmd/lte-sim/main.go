@@ -1,0 +1,138 @@
+// lte-sim runs the paper's power-management experiments on the
+// TILEPro64-substitute simulator and regenerates Figs. 12-16 and Tables
+// I-II, plus this repository's extension studies.
+//
+// Usage:
+//
+//	lte-sim -all                   # every figure and table (quick preset)
+//	lte-sim -full -table 2         # Table II at the paper's full scale
+//	lte-sim -fig 12 -format csv    # one figure as CSV
+//	lte-sim -ext                   # extension tables (DVFS, latency, ...)
+//	lte-sim -outdir results/       # write every dataset as CSV files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ltephy/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lte-sim:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags, executes the selected experiments and writes them to
+// w; extracted from main so the command is testable.
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("lte-sim", flag.ContinueOnError)
+	fs.SetOutput(w)
+	fig := fs.Int("fig", 0, "figure to regenerate (12-16); 0 = none")
+	table := fs.Int("table", 0, "table to regenerate (1 or 2); 0 = none")
+	all := fs.Bool("all", false, "regenerate every figure and table")
+	ext := fs.Bool("ext", false, "include the extension tables (DVFS, latency, throughput, diurnal)")
+	full := fs.Bool("full", false, "paper-exact scale (68,000 subframes, fine calibration; minutes)")
+	pool := fs.Int("pool", 0, "override the PRB pool (100 = the 'typical 25% load' scenario; 0 = paper's 200)")
+	seed := fs.Uint64("seed", 1, "parameter model seed")
+	format := fs.String("format", "table", "stdout format: table or csv")
+	rows := fs.Int("rows", 30, "max rows for table output (0 = all)")
+	outdir := fs.String("outdir", "", "also write each dataset as CSV into this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiments.Quick()
+	if *full {
+		cfg = experiments.Full()
+	}
+	cfg.Seed = *seed
+	cfg.PRBPool = *pool
+	suite, err := experiments.NewSuite(cfg)
+	if err != nil {
+		return err
+	}
+
+	type job struct {
+		name string
+		get  func() (*experiments.Dataset, error)
+	}
+	jobs := []job{
+		{"fig12", func() (*experiments.Dataset, error) { d, _, err := suite.Fig12(); return d, err }},
+		{"fig13", suite.Fig13},
+		{"fig14", suite.Fig14},
+		{"fig15", suite.Fig15},
+		{"fig16", suite.Fig16},
+		{"table1", suite.Table1},
+		{"table2", suite.Table2},
+	}
+
+	selected := jobs[:0:0]
+	for _, j := range jobs {
+		switch {
+		case *all:
+			selected = append(selected, j)
+			continue
+		case *fig != 0 && j.name == fmt.Sprintf("fig%d", *fig):
+			selected = append(selected, j)
+		case *table != 0 && j.name == fmt.Sprintf("table%d", *table):
+			selected = append(selected, j)
+		}
+	}
+	if *ext || *all {
+		selected = append(selected, job{"table-extensions", suite.TableExtensions})
+		selected = append(selected, job{"table-latency", suite.TableLatency})
+		selected = append(selected, job{"table-throughput", suite.TableThroughput})
+		selected = append(selected, job{"table-diurnal", suite.TableDiurnal})
+	}
+	if len(selected) == 0 {
+		return fmt.Errorf("nothing selected; use -all, -ext, -fig 12..16 or -table 1|2")
+	}
+
+	for _, j := range selected {
+		start := time.Now()
+		d, err := j.get()
+		if err != nil {
+			return fmt.Errorf("%s: %w", j.name, err)
+		}
+		switch *format {
+		case "csv":
+			err = d.WriteCSV(w)
+		case "table":
+			err = d.Render(w, *rows)
+			fmt.Fprintf(w, "   (%s computed in %v)\n\n", j.name, time.Since(start).Round(time.Millisecond))
+		default:
+			err = fmt.Errorf("unknown format %q", *format)
+		}
+		if err != nil {
+			return err
+		}
+		if *outdir != "" {
+			if err := writeCSVFile(filepath.Join(*outdir, d.Name+".csv"), d); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeCSVFile(path string, d *experiments.Dataset) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := d.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}

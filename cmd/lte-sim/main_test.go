@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunTable2(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-table", "2", "-rows", "0"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"table2", "NONAP", "PowerGating", "rel_idle"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunOutdir(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"-table", "1", "-outdir", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "technique,power_w,reduction") {
+		t.Errorf("table1.csv header wrong: %q", strings.SplitN(string(data), "\n", 2)[0])
+	}
+}
+
+func TestRunSelectionErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Error("empty selection accepted")
+	}
+	if err := run([]string{"-fig", "3"}, &buf); err == nil {
+		t.Error("unsupported figure accepted")
+	}
+	if err := run([]string{"-table", "1", "-format", "yaml"}, &buf); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

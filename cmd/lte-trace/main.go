@@ -1,0 +1,70 @@
+// lte-trace emits the input-parameter-model traces of the paper's Figs.
+// 7-9: users per subframe, PRB allocation extremes, and layer extremes.
+//
+// Usage:
+//
+//	lte-trace -fig 7 [-seed 1] [-compression 1] [-stride 25] [-format table|csv] [-rows 40]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ltephy/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lte-trace:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses the flags and writes the requested figure to w; extracted
+// from main so the command is testable.
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("lte-trace", flag.ContinueOnError)
+	fig := fs.Int("fig", 7, "figure to regenerate: 7 (users), 8 (PRBs) or 9 (layers)")
+	seed := fs.Uint64("seed", 1, "parameter model seed")
+	compression := fs.Int("compression", 1, "trace compression factor (1 = paper's 68,000 subframes)")
+	stride := fs.Int("stride", 25, "plot every Nth subframe (paper: 25)")
+	format := fs.String("format", "table", "output format: table or csv")
+	rows := fs.Int("rows", 40, "max rows for table output (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiments.Full()
+	cfg.Seed = *seed
+	cfg.Compression = *compression
+	cfg.PlotStride = *stride
+	suite, err := experiments.NewSuite(cfg)
+	if err != nil {
+		return err
+	}
+
+	var d *experiments.Dataset
+	switch *fig {
+	case 7:
+		d, err = suite.Fig7()
+	case 8:
+		d, err = suite.Fig8()
+	case 9:
+		d, err = suite.Fig9()
+	default:
+		return fmt.Errorf("unknown figure %d (supported: 7, 8, 9)", *fig)
+	}
+	if err != nil {
+		return err
+	}
+	switch *format {
+	case "csv":
+		return d.WriteCSV(w)
+	case "table":
+		return d.Render(w, *rows)
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+}

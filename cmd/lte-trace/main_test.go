@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunFigures(t *testing.T) {
+	for _, fig := range []string{"7", "8", "9"} {
+		var buf bytes.Buffer
+		err := run([]string{"-fig", fig, "-compression", "20", "-rows", "5"}, &buf)
+		if err != nil {
+			t.Fatalf("fig %s: %v", fig, err)
+		}
+		out := buf.String()
+		if !strings.Contains(out, "fig"+fig) || !strings.Contains(out, "subframe") {
+			t.Errorf("fig %s output missing expected content:\n%s", fig, out)
+		}
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "7", "-compression", "40", "-format", "csv"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "subframe,users" {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+	if len(lines) < 10 {
+		t.Errorf("only %d CSV lines", len(lines))
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	render := func() string {
+		var buf bytes.Buffer
+		if err := run([]string{"-fig", "8", "-compression", "40", "-format", "csv"}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if render() != render() {
+		t.Error("same flags produced different traces")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "12"}, &buf); err == nil {
+		t.Error("unsupported figure accepted")
+	}
+	if err := run([]string{"-fig", "7", "-format", "xml"}, &buf); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if err := run([]string{"-compression", "0"}, &buf); err == nil {
+		t.Error("invalid compression accepted")
+	}
+	if err := run([]string{"-badflag"}, &buf); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

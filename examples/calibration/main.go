@@ -1,0 +1,57 @@
+// Calibration: reproduce the paper's Section VI-A workload estimator on
+// the TILEPro64-substitute simulator — sweep steady-state activity versus
+// PRB count for each (layers, modulation) pair, fit the k_LM coefficients
+// of Eq. 3, and use them to size the active-core set (Eq. 5) for a few
+// example scheduling decisions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ltephy"
+)
+
+func main() {
+	simCfg := ltephy.DefaultSimConfig()
+	simCfg.WindowSec = 0.5
+
+	// A coarse sweep (step 25 -> 8 points per curve) is enough for the
+	// linear fit; cmd/lte-calibrate runs the paper's full step-2 sweep.
+	fmt.Println("calibrating workload estimator (coarse sweep)...")
+	cal, err := ltephy.Calibrate(simCfg, ltephy.CalibrationOptions{PRBStep: 25, Windows: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nfitted activity-per-PRB coefficients (Eq. 3):")
+	for _, k := range cal.Keys() {
+		fmt.Printf("  %-6v %d layer(s): k = %.6f   (200 PRB -> %4.1f%% activity)\n",
+			k.Mod, k.Layers, cal.Coeffs[k], 100*200*cal.Coeffs[k])
+	}
+
+	// Apply Eqs. 4-5 to example subframes.
+	examples := []struct {
+		name  string
+		users []ltephy.UserParams
+	}{
+		{"light (one VoIP-ish user)", []ltephy.UserParams{
+			{PRB: 6, Layers: 1, Mod: ltephy.QPSK},
+		}},
+		{"mixed (four users)", []ltephy.UserParams{
+			{PRB: 50, Layers: 2, Mod: ltephy.QAM16},
+			{PRB: 30, Layers: 1, Mod: ltephy.QPSK},
+			{PRB: 60, Layers: 3, Mod: ltephy.QAM64},
+			{PRB: 20, Layers: 1, Mod: ltephy.QAM16},
+		}},
+		{"peak (pool maxed out)", []ltephy.UserParams{
+			{PRB: 200, Layers: 4, Mod: ltephy.QAM64},
+		}},
+	}
+	fmt.Println("\nactive-core decisions (Eq. 5, margin +2, 62 workers):")
+	for _, ex := range examples {
+		act := cal.Estimate(ex.users)
+		cores := cal.ActiveCores(ex.users, 62)
+		fmt.Printf("  %-28s estimated activity %.3f -> %2d active cores\n", ex.name, act, cores)
+	}
+}

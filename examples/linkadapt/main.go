@@ -1,0 +1,41 @@
+// Linkadapt: adaptive modulation and coding over the repository's own
+// receiver. Sweeps the channel SNR, lets the AMC ladder pick the
+// modulation and code rate, and reports the achieved throughput — the
+// realistic alternative to the paper's randomised modulation model.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ltephy"
+)
+
+func main() {
+	const prb = 6
+	fmt.Println("link adaptation over the LTE uplink receiver (1 layer, 6 PRB)")
+	fmt.Printf("%8s  %-22s  %10s  %8s  %s\n", "SNR(dB)", "selected MCS", "bits/sf", "eff", "CRC")
+	for snr := -2.0; snr <= 26; snr += 4 {
+		mcs := ltephy.SelectMCS(snr, 1)
+		cfg := ltephy.DefaultTXConfig()
+		cfg.Receiver.Turbo = ltephy.TurboFull
+		cfg.Receiver.CodeRate = mcs.Rate
+		cfg.SNRdB = snr
+		p := ltephy.UserParams{ID: 1, PRB: prb, Layers: 1, Mod: mcs.Mod}
+		u, err := ltephy.Generate(cfg, p, ltephy.NewRNG(uint64(snr*10+1000)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := ltephy.Process(cfg.Receiver, u)
+		if err != nil {
+			log.Fatal(err)
+		}
+		goodput := 0
+		if res.CRCOK {
+			goodput = len(res.Bits)
+		}
+		fmt.Printf("%8.0f  %-22v  %10d  %8.2f  %v\n",
+			snr, mcs, goodput, mcs.SpectralEfficiency(), res.CRCOK)
+	}
+	fmt.Println("\nhigher SNR -> denser constellations and less coding; every row should pass CRC")
+}

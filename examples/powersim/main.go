@@ -1,0 +1,66 @@
+// Powersim: the paper's power-management study in miniature. Runs the
+// compressed 68,000-subframe load sweep under all four deactivation
+// policies on the simulated TILEPro64, applies the analytical power-gating
+// model, and prints the Table II comparison plus the Fig. 12 estimator
+// accuracy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ltephy"
+)
+
+func main() {
+	suite, err := ltephy.NewSuite(ltephy.QuickExperiments())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("subframe-based power management (compressed trace)")
+	fmt.Printf("trace: %d subframes at %.0f ms dispatch, %d workers\n\n",
+		suite.Cfg.Subframes(), 1000*suite.Cfg.PeriodSec, suite.Cfg.Workers)
+
+	// Fig. 12: how well does the estimator track the measured workload?
+	_, stats, err := suite.Fig12()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload estimation (Fig. 12): avg |error| %.1f%%, max %.1f%%, mean activity %.0f%%\n",
+		100*stats.AvgAbs, 100*stats.MaxAbs, 100*stats.Mean)
+	fmt.Println("  (paper: 1.2% avg, 5.4% max, ~50% mean)")
+
+	// Table II: average total power per technique.
+	avgs, err := suite.PowerAverages()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\naverage total power (Table II):")
+	paper := map[string]float64{
+		"NONAP": 25, "IDLE": 20.7, "NAP": 20.5, "NAP+IDLE": 19.9, "PowerGating": 18.5,
+	}
+	nonap := avgs["NONAP"]
+	for _, name := range []string{"NONAP", "IDLE", "NAP", "NAP+IDLE", "PowerGating"} {
+		fmt.Printf("  %-12s %5.2f W  (%+5.1f%% vs NONAP; paper: %.1f W)\n",
+			name, avgs[name], 100*(avgs[name]-nonap)/nonap, paper[name])
+	}
+
+	best := avgs["PowerGating"]
+	idle := avgs["IDLE"]
+	fmt.Printf("\npower gating saves %.1f%% vs reactive-only management on average (paper: 11%%)\n",
+		100*(idle-best)/idle)
+
+	// The paper's named future work: the same estimate driving DVFS.
+	dvfs, err := suite.PowerSeries(ltephy.DVFS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var dvfsMean float64
+	for _, v := range dvfs {
+		dvfsMean += v
+	}
+	dvfsMean /= float64(len(dvfs))
+	fmt.Printf("estimate-driven DVFS (extension): %.2f W (%.1f%% vs NONAP)\n",
+		dvfsMean, 100*(dvfsMean-nonap)/nonap)
+}

@@ -1,0 +1,65 @@
+// Quickstart: synthesise one subframe of LTE uplink traffic, run it
+// through the serial reference receiver, and print the decoded results —
+// the smallest end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ltephy"
+)
+
+func main() {
+	// Three users with different grants, like a base-station scheduler
+	// would issue: a small QPSK user (VoIP-ish), a mid-size 16-QAM user,
+	// and a 4-layer 64-QAM bulk uploader.
+	users := []ltephy.UserParams{
+		{ID: 0, PRB: 4, Layers: 1, Mod: ltephy.QPSK},
+		{ID: 1, PRB: 12, Layers: 2, Mod: ltephy.QAM16},
+		{ID: 2, PRB: 8, Layers: 4, Mod: ltephy.QAM64},
+	}
+
+	// The synthetic transmitter runs the full TX chain (payload -> CRC ->
+	// interleave -> QAM -> DFT spread -> per-layer DMRS) through a fading
+	// 4-antenna MIMO channel at 25 dB SNR.
+	txCfg := ltephy.DefaultTXConfig()
+	rng := ltephy.NewRNG(42)
+	sf, err := ltephy.GenerateSubframe(txCfg, 0, users, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Process the subframe with the paper-faithful receiver (pass-through
+	// turbo decoding, hard CRC check).
+	results, err := ltephy.ProcessSubframe(txCfg.Receiver, sf)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("LTE Uplink Receiver PHY quickstart")
+	fmt.Printf("subframe 0: %d users, %d PRBs total\n\n", len(sf.Users), sf.TotalPRB())
+	for i, r := range results {
+		p := users[i]
+		fmt.Printf("user %d (%3d PRB, %d layer(s), %-6v): CRC %-4v  payload %5d bits  channel MSE %.2e\n",
+			r.UserID, p.PRB, p.Layers, p.Mod, r.CRCOK, len(r.Bits), r.ChannelMSE)
+	}
+
+	// The same subframe decoded with the real 3GPP turbo code: the
+	// 4-layer 64-QAM user survives MMSE fades that break uncoded demapping.
+	fullCfg := txCfg
+	fullCfg.Receiver.Turbo = ltephy.TurboFull
+	sf2, err := ltephy.GenerateSubframe(fullCfg, 1, users, ltephy.NewRNG(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	results2, err := ltephy.ProcessSubframe(fullCfg.Receiver, sf2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwith full turbo decoding:")
+	for i, r := range results2 {
+		fmt.Printf("user %d: CRC %-4v  payload %5d bits (rate ~1/3 of the passthrough payload)\n",
+			users[i].ID, r.CRCOK, len(r.Bits))
+	}
+}

@@ -1,0 +1,3 @@
+module ltephy
+
+go 1.22

@@ -1,0 +1,109 @@
+package amc
+
+import (
+	"testing"
+
+	"ltephy/internal/rng"
+	"ltephy/internal/uplink"
+	"ltephy/internal/uplink/tx"
+)
+
+func TestTableInvariants(t *testing.T) {
+	if err := Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Efficiency spans a realistic range.
+	lo := Table[0].SpectralEfficiency()
+	hi := Table[len(Table)-1].SpectralEfficiency()
+	if lo > 0.5 || hi < 4.5 {
+		t.Errorf("efficiency range [%.2f, %.2f] too narrow", lo, hi)
+	}
+}
+
+func TestSelectMonotone(t *testing.T) {
+	prev := -1.0
+	for snr := -6.0; snr <= 30; snr += 0.5 {
+		m := Select(snr, 0)
+		if m.SpectralEfficiency() < prev {
+			t.Fatalf("efficiency decreased at %g dB", snr)
+		}
+		prev = m.SpectralEfficiency()
+	}
+	// Extremes.
+	if Select(-20, 0).Index != 0 {
+		t.Error("very low SNR did not pick the most robust rung")
+	}
+	if Select(40, 0).Index != len(Table)-1 {
+		t.Error("very high SNR did not pick the top rung")
+	}
+	// Margin shifts selection down.
+	if Select(10, 5).SpectralEfficiency() > Select(10, 0).SpectralEfficiency() {
+		t.Error("margin increased aggressiveness")
+	}
+}
+
+// TestThresholdsDecodeOnReferenceReceiver is the empirical validation: at
+// each rung's threshold SNR (plus a small implementation margin), the
+// repository's own rate-matched receiver must decode that MCS cleanly.
+func TestThresholdsDecodeOnReferenceReceiver(t *testing.T) {
+	for _, m := range Table {
+		cfg := tx.DefaultConfig()
+		cfg.Receiver.Turbo = uplink.TurboFull
+		cfg.Receiver.CodeRate = m.Rate
+		cfg.SNRdB = m.MinSNRdB + 2 // operating margin above the switch point
+		p := uplink.UserParams{ID: 1, PRB: 6, Layers: 1, Mod: m.Mod}
+		okCount := 0
+		const trials = 3
+		for seed := uint64(0); seed < trials; seed++ {
+			u, err := tx.Generate(cfg, p, rng.New(100+seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := uplink.Process(cfg.Receiver, u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.CRCOK {
+				okCount++
+			}
+		}
+		if okCount < trials {
+			t.Errorf("%v: only %d/%d decodes at %g dB (threshold %g + 2 margin)",
+				m, okCount, trials, cfg.SNRdB, m.MinSNRdB)
+		}
+	}
+}
+
+// TestLadderIsUseful: the top rung must fail where the bottom succeeds —
+// otherwise the ladder adds nothing.
+func TestLadderIsUseful(t *testing.T) {
+	const snr = 2.0
+	run := func(m MCS) bool {
+		cfg := tx.DefaultConfig()
+		cfg.Receiver.Turbo = uplink.TurboFull
+		cfg.Receiver.CodeRate = m.Rate
+		cfg.SNRdB = snr
+		p := uplink.UserParams{ID: 1, PRB: 6, Layers: 1, Mod: m.Mod}
+		u, err := tx.Generate(cfg, p, rng.New(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := uplink.Process(cfg.Receiver, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.CRCOK
+	}
+	if !run(Table[1]) {
+		t.Error("robust rung failed at 2 dB")
+	}
+	if run(Table[len(Table)-1]) {
+		t.Error("64QAM r=0.85 decoded at 2 dB; the simulated channel is too kind")
+	}
+}
+
+func BenchmarkSelect(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Select(float64(i%40)-5, 1)
+	}
+}

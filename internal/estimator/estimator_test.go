@@ -1,0 +1,179 @@
+package estimator
+
+import (
+	"math"
+	"testing"
+
+	"ltephy/internal/params"
+	"ltephy/internal/phy/modulation"
+	"ltephy/internal/sim"
+	"ltephy/internal/uplink"
+)
+
+// coarseCalibration runs a fast sweep shared by the tests in this file.
+func coarseCalibration(t *testing.T) *Calibration {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.WindowSec = 0.5
+	cal, err := Calibrate(cfg, Options{PRBStep: 50, Windows: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cal
+}
+
+func TestCalibrateProducesAllCurves(t *testing.T) {
+	cal := coarseCalibration(t)
+	if len(cal.Coeffs) != 12 {
+		t.Fatalf("got %d coefficients, want 12 (4 layers x 3 modulations)", len(cal.Coeffs))
+	}
+	for _, k := range cal.Keys() {
+		if cal.Coeffs[k] <= 0 {
+			t.Errorf("%+v: non-positive coefficient %g", k, cal.Coeffs[k])
+		}
+		if len(cal.Curves[k]) == 0 {
+			t.Errorf("%+v: no curve points", k)
+		}
+	}
+}
+
+// TestCoefficientOrdering mirrors Fig. 11's stacking: more layers and
+// higher-order modulation give steeper activity-per-PRB slopes.
+func TestCoefficientOrdering(t *testing.T) {
+	cal := coarseCalibration(t)
+	for _, mod := range []modulation.Scheme{modulation.QPSK, modulation.QAM16, modulation.QAM64} {
+		for layers := 2; layers <= 4; layers++ {
+			hi := cal.Coeffs[Key{layers, mod}]
+			lo := cal.Coeffs[Key{layers - 1, mod}]
+			if hi <= lo {
+				t.Errorf("%v: k(%d layers)=%g not above k(%d layers)=%g", mod, layers, hi, layers-1, lo)
+			}
+		}
+	}
+	for layers := 1; layers <= 4; layers++ {
+		if cal.Coeffs[Key{layers, modulation.QAM64}] <= cal.Coeffs[Key{layers, modulation.QPSK}] {
+			t.Errorf("layers=%d: 64QAM slope not above QPSK", layers)
+		}
+	}
+}
+
+// TestLinearityOfCurves: the fit residuals should be small relative to the
+// measured activity — the property that makes Eq. 3 workable (the paper's
+// Fig. 11 shows near-perfect lines).
+func TestLinearityOfCurves(t *testing.T) {
+	cal := coarseCalibration(t)
+	for _, k := range cal.Keys() {
+		top := cal.Curves[k][len(cal.Curves[k])-1].Activity
+		if e := cal.MaxAbsError(k); e > 0.05+0.1*top {
+			t.Errorf("%+v: max fit error %g too large for curve topping at %g", k, e, top)
+		}
+	}
+}
+
+func TestEstimateAdditive(t *testing.T) {
+	cal := coarseCalibration(t)
+	a := uplink.UserParams{PRB: 50, Layers: 2, Mod: modulation.QAM16}
+	b := uplink.UserParams{PRB: 30, Layers: 1, Mod: modulation.QPSK}
+	got := cal.Estimate([]uplink.UserParams{a, b})
+	want := cal.EstimateUser(a) + cal.EstimateUser(b)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Estimate = %g, want %g", got, want)
+	}
+	if cal.Estimate(nil) != 0 {
+		t.Error("empty subframe estimate not zero")
+	}
+}
+
+func TestActiveCoresEquation(t *testing.T) {
+	cal := &Calibration{
+		Workers: 62,
+		Coeffs: map[Key]float64{
+			{1, modulation.QPSK}: 0.005, // 100 PRB -> 0.5 activity
+		},
+	}
+	users := []uplink.UserParams{{PRB: 100, Layers: 1, Mod: modulation.QPSK}}
+	// Eq. 5: 0.5*62 + 2 = 33.
+	if got := cal.ActiveCores(users, 62); got != 33 {
+		t.Errorf("ActiveCores = %d, want 33", got)
+	}
+	// Clamping at both ends.
+	if got := cal.ActiveCores(nil, 62); got != Margin {
+		t.Errorf("ActiveCores(no users) = %d, want %d", got, Margin)
+	}
+	heavy := []uplink.UserParams{{PRB: 200, Layers: 1, Mod: modulation.QPSK},
+		{PRB: 200, Layers: 1, Mod: modulation.QPSK}}
+	cal.Coeffs[Key{1, modulation.QPSK}] = 0.01
+	if got := cal.ActiveCores(heavy, 62); got != 62 {
+		t.Errorf("ActiveCores over capacity = %d, want clamp to 62", got)
+	}
+}
+
+// TestEstimationAccuracyOnTrace is Fig. 12 in miniature: calibrate, run a
+// random-model trace on the simulator, and compare per-window estimated
+// vs measured activity. The paper reports 1.2% average and 5.4% maximum
+// error; the coarse test calibration stays within looser but still tight
+// bounds.
+func TestEstimationAccuracyOnTrace(t *testing.T) {
+	cal := coarseCalibration(t)
+	cfg := sim.DefaultConfig()
+	cfg.WindowSec = 1.0
+
+	m := params.NewRandom(9)
+	// Mid-ramp slice: representative mixed workload.
+	for i := 0; i < params.RampLength/2; i++ {
+		m.Next()
+	}
+	trace := params.Record(m, 3000)
+
+	perWindow := int(cfg.WindowSec / cfg.PeriodSec)
+	est := make([]float64, 0)
+	trace.Reset()
+	for w := 0; w*perWindow < len(trace.Subframes); w++ {
+		var sum float64
+		n := 0
+		for s := w * perWindow; s < (w+1)*perWindow && s < len(trace.Subframes); s++ {
+			sum += cal.Estimate(trace.Subframes[s])
+			n++
+		}
+		if n == perWindow {
+			est = append(est, sum/float64(n))
+		}
+	}
+
+	trace.Reset()
+	res, err := sim.Run(cfg, trace, len(trace.Subframes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Windows() < 10 {
+		t.Fatalf("only %d windows", res.Windows())
+	}
+	var worst, sum float64
+	count := 0
+	for i := 1; i < res.Windows() && i < len(est); i++ { // skip fill window
+		d := math.Abs(est[i] - res.Activity(i))
+		if d > worst {
+			worst = d
+		}
+		sum += d
+		count++
+	}
+	avg := sum / float64(count)
+	if avg > 0.05 {
+		t.Errorf("average estimation error %.3f, want < 0.05 (paper: 0.012)", avg)
+	}
+	if worst > 0.12 {
+		t.Errorf("max estimation error %.3f, want < 0.12 (paper: 0.054)", worst)
+	}
+}
+
+func TestCalibrateRejectsBadInputs(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	if _, err := Calibrate(cfg, Options{PRBStep: 0}); err == nil {
+		t.Error("zero PRB step accepted")
+	}
+	cfg.Policy = sim.IDLE
+	if _, err := Calibrate(cfg, Options{PRBStep: 100}); err == nil {
+		t.Error("non-NONAP calibration accepted")
+	}
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"testing"
+
+	"ltephy/internal/phy/modulation"
+	"ltephy/internal/uplink"
+)
+
+func TestAggregate(t *testing.T) {
+	in := []float64{1, 2, 3, 4, 5, 6, 7}
+	got := aggregate(in, 2)
+	want := []float64{1.5, 3.5, 5.5} // trailing partial group dropped
+	if len(got) != len(want) {
+		t.Fatalf("aggregate returned %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("aggregate[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	if out := aggregate(in, 0); len(out) != len(in) {
+		t.Errorf("aggregate with k=0 should behave as k=1, got %d entries", len(out))
+	}
+	if out := aggregate(nil, 3); len(out) != 0 {
+		t.Errorf("aggregate(nil) = %v", out)
+	}
+}
+
+func TestUserStats(t *testing.T) {
+	users := []uplink.UserParams{
+		{PRB: 10, Layers: 2, Mod: modulation.QPSK},
+		{PRB: 30, Layers: 4, Mod: modulation.QAM64},
+		{PRB: 5, Layers: 1, Mod: modulation.QAM16},
+	}
+	count, total, maxPRB, minPRB, maxL, minL := userStats(users)
+	if count != 3 || total != 45 || maxPRB != 30 || minPRB != 5 || maxL != 4 || minL != 1 {
+		t.Errorf("userStats = (%d,%d,%d,%d,%d,%d)", count, total, maxPRB, minPRB, maxL, minL)
+	}
+	count, total, maxPRB, minPRB, maxL, minL = userStats(nil)
+	if count != 0 || total != 0 || maxPRB != 0 || minPRB != 0 || maxL != 0 || minL != 0 {
+		t.Errorf("empty userStats = (%d,%d,%d,%d,%d,%d)", count, total, maxPRB, minPRB, maxL, minL)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if f(0.12345) != "0.1234" && f(0.12345) != "0.1235" {
+		t.Errorf("f(0.12345) = %s", f(0.12345))
+	}
+	if f2(3.14159) != "3.14" {
+		t.Errorf("f2 = %s", f2(3.14159))
+	}
+	if itoa(-42) != "-42" {
+		t.Errorf("itoa = %s", itoa(-42))
+	}
+	if pct(0.256) != "+26%" {
+		t.Errorf("pct(0.256) = %s", pct(0.256))
+	}
+	if pct(-0.0) != "+0%" {
+		t.Errorf("pct(-0) = %s", pct(-0.0))
+	}
+	if pct(-0.11) != "-11%" {
+		t.Errorf("pct(-0.11) = %s", pct(-0.11))
+	}
+}

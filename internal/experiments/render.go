@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteCSV emits the dataset as CSV (header first).
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(d.Header); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(d.Rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Render emits an aligned plain-text table with the dataset's name and
+// note, suitable for terminal output. maxRows <= 0 prints everything;
+// otherwise the middle is elided.
+func (d *Dataset) Render(w io.Writer, maxRows int) error {
+	rows := d.Rows
+	elided := 0
+	if maxRows > 0 && len(rows) > maxRows {
+		head := maxRows / 2
+		tail := maxRows - head
+		elided = len(rows) - maxRows
+		clipped := make([][]string, 0, maxRows)
+		clipped = append(clipped, rows[:head]...)
+		clipped = append(clipped, rows[len(rows)-tail:]...)
+		rows = clipped
+	}
+	widths := make([]int, len(d.Header))
+	for i, h := range d.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", d.Name)
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(d.Header)
+	half := len(rows)
+	if elided > 0 {
+		half = maxRows / 2
+	}
+	for i, row := range rows {
+		if elided > 0 && i == half {
+			fmt.Fprintf(&b, "... (%d rows elided) ...\n", elided)
+		}
+		writeRow(row)
+	}
+	if d.Note != "" {
+		fmt.Fprintf(&b, "-- %s\n", d.Note)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,112 @@
+package params
+
+import (
+	"fmt"
+	"math"
+
+	"ltephy/internal/rng"
+	"ltephy/internal/uplink"
+)
+
+// Diurnal models a day in the life of a base station: traffic follows a
+// smooth day/night curve (nearly idle in the small hours, peaking in the
+// evening), instead of the paper's stress-test triangular ramp. The
+// paper's conclusions argue its evaluation is "overly pessimistic" because
+// real stations average ~25% load with long low-load nights; this model
+// quantifies that claim (the TableDiurnal experiment).
+//
+// Load modulates both the PRB pool in play and the layer/modulation
+// probability, so night traffic is sparse QPSK and the evening peak is
+// dense high-order modulation.
+type Diurnal struct {
+	seed uint64
+	// SubframesPerDay compresses 24 hours into this many subframes.
+	subframesPerDay int64
+	// PeakLoad and FloorLoad bound the day curve (fractions of full load).
+	peakLoad, floorLoad float64
+	r                   *rng.RNG
+	sf                  int64
+}
+
+// NewDiurnal returns a day-curve model compressing 24 hours into
+// subframesPerDay subframes. Typical parameters: floor 0.05 (night),
+// peak 0.6 (evening busy hour) — averaging near the ~25% the paper calls
+// typical.
+func NewDiurnal(seed uint64, subframesPerDay int, floorLoad, peakLoad float64) (*Diurnal, error) {
+	if subframesPerDay < 24 {
+		return nil, fmt.Errorf("params: %d subframes cannot represent a day", subframesPerDay)
+	}
+	if floorLoad < 0 || peakLoad > 1 || floorLoad >= peakLoad {
+		return nil, fmt.Errorf("params: load bounds [%g, %g] invalid", floorLoad, peakLoad)
+	}
+	m := &Diurnal{
+		seed:            seed,
+		subframesPerDay: int64(subframesPerDay),
+		peakLoad:        peakLoad,
+		floorLoad:       floorLoad,
+	}
+	m.Reset()
+	return m, nil
+}
+
+// Load returns the relative load (0..1) at a subframe index: a raised
+// cosine with its minimum at 04:00 and maximum at 16:00.
+func (m *Diurnal) Load(sf int64) float64 {
+	frac := float64(sf%m.subframesPerDay) / float64(m.subframesPerDay) // 0 = midnight
+	phase := 2 * math.Pi * (frac - 4.0/24)
+	shape := (1 - math.Cos(phase)) / 2 // 0 at 04:00, 1 at 16:00
+	return m.floorLoad + (m.peakLoad-m.floorLoad)*shape
+}
+
+// Next implements Model.
+func (m *Diurnal) Next() []uplink.UserParams {
+	load := m.Load(m.sf)
+	m.sf++
+	pool := int(load * float64(uplink.MaxPRBPool))
+	if pool < uplink.MinPRB {
+		pool = uplink.MinPRB
+	}
+	return drawUsers(m.r, pool, load)
+}
+
+// Reset implements Model.
+func (m *Diurnal) Reset() {
+	m.r = rng.New(m.seed)
+	m.sf = 0
+}
+
+// drawUsers is the paper's Fig. 6 + Fig. 10 user generator, shared by the
+// Random and Diurnal models: fill a PRB pool with up to MaxUsers users
+// whose layers/modulation escalate with prob.
+func drawUsers(r *rng.RNG, pool int, prob float64) []uplink.UserParams {
+	remaining := pool
+	var users []uplink.UserParams
+	for len(users) < uplink.MaxUsers && remaining > 0 {
+		userPRB := int(float64(pool) * r.Float64())
+		switch d := r.Float64(); {
+		case d < 0.4:
+			userPRB /= 8
+		case d < 0.6:
+			userPRB /= 4
+		case d < 0.9:
+			userPRB /= 2
+		}
+		if userPRB < uplink.MinPRB {
+			userPRB = uplink.MinPRB
+		}
+		if userPRB > remaining {
+			userPRB = remaining
+		}
+		if userPRB < uplink.MinPRB {
+			break
+		}
+		remaining -= userPRB
+		users = append(users, uplink.UserParams{
+			ID:     len(users),
+			PRB:    userPRB,
+			Layers: drawLayers(r, prob),
+			Mod:    drawModulation(r, prob),
+		})
+	}
+	return users
+}

@@ -1,0 +1,60 @@
+package params
+
+import (
+	"hash/fnv"
+	"testing"
+)
+
+// traceHash folds a trace prefix into a stable digest.
+func traceHash(m Model, n int) uint64 {
+	h := fnv.New64a()
+	buf := make([]byte, 4)
+	write := func(v int) {
+		buf[0] = byte(v)
+		buf[1] = byte(v >> 8)
+		buf[2] = byte(v >> 16)
+		buf[3] = byte(v >> 24)
+		h.Write(buf)
+	}
+	for i := 0; i < n; i++ {
+		users := m.Next()
+		write(len(users))
+		for _, u := range users {
+			write(u.PRB)
+			write(u.Layers)
+			write(int(u.Mod))
+		}
+	}
+	return h.Sum64()
+}
+
+// TestGoldenTraces pins the parameter models' exact output: every
+// experiment in EXPERIMENTS.md is reported against these sequences, so an
+// accidental change to the RNG or the drawing logic must fail loudly, not
+// silently shift all the numbers.
+func TestGoldenTraces(t *testing.T) {
+	cases := []struct {
+		name string
+		m    Model
+		want uint64
+	}{
+		{"random-seed1", NewRandom(1), 0xb8d1132170001b98},
+		{"random-seed2", NewRandom(2), 0xeaa22ba8fa1ee71d},
+		{"compressed20-seed1", NewRandomCompressed(1, 20), 0x36fbb834af843b6c},
+		{"pool100-seed1", NewRandom(1).SetPool(100), 0x9e1563794ff9d97c},
+	}
+	for _, tc := range cases {
+		if got := traceHash(tc.m, 2000); got != tc.want {
+			t.Errorf("%s: trace hash %#x, want %#x — the parameter model's output changed; "+
+				"if intentional, update the golden values AND rerun EXPERIMENTS.md",
+				tc.name, got, tc.want)
+		}
+	}
+	d, err := NewDiurnal(1, 2400, 0.05, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := traceHash(d, 2000), uint64(0x6a7567dd79419c79); got != want {
+		t.Errorf("diurnal-seed1: trace hash %#x, want %#x", got, want)
+	}
+}

@@ -1,0 +1,218 @@
+// Package params implements the benchmark's input parameter models: the
+// functions that decide, for each subframe, how many users transmit and
+// with which PRB allocation, layer count and modulation.
+//
+// It reproduces the paper's two models:
+//
+//   - Model (Section V-A, Figs. 6 and 10): a random user/PRB draw with a
+//     probability ramp that linearly raises and then lowers the chance of
+//     extra layers and higher-order modulation over 68,000 subframes,
+//     producing ~50% average load with rapid per-subframe variation.
+//   - Steady (Section VI-A): a single user with fixed parameters repeated
+//     every subframe, used to calibrate the workload estimator.
+//
+// The package mirrors the paper's init_parameter_model /
+// uplink_parameters C interface as a Go interface with New* constructors.
+package params
+
+import (
+	"fmt"
+
+	"ltephy/internal/phy/modulation"
+	"ltephy/internal/rng"
+	"ltephy/internal/uplink"
+)
+
+// Model produces the scheduled users for successive subframes. A Model is
+// stateful (it owns its RNG and ramp position); call Next once per
+// subframe. Implementations are not safe for concurrent use — the
+// maintenance thread is the only caller, as in the paper.
+type Model interface {
+	// Next returns the user parameters for the next subframe.
+	Next() []uplink.UserParams
+	// Reset rewinds the model to subframe zero with its original seed, so
+	// a trace can be replayed identically (serial-vs-parallel checks).
+	Reset()
+}
+
+// Paper-model constants (Fig. 6 and Section V-A).
+const (
+	// RampStep is how often the layer/modulation probability changes:
+	// "increased/decreased every 200th subframe".
+	RampStep = 200
+	// RampLength is the subframe count of one ramp direction: "linearly
+	// increased over the first 34,000 subframes".
+	RampLength = 34000
+	// TraceLength is a full up-then-down sweep: 68,000 subframes (340 s at
+	// the paper's 5 ms dispatch period).
+	TraceLength = 2 * RampLength
+	// MinProb and MaxProb bound the ramp: "from a probability of 0.6% to a
+	// probability of 100%".
+	MinProb = 0.006
+	MaxProb = 1.0
+)
+
+// RampProbability returns the layer/modulation probability for a subframe
+// index, following the paper's triangular, step-quantised ramp. Indexes
+// beyond TraceLength wrap, so arbitrarily long runs repeat the 340 s sweep.
+func RampProbability(subframe int64) float64 {
+	s := subframe % TraceLength
+	if s < 0 {
+		s += TraceLength
+	}
+	step := (s / RampStep) * RampStep // quantise to 200-subframe steps
+	var frac float64
+	if step < RampLength {
+		frac = float64(step) / float64(RampLength)
+	} else {
+		frac = float64(TraceLength-step) / float64(RampLength)
+	}
+	return MinProb + (MaxProb-MinProb)*frac
+}
+
+// Random is the paper's Section V-A parameter model.
+type Random struct {
+	seed      uint64
+	timeScale int64
+	pool      int
+	r         *rng.RNG
+	sf        int64
+}
+
+// NewRandom returns the paper's random model with the given seed.
+func NewRandom(seed uint64) *Random {
+	m := &Random{seed: seed, timeScale: 1, pool: uplink.MaxPRBPool}
+	m.Reset()
+	return m
+}
+
+// SetPool overrides the schedulable PRB pool (the paper's MAX_PRB = 200).
+// The paper's conclusions note that real base stations average ~25% load —
+// half the evaluation model's ~50% — and predict larger savings there; a
+// pool of 100 PRBs reproduces that operating point. Returns the model for
+// chaining.
+func (m *Random) SetPool(pool int) *Random {
+	if pool < uplink.MinPRB {
+		pool = uplink.MinPRB
+	}
+	if pool > uplink.MaxPRBPool {
+		pool = uplink.MaxPRBPool
+	}
+	m.pool = pool
+	return m
+}
+
+// NewRandomCompressed returns the random model with the probability ramp
+// compressed by the given factor: subframe s uses the ramp value of
+// subframe s*factor, so the full 68,000-subframe load sweep fits into
+// 68,000/factor subframes. Quick experiment presets use this to preserve
+// the workload shape (and hence the Table I/II averages) at a fraction of
+// the runtime; factor 1 is the paper's exact model.
+func NewRandomCompressed(seed uint64, factor int) *Random {
+	if factor < 1 {
+		factor = 1
+	}
+	m := &Random{seed: seed, timeScale: int64(factor), pool: uplink.MaxPRBPool}
+	m.Reset()
+	return m
+}
+
+// Reset implements Model.
+func (m *Random) Reset() {
+	m.r = rng.New(m.seed)
+	m.sf = 0
+}
+
+// Subframe returns the index of the subframe Next will generate next.
+func (m *Random) Subframe() int64 { return m.sf }
+
+// Next implements the pseudocode of Fig. 6 with line 16 replaced by
+// Fig. 10: users are drawn until the PRB pool or the user limit is
+// exhausted; each user's PRB count is a skewed random share of the pool,
+// and its layers/modulation are driven by the ramp probability.
+func (m *Random) Next() []uplink.UserParams {
+	prob := RampProbability(m.sf * m.timeScale)
+	m.sf++
+	return drawUsers(m.r, m.pool, prob)
+}
+
+// drawLayers implements Fig. 10 lines 2-11: three independent chances to
+// add a layer.
+func drawLayers(r *rng.RNG, prob float64) int {
+	layers := 1
+	for i := 0; i < uplink.MaxLayers-1; i++ {
+		if prob > r.Float64() {
+			layers++
+		}
+	}
+	return layers
+}
+
+// drawModulation implements Fig. 10 lines 12-18: QPSK by default, 16-QAM
+// with probability prob, 64-QAM with probability prob given 16-QAM.
+func drawModulation(r *rng.RNG, prob float64) modulation.Scheme {
+	mod := modulation.QPSK
+	if prob > r.Float64() {
+		mod = modulation.QAM16
+		if prob > r.Float64() {
+			mod = modulation.QAM64
+		}
+	}
+	return mod
+}
+
+// Steady is the calibration model of Section VI-A: one user with fixed
+// parameters every subframe ("a steady state with the same user parameter
+// configuration").
+type Steady struct {
+	P uplink.UserParams
+}
+
+// NewSteady returns a steady-state model for the given fixed parameters.
+func NewSteady(p uplink.UserParams) (*Steady, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("params: %w", err)
+	}
+	return &Steady{P: p}, nil
+}
+
+// Next implements Model.
+func (m *Steady) Next() []uplink.UserParams {
+	p := m.P
+	p.ID = 0
+	return []uplink.UserParams{p}
+}
+
+// Reset implements Model (Steady is stateless).
+func (m *Steady) Reset() {}
+
+// Trace records the output of a model so the identical subframe sequence
+// can be replayed — the paper's verification scheme processes "the same
+// sequence of subframes" through the serial and parallel receivers.
+type Trace struct {
+	Subframes [][]uplink.UserParams
+	pos       int
+}
+
+// Record captures n subframes from the model.
+func Record(m Model, n int) *Trace {
+	t := &Trace{Subframes: make([][]uplink.UserParams, n)}
+	for i := range t.Subframes {
+		t.Subframes[i] = m.Next()
+	}
+	return t
+}
+
+// Next implements Model; it panics when the trace is exhausted, which
+// indicates the run length and the trace length disagree — a caller bug.
+func (t *Trace) Next() []uplink.UserParams {
+	if t.pos >= len(t.Subframes) {
+		panic(fmt.Sprintf("params: trace exhausted after %d subframes", len(t.Subframes)))
+	}
+	users := t.Subframes[t.pos]
+	t.pos++
+	return users
+}
+
+// Reset implements Model.
+func (t *Trace) Reset() { t.pos = 0 }

@@ -1,0 +1,333 @@
+package params
+
+import (
+	"math"
+	"testing"
+
+	"ltephy/internal/phy/modulation"
+	"ltephy/internal/uplink"
+)
+
+func TestRampProbabilityShape(t *testing.T) {
+	if p := RampProbability(0); math.Abs(p-MinProb) > 1e-12 {
+		t.Errorf("prob(0) = %g, want %g", p, MinProb)
+	}
+	if p := RampProbability(RampLength); math.Abs(p-MaxProb) > 1e-12 {
+		t.Errorf("prob(34000) = %g, want %g", p, MaxProb)
+	}
+	// Quantised every 200 subframes.
+	if RampProbability(100) != RampProbability(199) {
+		t.Error("probability changed within a 200-subframe step")
+	}
+	if RampProbability(199) >= RampProbability(200) {
+		t.Error("probability did not increase at the step boundary")
+	}
+	// Symmetric descent and periodic wrap.
+	if a, b := RampProbability(RampLength-200), RampProbability(RampLength+200); math.Abs(a-b) > 1e-12 {
+		t.Errorf("ramp not symmetric around the peak: %g vs %g", a, b)
+	}
+	if a, b := RampProbability(5000), RampProbability(5000+TraceLength); a != b {
+		t.Errorf("ramp not periodic: %g vs %g", a, b)
+	}
+	// Monotone nondecreasing over the up ramp.
+	prev := -1.0
+	for s := int64(0); s < RampLength; s += RampStep {
+		p := RampProbability(s)
+		if p < prev {
+			t.Fatalf("ramp decreased at %d", s)
+		}
+		prev = p
+	}
+}
+
+func TestRandomModelConstraints(t *testing.T) {
+	m := NewRandom(1)
+	for sf := 0; sf < 5000; sf++ {
+		users := m.Next()
+		if len(users) > uplink.MaxUsers {
+			t.Fatalf("subframe %d: %d users", sf, len(users))
+		}
+		total := 0
+		for i, u := range users {
+			if err := u.Validate(); err != nil {
+				t.Fatalf("subframe %d user %d: %v", sf, i, err)
+			}
+			if u.ID != i {
+				t.Fatalf("subframe %d: user %d has ID %d", sf, i, u.ID)
+			}
+			total += u.PRB
+		}
+		if total > uplink.MaxPRBPool {
+			t.Fatalf("subframe %d: %d PRBs allocated, pool is %d", sf, total, uplink.MaxPRBPool)
+		}
+		if len(users) == 0 {
+			t.Fatalf("subframe %d: no users scheduled", sf)
+		}
+	}
+}
+
+func TestRandomModelDeterminism(t *testing.T) {
+	a, b := NewRandom(7), NewRandom(7)
+	for sf := 0; sf < 200; sf++ {
+		ua, ub := a.Next(), b.Next()
+		if len(ua) != len(ub) {
+			t.Fatal("same seed diverged in user count")
+		}
+		for i := range ua {
+			if ua[i] != ub[i] {
+				t.Fatal("same seed diverged in user params")
+			}
+		}
+	}
+	a.Reset()
+	c := NewRandom(7)
+	for sf := 0; sf < 50; sf++ {
+		ua, uc := a.Next(), c.Next()
+		for i := range ua {
+			if ua[i] != uc[i] {
+				t.Fatal("Reset did not rewind the model")
+			}
+		}
+	}
+}
+
+// TestRandomModelDistributions reproduces the qualitative content of the
+// paper's Figs. 7-9: user counts span most of 1..10, PRBs vary widely with
+// singles reaching near the pool size, and layers/modulation follow the
+// ramp (all QPSK/1-layer at the start, all 64QAM/4-layer at the peak).
+func TestRandomModelDistributions(t *testing.T) {
+	m := NewRandom(3)
+	userCounts := map[int]int{}
+	maxSingle := 0
+	for sf := 0; sf < 2000; sf++ {
+		users := m.Next()
+		userCounts[len(users)]++
+		for _, u := range users {
+			if u.PRB > maxSingle {
+				maxSingle = u.PRB
+			}
+		}
+	}
+	if len(userCounts) < 5 {
+		t.Errorf("user counts cover only %d distinct values; Fig. 7 shows wide variation", len(userCounts))
+	}
+	if maxSingle < 150 {
+		t.Errorf("max single-user PRB %d; Fig. 8 shows values up to ~190", maxSingle)
+	}
+
+	// At the very start of the ramp (prob 0.6%) essentially everyone is
+	// 1-layer QPSK.
+	m.Reset()
+	lowLayer, lowUsers := 0, 0
+	for sf := 0; sf < 100; sf++ {
+		for _, u := range m.Next() {
+			lowUsers++
+			if u.Layers == 1 && u.Mod == modulation.QPSK {
+				lowLayer++
+			}
+		}
+	}
+	if float64(lowLayer) < 0.9*float64(lowUsers) {
+		t.Errorf("at ramp start only %d/%d users are 1-layer QPSK", lowLayer, lowUsers)
+	}
+
+	// At the peak everyone has 4 layers and 64-QAM (prob = 1).
+	m2 := NewRandom(4)
+	for sf := 0; sf < RampLength; sf++ {
+		m2.Next() // advance to the peak
+	}
+	for sf := 0; sf < 100; sf++ {
+		for _, u := range m2.Next() {
+			if u.Layers != uplink.MaxLayers || u.Mod != modulation.QAM64 {
+				t.Fatalf("at ramp peak found %d layers %v", u.Layers, u.Mod)
+			}
+		}
+	}
+}
+
+func TestSteadyModel(t *testing.T) {
+	p := uplink.UserParams{ID: 9, PRB: 50, Layers: 2, Mod: modulation.QAM16}
+	m, err := NewSteady(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		users := m.Next()
+		if len(users) != 1 {
+			t.Fatalf("steady model returned %d users", len(users))
+		}
+		if users[0].PRB != 50 || users[0].Layers != 2 || users[0].Mod != modulation.QAM16 {
+			t.Fatalf("steady params drifted: %+v", users[0])
+		}
+		if users[0].ID != 0 {
+			t.Errorf("steady user ID = %d, want 0", users[0].ID)
+		}
+	}
+	if _, err := NewSteady(uplink.UserParams{PRB: 0, Layers: 1}); err == nil {
+		t.Error("invalid steady params accepted")
+	}
+}
+
+func TestTraceRecordReplay(t *testing.T) {
+	trace := Record(NewRandom(11), 300)
+	if len(trace.Subframes) != 300 {
+		t.Fatalf("recorded %d subframes", len(trace.Subframes))
+	}
+	// Replay must equal a fresh model with the same seed.
+	fresh := NewRandom(11)
+	for i := 0; i < 300; i++ {
+		a, b := trace.Next(), fresh.Next()
+		if len(a) != len(b) {
+			t.Fatal("trace diverged from model")
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatal("trace diverged from model")
+			}
+		}
+	}
+	trace.Reset()
+	if got := trace.Next(); len(got) == 0 {
+		t.Error("trace empty after Reset")
+	}
+	trace.Reset()
+	for i := 0; i < 300; i++ {
+		trace.Next()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("exhausted trace did not panic")
+		}
+	}()
+	trace.Next()
+}
+
+// TestAverageLoadShape: the model is built so the PRB total stays high
+// while layers/modulation sweep the load; average user count should sit in
+// the middle of 1..10 (paper Fig. 7 shows a broad spread).
+func TestAverageLoadShape(t *testing.T) {
+	m := NewRandom(5)
+	var users, subframes int
+	for sf := 0; sf < TraceLength; sf += 25 {
+		// Sample every 25th subframe like the paper's plots.
+		for skip := 0; skip < 24; skip++ {
+			m.Next()
+		}
+		users += len(m.Next())
+		subframes++
+	}
+	avg := float64(users) / float64(subframes)
+	if avg < 2 || avg > 9 {
+		t.Errorf("average users/subframe = %.2f, expected mid-range", avg)
+	}
+}
+
+func BenchmarkRandomNext(b *testing.B) {
+	m := NewRandom(1)
+	for i := 0; i < b.N; i++ {
+		m.Next()
+	}
+}
+
+func TestCompressedRampCoversFullSweep(t *testing.T) {
+	// Factor 10: 6,800 subframes must sweep the ramp up to the peak and
+	// back down, hitting max layers/modulation in the middle.
+	m := NewRandomCompressed(2, 10)
+	sawPeak := false
+	for sf := 0; sf < TraceLength/10; sf++ {
+		users := m.Next()
+		mid := sf > 3200 && sf < 3600
+		if mid {
+			allMax := true
+			for _, u := range users {
+				if u.Layers != uplink.MaxLayers || u.Mod != modulation.QAM64 {
+					allMax = false
+				}
+			}
+			if allMax {
+				sawPeak = true
+			}
+		}
+	}
+	if !sawPeak {
+		t.Error("compressed ramp never reached the max-workload plateau")
+	}
+	// Factor 1 equals the plain model.
+	a, b := NewRandom(5), NewRandomCompressed(5, 1)
+	for i := 0; i < 100; i++ {
+		ua, ub := a.Next(), b.Next()
+		for j := range ua {
+			if ua[j] != ub[j] {
+				t.Fatal("factor-1 compressed model differs from plain model")
+			}
+		}
+	}
+}
+
+func TestDiurnalModel(t *testing.T) {
+	const perDay = 2400
+	m, err := NewDiurnal(3, perDay, 0.05, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load curve: minimum near 04:00, maximum near 16:00, bounded.
+	night := m.Load(perDay * 4 / 24)
+	evening := m.Load(perDay * 16 / 24)
+	if math.Abs(night-0.05) > 1e-9 || math.Abs(evening-0.6) > 1e-9 {
+		t.Errorf("load extremes (%.3f, %.3f), want (0.05, 0.60)", night, evening)
+	}
+	for sf := int64(0); sf < perDay; sf += 7 {
+		l := m.Load(sf)
+		if l < 0.05-1e-9 || l > 0.6+1e-9 {
+			t.Fatalf("load %g out of bounds at %d", l, sf)
+		}
+	}
+	// Periodicity across days.
+	if m.Load(10) != m.Load(10+perDay) {
+		t.Error("day curve not periodic")
+	}
+	// Traffic volume tracks the curve: evening PRB totals well above night.
+	prbAround := func(center int64) int {
+		m.Reset()
+		for i := int64(0); i < center-25; i++ {
+			m.Next()
+		}
+		total := 0
+		for i := 0; i < 50; i++ {
+			for _, u := range m.Next() {
+				total += u.PRB
+			}
+		}
+		return total
+	}
+	nightPRB := prbAround(perDay * 4 / 24)
+	dayPRB := prbAround(perDay * 16 / 24)
+	if dayPRB < 3*nightPRB {
+		t.Errorf("evening traffic %d not well above night traffic %d", dayPRB, nightPRB)
+	}
+	// Validity of every generated subframe.
+	m.Reset()
+	for sf := 0; sf < 500; sf++ {
+		for _, u := range m.Next() {
+			if err := u.Validate(); err != nil {
+				t.Fatalf("subframe %d: %v", sf, err)
+			}
+		}
+	}
+	// Determinism.
+	a, _ := NewDiurnal(9, perDay, 0.05, 0.6)
+	b, _ := NewDiurnal(9, perDay, 0.05, 0.6)
+	for i := 0; i < 50; i++ {
+		ua, ub := a.Next(), b.Next()
+		if len(ua) != len(ub) {
+			t.Fatal("diurnal model not deterministic")
+		}
+	}
+	// Invalid constructions.
+	if _, err := NewDiurnal(1, 10, 0.1, 0.5); err == nil {
+		t.Error("tiny day accepted")
+	}
+	if _, err := NewDiurnal(1, 2400, 0.5, 0.4); err == nil {
+		t.Error("inverted bounds accepted")
+	}
+}

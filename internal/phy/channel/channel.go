@@ -1,0 +1,185 @@
+// Package channel models the radio channel between a UE and the base
+// station's receive antennas: a block-fading, frequency-selective MIMO
+// channel with additive white Gaussian noise.
+//
+// The paper excludes the receiver frontend (filter, CP removal, FFT) from
+// the benchmark because it is statically defined; this package therefore
+// produces frequency-domain subcarrier samples directly — exactly what the
+// per-user processing chain consumes. Each (antenna, layer) pair gets an
+// independent multipath impulse response whose taps fall inside the
+// channel estimator's time-domain window, so the matched-filter estimate
+// is able to recover it (the property the chanest tests assert).
+package channel
+
+import (
+	"fmt"
+	"math"
+
+	"ltephy/internal/phy/sequence"
+	"ltephy/internal/rng"
+)
+
+// MaxDelaySpreadFrac bounds multipath tap delays to this fraction of the
+// symbol length. It must not exceed 1/sequence.MaxLayers, or the taps of
+// one layer would leak into the next layer's cyclic-shift window.
+const MaxDelaySpreadFrac = 1.0 / sequence.MaxLayers
+
+// DefaultTaps is the number of multipath taps per (antenna, layer) link.
+const DefaultTaps = 4
+
+// Profile is a multipath power-delay profile, loosely mirroring the 3GPP
+// reference channel families (EPA/ETU): how many taps, how far they
+// spread, and how fast their power decays.
+type Profile struct {
+	Name string
+	// Taps per (antenna, layer) link.
+	Taps int
+	// DelaySpreadFrac is the fraction of the symbol the taps occupy; it
+	// must not exceed MaxDelaySpreadFrac or layer separation breaks.
+	DelaySpreadFrac float64
+	// DecayDBPerTap is the power drop from one tap to the next.
+	DecayDBPerTap float64
+}
+
+// The built-in profiles.
+var (
+	// ProfileDefault matches the original NewMIMO behaviour.
+	ProfileDefault = Profile{Name: "default", Taps: DefaultTaps, DelaySpreadFrac: MaxDelaySpreadFrac, DecayDBPerTap: 3}
+	// ProfileFlat is a single-tap (frequency-flat) channel.
+	ProfileFlat = Profile{Name: "flat", Taps: 1, DelaySpreadFrac: 0.01, DecayDBPerTap: 0}
+	// ProfilePedestrian has a short delay spread (mild selectivity),
+	// like 3GPP EPA.
+	ProfilePedestrian = Profile{Name: "pedestrian", Taps: 3, DelaySpreadFrac: 0.05, DecayDBPerTap: 6}
+	// ProfileUrban is rich multipath across the full window, like ETU.
+	ProfileUrban = Profile{Name: "urban", Taps: 7, DelaySpreadFrac: MaxDelaySpreadFrac, DecayDBPerTap: 1.5}
+)
+
+// Validate checks a profile's bounds.
+func (p Profile) Validate() error {
+	switch {
+	case p.Taps < 1:
+		return fmt.Errorf("channel: profile %q has %d taps", p.Name, p.Taps)
+	case p.DelaySpreadFrac <= 0 || p.DelaySpreadFrac > MaxDelaySpreadFrac:
+		return fmt.Errorf("channel: profile %q delay spread %g outside (0, %g]",
+			p.Name, p.DelaySpreadFrac, MaxDelaySpreadFrac)
+	case p.DecayDBPerTap < 0:
+		return fmt.Errorf("channel: profile %q negative decay", p.Name)
+	}
+	return nil
+}
+
+// MIMO is one realisation of the channel for a single user's allocation:
+// frequency responses for every (antenna, layer) pair over n subcarriers.
+type MIMO struct {
+	Antennas, Layers int
+	N                int            // subcarriers
+	H                [][]complex128 // H[a*Layers+l][k]
+	NoiseVar         float64        // per-subcarrier complex noise variance
+}
+
+// Resp returns the frequency response for (antenna a, layer l).
+func (c *MIMO) Resp(a, l int) []complex128 { return c.H[a*c.Layers+l] }
+
+// NewMIMO draws a random channel with ProfileDefault: see NewMIMOProfile.
+func NewMIMO(r *rng.RNG, antennas, layers, n int, noiseVar float64) *MIMO {
+	return NewMIMOProfile(r, antennas, layers, n, noiseVar, ProfileDefault)
+}
+
+// NewMIMOProfile draws a random channel: profile-shaped multipath taps
+// (delays within the estimator window) for each (antenna, layer), and the
+// given noise variance. Average channel gain per link is normalised to 1
+// so receive SNR per layer is 1/noiseVar.
+func NewMIMOProfile(r *rng.RNG, antennas, layers, n int, noiseVar float64, prof Profile) *MIMO {
+	if antennas < 1 || layers < 1 || layers > sequence.MaxLayers || n < 1 {
+		panic(fmt.Sprintf("channel: invalid shape antennas=%d layers=%d n=%d", antennas, layers, n))
+	}
+	if noiseVar < 0 {
+		panic(fmt.Sprintf("channel: negative noise variance %g", noiseVar))
+	}
+	if err := prof.Validate(); err != nil {
+		panic(err.Error())
+	}
+	c := &MIMO{Antennas: antennas, Layers: layers, N: n, NoiseVar: noiseVar,
+		H: make([][]complex128, antennas*layers)}
+	maxDelay := int(float64(n) * prof.DelaySpreadFrac)
+	if maxDelay < 1 {
+		maxDelay = 1
+	}
+	for al := range c.H {
+		c.H[al] = freqResponse(r, n, maxDelay, prof)
+	}
+	return c
+}
+
+// freqResponse draws the profile's taps in [0, maxDelay) and returns the
+// n-point frequency response sum_t g_t * exp(-2*pi*i*k*d_t/n).
+func freqResponse(r *rng.RNG, n, maxDelay int, prof Profile) []complex128 {
+	taps := prof.Taps
+	if taps > maxDelay {
+		taps = maxDelay
+	}
+	decay := math.Pow(10, -prof.DecayDBPerTap/10)
+	delays := make([]int, taps)
+	gains := make([]complex128, taps)
+	var power float64
+	for t := range delays {
+		if t == 0 {
+			delays[t] = 0 // always a line-of-sight-ish first tap
+		} else {
+			delays[t] = 1 + r.Intn(maxDelay-1)
+		}
+		p := math.Pow(decay, float64(t))
+		gains[t] = r.ComplexNormal(p)
+		power += p
+	}
+	// Normalise expected power to 1.
+	scale := complex(1/math.Sqrt(power), 0)
+	for t := range gains {
+		gains[t] *= scale
+	}
+	h := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for t := range delays {
+			theta := -2 * math.Pi * float64((k*delays[t])%n) / float64(n)
+			sum += gains[t] * complex(math.Cos(theta), math.Sin(theta))
+		}
+		h[k] = sum
+	}
+	return h
+}
+
+// Apply propagates the per-layer transmit grid through the channel and adds
+// noise: for each antenna a and subcarrier k,
+//
+//	y[a][k] = sum_l H[a][l][k] * x[l][k] + n
+//
+// tx is indexed [layer][subcarrier]; the result is [antenna][subcarrier].
+func (c *MIMO) Apply(r *rng.RNG, tx [][]complex128) [][]complex128 {
+	if len(tx) != c.Layers {
+		panic(fmt.Sprintf("channel: tx has %d layers, channel built for %d", len(tx), c.Layers))
+	}
+	for l := range tx {
+		if len(tx[l]) != c.N {
+			panic(fmt.Sprintf("channel: tx layer %d has %d subcarriers, want %d", l, len(tx[l]), c.N))
+		}
+	}
+	rx := make([][]complex128, c.Antennas)
+	for a := 0; a < c.Antennas; a++ {
+		row := make([]complex128, c.N)
+		for l := 0; l < c.Layers; l++ {
+			h := c.Resp(a, l)
+			x := tx[l]
+			for k := 0; k < c.N; k++ {
+				row[k] += h[k] * x[k]
+			}
+		}
+		if c.NoiseVar > 0 {
+			for k := 0; k < c.N; k++ {
+				row[k] += r.ComplexNormal(c.NoiseVar)
+			}
+		}
+		rx[a] = row
+	}
+	return rx
+}

@@ -1,0 +1,238 @@
+package channel
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"ltephy/internal/phy/fft"
+	"ltephy/internal/rng"
+)
+
+func TestShapeAndDeterminism(t *testing.T) {
+	a := NewMIMO(rng.New(1), 4, 2, 144, 0.01)
+	b := NewMIMO(rng.New(1), 4, 2, 144, 0.01)
+	if len(a.H) != 8 {
+		t.Fatalf("got %d links, want 8", len(a.H))
+	}
+	for al := range a.H {
+		if len(a.H[al]) != 144 {
+			t.Fatalf("link %d has %d subcarriers", al, len(a.H[al]))
+		}
+		for k := range a.H[al] {
+			if a.H[al][k] != b.H[al][k] {
+				t.Fatal("same seed produced different channels")
+			}
+		}
+	}
+}
+
+func TestAverageUnitGain(t *testing.T) {
+	// E|H|^2 per link is normalised to ~1; average over many realisations.
+	r := rng.New(2)
+	const n = 96
+	var acc float64
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		c := NewMIMO(r, 1, 1, n, 0)
+		for _, v := range c.H[0] {
+			acc += real(v)*real(v) + imag(v)*imag(v)
+		}
+	}
+	got := acc / float64(trials*n)
+	if math.Abs(got-1) > 0.1 {
+		t.Errorf("average |H|^2 = %g, want ~1", got)
+	}
+}
+
+// TestImpulseResponseInsideWindow verifies the channel's time-domain energy
+// stays inside the first N*MaxDelaySpreadFrac samples — the contract the
+// channel estimator's windowing step depends on.
+func TestImpulseResponseInsideWindow(t *testing.T) {
+	r := rng.New(3)
+	const n = 288
+	for trial := 0; trial < 20; trial++ {
+		c := NewMIMO(r, 2, 2, n, 0)
+		for al := range c.H {
+			td := make([]complex128, n)
+			fft.Get(n).Inverse(td, c.H[al])
+			window := int(float64(n) * MaxDelaySpreadFrac)
+			var inside, total float64
+			for i, v := range td {
+				e := real(v)*real(v) + imag(v)*imag(v)
+				total += e
+				if i < window {
+					inside += e
+				}
+			}
+			if inside < 0.999*total {
+				t.Fatalf("trial %d link %d: only %.4f of energy inside window", trial, al, inside/total)
+			}
+		}
+	}
+}
+
+func TestApplySingleLayerIdentity(t *testing.T) {
+	// With one antenna, one layer, no noise: y = H .* x exactly.
+	r := rng.New(4)
+	const n = 60
+	c := NewMIMO(r, 1, 1, n, 0)
+	x := make([]complex128, n)
+	for k := range x {
+		x[k] = complex(float64(k), 1)
+	}
+	y := c.Apply(r, [][]complex128{x})
+	for k := 0; k < n; k++ {
+		if cmplx.Abs(y[0][k]-c.H[0][k]*x[k]) > 1e-12 {
+			t.Fatalf("y[%d] != H*x", k)
+		}
+	}
+}
+
+func TestApplySuperposition(t *testing.T) {
+	// Two layers through the channel equal the sum of each alone (noiseless).
+	r := rng.New(5)
+	const n = 48
+	c := NewMIMO(r, 3, 2, n, 0)
+	x0 := make([]complex128, n)
+	x1 := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		x0[k] = complex(1, float64(k))
+		x1[k] = complex(-float64(k), 2)
+	}
+	zero := make([]complex128, n)
+	both := c.Apply(r, [][]complex128{x0, x1})
+	only0 := c.Apply(r, [][]complex128{x0, zero})
+	only1 := c.Apply(r, [][]complex128{zero, x1})
+	for a := 0; a < 3; a++ {
+		for k := 0; k < n; k++ {
+			if cmplx.Abs(both[a][k]-(only0[a][k]+only1[a][k])) > 1e-10 {
+				t.Fatalf("superposition violated at antenna %d bin %d", a, k)
+			}
+		}
+	}
+}
+
+func TestNoiseStatistics(t *testing.T) {
+	r := rng.New(6)
+	const n, nv = 4096, 0.25
+	c := NewMIMO(r, 1, 1, n, nv)
+	zero := make([]complex128, n)
+	y := c.Apply(r, [][]complex128{zero})
+	var e float64
+	for _, v := range y[0] {
+		e += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if got := e / n; math.Abs(got-nv) > 0.03 {
+		t.Errorf("noise power %g, want %g", got, nv)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	r := rng.New(7)
+	cases := []func(){
+		func() { NewMIMO(r, 0, 1, 10, 0) },
+		func() { NewMIMO(r, 1, 5, 10, 0) },
+		func() { NewMIMO(r, 1, 1, 0, 0) },
+		func() { NewMIMO(r, 1, 1, 10, -1) },
+		func() { NewMIMO(r, 1, 2, 10, 0).Apply(r, make([][]complex128, 1)) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkNewMIMO(b *testing.B) {
+	r := rng.New(8)
+	for i := 0; i < b.N; i++ {
+		NewMIMO(r, 4, 4, 1200, 0.01)
+	}
+}
+
+func BenchmarkApply(b *testing.B) {
+	r := rng.New(9)
+	c := NewMIMO(r, 4, 4, 1200, 0.01)
+	tx := make([][]complex128, 4)
+	for l := range tx {
+		tx[l] = make([]complex128, 1200)
+	}
+	for i := 0; i < b.N; i++ {
+		c.Apply(r, tx)
+	}
+}
+
+// TestProfiles: flat is frequency-flat, urban markedly more selective than
+// pedestrian, and all profiles honour the estimator window.
+func TestProfiles(t *testing.T) {
+	const n = 480
+	selectivity := func(prof Profile, seed uint64) float64 {
+		r := rng.New(seed)
+		var acc float64
+		const trials = 40
+		for i := 0; i < trials; i++ {
+			c := NewMIMOProfile(r, 1, 1, n, 0, prof)
+			// Variance of |H|^2 across bins, normalised by its mean^2.
+			var mean, m2 float64
+			for _, v := range c.H[0] {
+				p := real(v)*real(v) + imag(v)*imag(v)
+				mean += p
+				m2 += p * p
+			}
+			mean /= n
+			m2 /= n
+			acc += (m2 - mean*mean) / (mean * mean)
+		}
+		return acc / trials
+	}
+	flat := selectivity(ProfileFlat, 1)
+	ped := selectivity(ProfilePedestrian, 2)
+	urb := selectivity(ProfileUrban, 3)
+	if flat > 1e-12 {
+		t.Errorf("flat profile selectivity %g, want 0", flat)
+	}
+	if urb < 1.5*ped {
+		t.Errorf("urban selectivity %g not well above pedestrian %g", urb, ped)
+	}
+	// Window containment for every profile.
+	for _, prof := range []Profile{ProfileFlat, ProfilePedestrian, ProfileUrban, ProfileDefault} {
+		r := rng.New(9)
+		c := NewMIMOProfile(r, 2, 2, n, 0, prof)
+		for al := range c.H {
+			td := make([]complex128, n)
+			fft.Get(n).Inverse(td, c.H[al])
+			window := int(float64(n) * MaxDelaySpreadFrac)
+			var inside, total float64
+			for i, v := range td {
+				e := real(v)*real(v) + imag(v)*imag(v)
+				total += e
+				if i < window {
+					inside += e
+				}
+			}
+			if inside < 0.999*total {
+				t.Fatalf("%s: energy escaped the window", prof.Name)
+			}
+		}
+	}
+	// Invalid profiles rejected.
+	bad := Profile{Name: "bad", Taps: 0, DelaySpreadFrac: 0.1}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero-tap profile accepted")
+			}
+		}()
+		NewMIMOProfile(rng.New(1), 1, 1, 48, 0, bad)
+	}()
+	wide := Profile{Name: "wide", Taps: 2, DelaySpreadFrac: 0.5}
+	if err := wide.Validate(); err == nil {
+		t.Error("over-wide delay spread accepted")
+	}
+}

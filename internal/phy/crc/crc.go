@@ -1,0 +1,131 @@
+// Package crc implements the cyclic redundancy checks defined in 3GPP
+// TS 36.212 §5.1.1 for LTE transport channels:
+//
+//	CRC24A  g(D) = D^24+D^23+D^18+D^17+D^14+D^11+D^10+D^7+D^6+D^5+D^4+D^3+D+1
+//	CRC24B  g(D) = D^24+D^23+D^6+D^5+D+1
+//	CRC16   g(D) = D^16+D^12+D^5+1
+//	CRC8    g(D) = D^8+D^7+D^4+D^3+D+1
+//
+// CRC24A protects the transport block, CRC24B each code block after
+// segmentation. The uplink receiver pipeline's final stage is a CRC check
+// over the decoded payload (the paper's Fig. 3 "CRC" kernel).
+//
+// The message here is a sequence of bits (one bit per byte, values 0 or 1),
+// matching how the turbo coder and demapper exchange data; a table-driven
+// byte-oriented variant is provided for packed payloads.
+package crc
+
+// Kind selects one of the four LTE CRC polynomials.
+type Kind int
+
+// Supported CRC kinds, in the order TS 36.212 defines them.
+const (
+	CRC24A Kind = iota
+	CRC24B
+	CRC16
+	CRC8
+)
+
+// params describes one generator polynomial: its length in bits and its
+// coefficients below the leading term.
+type params struct {
+	bits int
+	poly uint32
+	name string
+}
+
+var table = [...]params{
+	CRC24A: {24, 0x864CFB, "CRC24A"},
+	CRC24B: {24, 0x800063, "CRC24B"},
+	CRC16:  {16, 0x1021, "CRC16"},
+	CRC8:   {8, 0x9B, "CRC8"},
+}
+
+// Bits returns the length of the checksum produced by k.
+func (k Kind) Bits() int { return table[k].bits }
+
+// String returns the 3GPP name of the polynomial.
+func (k Kind) String() string { return table[k].name }
+
+// ComputeBits returns the CRC of a message given as individual bits
+// (values 0 or 1, most significant bit first), as the checksum bits
+// p(0)..p(L-1) in transmission order (MSB first).
+func (k Kind) ComputeBits(msg []uint8) []uint8 {
+	p := table[k]
+	var reg uint32
+	top := uint32(1) << (p.bits - 1)
+	mask := (uint32(1) << p.bits) - 1
+	for _, b := range msg {
+		fb := (reg&top != 0) != (b != 0)
+		reg = (reg << 1) & mask
+		if fb {
+			reg ^= p.poly
+		}
+	}
+	out := make([]uint8, p.bits)
+	for i := 0; i < p.bits; i++ {
+		if reg&(uint32(1)<<(p.bits-1-i)) != 0 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// AppendBits returns msg with its CRC appended, ready for encoding.
+func (k Kind) AppendBits(msg []uint8) []uint8 {
+	return append(append(make([]uint8, 0, len(msg)+k.Bits()), msg...), k.ComputeBits(msg)...)
+}
+
+// CheckBits reports whether data, interpreted as message||checksum,
+// carries a consistent CRC. It returns false for inputs shorter than the
+// checksum itself.
+func (k Kind) CheckBits(data []uint8) bool {
+	n := len(data) - k.Bits()
+	if n < 0 {
+		return false
+	}
+	got := k.ComputeBits(data[:n])
+	for i, b := range got {
+		if b != data[n+i] {
+			return false
+		}
+	}
+	return true
+}
+
+// byteTables holds the 256-entry lookup tables for the byte-oriented
+// variant, indexed by Kind.
+var byteTables = func() [len(table)][256]uint32 {
+	var ts [len(table)][256]uint32
+	for k, p := range table {
+		top := uint32(1) << (p.bits - 1)
+		mask := (uint32(1) << p.bits) - 1
+		for b := 0; b < 256; b++ {
+			reg := uint32(b) << (p.bits - 8)
+			for i := 0; i < 8; i++ {
+				if reg&top != 0 {
+					reg = ((reg << 1) ^ p.poly) & mask
+				} else {
+					reg = (reg << 1) & mask
+				}
+			}
+			ts[k][b] = reg
+		}
+	}
+	return ts
+}()
+
+// ComputeBytes returns the CRC register value for a packed byte message
+// (bits taken MSB-first within each byte). The low Bits() bits hold the
+// checksum; for CRC8/16 the upper bits are zero.
+func (k Kind) ComputeBytes(msg []byte) uint32 {
+	p := table[k]
+	t := &byteTables[k]
+	mask := (uint32(1) << p.bits) - 1
+	var reg uint32
+	for _, b := range msg {
+		idx := byte(reg>>(p.bits-8)) ^ b
+		reg = ((reg << 8) & mask) ^ t[idx]
+	}
+	return reg
+}

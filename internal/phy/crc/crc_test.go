@@ -1,0 +1,210 @@
+package crc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randBits(rng *rand.Rand, n int) []uint8 {
+	b := make([]uint8, n)
+	for i := range b {
+		b[i] = uint8(rng.Intn(2))
+	}
+	return b
+}
+
+var kinds = []Kind{CRC24A, CRC24B, CRC16, CRC8}
+
+func TestAppendThenCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, k := range kinds {
+		for _, n := range []int{0, 1, 7, 8, 40, 127, 1000} {
+			msg := randBits(rng, n)
+			coded := k.AppendBits(msg)
+			if len(coded) != n+k.Bits() {
+				t.Fatalf("%v: coded length %d, want %d", k, len(coded), n+k.Bits())
+			}
+			if !k.CheckBits(coded) {
+				t.Errorf("%v: valid codeword of length %d failed check", k, n)
+			}
+		}
+	}
+}
+
+func TestSingleBitErrorDetected(t *testing.T) {
+	// Any single-bit error must be caught by any CRC polynomial.
+	rng := rand.New(rand.NewSource(2))
+	for _, k := range kinds {
+		msg := randBits(rng, 64)
+		coded := k.AppendBits(msg)
+		for i := range coded {
+			coded[i] ^= 1
+			if k.CheckBits(coded) {
+				t.Errorf("%v: single-bit error at %d undetected", k, i)
+			}
+			coded[i] ^= 1
+		}
+	}
+}
+
+func TestBurstErrorsDetected(t *testing.T) {
+	// A CRC of degree r detects all burst errors of length <= r.
+	rng := rand.New(rand.NewSource(3))
+	for _, k := range kinds {
+		msg := randBits(rng, 200)
+		for trial := 0; trial < 50; trial++ {
+			coded := k.AppendBits(msg)
+			blen := 1 + rng.Intn(k.Bits())
+			start := rng.Intn(len(coded) - blen)
+			coded[start] ^= 1 // burst must start with an error
+			if blen > 1 {
+				coded[start+blen-1] ^= 1 // and end with one
+			}
+			for j := 1; j < blen-1; j++ {
+				if rng.Intn(2) == 1 {
+					coded[start+j] ^= 1
+				}
+			}
+			if k.CheckBits(coded) {
+				t.Errorf("%v: burst of length %d at %d undetected", k, blen, start)
+			}
+		}
+	}
+}
+
+func TestCheckBitsTooShort(t *testing.T) {
+	for _, k := range kinds {
+		if k.CheckBits(make([]uint8, k.Bits()-1)) {
+			t.Errorf("%v: accepted input shorter than checksum", k)
+		}
+	}
+}
+
+func TestZeroMessageNonTrivial(t *testing.T) {
+	// An all-zero message has an all-zero CRC, but appending a one bit must
+	// change it: guards against a degenerate (always zero) implementation.
+	for _, k := range kinds {
+		z := k.ComputeBits(make([]uint8, 100))
+		for _, b := range z {
+			if b != 0 {
+				t.Errorf("%v: CRC of zero message not zero", k)
+				break
+			}
+		}
+		one := k.ComputeBits(append(make([]uint8, 100), 1))
+		allZero := true
+		for _, b := range one {
+			if b != 0 {
+				allZero = false
+			}
+		}
+		if allZero {
+			t.Errorf("%v: CRC ignores trailing one bit", k)
+		}
+	}
+}
+
+// TestKnownCRC16 pins the implementation to the public CCITT value:
+// CRC16-CCITT (poly 0x1021, init 0) of ASCII "123456789" is 0x31C3.
+func TestKnownCRC16(t *testing.T) {
+	msg := []byte("123456789")
+	if got := CRC16.ComputeBytes(msg); got != 0x31C3 {
+		t.Errorf("CRC16(123456789) = %#x, want 0x31c3", got)
+	}
+	// Bit-level and byte-level paths must agree.
+	var bits []uint8
+	for _, b := range msg {
+		for i := 7; i >= 0; i-- {
+			bits = append(bits, (b>>uint(i))&1)
+		}
+	}
+	bitCRC := CRC16.ComputeBits(bits)
+	var reg uint32
+	for _, b := range bitCRC {
+		reg = reg<<1 | uint32(b)
+	}
+	if reg != 0x31C3 {
+		t.Errorf("bit-level CRC16 = %#x, want 0x31c3", reg)
+	}
+}
+
+func TestBitByteAgreement(t *testing.T) {
+	f := func(data []byte) bool {
+		for _, k := range kinds {
+			var bits []uint8
+			for _, b := range data {
+				for i := 7; i >= 0; i-- {
+					bits = append(bits, (b>>uint(i))&1)
+				}
+			}
+			bitCRC := k.ComputeBits(bits)
+			var reg uint32
+			for _, b := range bitCRC {
+				reg = reg<<1 | uint32(b)
+			}
+			if reg != k.ComputeBytes(data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLinearity exercises the CRC's defining algebraic property:
+// crc(a xor b) == crc(a) xor crc(b) for equal-length messages.
+func TestLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, k := range kinds {
+		for trial := 0; trial < 20; trial++ {
+			n := 1 + rng.Intn(300)
+			a := randBits(rng, n)
+			b := randBits(rng, n)
+			x := make([]uint8, n)
+			for i := range x {
+				x[i] = a[i] ^ b[i]
+			}
+			ca, cb, cx := k.ComputeBits(a), k.ComputeBits(b), k.ComputeBits(x)
+			for i := range cx {
+				if cx[i] != ca[i]^cb[i] {
+					t.Fatalf("%v: linearity violated (n=%d)", k, n)
+				}
+			}
+		}
+	}
+}
+
+func TestKindMetadata(t *testing.T) {
+	want := map[Kind]struct {
+		bits int
+		name string
+	}{
+		CRC24A: {24, "CRC24A"}, CRC24B: {24, "CRC24B"},
+		CRC16: {16, "CRC16"}, CRC8: {8, "CRC8"},
+	}
+	for k, w := range want {
+		if k.Bits() != w.bits || k.String() != w.name {
+			t.Errorf("%v: got (%d, %s), want (%d, %s)", k, k.Bits(), k.String(), w.bits, w.name)
+		}
+	}
+}
+
+func BenchmarkComputeBits24A(b *testing.B) {
+	msg := randBits(rand.New(rand.NewSource(5)), 6144)
+	b.SetBytes(int64(len(msg)) / 8)
+	for i := 0; i < b.N; i++ {
+		CRC24A.ComputeBits(msg)
+	}
+}
+
+func BenchmarkComputeBytes24A(b *testing.B) {
+	msg := make([]byte, 768)
+	rand.New(rand.NewSource(6)).Read(msg)
+	b.SetBytes(int64(len(msg)))
+	for i := 0; i < b.N; i++ {
+		CRC24A.ComputeBytes(msg)
+	}
+}

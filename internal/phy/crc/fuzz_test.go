@@ -1,0 +1,34 @@
+package crc
+
+import "testing"
+
+// FuzzAppendCheck: any message round-trips; any single-bit corruption of
+// the codeword is detected.
+func FuzzAppendCheck(f *testing.F) {
+	f.Add([]byte{}, uint8(0), uint16(0))
+	f.Add([]byte{0xFF, 0x00, 0xA5}, uint8(2), uint16(5))
+	f.Fuzz(func(t *testing.T, raw []byte, kindRaw uint8, flipRaw uint16) {
+		if len(raw) > 4096 {
+			raw = raw[:4096]
+		}
+		k := Kind(int(kindRaw) % 4)
+		bits := make([]uint8, 0, len(raw)*8)
+		for _, b := range raw {
+			for i := 7; i >= 0; i-- {
+				bits = append(bits, (b>>uint(i))&1)
+			}
+		}
+		coded := k.AppendBits(bits)
+		if !k.CheckBits(coded) {
+			t.Fatalf("%v: clean codeword rejected", k)
+		}
+		if len(coded) == 0 {
+			return
+		}
+		flip := int(flipRaw) % len(coded)
+		coded[flip] ^= 1
+		if k.CheckBits(coded) {
+			t.Fatalf("%v: single-bit flip at %d undetected", k, flip)
+		}
+	})
+}

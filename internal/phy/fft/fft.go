@@ -1,0 +1,310 @@
+// Package fft implements discrete Fourier transforms of arbitrary length
+// over complex128 data.
+//
+// LTE uplink allocations span nPRB*12 subcarriers for nPRB in [2, 200], so
+// transform lengths are rarely powers of two. Lengths whose prime factors
+// are all <= 7 are computed with a recursive mixed-radix Cooley-Tukey
+// decomposition; any other length falls back to Bluestein's chirp-z
+// algorithm built on a power-of-two transform.
+//
+// A Plan precomputes twiddle factors and scratch storage for one length and
+// is safe for concurrent use by multiple goroutines as long as each call
+// supplies its own destination slice (the per-call scratch is allocated from
+// a pool).
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// maxRadix is the largest prime factor handled by the mixed-radix path.
+// Lengths with a larger prime factor use Bluestein's algorithm.
+const maxRadix = 7
+
+// Plan holds the precomputed state needed to transform vectors of a fixed
+// length N. Create one with New and reuse it; construction is O(N) and
+// transforms are O(N log N).
+type Plan struct {
+	n       int
+	tw      []complex128 // tw[k] = exp(-2*pi*i*k/n), k in [0, n)
+	smooth  bool         // true when n factors into primes <= maxRadix
+	blu     *bluestein   // non-nil when !smooth
+	scratch sync.Pool    // *[]complex128 of length n (mixed-radix combine buffer)
+}
+
+// New returns a transform plan for vectors of length n.
+// It panics if n <= 0; a zero-length transform has no meaning here and
+// indicates a bug in the caller's size computation.
+func New(n int) *Plan {
+	if n <= 0 {
+		panic(fmt.Sprintf("fft: invalid transform length %d", n))
+	}
+	p := &Plan{n: n, smooth: isSmooth(n)}
+	p.tw = twiddles(n)
+	if !p.smooth {
+		p.blu = newBluestein(n)
+	}
+	p.scratch.New = func() any {
+		s := make([]complex128, n)
+		return &s
+	}
+	return p
+}
+
+// Len returns the transform length the plan was built for.
+func (p *Plan) Len() int { return p.n }
+
+// Forward computes the forward DFT of src into dst:
+//
+//	dst[k] = sum_j src[j] * exp(-2*pi*i*j*k/N)
+//
+// dst and src must both have length N. dst and src may be the same slice.
+func (p *Plan) Forward(dst, src []complex128) {
+	p.checkLen(dst, src)
+	if !p.smooth {
+		p.blu.transform(dst, src, p)
+		return
+	}
+	if p.n == 1 {
+		dst[0] = src[0]
+		return
+	}
+	// The recursion reads src with strides, so when dst aliases src the
+	// input must be copied first.
+	if &dst[0] == &src[0] {
+		tmp := p.getScratch()
+		copy(*tmp, src)
+		p.recurse(dst, *tmp, p.n, 1)
+		p.putScratch(tmp)
+		return
+	}
+	p.recurse(dst, src, p.n, 1)
+}
+
+// Inverse computes the unnormalised-inverse DFT scaled by 1/N, i.e. the
+// exact inverse of Forward. dst and src may be the same slice.
+func (p *Plan) Inverse(dst, src []complex128) {
+	p.checkLen(dst, src)
+	// IDFT(x) = conj(DFT(conj(x)))/N.
+	tmp := p.getScratch()
+	for i, v := range src {
+		(*tmp)[i] = cmplxConj(v)
+	}
+	p.Forward(dst, *tmp)
+	p.putScratch(tmp)
+	scale := 1 / float64(p.n)
+	for i, v := range dst {
+		dst[i] = complex(real(v)*scale, -imag(v)*scale)
+	}
+}
+
+// Ops estimates the number of scalar floating-point operations a single
+// Forward transform performs. The cycle-cost model (internal/cost) uses this
+// so that simulated task costs track the true algorithmic complexity,
+// including the extra work Bluestein lengths require.
+func (p *Plan) Ops() float64 {
+	if p.n == 1 {
+		return 1
+	}
+	if p.smooth {
+		// Each combine level over factor r performs n*r complex
+		// multiply-adds; a complex multiply-add is ~8 scalar flops.
+		ops := 0.0
+		for _, r := range factorize(p.n) {
+			ops += float64(p.n) * float64(r) * 8
+		}
+		return ops
+	}
+	// Bluestein: chirp multiply, two forward FFTs + one inverse of size m,
+	// pointwise multiply, final chirp multiply.
+	m := float64(p.blu.m)
+	perFFT := m * math.Log2(m) * 8
+	return 3*perFFT + 6*8*float64(p.n) + 6*m
+}
+
+func (p *Plan) checkLen(dst, src []complex128) {
+	if len(dst) != p.n || len(src) != p.n {
+		panic(fmt.Sprintf("fft: plan length %d, got dst %d src %d", p.n, len(dst), len(src)))
+	}
+}
+
+func (p *Plan) getScratch() *[]complex128 { return p.scratch.Get().(*[]complex128) }
+func (p *Plan) putScratch(s *[]complex128) {
+	p.scratch.Put(s)
+}
+
+// recurse computes the DFT of the n elements src[0], src[stride],
+// src[2*stride], ... into dst[0:n]. It is the textbook mixed-radix
+// Cooley-Tukey decomposition: split on the smallest prime factor r, solve
+// the r interleaved subproblems of size m = n/r, then combine with
+// twiddle-weighted butterflies:
+//
+//	dst[q*m+k] = sum_{j<r} Y_j[k] * W_N^{j*(q*m+k)*stride}
+//
+// where W_N = exp(-2*pi*i/N) and stride*n always equals the plan length N,
+// so the root twiddle table serves every level.
+func (p *Plan) recurse(dst, src []complex128, n, stride int) {
+	if n == 1 {
+		dst[0] = src[0]
+		return
+	}
+	r := smallestFactor(n)
+	m := n / r
+	for j := 0; j < r; j++ {
+		p.recurse(dst[j*m:(j+1)*m], src[j*stride:], m, stride*r)
+	}
+	if r == 2 {
+		// Specialised radix-2 butterfly: no inner sum loop.
+		for k := 0; k < m; k++ {
+			a := dst[k]
+			b := dst[m+k] * p.tw[(k*stride)%p.n]
+			dst[k] = a + b
+			dst[m+k] = a - b
+		}
+		return
+	}
+	tmp := p.getScratch()
+	buf := (*tmp)[:n]
+	for q := 0; q < r; q++ {
+		base := q * m
+		for k := 0; k < m; k++ {
+			t := base + k
+			var sum complex128
+			for j := 0; j < r; j++ {
+				sum += dst[j*m+k] * p.tw[(j*t*stride)%p.n]
+			}
+			buf[t] = sum
+		}
+	}
+	copy(dst[:n], buf)
+	p.putScratch(tmp)
+}
+
+// twiddles returns exp(-2*pi*i*k/n) for k in [0, n).
+func twiddles(n int) []complex128 {
+	tw := make([]complex128, n)
+	for k := range tw {
+		theta := -2 * math.Pi * float64(k) / float64(n)
+		tw[k] = complex(math.Cos(theta), math.Sin(theta))
+	}
+	return tw
+}
+
+func cmplxConj(v complex128) complex128 { return complex(real(v), -imag(v)) }
+
+// isSmooth reports whether every prime factor of n is <= maxRadix.
+func isSmooth(n int) bool {
+	for _, f := range []int{2, 3, 5, 7} {
+		for n%f == 0 {
+			n /= f
+		}
+	}
+	return n == 1
+}
+
+// smallestFactor returns the smallest prime factor of n (n >= 2).
+func smallestFactor(n int) int {
+	for _, f := range []int{2, 3, 5, 7} {
+		if n%f == 0 {
+			return f
+		}
+	}
+	// Only reached for non-smooth n, which the Bluestein path handles;
+	// kept total so factorize works on any n for Ops estimates.
+	for f := 11; f*f <= n; f += 2 {
+		if n%f == 0 {
+			return f
+		}
+	}
+	return n
+}
+
+// factorize returns the prime factorisation of n in nondecreasing order.
+func factorize(n int) []int {
+	var fs []int
+	for n > 1 {
+		f := smallestFactor(n)
+		fs = append(fs, f)
+		n /= f
+	}
+	return fs
+}
+
+// bluestein implements the chirp-z transform: an arbitrary-length DFT
+// expressed as a cyclic convolution, evaluated with power-of-two FFTs.
+type bluestein struct {
+	n     int
+	m     int          // power-of-two convolution length, m >= 2n-1
+	inner *Plan        // power-of-two plan of length m
+	a     []complex128 // chirp: exp(-pi*i*k^2/n)
+	bfft  []complex128 // FFT of the chirp-conjugate kernel, length m
+	pool  sync.Pool    // *[]complex128 of length m
+}
+
+func newBluestein(n int) *bluestein {
+	m := 1 << bits.Len(uint(2*n-2))
+	if m < 2*n-1 {
+		m <<= 1
+	}
+	b := &bluestein{n: n, m: m, inner: New(m)}
+	b.a = make([]complex128, n)
+	kernel := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		// k*k mod 2n keeps the argument small so cos/sin stay accurate
+		// for large k.
+		q := (k * k) % (2 * n)
+		theta := -math.Pi * float64(q) / float64(n)
+		b.a[k] = complex(math.Cos(theta), math.Sin(theta))
+		conj := complex(math.Cos(theta), -math.Sin(theta))
+		kernel[k] = conj
+		if k > 0 {
+			kernel[m-k] = conj
+		}
+	}
+	b.bfft = make([]complex128, m)
+	b.inner.Forward(b.bfft, kernel)
+	b.pool.New = func() any {
+		s := make([]complex128, m)
+		return &s
+	}
+	return b
+}
+
+func (b *bluestein) transform(dst, src []complex128, _ *Plan) {
+	xp := b.pool.Get().(*[]complex128)
+	yp := b.pool.Get().(*[]complex128)
+	x, y := *xp, *yp
+	for i := range x {
+		x[i] = 0
+	}
+	for k := 0; k < b.n; k++ {
+		x[k] = src[k] * b.a[k]
+	}
+	b.inner.Forward(y, x)
+	for i := range y {
+		y[i] *= b.bfft[i]
+	}
+	b.inner.Inverse(x, y)
+	for k := 0; k < b.n; k++ {
+		dst[k] = x[k] * b.a[k]
+	}
+	b.pool.Put(xp)
+	b.pool.Put(yp)
+}
+
+// planCache memoises plans by length; Get is the concurrency-safe accessor
+// used across the receiver so repeated subframe sizes share twiddle tables.
+var planCache sync.Map // int -> *Plan
+
+// Get returns a shared plan for length n, creating it on first use.
+func Get(n int) *Plan {
+	if v, ok := planCache.Load(n); ok {
+		return v.(*Plan)
+	}
+	p := New(n)
+	actual, _ := planCache.LoadOrStore(n, p)
+	return actual.(*Plan)
+}

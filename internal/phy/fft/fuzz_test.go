@@ -1,0 +1,43 @@
+package fft
+
+import (
+	"math/cmplx"
+	"testing"
+)
+
+// FuzzRoundTrip: Inverse(Forward(x)) == x for arbitrary lengths and data.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint16(8), int64(1))
+	f.Add(uint16(97), int64(-5))
+	f.Add(uint16(2400), int64(123456))
+	f.Fuzz(func(t *testing.T, nRaw uint16, seed int64) {
+		n := int(nRaw)%3000 + 1
+		p := Get(n)
+		src := make([]complex128, n)
+		s := uint64(seed)
+		for i := range src {
+			// Cheap deterministic filler; values bounded to avoid overflow
+			// noise in the tolerance.
+			s = s*6364136223846793005 + 1442695040888963407
+			re := float64(int32(s>>33)) / (1 << 28)
+			im := float64(int32(s)) / (1 << 28)
+			src[i] = complex(re, im)
+		}
+		freq := make([]complex128, n)
+		back := make([]complex128, n)
+		p.Forward(freq, src)
+		p.Inverse(back, freq)
+		var scale float64
+		for _, v := range src {
+			if m := cmplx.Abs(v); m > scale {
+				scale = m
+			}
+		}
+		tol := 1e-9 * float64(n) * (scale + 1)
+		for i := range src {
+			if cmplx.Abs(back[i]-src[i]) > tol {
+				t.Fatalf("n=%d: round trip error at %d: %v vs %v", n, i, back[i], src[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,214 @@
+// Package frontend implements the statically-defined receiver frontend of
+// the paper's Fig. 2 — receive filter, cyclic prefix removal, and FFT —
+// which the paper excludes from its benchmark because it is "performed on
+// all data received" regardless of load. It is provided here so the full
+// receive chain can be exercised end-to-end: the synthetic transmitter can
+// emit time-domain samples and the receiver can recover the frequency-
+// domain grid the per-user processing consumes.
+//
+// The numerology follows LTE OFDM/SC-FDMA: an FFT sized to the occupied
+// bandwidth with a normal cyclic prefix whose first-symbol length is
+// slightly longer (TS 36.211 §5.6), scaled from the 2048-point reference
+// (160/144 samples at 30.72 Ms/s).
+package frontend
+
+import (
+	"fmt"
+	"math"
+
+	"ltephy/internal/phy/fft"
+)
+
+// refFFT is the reference FFT size the standard's CP lengths are quoted at.
+const refFFT = 2048
+
+// Config fixes the frontend numerology.
+type Config struct {
+	// FFTSize is the OFDM FFT length (a power of two).
+	FFTSize int
+	// CPFirst and CPRest are cyclic prefix lengths in samples for the
+	// first and remaining symbols of a slot.
+	CPFirst, CPRest int
+	// SymbolsPerSlot is the number of OFDM symbols between first-CP
+	// boundaries (7 for the normal cyclic prefix).
+	SymbolsPerSlot int
+	// FilterTaps, when > 0, enables the receive FIR low-pass filter with
+	// this many taps (odd). FilterCutoff is the normalised cutoff
+	// frequency in cycles/sample (0 < cutoff <= 0.5).
+	FilterTaps   int
+	FilterCutoff float64
+}
+
+// ForSubcarriers returns the smallest standard numerology that carries n
+// occupied subcarriers with at least 25% guard band, mirroring LTE's
+// bandwidth options (128..2048-point FFTs).
+func ForSubcarriers(n int) (Config, error) {
+	if n < 1 {
+		return Config{}, fmt.Errorf("frontend: %d subcarriers", n)
+	}
+	for _, size := range []int{128, 256, 512, 1024, 2048} {
+		if float64(n) <= 0.75*float64(size) {
+			scale := refFFT / size
+			return Config{
+				FFTSize:        size,
+				CPFirst:        160 / scale,
+				CPRest:         144 / scale,
+				SymbolsPerSlot: 7,
+			}, nil
+		}
+	}
+	return Config{}, fmt.Errorf("frontend: %d subcarriers exceed the largest numerology", n)
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.FFTSize < 2 || c.FFTSize&(c.FFTSize-1) != 0:
+		return fmt.Errorf("frontend: FFT size %d not a power of two", c.FFTSize)
+	case c.CPFirst < 1 || c.CPRest < 1 || c.CPFirst >= c.FFTSize || c.CPRest >= c.FFTSize:
+		return fmt.Errorf("frontend: CP lengths (%d, %d) invalid for FFT %d", c.CPFirst, c.CPRest, c.FFTSize)
+	case c.SymbolsPerSlot < 1:
+		return fmt.Errorf("frontend: %d symbols per slot", c.SymbolsPerSlot)
+	case c.FilterTaps < 0 || (c.FilterTaps > 0 && c.FilterTaps%2 == 0):
+		return fmt.Errorf("frontend: filter taps %d must be odd (or 0 to bypass)", c.FilterTaps)
+	case c.FilterTaps > 0 && (c.FilterCutoff <= 0 || c.FilterCutoff > 0.5):
+		return fmt.Errorf("frontend: filter cutoff %g outside (0, 0.5]", c.FilterCutoff)
+	}
+	return nil
+}
+
+// cpLen returns the cyclic prefix length of symbol i within a slot.
+func (c Config) cpLen(i int) int {
+	if i%c.SymbolsPerSlot == 0 {
+		return c.CPFirst
+	}
+	return c.CPRest
+}
+
+// SlotSamples returns the time-domain sample count of one slot.
+func (c Config) SlotSamples() int {
+	total := 0
+	for i := 0; i < c.SymbolsPerSlot; i++ {
+		total += c.cpLen(i) + c.FFTSize
+	}
+	return total
+}
+
+// AllocationBin returns the FFT bin carrying subcarrier k of an
+// n-subcarrier allocation. Occupied subcarriers are centred on DC in
+// frequency (bins 0.. and FFTSize-1 downward), keeping them inside the
+// receive filter's passband — the LTE mapping, not a contiguous block in
+// FFT index order.
+func (c Config) AllocationBin(k, n int) int {
+	return ((k-n/2)%c.FFTSize + c.FFTSize) % c.FFTSize
+}
+
+// Synthesize converts a frequency-domain grid (grid[sym][bin], FFTSize
+// bins per symbol) into time-domain samples with cyclic prefixes — the
+// transmit counterpart the frontend undoes. The IFFT is unitary-scaled so
+// Process(Synthesize(g)) == g.
+func Synthesize(cfg Config, grid [][]complex128) ([]complex128, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	plan := fft.Get(cfg.FFTSize)
+	scale := complex(math.Sqrt(float64(cfg.FFTSize)), 0)
+	var out []complex128
+	td := make([]complex128, cfg.FFTSize)
+	for i, sym := range grid {
+		if len(sym) != cfg.FFTSize {
+			return nil, fmt.Errorf("frontend: symbol %d has %d bins, want %d", i, len(sym), cfg.FFTSize)
+		}
+		plan.Inverse(td, sym)
+		for t := range td {
+			td[t] *= scale
+		}
+		cp := cfg.cpLen(i)
+		out = append(out, td[cfg.FFTSize-cp:]...)
+		out = append(out, td...)
+	}
+	return out, nil
+}
+
+// Process runs the frontend: optional receive filtering, cyclic prefix
+// removal and per-symbol FFT. It returns the frequency-domain grid. The
+// sample stream must contain a whole number of symbols.
+func Process(cfg Config, samples []complex128) ([][]complex128, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.FilterTaps > 0 {
+		samples = Filter(samples, FIRLowpass(cfg.FilterTaps, cfg.FilterCutoff))
+	}
+	plan := fft.Get(cfg.FFTSize)
+	scale := complex(1/math.Sqrt(float64(cfg.FFTSize)), 0)
+	var grid [][]complex128
+	pos := 0
+	for sym := 0; pos < len(samples); sym++ {
+		cp := cfg.cpLen(sym)
+		if pos+cp+cfg.FFTSize > len(samples) {
+			return nil, fmt.Errorf("frontend: truncated symbol %d (%d samples left, need %d)",
+				sym, len(samples)-pos, cp+cfg.FFTSize)
+		}
+		pos += cp // cyclic prefix removal
+		fd := make([]complex128, cfg.FFTSize)
+		plan.Forward(fd, samples[pos:pos+cfg.FFTSize])
+		for k := range fd {
+			fd[k] *= scale
+		}
+		grid = append(grid, fd)
+		pos += cfg.FFTSize
+	}
+	return grid, nil
+}
+
+// FIRLowpass designs a Hamming-windowed-sinc low-pass filter with the
+// given odd tap count and normalised cutoff (cycles/sample).
+func FIRLowpass(taps int, cutoff float64) []float64 {
+	if taps < 1 || taps%2 == 0 {
+		panic(fmt.Sprintf("frontend: FIR taps %d must be odd and positive", taps))
+	}
+	if cutoff <= 0 || cutoff > 0.5 {
+		panic(fmt.Sprintf("frontend: cutoff %g outside (0, 0.5]", cutoff))
+	}
+	h := make([]float64, taps)
+	mid := taps / 2
+	var sum float64
+	for i := range h {
+		m := float64(i - mid)
+		var v float64
+		if m == 0 {
+			v = 2 * cutoff
+		} else {
+			v = math.Sin(2*math.Pi*cutoff*m) / (math.Pi * m)
+		}
+		// Hamming window.
+		v *= 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(taps-1))
+		h[i] = v
+		sum += v
+	}
+	// Normalise to unit DC gain.
+	for i := range h {
+		h[i] /= sum
+	}
+	return h
+}
+
+// Filter applies an FIR filter with group-delay compensation ("same"
+// convolution): output sample t uses input samples centred on t, with
+// zeros beyond the block edges.
+func Filter(x []complex128, h []float64) []complex128 {
+	mid := len(h) / 2
+	out := make([]complex128, len(x))
+	for t := range x {
+		var acc complex128
+		for i, tap := range h {
+			j := t + mid - i
+			if j >= 0 && j < len(x) {
+				acc += complex(tap, 0) * x[j]
+			}
+		}
+		out[t] = acc
+	}
+	return out
+}

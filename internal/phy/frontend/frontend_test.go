@@ -1,0 +1,276 @@
+package frontend
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"ltephy/internal/rng"
+)
+
+func TestForSubcarriers(t *testing.T) {
+	cases := map[int]int{24: 128, 96: 128, 97: 256, 300: 512, 1200: 2048, 1536: 2048}
+	for n, want := range cases {
+		cfg, err := ForSubcarriers(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if cfg.FFTSize != want {
+			t.Errorf("n=%d: FFT %d, want %d", n, cfg.FFTSize, want)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("n=%d: config invalid: %v", n, err)
+		}
+		// CP lengths scale with FFT size: first slightly longer.
+		if cfg.CPFirst <= cfg.CPRest {
+			t.Errorf("n=%d: CPFirst %d not longer than CPRest %d", n, cfg.CPFirst, cfg.CPRest)
+		}
+	}
+	if _, err := ForSubcarriers(0); err == nil {
+		t.Error("0 subcarriers accepted")
+	}
+	if _, err := ForSubcarriers(2000); err == nil {
+		t.Error("oversized allocation accepted")
+	}
+}
+
+func TestSlotSamplesReferenceNumerology(t *testing.T) {
+	// At the 2048-point reference, a slot is 160+2048 + 6*(144+2048)
+	// = 15360 samples — 0.5 ms at 30.72 Ms/s.
+	cfg, err := ForSubcarriers(1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.SlotSamples(); got != 15360 {
+		t.Errorf("slot samples = %d, want 15360", got)
+	}
+}
+
+func randGrid(r *rng.RNG, cfg Config, symbols int) [][]complex128 {
+	grid := make([][]complex128, symbols)
+	for s := range grid {
+		grid[s] = make([]complex128, cfg.FFTSize)
+		for k := range grid[s] {
+			grid[s][k] = r.ComplexNormal(1)
+		}
+	}
+	return grid
+}
+
+func TestSynthesizeProcessRoundTrip(t *testing.T) {
+	cfg, err := ForSubcarriers(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := randGrid(rng.New(1), cfg, 14)
+	samples, err := Synthesize(cfg, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLen := 2 * cfg.SlotSamples()
+	if len(samples) != wantLen {
+		t.Fatalf("%d samples, want %d", len(samples), wantLen)
+	}
+	got, err := Process(cfg, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 14 {
+		t.Fatalf("recovered %d symbols", len(got))
+	}
+	for s := range grid {
+		for k := range grid[s] {
+			if cmplx.Abs(got[s][k]-grid[s][k]) > 1e-9 {
+				t.Fatalf("symbol %d bin %d: %v != %v", s, k, got[s][k], grid[s][k])
+			}
+		}
+	}
+}
+
+// TestCPAbsorbsDelay is the reason cyclic prefixes exist: a channel delay
+// shorter than the CP leaves each subcarrier multiplied by a pure phase,
+// never smeared across symbols.
+func TestCPAbsorbsDelay(t *testing.T) {
+	cfg, err := ForSubcarriers(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := randGrid(rng.New(2), cfg, 7)
+	samples, err := Synthesize(cfg, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delay := cfg.CPRest / 2
+	delayed := make([]complex128, len(samples))
+	copy(delayed[delay:], samples[:len(samples)-delay])
+	got, err := Process(cfg, delayed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Symbols after the first (which sees the zero head) must match up to
+	// the per-bin linear phase exp(-2*pi*i*k*delay/N).
+	for s := 1; s < len(got); s++ {
+		for k := 0; k < cfg.FFTSize; k++ {
+			if cmplx.Abs(grid[s][k]) < 1e-3 {
+				continue
+			}
+			theta := -2 * math.Pi * float64(k*delay%cfg.FFTSize) / float64(cfg.FFTSize)
+			want := grid[s][k] * cmplx.Exp(complex(0, theta))
+			if cmplx.Abs(got[s][k]-want) > 1e-6 {
+				t.Fatalf("symbol %d bin %d: delay not absorbed by CP", s, k)
+			}
+		}
+	}
+}
+
+func TestProcessTruncatedInput(t *testing.T) {
+	cfg, err := ForSubcarriers(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := randGrid(rng.New(3), cfg, 3)
+	samples, err := Synthesize(cfg, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Process(cfg, samples[:len(samples)-5]); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}
+
+func TestFIRLowpassResponse(t *testing.T) {
+	h := FIRLowpass(63, 0.2)
+	// Unit DC gain.
+	var dc float64
+	for _, v := range h {
+		dc += v
+	}
+	if math.Abs(dc-1) > 1e-12 {
+		t.Errorf("DC gain %g", dc)
+	}
+	// Frequency response: passband (<0.15) near 1, stopband (>0.3) small.
+	resp := func(f float64) float64 {
+		var re, im float64
+		for i, v := range h {
+			re += v * math.Cos(2*math.Pi*f*float64(i))
+			im -= v * math.Sin(2*math.Pi*f*float64(i))
+		}
+		return math.Hypot(re, im)
+	}
+	for _, f := range []float64{0.01, 0.05, 0.1, 0.15} {
+		if g := resp(f); g < 0.95 || g > 1.05 {
+			t.Errorf("passband gain at %g = %g", f, g)
+		}
+	}
+	for _, f := range []float64{0.3, 0.4, 0.49} {
+		if g := resp(f); g > 0.02 {
+			t.Errorf("stopband gain at %g = %g", f, g)
+		}
+	}
+}
+
+// TestFilteredFrontendEVM: with the receive filter enabled, in-band
+// subcarriers of interior symbols must come through with small error
+// (guard-band subcarriers take the filter rolloff instead).
+func TestFilteredFrontendEVM(t *testing.T) {
+	cfg, err := ForSubcarriers(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.FilterTaps = 129
+	cfg.FilterCutoff = 0.45
+	r := rng.New(4)
+	// Populate only the in-band allocation (centred on DC).
+	const n = 120
+	grid := make([][]complex128, 7)
+	for s := range grid {
+		grid[s] = make([]complex128, cfg.FFTSize)
+		for k := 0; k < n; k++ {
+			grid[s][cfg.AllocationBin(k, n)] = r.ComplexNormal(1)
+		}
+	}
+	noFilter := cfg
+	noFilter.FilterTaps = 0
+	samples, err := Synthesize(noFilter, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Process(cfg, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errPow, sigPow float64
+	for s := 2; s < 5; s++ { // interior symbols avoid block-edge effects
+		for k := 0; k < n; k++ {
+			bin := cfg.AllocationBin(k, n)
+			d := got[s][bin] - grid[s][bin]
+			errPow += real(d)*real(d) + imag(d)*imag(d)
+			v := grid[s][bin]
+			sigPow += real(v)*real(v) + imag(v)*imag(v)
+		}
+	}
+	evm := math.Sqrt(errPow / sigPow)
+	if evm > 0.05 {
+		t.Errorf("in-band EVM %.3f after receive filtering, want < 0.05", evm)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Config{
+		{FFTSize: 100, CPFirst: 8, CPRest: 7, SymbolsPerSlot: 7},
+		{FFTSize: 128, CPFirst: 0, CPRest: 9, SymbolsPerSlot: 7},
+		{FFTSize: 128, CPFirst: 10, CPRest: 9, SymbolsPerSlot: 0},
+		{FFTSize: 128, CPFirst: 10, CPRest: 9, SymbolsPerSlot: 7, FilterTaps: 4},
+		{FFTSize: 128, CPFirst: 10, CPRest: 9, SymbolsPerSlot: 7, FilterTaps: 5, FilterCutoff: 0.7},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+// TestRoundTripProperty: any grid over any supported numerology round-trips.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, sel uint8, symCount uint8) bool {
+		sizes := []int{24, 120, 300, 900}
+		cfg, err := ForSubcarriers(sizes[int(sel)%len(sizes)])
+		if err != nil {
+			return false
+		}
+		syms := 1 + int(symCount)%10
+		grid := randGrid(rng.New(seed), cfg, syms)
+		samples, err := Synthesize(cfg, grid)
+		if err != nil {
+			return false
+		}
+		got, err := Process(cfg, samples)
+		if err != nil || len(got) != syms {
+			return false
+		}
+		for s := range grid {
+			for k := range grid[s] {
+				if cmplx.Abs(got[s][k]-grid[s][k]) > 1e-8 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkProcess(b *testing.B) {
+	cfg, _ := ForSubcarriers(1200)
+	grid := randGrid(rng.New(5), cfg, 14)
+	samples, _ := Synthesize(cfg, grid)
+	b.SetBytes(int64(len(samples) * 16))
+	for i := 0; i < b.N; i++ {
+		if _, err := Process(cfg, samples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Package interleave implements the row-column block interleaver the
+// benchmark uses between the SC-FDMA despread stage and the soft demapper
+// (the paper's Fig. 3 "Deinterleave" kernel: data are deinterleaved in the
+// time domain before soft symbol demapping).
+//
+// The transmitter writes symbols row-wise into an R x C matrix and reads
+// them column-wise; the receiver inverts the permutation. A Block value
+// precomputes the permutation once per size and is reusable and
+// concurrency-safe.
+package interleave
+
+import "fmt"
+
+// DefaultColumns is the column count used by the uplink pipeline. 3GPP
+// channel interleavers use 32 columns (TS 36.212 §5.1.4.1); retained here
+// for the symbol-level interleaver.
+const DefaultColumns = 32
+
+// Block is a row-column interleaver for sequences of a fixed length.
+type Block struct {
+	n    int
+	perm []int32 // perm[i]: output position of input element i
+	inv  []int32 // inverse permutation
+}
+
+// New builds a block interleaver for sequences of length n with the given
+// number of columns. Lengths that do not fill the last row are handled by
+// skipping the padding positions (standard pruned interleaving).
+// It panics if n < 0 or cols < 1.
+func New(n, cols int) *Block {
+	if n < 0 || cols < 1 {
+		panic(fmt.Sprintf("interleave: invalid size n=%d cols=%d", n, cols))
+	}
+	b := &Block{n: n, perm: make([]int32, n), inv: make([]int32, n)}
+	rows := (n + cols - 1) / cols
+	out := 0
+	for c := 0; c < cols; c++ {
+		for r := 0; r < rows; r++ {
+			in := r*cols + c
+			if in < n {
+				b.perm[in] = int32(out)
+				out++
+			}
+		}
+	}
+	for i, p := range b.perm {
+		b.inv[p] = int32(i)
+	}
+	return b
+}
+
+// Len returns the sequence length the interleaver was built for.
+func (b *Block) Len() int { return b.n }
+
+// Interleave writes src permuted into dst: dst[perm[i]] = src[i].
+// dst and src must have length Len() and must not alias.
+func Interleave[T any](b *Block, dst, src []T) {
+	b.check(len(dst), len(src))
+	for i, p := range b.perm {
+		dst[p] = src[i]
+	}
+}
+
+// Deinterleave inverts Interleave: dst[i] = src[perm[i]].
+// dst and src must have length Len() and must not alias.
+func Deinterleave[T any](b *Block, dst, src []T) {
+	b.check(len(dst), len(src))
+	for i, p := range b.perm {
+		dst[i] = src[p]
+	}
+}
+
+func (b *Block) check(d, s int) {
+	if d != b.n || s != b.n {
+		panic(fmt.Sprintf("interleave: block length %d, got dst %d src %d", b.n, d, s))
+	}
+}

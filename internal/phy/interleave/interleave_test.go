@@ -1,0 +1,146 @@
+package interleave
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, 31, 32, 33, 100, 1000, 2400} {
+		b := New(n, DefaultColumns)
+		src := make([]int, n)
+		for i := range src {
+			src[i] = rng.Int()
+		}
+		il := make([]int, n)
+		out := make([]int, n)
+		Interleave(b, il, src)
+		Deinterleave(b, out, il)
+		for i := range src {
+			if out[i] != src[i] {
+				t.Fatalf("n=%d: round trip mismatch at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestIsPermutation(t *testing.T) {
+	f := func(n uint16, cols uint8) bool {
+		size := int(n % 3000)
+		c := int(cols%40) + 1
+		b := New(size, c)
+		seen := make([]bool, size)
+		for _, p := range b.perm {
+			if p < 0 || int(p) >= size || seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestActuallyPermutes(t *testing.T) {
+	// For any non-degenerate size the interleaver must move at least half
+	// of the elements; identity "interleaving" would defeat its purpose.
+	for _, n := range []int{64, 100, 2400} {
+		b := New(n, DefaultColumns)
+		moved := 0
+		for i, p := range b.perm {
+			if int(p) != i {
+				moved++
+			}
+		}
+		if moved < n/2 {
+			t.Errorf("n=%d: only %d elements moved", n, moved)
+		}
+	}
+}
+
+func TestKnownSmallPattern(t *testing.T) {
+	// 2 columns, n=6: matrix rows (0,1),(2,3),(4,5); column read order
+	// 0,2,4,1,3,5. So Interleave output = src[0],src[2],src[4],src[1],...
+	b := New(6, 2)
+	src := []byte{10, 11, 12, 13, 14, 15}
+	dst := make([]byte, 6)
+	Interleave(b, dst, src)
+	want := []byte{10, 12, 14, 11, 13, 15}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("dst = %v, want %v", dst, want)
+		}
+	}
+}
+
+func TestSeparatesAdjacent(t *testing.T) {
+	// Adjacent inputs must land at least rows-1 apart in the output —
+	// the burst-spreading property interleaving exists for.
+	const n, cols = 960, DefaultColumns
+	rows := (n + cols - 1) / cols
+	b := New(n, cols)
+	for i := 0; i+1 < n; i++ {
+		d := int(b.perm[i+1]) - int(b.perm[i])
+		if d < 0 {
+			d = -d
+		}
+		if d < rows-1 {
+			t.Fatalf("inputs %d,%d map to outputs %d,%d (distance %d < %d)",
+				i, i+1, b.perm[i], b.perm[i+1], d, rows-1)
+		}
+	}
+}
+
+func TestGenericOverComplex(t *testing.T) {
+	b := New(48, 8)
+	src := make([]complex128, 48)
+	for i := range src {
+		src[i] = complex(float64(i), -float64(i))
+	}
+	il := make([]complex128, 48)
+	out := make([]complex128, 48)
+	Interleave(b, il, src)
+	Deinterleave(b, out, il)
+	for i := range src {
+		if out[i] != src[i] {
+			t.Fatalf("complex round trip mismatch at %d", i)
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	if got := func() (p bool) {
+		defer func() { p = recover() != nil }()
+		New(-1, 4)
+		return
+	}(); !got {
+		t.Error("New(-1,4) did not panic")
+	}
+	if got := func() (p bool) {
+		defer func() { p = recover() != nil }()
+		New(8, 0)
+		return
+	}(); !got {
+		t.Error("New(8,0) did not panic")
+	}
+	if got := func() (p bool) {
+		defer func() { p = recover() != nil }()
+		Interleave(New(8, 2), make([]int, 7), make([]int, 8))
+		return
+	}(); !got {
+		t.Error("length mismatch did not panic")
+	}
+}
+
+func BenchmarkInterleave2400(b *testing.B) {
+	blk := New(2400, DefaultColumns)
+	src := make([]complex128, 2400)
+	dst := make([]complex128, 2400)
+	for i := 0; i < b.N; i++ {
+		Interleave(blk, dst, src)
+	}
+}

@@ -1,0 +1,213 @@
+// Package linalg provides the small dense complex matrix operations the
+// MIMO combiner needs: Hermitian products, Gaussian-elimination inverses,
+// and the per-subcarrier MMSE weight solve
+//
+//	W = (H^H H + sigma^2 I)^{-1} H^H
+//
+// Matrices are at most 4x4 (up to four layers and four receive antennas in
+// LTE-Advanced uplink), so simple partial-pivot elimination is both
+// adequate and fast; everything is allocation-conscious because the weight
+// solve runs once per subcarrier.
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Matrix is a dense row-major complex matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []complex128 // len == Rows*Cols, row-major
+}
+
+// NewMatrix returns a zero matrix of the given shape.
+func NewMatrix(rows, cols int) Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: invalid shape %dx%d", rows, cols))
+	}
+	return Matrix{Rows: rows, Cols: cols, Data: make([]complex128, rows*cols)}
+}
+
+// At returns the element at row r, column c.
+func (m Matrix) At(r, c int) complex128 { return m.Data[r*m.Cols+c] }
+
+// Set assigns the element at row r, column c.
+func (m *Matrix) Set(r, c int, v complex128) { m.Data[r*m.Cols+c] = v }
+
+// ConjTransposeInto writes m^H into dst, which must be Cols x Rows.
+func (m Matrix) ConjTransposeInto(dst *Matrix) {
+	if dst.Rows != m.Cols || dst.Cols != m.Rows {
+		panic("linalg: ConjTransposeInto shape mismatch")
+	}
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			dst.Data[c*dst.Cols+r] = cmplx.Conj(m.Data[r*m.Cols+c])
+		}
+	}
+}
+
+// MulInto computes dst = a*b. dst must be a.Rows x b.Cols and must not
+// alias a or b.
+func MulInto(dst *Matrix, a, b Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("linalg: MulInto shapes %dx%d * %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	for r := 0; r < a.Rows; r++ {
+		for c := 0; c < b.Cols; c++ {
+			var sum complex128
+			for k := 0; k < a.Cols; k++ {
+				sum += a.Data[r*a.Cols+k] * b.Data[k*b.Cols+c]
+			}
+			dst.Data[r*dst.Cols+c] = sum
+		}
+	}
+}
+
+// GramInto computes dst = a^H * a (Cols x Cols Hermitian Gram matrix).
+func GramInto(dst *Matrix, a Matrix) {
+	if dst.Rows != a.Cols || dst.Cols != a.Cols {
+		panic("linalg: GramInto shape mismatch")
+	}
+	for i := 0; i < a.Cols; i++ {
+		for j := 0; j < a.Cols; j++ {
+			var sum complex128
+			for k := 0; k < a.Rows; k++ {
+				sum += cmplx.Conj(a.Data[k*a.Cols+i]) * a.Data[k*a.Cols+j]
+			}
+			dst.Data[i*dst.Cols+j] = sum
+		}
+	}
+}
+
+// AddDiag adds v to each diagonal element of the square matrix m.
+func AddDiag(m *Matrix, v complex128) {
+	if m.Rows != m.Cols {
+		panic("linalg: AddDiag on non-square matrix")
+	}
+	for i := 0; i < m.Rows; i++ {
+		m.Data[i*m.Cols+i] += v
+	}
+}
+
+// InvertInto computes dst = m^{-1} for a square matrix using Gauss-Jordan
+// elimination with partial pivoting. m is left unchanged; dst must be the
+// same shape as m and must not alias it. It returns an error when the
+// matrix is numerically singular.
+func InvertInto(dst *Matrix, m Matrix) error {
+	n := m.Rows
+	if m.Cols != n || dst.Rows != n || dst.Cols != n {
+		panic("linalg: InvertInto shape mismatch")
+	}
+	// Augmented elimination on a scratch copy.
+	a := make([]complex128, n*n)
+	copy(a, m.Data)
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		dst.Data[i*n+i] = 1
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot: largest magnitude in this column at or below the
+		// diagonal.
+		pivot, pmag := col, cmplx.Abs(a[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if mag := cmplx.Abs(a[r*n+col]); mag > pmag {
+				pivot, pmag = r, mag
+			}
+		}
+		if pmag < 1e-300 || math.IsNaN(pmag) {
+			return fmt.Errorf("linalg: singular matrix (pivot %d)", col)
+		}
+		if pivot != col {
+			swapRows(a, n, pivot, col)
+			swapRows(dst.Data, n, pivot, col)
+		}
+		inv := 1 / a[col*n+col]
+		for c := 0; c < n; c++ {
+			a[col*n+c] *= inv
+			dst.Data[col*n+c] *= inv
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r*n+col]
+			if f == 0 {
+				continue
+			}
+			for c := 0; c < n; c++ {
+				a[r*n+c] -= f * a[col*n+c]
+				dst.Data[r*n+c] -= f * dst.Data[col*n+c]
+			}
+		}
+	}
+	return nil
+}
+
+func swapRows(a []complex128, n, r1, r2 int) {
+	for c := 0; c < n; c++ {
+		a[r1*n+c], a[r2*n+c] = a[r2*n+c], a[r1*n+c]
+	}
+}
+
+// MMSEWorkspace holds the scratch matrices for repeated MMSE solves of one
+// shape, so the per-subcarrier loop performs no allocation. Not safe for
+// concurrent use; each worker task owns its own workspace.
+type MMSEWorkspace struct {
+	ant, layers int
+	gram        Matrix // layers x layers
+	inv         Matrix // layers x layers
+	hh          Matrix // layers x ant (H^H)
+}
+
+// NewMMSEWorkspace returns a workspace for ant receive antennas and the
+// given layer count.
+func NewMMSEWorkspace(ant, layers int) *MMSEWorkspace {
+	if ant < 1 || layers < 1 || layers > ant {
+		panic(fmt.Sprintf("linalg: invalid MMSE shape ant=%d layers=%d", ant, layers))
+	}
+	return &MMSEWorkspace{
+		ant: ant, layers: layers,
+		gram: NewMatrix(layers, layers),
+		inv:  NewMatrix(layers, layers),
+		hh:   NewMatrix(layers, ant),
+	}
+}
+
+// Solve computes the MMSE combining matrix W = (H^H H + nv I)^{-1} H^H into
+// dst (layers x ant). h is the ant x layers channel matrix and nv the noise
+// variance. A singular regularised Gram matrix (possible only for nv <= 0)
+// is reported as an error.
+func (w *MMSEWorkspace) Solve(dst *Matrix, h Matrix, nv float64) error {
+	if h.Rows != w.ant || h.Cols != w.layers || dst.Rows != w.layers || dst.Cols != w.ant {
+		panic("linalg: MMSE Solve shape mismatch")
+	}
+	GramInto(&w.gram, h)
+	AddDiag(&w.gram, complex(nv, 0))
+	if err := InvertInto(&w.inv, w.gram); err != nil {
+		return err
+	}
+	h.ConjTransposeInto(&w.hh)
+	MulInto(dst, w.inv, w.hh)
+	return nil
+}
+
+// ApplyWeights computes x = W*y for one subcarrier: w is layers x ant,
+// y has ant entries, x has layers entries.
+func ApplyWeights(x []complex128, w Matrix, y []complex128) {
+	if len(x) != w.Rows || len(y) != w.Cols {
+		panic("linalg: ApplyWeights shape mismatch")
+	}
+	for l := 0; l < w.Rows; l++ {
+		var sum complex128
+		row := w.Data[l*w.Cols : (l+1)*w.Cols]
+		for a, v := range y {
+			sum += row[a] * v
+		}
+		x[l] = sum
+	}
+}

@@ -1,0 +1,251 @@
+package linalg
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randMatrix(rng *rand.Rand, r, c int) Matrix {
+	m := NewMatrix(r, c)
+	for i := range m.Data {
+		m.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return m
+}
+
+func matMaxDiff(a, b Matrix) float64 {
+	d := 0.0
+	for i := range a.Data {
+		if v := cmplx.Abs(a.Data[i] - b.Data[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+func TestConjTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := randMatrix(rng, 3, 4)
+	h := NewMatrix(4, 3)
+	m.ConjTransposeInto(&h)
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 4; c++ {
+			if h.At(c, r) != cmplx.Conj(m.At(r, c)) {
+				t.Fatalf("H[%d,%d] != conj(M[%d,%d])", c, r, r, c)
+			}
+		}
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for n := 1; n <= 4; n++ {
+		m := randMatrix(rng, n, n)
+		id := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			id.Set(i, i, 1)
+		}
+		out := NewMatrix(n, n)
+		MulInto(&out, m, id)
+		if matMaxDiff(out, m) > 1e-14 {
+			t.Errorf("n=%d: M*I != M", n)
+		}
+	}
+}
+
+func TestMulAssociativity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randMatrix(rng, 3, 4)
+		b := randMatrix(rng, 4, 2)
+		c := randMatrix(rng, 2, 3)
+		ab := NewMatrix(3, 2)
+		MulInto(&ab, a, b)
+		abc1 := NewMatrix(3, 3)
+		MulInto(&abc1, ab, c)
+		bc := NewMatrix(4, 3)
+		MulInto(&bc, b, c)
+		abc2 := NewMatrix(3, 3)
+		MulInto(&abc2, a, bc)
+		return matMaxDiff(abc1, abc2) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGramIsHermitianPSD(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randMatrix(rng, 4, 3)
+	g := NewMatrix(3, 3)
+	GramInto(&g, a)
+	for i := 0; i < 3; i++ {
+		if imag(g.At(i, i)) > 1e-14 || real(g.At(i, i)) < 0 {
+			t.Errorf("diagonal %d = %v, want real nonnegative", i, g.At(i, i))
+		}
+		for j := 0; j < 3; j++ {
+			if cmplx.Abs(g.At(i, j)-cmplx.Conj(g.At(j, i))) > 1e-12 {
+				t.Errorf("Gram not Hermitian at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Compare against explicit H^H * H.
+	ah := NewMatrix(3, 4)
+	a.ConjTransposeInto(&ah)
+	want := NewMatrix(3, 3)
+	MulInto(&want, ah, a)
+	if matMaxDiff(g, want) > 1e-12 {
+		t.Error("GramInto differs from explicit H^H*H")
+	}
+}
+
+func TestInvertRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for n := 1; n <= 4; n++ {
+		for trial := 0; trial < 20; trial++ {
+			m := randMatrix(rng, n, n)
+			AddDiag(&m, 2) // keep well-conditioned
+			inv := NewMatrix(n, n)
+			if err := InvertInto(&inv, m); err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			prod := NewMatrix(n, n)
+			MulInto(&prod, m, inv)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					want := complex128(0)
+					if i == j {
+						want = 1
+					}
+					if cmplx.Abs(prod.At(i, j)-want) > 1e-9 {
+						t.Fatalf("n=%d: M*inv(M) deviates at (%d,%d): %v", n, i, j, prod.At(i, j))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestInvertSingular(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 2)
+	m.Set(1, 1, 4) // rank 1
+	inv := NewMatrix(2, 2)
+	if err := InvertInto(&inv, m); err == nil {
+		t.Error("inverting a singular matrix did not return an error")
+	}
+}
+
+func TestInvertPreservesInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := randMatrix(rng, 3, 3)
+	AddDiag(&m, 3)
+	saved := append([]complex128(nil), m.Data...)
+	inv := NewMatrix(3, 3)
+	if err := InvertInto(&inv, m); err != nil {
+		t.Fatal(err)
+	}
+	for i := range saved {
+		if m.Data[i] != saved[i] {
+			t.Fatal("InvertInto modified its input")
+		}
+	}
+}
+
+// TestMMSERecoversSignal drives the end-to-end combiner property: with low
+// noise, W*(H*x) must approximate x for any full-rank channel.
+func TestMMSERecoversSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for layers := 1; layers <= 4; layers++ {
+		const ant = 4
+		ws := NewMMSEWorkspace(ant, layers)
+		for trial := 0; trial < 10; trial++ {
+			h := randMatrix(rng, ant, layers)
+			x := make([]complex128, layers)
+			for i := range x {
+				x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			}
+			y := make([]complex128, ant)
+			for a := 0; a < ant; a++ {
+				var sum complex128
+				for l := 0; l < layers; l++ {
+					sum += h.At(a, l) * x[l]
+				}
+				y[a] = sum
+			}
+			w := NewMatrix(layers, ant)
+			if err := ws.Solve(&w, h, 1e-9); err != nil {
+				t.Fatal(err)
+			}
+			got := make([]complex128, layers)
+			ApplyWeights(got, w, y)
+			for l := 0; l < layers; l++ {
+				if cmplx.Abs(got[l]-x[l]) > 1e-3 {
+					t.Fatalf("layers=%d: recovered[%d] = %v, want %v", layers, l, got[l], x[l])
+				}
+			}
+		}
+	}
+}
+
+// TestMMSEShrinksWithNoise: as noise variance grows, the MMSE estimate is
+// biased toward zero (regularisation), so its norm must not grow.
+func TestMMSEShrinksWithNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const ant, layers = 4, 2
+	ws := NewMMSEWorkspace(ant, layers)
+	h := randMatrix(rng, ant, layers)
+	y := make([]complex128, ant)
+	for i := range y {
+		y[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	norm := func(nv float64) float64 {
+		w := NewMatrix(layers, ant)
+		if err := ws.Solve(&w, h, nv); err != nil {
+			t.Fatal(err)
+		}
+		x := make([]complex128, layers)
+		ApplyWeights(x, w, y)
+		var s float64
+		for _, v := range x {
+			s += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return s
+	}
+	if n1, n2 := norm(0.01), norm(10); n2 > n1 {
+		t.Errorf("MMSE norm grew with noise: %g -> %g", n1, n2)
+	}
+}
+
+func TestWorkspacePanics(t *testing.T) {
+	for _, tc := range [][2]int{{0, 1}, {4, 0}, {2, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewMMSEWorkspace(%d,%d) did not panic", tc[0], tc[1])
+				}
+			}()
+			NewMMSEWorkspace(tc[0], tc[1])
+		}()
+	}
+}
+
+func BenchmarkMMSESolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	for layers := 1; layers <= 4; layers++ {
+		h := randMatrix(rng, 4, layers)
+		ws := NewMMSEWorkspace(4, layers)
+		w := NewMatrix(layers, 4)
+		b.Run("layers"+string(rune('0'+layers)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := ws.Solve(&w, h, 0.1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,286 @@
+package modulation
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var schemes = []Scheme{QPSK, QAM16, QAM64}
+
+func TestBitsAndPoints(t *testing.T) {
+	want := map[Scheme][2]int{QPSK: {2, 4}, QAM16: {4, 16}, QAM64: {6, 64}}
+	for s, w := range want {
+		if s.Bits() != w[0] || s.Points() != w[1] {
+			t.Errorf("%v: (%d,%d), want (%d,%d)", s, s.Bits(), s.Points(), w[0], w[1])
+		}
+	}
+}
+
+func TestUnitAveragePower(t *testing.T) {
+	// Every LTE constellation is normalised to unit average energy.
+	for _, s := range schemes {
+		var sum float64
+		tab := s.Constellation()
+		for _, pt := range tab {
+			sum += real(pt)*real(pt) + imag(pt)*imag(pt)
+		}
+		avg := sum / float64(len(tab))
+		if math.Abs(avg-1) > 1e-12 {
+			t.Errorf("%v: average energy %g, want 1", s, avg)
+		}
+	}
+}
+
+func TestConstellationPointsDistinct(t *testing.T) {
+	for _, s := range schemes {
+		tab := s.Constellation()
+		for i := 0; i < len(tab); i++ {
+			for j := i + 1; j < len(tab); j++ {
+				if cmplx.Abs(tab[i]-tab[j]) < 1e-9 {
+					t.Errorf("%v: points %d and %d coincide at %v", s, i, j, tab[i])
+				}
+			}
+		}
+	}
+}
+
+// TestGrayMapping checks the defining Gray property: nearest neighbours in
+// the constellation differ in exactly one bit.
+func TestGrayMapping(t *testing.T) {
+	for _, s := range schemes {
+		tab := s.Constellation()
+		// Find the minimum distance, then check all pairs at that distance.
+		minD := math.Inf(1)
+		for i := range tab {
+			for j := i + 1; j < len(tab); j++ {
+				if d := cmplx.Abs(tab[i] - tab[j]); d < minD {
+					minD = d
+				}
+			}
+		}
+		for i := range tab {
+			for j := i + 1; j < len(tab); j++ {
+				if cmplx.Abs(tab[i]-tab[j]) < minD*1.001 {
+					diff := i ^ j
+					if diff&(diff-1) != 0 {
+						t.Errorf("%v: neighbours %06b and %06b differ in >1 bit", s, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestKnownQPSKPoints(t *testing.T) {
+	// 36.211 Table 7.1.2-1: bits 00 -> (1+j)/sqrt(2), 11 -> (-1-j)/sqrt(2).
+	tab := QPSK.Constellation()
+	r := 1 / math.Sqrt2
+	cases := map[int]complex128{
+		0b00: complex(r, r), 0b01: complex(r, -r),
+		0b10: complex(-r, r), 0b11: complex(-r, -r),
+	}
+	for idx, want := range cases {
+		if cmplx.Abs(tab[idx]-want) > 1e-12 {
+			t.Errorf("QPSK[%02b] = %v, want %v", idx, tab[idx], want)
+		}
+	}
+}
+
+func TestKnown16QAMPoint(t *testing.T) {
+	// 36.211 Table 7.1.3-1: bits 0000 -> (1+j)/sqrt(10),
+	// 1011 -> (-3+3j)/sqrt(10) (b0 = I sign, b2 = I magnitude,
+	// b1 = Q sign, b3 = Q magnitude), 0111 -> (3-3j)/sqrt(10).
+	tab := QAM16.Constellation()
+	r := 1 / math.Sqrt(10)
+	if want := complex(r, r); cmplx.Abs(tab[0b0000]-want) > 1e-12 {
+		t.Errorf("16QAM[0000] = %v, want %v", tab[0], want)
+	}
+	if want := complex(-3*r, 3*r); cmplx.Abs(tab[0b1011]-want) > 1e-12 {
+		t.Errorf("16QAM[1011] = %v, want %v", tab[0b1011], want)
+	}
+	if want := complex(3*r, -3*r); cmplx.Abs(tab[0b0111]-want) > 1e-12 {
+		t.Errorf("16QAM[0111] = %v, want %v", tab[0b0111], want)
+	}
+}
+
+func TestMapDemapRoundTripNoiseless(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, s := range schemes {
+		q := s.Bits()
+		bits := make([]uint8, 120*q)
+		for i := range bits {
+			bits[i] = uint8(rng.Intn(2))
+		}
+		syms := s.Map(nil, bits)
+		if len(syms) != 120 {
+			t.Fatalf("%v: %d symbols, want 120", s, len(syms))
+		}
+		llr := s.Demap(nil, syms, 0.01)
+		got := HardDecide(nil, llr)
+		for i := range bits {
+			if got[i] != bits[i] {
+				t.Fatalf("%v: bit %d decoded %d, want %d", s, i, got[i], bits[i])
+			}
+		}
+	}
+}
+
+// TestDemapLLRSign is a property test: with moderate noise the hard
+// decision from LLRs must match the minimum-distance decision.
+func TestDemapLLRSign(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := schemes[rng.Intn(len(schemes))]
+		y := complex(rng.NormFloat64(), rng.NormFloat64())
+		llr := s.Demap(nil, []complex128{y}, 0.5)
+		bits := HardDecide(nil, llr)
+		// Minimum-distance decision.
+		best, bestD := 0, math.Inf(1)
+		for idx, pt := range s.Constellation() {
+			if d := cmplx.Abs(y - pt); d < bestD {
+				best, bestD = idx, d
+			}
+		}
+		q := s.Bits()
+		for b := 0; b < q; b++ {
+			want := uint8(best>>uint(q-1-b)) & 1
+			if bits[b] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLLRScalesWithNoise verifies LLR magnitude shrinks as noise grows —
+// the property the turbo decoder relies on to weight soft inputs.
+func TestLLRScalesWithNoise(t *testing.T) {
+	y := []complex128{complex(0.9, 0.2)}
+	lo := QAM64.Demap(nil, y, 0.1)
+	hi := QAM64.Demap(nil, y, 1.0)
+	for b := range lo {
+		if math.Abs(lo[b]) < math.Abs(hi[b])-1e-12 {
+			t.Errorf("bit %d: |LLR| did not shrink with more noise (%g vs %g)", b, lo[b], hi[b])
+		}
+	}
+}
+
+func TestBERUnderAWGN(t *testing.T) {
+	// At 15 dB SNR, QPSK over AWGN should be error-free in a short run and
+	// 64-QAM should have a low but possibly nonzero BER. This is a sanity
+	// check of the whole map/demap chain under noise.
+	rng := rand.New(rand.NewSource(7))
+	const n = 4000
+	snr := math.Pow(10, 15.0/10) // 15 dB
+	noiseVar := 1 / snr
+	sigma := math.Sqrt(noiseVar / 2)
+	for _, s := range schemes {
+		q := s.Bits()
+		bits := make([]uint8, n*q)
+		for i := range bits {
+			bits[i] = uint8(rng.Intn(2))
+		}
+		syms := s.Map(nil, bits)
+		for i := range syms {
+			syms[i] += complex(sigma*rng.NormFloat64(), sigma*rng.NormFloat64())
+		}
+		got := HardDecide(nil, s.Demap(nil, syms, noiseVar))
+		errs := 0
+		for i := range bits {
+			if got[i] != bits[i] {
+				errs++
+			}
+		}
+		ber := float64(errs) / float64(len(bits))
+		// 64-QAM at 15 dB Es/N0 sits around 6-7% raw BER analytically.
+		limit := map[Scheme]float64{QPSK: 1e-4, QAM16: 5e-3, QAM64: 9e-2}[s]
+		if ber > limit {
+			t.Errorf("%v: BER %g at 15 dB exceeds %g", s, ber, limit)
+		}
+	}
+}
+
+func TestMapPanicsOnBitCount(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Map with non-multiple bit count did not panic")
+		}
+	}()
+	QAM16.Map(nil, make([]uint8, 5))
+}
+
+func TestDemapPanicsOnNoiseVar(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Demap with zero noise variance did not panic")
+		}
+	}()
+	QPSK.Demap(nil, []complex128{1}, 0)
+}
+
+func BenchmarkDemap(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	syms := make([]complex128, 1200)
+	for i := range syms {
+		syms[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	for _, s := range schemes {
+		b.Run(s.String(), func(b *testing.B) {
+			var dst []float64
+			for i := 0; i < b.N; i++ {
+				dst = s.Demap(dst[:0], syms, 0.1)
+			}
+		})
+	}
+}
+
+func BenchmarkMap64QAM(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	bits := make([]uint8, 7200)
+	for i := range bits {
+		bits[i] = uint8(rng.Intn(2))
+	}
+	var dst []complex128
+	for i := 0; i < b.N; i++ {
+		dst = QAM64.Map(dst[:0], bits)
+	}
+}
+
+func TestEVM(t *testing.T) {
+	// Clean constellation points: EVM 0.
+	tab := QAM16.Constellation()
+	if got := QAM16.EVM(tab); got != 0 {
+		t.Errorf("EVM of exact points = %g", got)
+	}
+	// Known offset: every point displaced by 0.1 -> EVM exactly 0.1 as long
+	// as the displacement does not cross a decision boundary (16QAM min
+	// half-distance is 1/sqrt(10) ~ 0.316).
+	displaced := make([]complex128, len(tab))
+	for i, pt := range tab {
+		displaced[i] = pt + complex(0.1, 0)
+	}
+	if got := QAM16.EVM(displaced); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("EVM of 0.1-displaced points = %g", got)
+	}
+	// EVM grows with noise.
+	rng := rand.New(rand.NewSource(1))
+	noisy := func(sigma float64) float64 {
+		syms := make([]complex128, 500)
+		for i := range syms {
+			syms[i] = tab[rng.Intn(len(tab))] + complex(sigma*rng.NormFloat64(), sigma*rng.NormFloat64())
+		}
+		return QAM16.EVM(syms)
+	}
+	if a, b := noisy(0.02), noisy(0.1); a >= b {
+		t.Errorf("EVM did not grow with noise: %g vs %g", a, b)
+	}
+	if QPSK.EVM(nil) != 0 {
+		t.Error("empty EVM not zero")
+	}
+}

@@ -1,0 +1,217 @@
+package sequence
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"ltephy/internal/phy/fft"
+)
+
+func TestZadoffChuConstantAmplitude(t *testing.T) {
+	for _, tc := range []struct{ q, n int }{{1, 11}, {5, 31}, {25, 139}, {7, 2399}} {
+		seq := ZadoffChu(tc.q, tc.n)
+		for i, v := range seq {
+			if math.Abs(cmplx.Abs(v)-1) > 1e-12 {
+				t.Fatalf("q=%d n=%d: |x[%d]| = %g, want 1", tc.q, tc.n, i, cmplx.Abs(v))
+			}
+		}
+	}
+}
+
+// TestZadoffChuAutocorrelation verifies the zero-autocorrelation property:
+// for prime n, the circular autocorrelation at any nonzero lag vanishes.
+func TestZadoffChuAutocorrelation(t *testing.T) {
+	const q, n = 5, 139
+	seq := ZadoffChu(q, n)
+	for lag := 1; lag < n; lag++ {
+		var sum complex128
+		for i := 0; i < n; i++ {
+			sum += seq[i] * cmplx.Conj(seq[(i+lag)%n])
+		}
+		if cmplx.Abs(sum) > 1e-8*float64(n) {
+			t.Fatalf("lag %d: |autocorr| = %g, want ~0", lag, cmplx.Abs(sum))
+		}
+	}
+}
+
+func TestZadoffChuFlatSpectrum(t *testing.T) {
+	// A CAZAC sequence has a perfectly flat DFT magnitude; this is what
+	// makes the matched filter + window channel estimator unbiased.
+	const q, n = 3, 139
+	seq := ZadoffChu(q, n)
+	spec := make([]complex128, n)
+	fft.New(n).Forward(spec, seq)
+	want := math.Sqrt(float64(n))
+	for k, v := range spec {
+		if math.Abs(cmplx.Abs(v)-want) > 1e-6*want {
+			t.Fatalf("bin %d: |X| = %g, want %g", k, cmplx.Abs(v), want)
+		}
+	}
+}
+
+func TestZadoffChuPanics(t *testing.T) {
+	for _, tc := range []struct{ q, n int }{{2, 4}, {0, 5}, {1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ZadoffChu(%d,%d) did not panic", tc.q, tc.n)
+				}
+			}()
+			ZadoffChu(tc.q, tc.n)
+		}()
+	}
+}
+
+func TestBaseDMRSLengthsAndModulus(t *testing.T) {
+	for _, n := range []int{1, 2, 24, 36, 144, 600, 2400} {
+		seq := BaseDMRS(n)
+		if len(seq) != n {
+			t.Fatalf("n=%d: length %d", n, len(seq))
+		}
+		for i, v := range seq {
+			if math.Abs(cmplx.Abs(v)-1) > 1e-12 {
+				t.Fatalf("n=%d: |r[%d]| = %g, want 1", n, i, cmplx.Abs(v))
+			}
+		}
+	}
+}
+
+func TestLayerShiftSpacing(t *testing.T) {
+	const n = 2400
+	prev := -1
+	for l := 0; l < MaxLayers; l++ {
+		s := LayerShift(l, n)
+		if s != l*n/MaxLayers {
+			t.Errorf("layer %d shift = %d, want %d", l, s, l*n/MaxLayers)
+		}
+		if s <= prev && l > 0 {
+			t.Errorf("shifts not increasing: layer %d shift %d", l, s)
+		}
+		prev = s
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("LayerShift(4, n) did not panic")
+			}
+		}()
+		LayerShift(MaxLayers, n)
+	}()
+}
+
+// TestLayerDMRSIsTimeShift confirms that the per-layer phase ramp equals a
+// cyclic time shift: IFFT(layer sequence) == IFFT(base) rotated by the
+// layer's shift. This is the property the whole channel-estimation chain
+// (matched filter -> IFFT -> window -> FFT) depends on.
+func TestLayerDMRSIsTimeShift(t *testing.T) {
+	const n = 144
+	base := BaseDMRS(n)
+	p := fft.New(n)
+	tdBase := make([]complex128, n)
+	p.Inverse(tdBase, base)
+	for l := 0; l < MaxLayers; l++ {
+		ld := LayerDMRS(base, l)
+		td := make([]complex128, n)
+		p.Inverse(td, ld)
+		shift := LayerShift(l, n)
+		for i := 0; i < n; i++ {
+			want := tdBase[(i-shift+n)%n]
+			if cmplx.Abs(td[i]-want) > 1e-9 {
+				t.Fatalf("layer %d: time sample %d = %v, want %v", l, i, td[i], want)
+			}
+		}
+	}
+}
+
+// TestLayerOrthogonality checks that matched-filtering layer a's sequence
+// against layer b's concentrates energy at distinct time offsets, so the
+// estimator's windows do not overlap.
+func TestLayerOrthogonality(t *testing.T) {
+	const n = 288
+	base := BaseDMRS(n)
+	p := fft.New(n)
+	for a := 0; a < MaxLayers; a++ {
+		for b := 0; b < MaxLayers; b++ {
+			// Correlate: conj(seq_a) * seq_b in frequency == time impulse
+			// at shift(b) - shift(a) when the base is CAZAC-like.
+			prod := make([]complex128, n)
+			sa, sb := LayerDMRS(base, a), LayerDMRS(base, b)
+			for k := 0; k < n; k++ {
+				prod[k] = sb[k] * cmplx.Conj(sa[k])
+			}
+			td := make([]complex128, n)
+			p.Inverse(td, prod)
+			// Find the peak; it must sit near shift(b)-shift(a) and carry
+			// most of the energy.
+			peakIdx, peak := 0, 0.0
+			var total float64
+			for i, v := range td {
+				m := cmplx.Abs(v)
+				total += m * m
+				if m > peak {
+					peak, peakIdx = m, i
+				}
+			}
+			wantIdx := ((LayerShift(b, n)-LayerShift(a, n))%n + n) % n
+			if d := (peakIdx - wantIdx + n) % n; d > 2 && d < n-2 {
+				t.Errorf("layers (%d,%d): peak at %d, want near %d", a, b, peakIdx, wantIdx)
+			}
+			if peak*peak < 0.5*total {
+				t.Errorf("layers (%d,%d): correlation peak carries only %.1f%% of energy",
+					a, b, 100*peak*peak/total)
+			}
+		}
+	}
+}
+
+func TestGoldKnownProperties(t *testing.T) {
+	// Deterministic for a given cinit, different across cinits, and
+	// balanced (roughly half ones).
+	a := Gold(0x1234, 4096)
+	b := Gold(0x1234, 4096)
+	c := Gold(0x1235, 4096)
+	same, diff, ones := true, 0, 0
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != c[i] {
+			diff++
+		}
+		ones += int(a[i])
+	}
+	if !same {
+		t.Error("Gold not deterministic for equal cinit")
+	}
+	if diff < 1500 {
+		t.Errorf("Gold sequences for adjacent cinits differ in only %d/4096 bits", diff)
+	}
+	if ones < 1800 || ones > 2300 {
+		t.Errorf("Gold sequence unbalanced: %d/4096 ones", ones)
+	}
+	for i, v := range a {
+		if v > 1 {
+			t.Fatalf("Gold bit %d = %d, want 0 or 1", i, v)
+		}
+	}
+}
+
+func TestGoldZeroLength(t *testing.T) {
+	if got := Gold(1, 0); len(got) != 0 {
+		t.Errorf("Gold(1,0) length %d, want 0", len(got))
+	}
+}
+
+func BenchmarkBaseDMRS2400(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		BaseDMRS(2400)
+	}
+}
+
+func BenchmarkGold(b *testing.B) {
+	b.SetBytes(8192 / 8)
+	for i := 0; i < b.N; i++ {
+		Gold(0xACE1, 8192)
+	}
+}

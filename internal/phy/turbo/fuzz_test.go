@@ -1,0 +1,85 @@
+package turbo
+
+import (
+	"testing"
+)
+
+// FuzzSegmentationRoundTrip drives arbitrary transport-block sizes and bit
+// patterns through segmentation, encoding and noiseless decoding.
+func FuzzSegmentationRoundTrip(f *testing.F) {
+	f.Add(uint16(1), uint64(0))
+	f.Add(uint16(40), uint64(0xDEADBEEF))
+	f.Add(uint16(6144), uint64(1))
+	f.Add(uint16(7000), uint64(42))
+	f.Fuzz(func(t *testing.T, szRaw uint16, pattern uint64) {
+		b := int(szRaw)%12000 + 1
+		s, err := NewSegmentation(b)
+		if err != nil {
+			t.Fatalf("B=%d: %v", b, err)
+		}
+		tb := make([]uint8, b)
+		for i := range tb {
+			tb[i] = uint8((pattern >> (uint(i) % 64)) & 1)
+		}
+		got, ok := s.Decode(bitsToLLR(s.Encode(tb), 6), 2)
+		if !ok && s.PerCRC {
+			t.Fatalf("B=%d: clean decode failed per-block CRC", b)
+		}
+		if len(got) != b {
+			t.Fatalf("B=%d: decoded %d bits", b, len(got))
+		}
+		for i := range tb {
+			if got[i] != tb[i] {
+				t.Fatalf("B=%d: bit %d corrupted", b, i)
+			}
+		}
+	})
+}
+
+// FuzzRateMatchRoundTrip drives arbitrary (K, E, rv) combinations through
+// rate matching and soft de-rate-matching.
+func FuzzRateMatchRoundTrip(f *testing.F) {
+	f.Add(uint16(0), uint32(100), uint8(0), uint64(7))
+	f.Add(uint16(50), uint32(9000), uint8(2), uint64(0))
+	f.Add(uint16(187), uint32(1), uint8(3), uint64(0xFFFF))
+	f.Fuzz(func(t *testing.T, kSel uint16, eRaw uint32, rvRaw uint8, pattern uint64) {
+		ks := ValidBlockSizes()
+		k := ks[int(kSel)%len(ks)]
+		if k > 2048 {
+			k = 2048
+		}
+		k, _ = SmallestValidBlock(k)
+		rm, err := NewRateMatcher(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := NewCodec(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := int(eRaw)%(4*k) + 1
+		rv := int(rvRaw) % MaxRVs
+		info := make([]uint8, k)
+		for i := range info {
+			info[i] = uint8((pattern >> (uint(i) % 64)) & 1)
+		}
+		out := rm.Match(c.Encode(info), e, rv)
+		if len(out) != e {
+			t.Fatalf("K=%d E=%d: got %d bits", k, e, len(out))
+		}
+		// Accumulation must place exactly e contributions.
+		acc := make([]float64, CodedLen(k))
+		ones := make([]float64, e)
+		for i := range ones {
+			ones[i] = 1
+		}
+		rm.Accumulate(acc, ones, rv)
+		var total float64
+		for _, v := range acc {
+			total += v
+		}
+		if total != float64(e) {
+			t.Fatalf("K=%d E=%d rv=%d: %g contributions", k, e, rv, total)
+		}
+	})
+}

@@ -1,0 +1,70 @@
+// Package rng provides the deterministic pseudo-random generator used
+// throughout the benchmark. Every experiment in the paper reduces to a
+// seeded trace (the same 68,000 subframes must be replayable across the
+// serial reference, the parallel runtime and the simulator), so all
+// randomness flows through this one splitmix64 generator rather than
+// math/rand's global state.
+package rng
+
+import "math"
+
+// RNG is a splitmix64 pseudo-random generator. The zero value is a valid
+// generator seeded with 0. It is not safe for concurrent use; give each
+// goroutine its own (Split derives independent streams).
+type RNG struct {
+	state uint64
+}
+
+// New returns a generator with the given seed.
+func New(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Split derives an independent generator from r, advancing r once.
+// Streams from distinct Split calls are decorrelated by the splitmix64
+// finaliser.
+func (r *RNG) Split() *RNG { return &RNG{state: r.Uint64() ^ 0x9E3779B97F4A7C15} }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1), the random() of the paper's
+// Fig. 6 pseudocode.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive bound")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Bit returns a uniform bit value (0 or 1).
+func (r *RNG) Bit() uint8 { return uint8(r.Uint64() & 1) }
+
+// NormFloat64 returns a standard normal variate via Box-Muller (no cached
+// spare: reproducibility across call patterns matters more than the extra
+// cosine).
+func (r *RNG) NormFloat64() float64 {
+	// Guard against log(0).
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	v := r.Float64()
+	return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+}
+
+// ComplexNormal returns a circularly-symmetric complex Gaussian with the
+// given total variance (E|z|^2 = variance).
+func (r *RNG) ComplexNormal(variance float64) complex128 {
+	s := math.Sqrt(variance / 2)
+	return complex(s*r.NormFloat64(), s*r.NormFloat64())
+}

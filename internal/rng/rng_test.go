@@ -1,0 +1,126 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds collided %d/1000 times", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 100000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %g out of [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64Uniformity(t *testing.T) {
+	r := New(2)
+	const n, buckets = 100000, 10
+	var counts [buckets]int
+	for i := 0; i < n; i++ {
+		counts[int(r.Float64()*buckets)]++
+	}
+	want := n / buckets
+	for b, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Errorf("bucket %d: %d draws, want ~%d", b, c, want)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("Intn(7) covered %d values", len(seen))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(4)
+	const n = 200000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean %g, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance %g, want ~1", variance)
+	}
+}
+
+func TestComplexNormalVariance(t *testing.T) {
+	r := New(5)
+	const n = 100000
+	var e float64
+	for i := 0; i < n; i++ {
+		z := r.ComplexNormal(2.5)
+		e += real(z)*real(z) + imag(z)*imag(z)
+	}
+	if got := e / n; math.Abs(got-2.5) > 0.1 {
+		t.Errorf("E|z|^2 = %g, want 2.5", got)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(6)
+	a := r.Split()
+	b := r.Split()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("split streams collided %d times", same)
+	}
+}
+
+func BenchmarkFloat64(b *testing.B) {
+	r := New(7)
+	for i := 0; i < b.N; i++ {
+		_ = r.Float64()
+	}
+}

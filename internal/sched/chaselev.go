@@ -1,0 +1,129 @@
+package sched
+
+import "sync/atomic"
+
+// taskDeque is the work-stealing queue contract: the owning worker pushes
+// and pops at the bottom, thieves steal from the top.
+type taskDeque interface {
+	push(Task)
+	pop() (Task, bool)
+	steal() (Task, bool)
+	size() int
+}
+
+// Interface checks.
+var (
+	_ taskDeque = (*deque)(nil)
+	_ taskDeque = (*clDeque)(nil)
+)
+
+// clDeque is the Chase-Lev lock-free work-stealing deque (Chase & Lev,
+// SPAA 2005) on a growable circular array. Go's sync/atomic operations
+// are sequentially consistent, which makes the textbook algorithm sound
+// without the fence subtleties relaxed-memory implementations need.
+//
+// Only one goroutine (the owner) may call push/pop; any number may call
+// steal. The pool's deque choice is Config.LockFreeDeque; the mutex deque
+// remains the default (benchmark tasks are coarse enough that lock
+// overhead is noise — BenchmarkDeques quantifies the difference).
+type clDeque struct {
+	top    atomic.Int64 // next index thieves take
+	bottom atomic.Int64 // next index the owner writes
+	buf    atomic.Pointer[clArray]
+}
+
+// clArray is one immutable-size circular buffer generation.
+type clArray struct {
+	mask  int64 // size-1, size a power of two
+	slots []atomic.Pointer[taskBox]
+}
+
+// taskBox wraps a Task so slots can hold it behind an atomic pointer.
+type taskBox struct{ t Task }
+
+const clInitialSize = 64
+
+func newCLDeque() *clDeque {
+	d := &clDeque{}
+	d.buf.Store(newCLArray(clInitialSize))
+	return d
+}
+
+func newCLArray(size int64) *clArray {
+	return &clArray{mask: size - 1, slots: make([]atomic.Pointer[taskBox], size)}
+}
+
+func (a *clArray) get(i int64) *taskBox    { return a.slots[i&a.mask].Load() }
+func (a *clArray) put(i int64, b *taskBox) { a.slots[i&a.mask].Store(b) }
+func (a *clArray) size() int64             { return a.mask + 1 }
+
+// push appends at the bottom (owner only), growing the array when full.
+func (d *clDeque) push(t Task) {
+	b := d.bottom.Load()
+	top := d.top.Load()
+	a := d.buf.Load()
+	if b-top >= a.size() {
+		a = d.grow(a, top, b)
+	}
+	a.put(b, &taskBox{t: t})
+	d.bottom.Store(b + 1)
+}
+
+// grow doubles the array, copying the live window. Owner only; thieves
+// holding the old array still see valid slots for indices < bottom.
+func (d *clDeque) grow(old *clArray, top, bottom int64) *clArray {
+	bigger := newCLArray(old.size() * 2)
+	for i := top; i < bottom; i++ {
+		bigger.put(i, old.get(i))
+	}
+	d.buf.Store(bigger)
+	return bigger
+}
+
+// pop removes the newest task (owner only).
+func (d *clDeque) pop() (Task, bool) {
+	b := d.bottom.Load() - 1
+	a := d.buf.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Deque was empty; restore.
+		d.bottom.Store(t)
+		return nil, false
+	}
+	box := a.get(b)
+	if t != b {
+		return box.t, true
+	}
+	// Last element: race with thieves via CAS on top.
+	won := d.top.CompareAndSwap(t, t+1)
+	d.bottom.Store(t + 1)
+	if !won {
+		return nil, false
+	}
+	return box.t, true
+}
+
+// steal removes the oldest task (any goroutine).
+func (d *clDeque) steal() (Task, bool) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return nil, false
+	}
+	a := d.buf.Load()
+	box := a.get(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		return nil, false // lost the race; caller picks another victim
+	}
+	return box.t, true
+}
+
+// size is approximate under concurrency (diagnostics only).
+func (d *clDeque) size() int {
+	n := d.bottom.Load() - d.top.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}

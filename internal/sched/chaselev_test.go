@@ -1,0 +1,252 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ltephy/internal/phy/modulation"
+	"ltephy/internal/uplink"
+)
+
+func TestCLDequeLIFOAndFIFO(t *testing.T) {
+	d := newCLDeque()
+	order := []int{}
+	for i := 0; i < 5; i++ {
+		i := i
+		d.push(func() { order = append(order, i) })
+	}
+	ta, ok := d.pop()
+	if !ok {
+		t.Fatal("pop failed")
+	}
+	ta()
+	tb, ok := d.steal()
+	if !ok {
+		t.Fatal("steal failed")
+	}
+	tb()
+	if order[0] != 4 || order[1] != 0 {
+		t.Errorf("pop/steal order = %v, want [4 0]", order)
+	}
+	if d.size() != 3 {
+		t.Errorf("size = %d, want 3", d.size())
+	}
+}
+
+func TestCLDequeEmpty(t *testing.T) {
+	d := newCLDeque()
+	if _, ok := d.pop(); ok {
+		t.Error("pop on empty succeeded")
+	}
+	if _, ok := d.steal(); ok {
+		t.Error("steal on empty succeeded")
+	}
+	// Empty after draining too.
+	d.push(func() {})
+	if _, ok := d.pop(); !ok {
+		t.Fatal("pop failed")
+	}
+	if _, ok := d.pop(); ok {
+		t.Error("pop after drain succeeded")
+	}
+	if d.size() != 0 {
+		t.Errorf("size = %d", d.size())
+	}
+}
+
+func TestCLDequeGrowth(t *testing.T) {
+	d := newCLDeque()
+	const n = 10 * clInitialSize
+	var count atomic.Int64
+	for i := 0; i < n; i++ {
+		d.push(func() { count.Add(1) })
+	}
+	if d.size() != n {
+		t.Fatalf("size = %d, want %d", d.size(), n)
+	}
+	for {
+		task, ok := d.pop()
+		if !ok {
+			break
+		}
+		task()
+	}
+	if count.Load() != n {
+		t.Errorf("ran %d tasks, want %d", count.Load(), n)
+	}
+}
+
+// TestCLDequeOwnerThiefRace: one owner pushing and popping while several
+// thieves steal concurrently; every task must run exactly once.
+func TestCLDequeOwnerThiefRace(t *testing.T) {
+	d := newCLDeque()
+	const total = 20000
+	var ran atomic.Int64
+	var done atomic.Bool
+
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !done.Load() {
+				if task, ok := d.steal(); ok {
+					task()
+				} else {
+					runtime.Gosched()
+				}
+			}
+			// Final sweep after the owner stops.
+			for {
+				task, ok := d.steal()
+				if !ok {
+					return
+				}
+				task()
+			}
+		}()
+	}
+
+	// Owner: interleave pushes with occasional pops.
+	for i := 0; i < total; i++ {
+		d.push(func() { ran.Add(1) })
+		if i%3 == 0 {
+			if task, ok := d.pop(); ok {
+				task()
+			}
+		}
+	}
+	for {
+		task, ok := d.pop()
+		if !ok {
+			break
+		}
+		task()
+	}
+	done.Store(true)
+	wg.Wait()
+	// Drain anything a losing thief returned-empty on.
+	for {
+		task, ok := d.steal()
+		if !ok {
+			break
+		}
+		task()
+	}
+	if ran.Load() != total {
+		t.Errorf("ran %d tasks, want %d (lost or duplicated under contention)", ran.Load(), total)
+	}
+}
+
+// TestVerifyWithLockFreeDeque re-runs the paper's serial-vs-parallel check
+// with the Chase-Lev deque driving the pool.
+func TestVerifyWithLockFreeDeque(t *testing.T) {
+	poolCfg := DefaultPoolConfig()
+	poolCfg.Workers = 4
+	poolCfg.LockFreeDeque = true
+	if err := Verify(poolCfg, testDispatcherConfig(), smallTrace(t, 20)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockFreePoolCompletesWork(t *testing.T) {
+	cfg := DefaultPoolConfig()
+	cfg.Workers = 4
+	cfg.LockFreeDeque = true
+	col := NewCollector()
+	cfg.OnResult = col.Add
+	pool, err := NewPool(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	d := NewDispatcher(testDispatcherConfig())
+	trace := smallTrace(t, 8)
+	want := 0
+	for seq, users := range trace.Subframes {
+		sf, err := d.Subframe(int64(seq), users)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want += len(users)
+		pool.ProcessSubframe(sf)
+	}
+	if col.Len() != want {
+		t.Errorf("collected %d results, want %d", col.Len(), want)
+	}
+}
+
+// BenchmarkDeques compares the mutex and Chase-Lev deques under a
+// synthetic owner/thief pattern.
+func BenchmarkDeques(b *testing.B) {
+	run := func(b *testing.B, d taskDeque) {
+		var sink atomic.Int64
+		task := Task(func() { sink.Add(1) })
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := 0; g < 2; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if t, ok := d.steal(); ok {
+						t()
+					}
+				}
+			}()
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d.push(task)
+			if i%2 == 0 {
+				if t, ok := d.pop(); ok {
+					t()
+				}
+			}
+		}
+		b.StopTimer()
+		close(stop)
+		wg.Wait()
+	}
+	b.Run("mutex", func(b *testing.B) { run(b, &deque{}) })
+	b.Run("chaselev", func(b *testing.B) { run(b, newCLDeque()) })
+}
+
+// BenchmarkPoolDeques compares end-to-end pool throughput with both deques.
+func BenchmarkPoolDeques(b *testing.B) {
+	for _, lockFree := range []bool{false, true} {
+		name := "mutex"
+		if lockFree {
+			name = "chaselev"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := DefaultPoolConfig()
+			cfg.Workers = 4
+			cfg.LockFreeDeque = lockFree
+			pool, err := NewPool(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer pool.Close()
+			d := NewDispatcher(DefaultDispatcherConfig())
+			sf, err := d.Subframe(0, []uplink.UserParams{
+				{ID: 0, PRB: 10, Layers: 2, Mod: modulation.QAM16},
+				{ID: 1, PRB: 10, Layers: 2, Mod: modulation.QAM16},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pool.ProcessSubframe(sf)
+			}
+		})
+	}
+}

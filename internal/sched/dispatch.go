@@ -1,0 +1,293 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ltephy/internal/params"
+	"ltephy/internal/rng"
+	"ltephy/internal/uplink"
+	"ltephy/internal/uplink/tx"
+)
+
+// DispatcherConfig configures the maintenance thread.
+type DispatcherConfig struct {
+	// Delta is the dispatch period. The paper dispatches a subframe every
+	// DELTA ms, configurable so hardware that cannot sustain 1 ms still
+	// runs (the TILEPro64 runs at 5 ms).
+	Delta time.Duration
+	// TX configures input signal generation.
+	TX tx.Config
+	// CacheSets is how many distinct input data realisations are kept per
+	// parameter combination, mirroring the paper's reuse of (by default)
+	// ten pre-generated input data sets.
+	CacheSets int
+	// Seed drives input data generation.
+	Seed uint64
+}
+
+// DefaultDispatcherConfig mirrors the paper's evaluation setup.
+func DefaultDispatcherConfig() DispatcherConfig {
+	return DispatcherConfig{
+		Delta:     5 * time.Millisecond,
+		TX:        tx.DefaultConfig(),
+		CacheSets: 10,
+		Seed:      1,
+	}
+}
+
+// dataKey identifies input data reusable across subframes: everything in
+// UserParams except the user's slot index.
+type dataKey struct {
+	prb, layers int
+	mod         int
+}
+
+// setKey identifies one cached input realisation: a parameter combination
+// plus the data-set index within the CacheSets rotation.
+type setKey struct {
+	dataKey
+	set int
+}
+
+// Dispatcher is the maintenance thread: it turns parameter-model output
+// into subframes (reusing cached input data, Section IV-B1) and dispatches
+// them to a pool on a fixed period.
+//
+// The input realisation for a user is a pure function of its parameters,
+// the dispatcher seed, and (seq+slot) mod CacheSets — never of generation
+// order — so the serial reference and the parallel runtime presented with
+// the same trace see bit-identical data (Section IV-D's precondition).
+// The cache is pure memoisation.
+type Dispatcher struct {
+	cfg   DispatcherConfig
+	mu    sync.Mutex
+	cache map[setKey]*uplink.UserData
+}
+
+// NewDispatcher returns a dispatcher with an empty data cache.
+func NewDispatcher(cfg DispatcherConfig) *Dispatcher {
+	if cfg.CacheSets < 1 {
+		cfg.CacheSets = 1
+	}
+	return &Dispatcher{cfg: cfg, cache: make(map[setKey]*uplink.UserData)}
+}
+
+// Subframe materialises input data for the given scheduling decision.
+// The receiver never mutates UserData, so sharing one realisation across
+// in-flight subframes is safe (the paper needed unique buffers only
+// because its kernels work in place).
+func (d *Dispatcher) Subframe(seq int64, users []uplink.UserParams) (*uplink.Subframe, error) {
+	sf := &uplink.Subframe{Seq: seq}
+	for slot, p := range users {
+		u, err := d.userData(seq, slot, p)
+		if err != nil {
+			return nil, fmt.Errorf("sched: subframe %d: %w", seq, err)
+		}
+		sf.Users = append(sf.Users, u)
+	}
+	return sf, nil
+}
+
+func (d *Dispatcher) userData(seq int64, slot int, p uplink.UserParams) (*uplink.UserData, error) {
+	key := setKey{
+		dataKey: dataKey{p.PRB, p.Layers, int(p.Mod)},
+		set:     int((seq + int64(slot)) % int64(d.cfg.CacheSets)),
+	}
+	d.mu.Lock()
+	u, ok := d.cache[key]
+	d.mu.Unlock()
+	if !ok {
+		// Seed derived from the key alone: generation order cannot change
+		// the realisation.
+		seed := d.cfg.Seed
+		for _, v := range []uint64{uint64(key.prb), uint64(key.layers), uint64(key.mod), uint64(key.set)} {
+			seed = (seed ^ v) * 0x9E3779B97F4A7C15
+		}
+		var err error
+		u, err = tx.Generate(d.cfg.TX, p, rng.New(seed))
+		if err != nil {
+			return nil, err
+		}
+		d.mu.Lock()
+		if prev, ok := d.cache[key]; ok {
+			u = prev // another goroutine won the race; keep one canonical copy
+		} else {
+			d.cache[key] = u
+		}
+		d.mu.Unlock()
+	}
+	// The cached realisation was generated for some user slot; results
+	// carry the scheduled ID, so hand out a shallow copy with it set.
+	if u.Params.ID != p.ID {
+		clone := *u
+		clone.Params.ID = p.ID
+		return &clone, nil
+	}
+	return u, nil
+}
+
+// Pregenerate warms the cache for every realisation a trace uses, so a
+// timed run measures processing rather than signal synthesis.
+func (d *Dispatcher) Pregenerate(t *params.Trace) error {
+	for seq, users := range t.Subframes {
+		for slot, p := range users {
+			if _, err := d.userData(int64(seq), slot, p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RunOptions controls a timed dispatch run.
+type RunOptions struct {
+	// Subframes is the number of subframes to dispatch.
+	Subframes int
+	// OnDispatch, when non-nil, is invoked just before each subframe is
+	// submitted — the hook the power-aware resource manager uses to apply
+	// Eq. 5 (estimate workload, set the active-core mask).
+	OnDispatch func(seq int64, sf *uplink.Subframe)
+}
+
+// Run dispatches subframes from the model to the pool every Delta,
+// mirroring the maintenance thread's signal-alarm loop. It returns the
+// wall-clock duration of the run after the pool drains.
+func (d *Dispatcher) Run(pool *Pool, m params.Model, opts RunOptions) (time.Duration, error) {
+	if opts.Subframes <= 0 {
+		return 0, fmt.Errorf("sched: Run needs a positive subframe count")
+	}
+	start := time.Now()
+	ticker := time.NewTicker(d.cfg.Delta)
+	defer ticker.Stop()
+	for seq := int64(0); seq < int64(opts.Subframes); seq++ {
+		sf, err := d.Subframe(seq, m.Next())
+		if err != nil {
+			return 0, err
+		}
+		if opts.OnDispatch != nil {
+			opts.OnDispatch(seq, sf)
+		}
+		pool.SubmitSubframe(sf)
+		<-ticker.C
+	}
+	pool.Drain()
+	return time.Since(start), nil
+}
+
+// Collector gathers results keyed by subframe for verification.
+type Collector struct {
+	mu      sync.Mutex
+	results map[int64][]uplink.UserResult
+}
+
+// NewCollector returns an empty collector; pass its Add as Config.OnResult.
+func NewCollector() *Collector {
+	return &Collector{results: make(map[int64][]uplink.UserResult)}
+}
+
+// Add records one result; safe for concurrent use.
+func (c *Collector) Add(r uplink.UserResult) {
+	c.mu.Lock()
+	c.results[r.Seq] = append(c.results[r.Seq], r)
+	c.mu.Unlock()
+}
+
+// Len returns the total number of results collected.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, rs := range c.results {
+		n += len(rs)
+	}
+	return n
+}
+
+// Sorted returns all results ordered by (subframe, user) — a canonical
+// order for comparing against the serial reference.
+func (c *Collector) Sorted() []uplink.UserResult {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []uplink.UserResult
+	for _, rs := range c.results {
+		out = append(out, rs...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Seq != out[j].Seq {
+			return out[i].Seq < out[j].Seq
+		}
+		return out[i].UserID < out[j].UserID
+	})
+	return out
+}
+
+// Verify processes a recorded trace both serially and in parallel and
+// reports the first mismatch — the paper's Section IV-D validation. The
+// same cached input data feeds both paths.
+func Verify(poolCfg Config, dispCfg DispatcherConfig, trace *params.Trace) error {
+	d := NewDispatcher(dispCfg)
+	if err := d.Pregenerate(trace); err != nil {
+		return err
+	}
+
+	// Serial reference.
+	trace.Reset()
+	var want []uplink.UserResult
+	for seq := int64(0); seq < int64(len(trace.Subframes)); seq++ {
+		sf, err := d.Subframe(seq, trace.Next())
+		if err != nil {
+			return err
+		}
+		rs, err := uplink.ProcessSubframe(poolCfg.Receiver, sf)
+		if err != nil {
+			return err
+		}
+		want = append(want, rs...)
+	}
+
+	// Parallel run over the identical subframes.
+	col := NewCollector()
+	poolCfg.OnResult = col.Add
+	pool, err := NewPool(poolCfg)
+	if err != nil {
+		return err
+	}
+	trace.Reset()
+	for seq := int64(0); seq < int64(len(trace.Subframes)); seq++ {
+		sf, err := d.Subframe(seq, trace.Next())
+		if err != nil {
+			return err
+		}
+		pool.SubmitSubframe(sf)
+	}
+	pool.Close()
+
+	got := col.Sorted()
+	if len(got) != len(want) {
+		return fmt.Errorf("sched: verify: %d parallel results vs %d serial", len(got), len(want))
+	}
+	for i := range want {
+		if !want[i].Equal(got[i]) {
+			return fmt.Errorf("sched: verify: subframe %d user %d differs between serial and parallel",
+				want[i].Seq, want[i].UserID)
+		}
+	}
+	return nil
+}
+
+// DriveActiveWorkers adapts a per-subframe active-core estimate (Eq. 5) to
+// a dispatcher hook that applies the proactive nap mask to the pool before
+// each subframe is submitted — the native-runtime counterpart of the
+// simulator's NAP policy.
+func DriveActiveWorkers(pool *Pool, activeCores func([]uplink.UserParams) int) func(int64, *uplink.Subframe) {
+	return func(_ int64, sf *uplink.Subframe) {
+		ps := make([]uplink.UserParams, len(sf.Users))
+		for i, u := range sf.Users {
+			ps[i] = u.Params
+		}
+		pool.SetActiveWorkers(activeCores(ps))
+	}
+}

@@ -1,0 +1,363 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ltephy/internal/rng"
+	"ltephy/internal/uplink"
+)
+
+// queuedUser pairs a user's input data with its subframe for result
+// labelling.
+type queuedUser struct {
+	seq  int64
+	data *uplink.UserData
+	done *sync.WaitGroup // non-nil when a caller waits for the subframe
+}
+
+// Config configures a worker pool.
+type Config struct {
+	// Workers is the number of worker goroutines (the paper uses 62, one
+	// per free TILEPro64 core). Defaults to GOMAXPROCS.
+	Workers int
+	// Receiver is the uplink receiver configuration every job uses.
+	Receiver uplink.ReceiverConfig
+	// NapOnIdle enables the reactive policy (the paper's IDLE): a worker
+	// that cannot find any work naps for NapCheckPeriod before looking
+	// again, instead of spinning.
+	NapOnIdle bool
+	// NapCheckPeriod is how long a napping core sleeps between checks of
+	// its status — the paper's "a core periodically wakes up to see if its
+	// status has changed".
+	NapCheckPeriod time.Duration
+	// OnResult, when non-nil, receives every user result. It is called
+	// from worker goroutines and must be safe for concurrent use.
+	OnResult func(uplink.UserResult)
+	// LockFreeDeque selects the Chase-Lev lock-free deque instead of the
+	// default mutex-guarded one. BenchmarkDeques compares them; with this
+	// benchmark's coarse tasks the difference is small.
+	LockFreeDeque bool
+	// Seed randomises steal victim selection.
+	Seed uint64
+}
+
+// DefaultPoolConfig returns a pool configuration with paper-equivalent
+// defaults scaled to the host.
+func DefaultPoolConfig() Config {
+	return Config{
+		Workers:        runtime.GOMAXPROCS(0),
+		Receiver:       uplink.DefaultConfig(),
+		NapCheckPeriod: 100 * time.Microsecond,
+	}
+}
+
+// WorkerStats are cumulative per-worker counters for the activity metric
+// (paper Eqs. 1-2) and scheduling diagnostics.
+type WorkerStats struct {
+	TasksRun     int64
+	UsersStarted int64
+	Steals       int64
+	FailedSteals int64
+	// BusyNanos is time spent in useful processing (get_cycle_count deltas
+	// in the paper), NapNanos time spent deactivated.
+	BusyNanos int64
+	NapNanos  int64
+}
+
+// Pool is the work-stealing worker pool.
+type Pool struct {
+	cfg     Config
+	workers []*worker
+	global  userQueue
+	active  atomic.Int32 // workers with id >= active nap (proactive mask)
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+	// pending counts enqueued-but-unfinished users, letting Drain wait.
+	pending atomic.Int64
+}
+
+type worker struct {
+	id    int
+	pool  *Pool
+	local taskDeque
+	r     *rng.RNG
+	stats struct {
+		tasksRun     atomic.Int64
+		usersStarted atomic.Int64
+		steals       atomic.Int64
+		failedSteals atomic.Int64
+		busyNanos    atomic.Int64
+		napNanos     atomic.Int64
+	}
+}
+
+// NewPool starts the workers. Call Close to stop them.
+func NewPool(cfg Config) (*Pool, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.NapCheckPeriod <= 0 {
+		cfg.NapCheckPeriod = 100 * time.Microsecond
+	}
+	if err := cfg.Receiver.Validate(); err != nil {
+		return nil, fmt.Errorf("sched: %w", err)
+	}
+	p := &Pool{cfg: cfg}
+	p.active.Store(int32(cfg.Workers))
+	seeds := rng.New(cfg.Seed)
+	p.workers = make([]*worker, cfg.Workers)
+	for i := range p.workers {
+		w := &worker{id: i, pool: p, r: seeds.Split()}
+		if cfg.LockFreeDeque {
+			w.local = newCLDeque()
+		} else {
+			w.local = &deque{}
+		}
+		p.workers[i] = w
+	}
+	p.wg.Add(cfg.Workers)
+	for _, w := range p.workers {
+		go w.run()
+	}
+	return p, nil
+}
+
+// Workers returns the configured worker count.
+func (p *Pool) Workers() int { return p.cfg.Workers }
+
+// SetActiveWorkers applies the proactive nap mask: workers with id >= n
+// nap until the mask rises again (the paper's Eq. 5-driven deactivation).
+// n is clamped to [1, Workers].
+func (p *Pool) SetActiveWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > p.cfg.Workers {
+		n = p.cfg.Workers
+	}
+	p.active.Store(int32(n))
+}
+
+// ActiveWorkers returns the current proactive mask.
+func (p *Pool) ActiveWorkers() int { return int(p.active.Load()) }
+
+// SubmitSubframe enqueues every user of a subframe for processing.
+func (p *Pool) SubmitSubframe(sf *uplink.Subframe) {
+	for _, u := range sf.Users {
+		p.pending.Add(1)
+		p.global.enqueue(&queuedUser{seq: sf.Seq, data: u})
+	}
+}
+
+// ProcessSubframe enqueues a subframe and blocks until all of its users
+// complete — used by tests and the verification harness.
+func (p *Pool) ProcessSubframe(sf *uplink.Subframe) {
+	var wg sync.WaitGroup
+	wg.Add(len(sf.Users))
+	for _, u := range sf.Users {
+		p.pending.Add(1)
+		p.global.enqueue(&queuedUser{seq: sf.Seq, data: u, done: &wg})
+	}
+	wg.Wait()
+}
+
+// Drain blocks until every submitted user has been processed.
+func (p *Pool) Drain() {
+	for p.pending.Load() > 0 {
+		runtime.Gosched()
+	}
+}
+
+// Close stops the workers after the queues drain.
+func (p *Pool) Close() {
+	p.Drain()
+	p.closed.Store(true)
+	p.wg.Wait()
+}
+
+// Stats returns a snapshot of per-worker counters.
+func (p *Pool) Stats() []WorkerStats {
+	out := make([]WorkerStats, len(p.workers))
+	for i, w := range p.workers {
+		out[i] = WorkerStats{
+			TasksRun:     w.stats.tasksRun.Load(),
+			UsersStarted: w.stats.usersStarted.Load(),
+			Steals:       w.stats.steals.Load(),
+			FailedSteals: w.stats.failedSteals.Load(),
+			BusyNanos:    w.stats.busyNanos.Load(),
+			NapNanos:     w.stats.napNanos.Load(),
+		}
+	}
+	return out
+}
+
+// Activity computes the paper's Eq. 2 over a measurement window: the sum
+// of useful (busy) time across workers divided by workers * wall time.
+func Activity(before, after []WorkerStats, wall time.Duration) float64 {
+	if len(before) != len(after) || wall <= 0 {
+		return math.NaN()
+	}
+	var busy int64
+	for i := range after {
+		busy += after[i].BusyNanos - before[i].BusyNanos
+	}
+	return float64(busy) / (float64(len(after)) * float64(wall.Nanoseconds()))
+}
+
+// run is the worker main loop (paper Section IV-C): local work first, then
+// the global user queue, then stealing; idle behaviour depends on policy
+// and the proactive mask.
+func (w *worker) run() {
+	defer w.pool.wg.Done()
+	idleSpins := 0
+	for {
+		if w.pool.closed.Load() {
+			return
+		}
+		// Proactive mask: deactivated workers nap, periodically waking to
+		// re-check (the paper's nap instruction semantics).
+		if w.id >= int(w.pool.active.Load()) {
+			w.nap()
+			continue
+		}
+		if t, ok := w.local.pop(); ok {
+			w.runTask(t)
+			idleSpins = 0
+			continue
+		}
+		// "Before a worker thread tries to steal work from another thread,
+		// it first checks the global user queue."
+		if qu, ok := w.pool.global.dequeue(); ok {
+			w.processUser(qu)
+			idleSpins = 0
+			continue
+		}
+		if t, ok := w.trySteal(); ok {
+			w.runTask(t)
+			idleSpins = 0
+			continue
+		}
+		// No work anywhere.
+		idleSpins++
+		if w.pool.cfg.NapOnIdle && idleSpins > 4 {
+			w.nap()
+		} else {
+			runtime.Gosched()
+		}
+	}
+}
+
+// nap models the TILEPro64 nap instruction: sleep, charge the time to the
+// nap counter, then return to the loop to re-check status.
+func (w *worker) nap() {
+	start := time.Now()
+	time.Sleep(w.pool.cfg.NapCheckPeriod)
+	w.stats.napNanos.Add(time.Since(start).Nanoseconds())
+}
+
+// trySteal visits every other worker once, starting at a random victim.
+func (w *worker) trySteal() (Task, bool) {
+	n := len(w.pool.workers)
+	if n <= 1 {
+		return nil, false
+	}
+	start := w.r.Intn(n)
+	for i := 0; i < n; i++ {
+		v := (start + i) % n
+		if v == w.id {
+			continue
+		}
+		if t, ok := w.pool.workers[v].local.steal(); ok {
+			w.stats.steals.Add(1)
+			return t, true
+		}
+	}
+	w.stats.failedSteals.Add(1)
+	return nil, false
+}
+
+func (w *worker) runTask(t Task) {
+	start := time.Now()
+	t()
+	w.stats.busyNanos.Add(time.Since(start).Nanoseconds())
+	w.stats.tasksRun.Add(1)
+}
+
+// processUser is the user-thread role (paper Section IV-C): spawn channel-
+// estimation tasks, help until the stage completes, run the serial weight
+// computation, spawn data tasks, help again, then run the backend.
+func (w *worker) processUser(qu *queuedUser) {
+	w.stats.usersStarted.Add(1)
+	defer func() {
+		if qu.done != nil {
+			qu.done.Done()
+		}
+		w.pool.pending.Add(-1)
+	}()
+
+	start := time.Now()
+	job, err := uplink.NewUserJob(w.pool.cfg.Receiver, qu.data)
+	if err != nil {
+		// Malformed input is a caller bug; surface it loudly rather than
+		// silently dropping the user.
+		panic(fmt.Sprintf("sched: worker %d: %v", w.id, err))
+	}
+	w.stats.busyNanos.Add(time.Since(start).Nanoseconds())
+
+	// Stage 1: channel estimation across antennas x layers.
+	w.runStage(job.NumChanEstTasks(), job.ChanEstTask)
+
+	// Stage 2: serial combiner weights.
+	start = time.Now()
+	job.ComputeWeights()
+	w.stats.busyNanos.Add(time.Since(start).Nanoseconds())
+
+	// Stage 3: antenna combining + despread across symbols x layers.
+	w.runStage(job.NumDataTasks(), job.DataTask)
+
+	// Stage 4: serial backend.
+	start = time.Now()
+	res := job.Finish()
+	res.Seq = qu.seq
+	w.stats.busyNanos.Add(time.Since(start).Nanoseconds())
+	if w.pool.cfg.OnResult != nil {
+		w.pool.cfg.OnResult(res)
+	}
+}
+
+// runStage pushes n tasks onto the local deque, processes/helps until all
+// have completed, stealing from others while waiting (the paper: "the user
+// thread waits until the results from all tasks become available" while
+// other workers may still hold stolen tasks).
+func (w *worker) runStage(n int, fn func(int)) {
+	var remaining atomic.Int64
+	remaining.Store(int64(n))
+	for i := 0; i < n; i++ {
+		i := i
+		w.local.push(func() {
+			fn(i)
+			remaining.Add(-1)
+		})
+	}
+	for {
+		if t, ok := w.local.pop(); ok {
+			w.runTask(t)
+			continue
+		}
+		if remaining.Load() == 0 {
+			return
+		}
+		// Help with anything while waiting — our own stolen-back tasks or
+		// other users' tasks; tasks never block, so this cannot deadlock.
+		if t, ok := w.trySteal(); ok {
+			w.runTask(t)
+			continue
+		}
+		runtime.Gosched()
+	}
+}

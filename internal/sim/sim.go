@@ -1,0 +1,566 @@
+// Package sim is the TILEPro64 substitute: a deterministic, event-driven
+// discrete-event simulator of the benchmark running on 62 worker cores.
+//
+// The paper's power study needs three things from its hardware platform:
+// per-window activity (useful cycles / total cycle slots, Eqs. 1-2), the
+// per-core occupancy timeline under each deactivation policy, and enough
+// fidelity in task scheduling that workload tracks the input parameters.
+// This simulator provides exactly those. Tasks carry cycle costs from
+// internal/cost (mirroring the real kernels' op counts); scheduling is
+// work-conserving: a ready task starts the moment any enabled core is
+// free, which is the behaviour converged work stealing approaches (the
+// paper's own references characterise work stealing as near-optimal load
+// balancing). Steal-protocol traffic and cache contention are folded into
+// the calibrated per-task overhead; DESIGN.md documents the substitution.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"ltephy/internal/cost"
+	"ltephy/internal/params"
+	"ltephy/internal/uplink"
+)
+
+// Policy selects the core-deactivation strategy (paper Section VI-B).
+type Policy int
+
+const (
+	// NONAP: all worker cores always active; idle cores spin looking for
+	// work.
+	NONAP Policy = iota
+	// IDLE: reactive — a core that finds no work naps, waking periodically
+	// to look again.
+	IDLE
+	// NAP: proactive — cores outside the estimated active set (Eq. 5) are
+	// deactivated; cores inside it spin when momentarily idle.
+	NAP
+	// NAPIDLE: both (the paper's NAP+IDLE).
+	NAPIDLE
+	// DVFS is the paper's stated future work (Section VII): instead of
+	// deactivating cores, all cores run and the clock/voltage scales with
+	// the estimated workload. Execution stretches by 1/f while dynamic
+	// power drops cubically (P ~ f*V^2 with V ~ f); idle cores nap
+	// reactively.
+	DVFS
+)
+
+// String returns the paper's name for the policy.
+func (p Policy) String() string {
+	switch p {
+	case NONAP:
+		return "NONAP"
+	case IDLE:
+		return "IDLE"
+	case NAP:
+		return "NAP"
+	case NAPIDLE:
+		return "NAP+IDLE"
+	case DVFS:
+		return "DVFS"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// UsesEstimator reports whether the policy needs per-subframe active-core
+// estimates (DVFS converts the same estimate into a frequency).
+func (p Policy) UsesEstimator() bool { return p == NAP || p == NAPIDLE || p == DVFS }
+
+// UsesIdleNap reports whether momentarily idle active cores nap (reactive
+// deactivation).
+func (p Policy) UsesIdleNap() bool { return p == IDLE || p == NAPIDLE || p == DVFS }
+
+// ScalesFrequency reports whether the policy runs cores below nominal
+// clock.
+func (p Policy) ScalesFrequency() bool { return p == DVFS }
+
+// DefaultWorkers is the paper's worker-core count: 64 tiles minus one for
+// drivers and one for the maintenance thread.
+const DefaultWorkers = 62
+
+// DeadlinePeriods is how many dispatch periods a subframe may remain in
+// flight before it is counted late. Real base stations keep two to three
+// subframes concurrent (paper Section VI); at this benchmark's maximum
+// load the serial per-user tail pipelines much deeper, so LateSubframes is
+// a latency diagnostic, not a correctness criterion.
+const DeadlinePeriods = 3
+
+// Config parameterises a simulation run.
+type Config struct {
+	Workers  int
+	Antennas int
+	Cost     cost.Model
+	// PeriodSec is the dispatch period DELTA (5 ms in the paper's
+	// TILEPro64 evaluation: 68,000 subframes over 340 s).
+	PeriodSec float64
+	// WindowSec is the measurement window (1 s for Fig. 12 activity
+	// curves, 100 ms for the paper's RMS power samples).
+	WindowSec float64
+	Policy    Policy
+	// ActiveCores returns the Eq. 5 active-core count for a subframe; it
+	// is consulted only for NAP/NAPIDLE. nil means all workers.
+	ActiveCores func(seq int64, users []uplink.UserParams) int
+	// WakeLatencyCycles delays the start of a task picked up by a worker
+	// that was idle-napping (reactive policies pay for their periodic wake
+	// checks).
+	WakeLatencyCycles float64
+	// UserLevelOnly disables intra-user task parallelism: each stage
+	// becomes a single task, so a user is processed by (effectively) one
+	// core at a time — the paper's Fig. 4 "parallelize across users only"
+	// baseline, used by the ablation benchmarks.
+	UserLevelOnly bool
+	// FreqFloor is the lowest DVFS frequency as a fraction of nominal
+	// (voltage floors prevent arbitrarily slow clocks). Used only by the
+	// DVFS policy; defaults to 0.4 when zero.
+	FreqFloor float64
+	// ShortestFirst admits each subframe's users to the global queue in
+	// ascending estimated-cost order instead of scheduler order — the
+	// workload estimate improving latency rather than power (SJF minimises
+	// mean waiting time). Extension studied by TableQueueing.
+	ShortestFirst bool
+}
+
+// DefaultConfig returns the paper's evaluation setup.
+func DefaultConfig() Config {
+	return Config{
+		Workers:           DefaultWorkers,
+		Antennas:          uplink.DefaultAntennas,
+		Cost:              cost.Default(),
+		PeriodSec:         0.005,
+		WindowSec:         1.0,
+		Policy:            NONAP,
+		WakeLatencyCycles: 35000, // ~50 us at 700 MHz
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Workers < 1:
+		return fmt.Errorf("sim: %d workers", c.Workers)
+	case c.Antennas < 1:
+		return fmt.Errorf("sim: %d antennas", c.Antennas)
+	case c.PeriodSec <= 0 || c.WindowSec <= 0:
+		return fmt.Errorf("sim: non-positive period (%g) or window (%g)", c.PeriodSec, c.WindowSec)
+	case c.Policy.UsesEstimator() && c.ActiveCores == nil:
+		return fmt.Errorf("sim: policy %v requires an ActiveCores estimator", c.Policy)
+	}
+	return c.Cost.Validate()
+}
+
+// Result is the simulation output.
+type Result struct {
+	Cfg       Config
+	Subframes int
+	// WindowCycles is the length of one measurement window in cycles.
+	WindowCycles float64
+	// Busy[i] is the total useful cycles executed during window i.
+	Busy []float64
+	// ActiveCap[i] is the total cycle capacity of enabled (non-deep-
+	// napped) cores during window i; Workers*WindowCycles for NONAP/IDLE.
+	ActiveCap []float64
+	// ActiveCores[s] is the enabled-core count during subframe s.
+	ActiveCores []int
+	// TotalBusy is the total useful cycles across the whole run.
+	TotalBusy float64
+	// MaxLagCycles is the worst completion overrun past the
+	// DeadlinePeriods deadline (0 when every subframe met it).
+	MaxLagCycles float64
+	// LateSubframes counts user jobs that missed the deadline.
+	LateSubframes int
+	// DVFS-only series: BusyF3[i] is busy wall time weighted by f^3 (the
+	// dynamic-power weight of scaled execution), CapF3[i] the same weight
+	// applied to full-pool capacity, and Freq[s] the per-subframe clock
+	// fraction. Nil under other policies.
+	BusyF3 []float64
+	CapF3  []float64
+	Freq   []float64
+	// LatencyHist[b] counts user jobs whose dispatch-to-completion latency
+	// fell in [b, b+1) dispatch periods; the last bucket collects overflow.
+	LatencyHist [LatencyBuckets]int64
+	// TotalJobs counts completed user jobs.
+	TotalJobs int64
+}
+
+// LatencyBuckets sizes the latency histogram (in dispatch periods).
+const LatencyBuckets = 256
+
+// LatencyPercentile returns the q-th percentile (0..1) of per-job latency
+// in dispatch periods (upper bucket bound; NaN when no jobs completed).
+func (r *Result) LatencyPercentile(q float64) float64 {
+	if r.TotalJobs == 0 {
+		return math.NaN()
+	}
+	target := int64(math.Ceil(q * float64(r.TotalJobs)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for b, c := range r.LatencyHist {
+		cum += c
+		if cum >= target {
+			return float64(b + 1)
+		}
+	}
+	return float64(LatencyBuckets)
+}
+
+// MeanLatency returns the mean per-job latency in dispatch periods,
+// using bucket midpoints.
+func (r *Result) MeanLatency() float64 {
+	if r.TotalJobs == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for b, c := range r.LatencyHist {
+		sum += (float64(b) + 0.5) * float64(c)
+	}
+	return sum / float64(r.TotalJobs)
+}
+
+// Activity returns the Eq. 2 activity of window i: useful cycles over the
+// full worker-count capacity (the paper measures against all 62 worker
+// cores regardless of deactivation).
+func (r *Result) Activity(i int) float64 {
+	return r.Busy[i] / (float64(r.Cfg.Workers) * r.WindowCycles)
+}
+
+// Windows returns the number of complete measurement windows.
+func (r *Result) Windows() int { return len(r.Busy) }
+
+// MeanActivity averages Activity over all windows.
+func (r *Result) MeanActivity() float64 {
+	if len(r.Busy) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range r.Busy {
+		s += r.Activity(i)
+	}
+	return s / float64(len(r.Busy))
+}
+
+// jobState tracks one user's progress through the four stages.
+type jobState struct {
+	cfg      *Config
+	n        int // subcarriers
+	p        uplink.UserParams
+	stage    int // next stage to release (0..4), 5 = done
+	pending  int // unfinished tasks of the current stage
+	deadline float64
+}
+
+// stageTasks returns the task count and per-task cycles of stage st.
+func (j *jobState) stageTasks(st int) (count int, cycles float64) {
+	c := j.cfg.Cost
+	switch st {
+	case 0: // user-thread pickup and job setup
+		count, cycles = 1, c.UserOverhead-c.TaskOverhead
+	case 1:
+		count, cycles = j.cfg.Antennas*j.p.Layers, c.ChanEstTask(j.n)
+	case 2:
+		count, cycles = 1, c.WeightsTask(j.n, j.cfg.Antennas, j.p.Layers)
+	case 3:
+		count, cycles = uplink.DataSymbolsPerSubframe*j.p.Layers, c.DataTask(j.n, j.cfg.Antennas)
+	case 4:
+		count, cycles = 1, c.BackendTask(j.n, j.p.Layers, j.p.Mod)
+	default:
+		panic("sim: stage out of range")
+	}
+	if j.cfg.UserLevelOnly && count > 1 {
+		// Fold the stage into one serial task (same total work, fewer
+		// scheduling overheads, no intra-user parallelism).
+		cycles = float64(count)*(cycles+c.TaskOverhead) - c.TaskOverhead
+		count = 1
+	}
+	return count, cycles
+}
+
+// event is a task completion.
+type event struct {
+	time float64
+	seq  int64 // deterministic tie-break
+	job  *jobState
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() float64 { return h[0].time }
+
+// readyTask is a task waiting for a free core.
+type readyTask struct {
+	cycles float64
+	job    *jobState
+}
+
+// Run simulates n subframes drawn from the model.
+func Run(cfg Config, m params.Model, n int) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("sim: subframe count %d", n)
+	}
+	period := cfg.Cost.PeriodCycles(cfg.PeriodSec)
+	res := &Result{
+		Cfg:          cfg,
+		Subframes:    n,
+		WindowCycles: cfg.Cost.PeriodCycles(cfg.WindowSec),
+		ActiveCores:  make([]int, n),
+	}
+
+	// addTo distributes weight*(overlap) across the windows the interval
+	// [start, end) touches.
+	addTo := func(series *[]float64, start, end, weight float64) {
+		for start < end {
+			w := int(start / res.WindowCycles)
+			for w >= len(*series) {
+				*series = append(*series, 0)
+			}
+			bound := float64(w+1) * res.WindowCycles
+			top := math.Min(end, bound)
+			(*series)[w] += (top - start) * weight
+			start = top
+		}
+	}
+
+	var (
+		completions eventHeap
+		ready       []readyTask // FIFO
+		readyHead   int
+		busyCores   = 0
+		activeCores = cfg.Workers
+		eventSeq    int64
+		now         float64
+		curFreq     = 1.0
+	)
+	freqFloor := cfg.FreqFloor
+	if freqFloor <= 0 || freqFloor > 1 {
+		freqFloor = 0.4
+	}
+	if cfg.Policy.ScalesFrequency() {
+		res.BusyF3 = []float64{}
+		res.CapF3 = []float64{}
+		res.Freq = make([]float64, n)
+	}
+
+	startTask := func(t readyTask, latency float64) {
+		start := now + latency
+		// Under DVFS the same cycles take 1/f of the wall clock longer.
+		end := start + (t.cycles+cfg.Cost.TaskOverhead)/curFreq
+		addTo(&res.Busy, start, end, 1)
+		if res.BusyF3 != nil {
+			addTo(&res.BusyF3, start, end, curFreq*curFreq*curFreq)
+		}
+		res.TotalBusy += end - start
+		busyCores++
+		eventSeq++
+		heap.Push(&completions, event{time: end, seq: eventSeq, job: t.job})
+	}
+
+	// fill starts as many ready tasks as free enabled cores allow.
+	// latency > 0 models a napping core's periodic wake check before it
+	// notices the new work (reactive policies at dispatch time); a core
+	// that just completed a task picks up the next one immediately.
+	fill := func(latency float64) {
+		for readyHead < len(ready) && busyCores < activeCores {
+			startTask(ready[readyHead], latency)
+			ready[readyHead] = readyTask{}
+			readyHead++
+		}
+		if readyHead == len(ready) {
+			ready = ready[:0]
+			readyHead = 0
+		}
+	}
+
+	releaseStage := func(j *jobState) {
+		count, cycles := j.stageTasks(j.stage)
+		j.pending = count
+		for i := 0; i < count; i++ {
+			ready = append(ready, readyTask{cycles: cycles, job: j})
+		}
+	}
+
+	// complete handles one task completion at `now`.
+	complete := func(e event) {
+		busyCores--
+		j := e.job
+		j.pending--
+		if j.pending > 0 {
+			return
+		}
+		j.stage++
+		if j.stage <= 4 {
+			releaseStage(j)
+			return
+		}
+		// Job finished.
+		if lag := now - j.deadline; lag > 0 {
+			res.LateSubframes++
+			if lag > res.MaxLagCycles {
+				res.MaxLagCycles = lag
+			}
+		}
+		res.TotalJobs++
+		lat := (now - (j.deadline - DeadlinePeriods*period)) / period
+		b := int(lat)
+		if b < 0 {
+			b = 0
+		}
+		if b >= LatencyBuckets {
+			b = LatencyBuckets - 1
+		}
+		res.LatencyHist[b]++
+	}
+
+	for s := 0; s < n; s++ {
+		tDispatch := float64(s) * period
+		// Drain events that occur before this dispatch.
+		for len(completions) > 0 && completions.peek() <= tDispatch {
+			e := heap.Pop(&completions).(event)
+			now = e.time
+			complete(e)
+			fill(0)
+		}
+		now = tDispatch
+		users := m.Next()
+		if cfg.ShortestFirst && len(users) > 1 {
+			users = append([]uplink.UserParams(nil), users...)
+			sort.SliceStable(users, func(i, j int) bool {
+				return cfg.Cost.UserCycles(users[i], cfg.Antennas) <
+					cfg.Cost.UserCycles(users[j], cfg.Antennas)
+			})
+		}
+
+		active := cfg.Workers
+		if cfg.Policy.UsesEstimator() {
+			active = cfg.ActiveCores(int64(s), users)
+			if active < 1 {
+				active = 1
+			}
+			if active > cfg.Workers {
+				active = cfg.Workers
+			}
+		}
+		if cfg.Policy.ScalesFrequency() {
+			// The Eq. 5 estimate becomes a clock fraction instead of a
+			// core mask: capacity tracks demand via frequency.
+			curFreq = float64(active) / float64(cfg.Workers)
+			if curFreq < freqFloor {
+				curFreq = freqFloor
+			}
+			res.Freq[s] = curFreq
+			active = cfg.Workers // all cores stay on
+		}
+		res.ActiveCores[s] = active
+		activeCores = active
+		addTo(&res.ActiveCap, tDispatch, tDispatch+period, float64(active))
+		if res.CapF3 != nil {
+			addTo(&res.CapF3, tDispatch, tDispatch+period,
+				float64(cfg.Workers)*curFreq*curFreq*curFreq)
+		}
+
+		for _, p := range users {
+			j := &jobState{cfg: &cfg, n: p.Subcarriers(), p: p,
+				deadline: tDispatch + DeadlinePeriods*period}
+			releaseStage(j)
+		}
+		// Dispatch wakes idle cores; under reactive policies they notice
+		// the new work only at their next periodic check.
+		if cfg.Policy.UsesIdleNap() {
+			fill(cfg.WakeLatencyCycles)
+		} else {
+			fill(0)
+		}
+	}
+
+	// Drain the remaining events.
+	for len(completions) > 0 {
+		e := heap.Pop(&completions).(event)
+		now = e.time
+		complete(e)
+		fill(0)
+	}
+
+	// Trim to complete windows only, so edge windows do not skew averages.
+	full := int(float64(n) * period / res.WindowCycles)
+	trim := func(s []float64) []float64 {
+		if s != nil && full < len(s) {
+			return s[:full]
+		}
+		return s
+	}
+	res.Busy = trim(res.Busy)
+	res.ActiveCap = trim(res.ActiveCap)
+	res.BusyF3 = trim(res.BusyF3)
+	res.CapF3 = trim(res.CapF3)
+	for len(res.ActiveCap) < len(res.Busy) {
+		res.ActiveCap = append(res.ActiveCap, 0)
+	}
+	if res.BusyF3 != nil {
+		for len(res.BusyF3) < len(res.Busy) {
+			res.BusyF3 = append(res.BusyF3, 0)
+		}
+		for len(res.CapF3) < len(res.Busy) {
+			res.CapF3 = append(res.CapF3, 0)
+		}
+	}
+	return res, nil
+}
+
+// steadyWarmupSec is how long SteadyActivity lets the pipeline fill before
+// measuring. The per-user backend is serial, so at maximum load several
+// tens of subframes are in flight in steady state (the paper's 10-second
+// steady runs per configuration serve the same purpose).
+const steadyWarmupSec = 2.0
+
+// SteadyActivity measures the Eq. 2 activity of a fixed configuration: the
+// calibration primitive of Section VI-A ("the parameter model creates a
+// steady state with the same user parameter configuration"). It simulates
+// a warmup period followed by the requested number of measurement windows
+// and averages those windows' activity.
+func SteadyActivity(cfg Config, p uplink.UserParams, windows int) (float64, error) {
+	if windows < 1 {
+		windows = 1
+	}
+	m, err := params.NewSteady(p)
+	if err != nil {
+		return 0, err
+	}
+	warmup := int(steadyWarmupSec / cfg.PeriodSec)
+	perWindow := int(cfg.WindowSec / cfg.PeriodSec)
+	if perWindow < 1 {
+		return 0, fmt.Errorf("sim: window %gs shorter than period %gs", cfg.WindowSec, cfg.PeriodSec)
+	}
+	n := warmup + windows*perWindow
+	res, err := Run(cfg, m, n)
+	if err != nil {
+		return 0, err
+	}
+	first := warmup / perWindow
+	if first >= res.Windows() {
+		return 0, fmt.Errorf("sim: steady run produced no post-warmup windows")
+	}
+	var sum float64
+	count := 0
+	for i := first; i < res.Windows(); i++ {
+		sum += res.Activity(i)
+		count++
+	}
+	return sum / float64(count), nil
+}

@@ -1,0 +1,452 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"ltephy/internal/params"
+	"ltephy/internal/phy/modulation"
+	"ltephy/internal/uplink"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.WindowSec = 0.1 // shorter windows keep tests fast
+	return cfg
+}
+
+func steady(t *testing.T, p uplink.UserParams) params.Model {
+	t.Helper()
+	m, err := params.NewSteady(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestBusyEqualsCostModel: the sim's total busy cycles must equal the cost
+// model's per-user totals exactly — the invariant tying the simulator to
+// the workload model.
+func TestBusyEqualsCostModel(t *testing.T) {
+	cfg := testConfig()
+	p := uplink.UserParams{PRB: 40, Layers: 2, Mod: modulation.QAM16}
+	const n = 100
+	res, err := Run(cfg, steady(t, p), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(n) * cfg.Cost.UserCycles(p, cfg.Antennas)
+	if math.Abs(res.TotalBusy-want) > 1e-6*want {
+		t.Errorf("TotalBusy = %g, cost model says %g", res.TotalBusy, want)
+	}
+	// Window accounting must preserve the total (minus the trimmed tail).
+	var sum float64
+	for _, b := range res.Busy {
+		sum += b
+	}
+	if sum > res.TotalBusy {
+		t.Errorf("windowed busy %g exceeds total %g", sum, res.TotalBusy)
+	}
+}
+
+// TestSteadyActivityMatchesPaperEndpoints reproduces Fig. 11's anchor
+// points on the simulator itself (not just the cost model): the max
+// configuration saturates ~95%, the min sits near 10%.
+func TestSteadyActivityMatchesPaperEndpoints(t *testing.T) {
+	cfg := testConfig()
+	hi, err := SteadyActivity(cfg, uplink.UserParams{PRB: 200, Layers: 4, Mod: modulation.QAM64}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi < 0.85 || hi > 1.0 {
+		t.Errorf("max-config steady activity = %.3f, want ~0.95", hi)
+	}
+	lo, err := SteadyActivity(cfg, uplink.UserParams{PRB: 200, Layers: 1, Mod: modulation.QPSK}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo < 0.05 || lo > 0.2 {
+		t.Errorf("min-config steady activity = %.3f, want ~0.1", lo)
+	}
+}
+
+// TestActivityLinearInPRB checks the Fig. 11 property on the simulator:
+// activity at 100 PRB is close to half the activity at 200 PRB.
+func TestActivityLinearInPRB(t *testing.T) {
+	cfg := testConfig()
+	for _, tc := range []struct {
+		layers int
+		mod    modulation.Scheme
+	}{{1, modulation.QPSK}, {2, modulation.QAM16}, {4, modulation.QAM64}} {
+		half, err := SteadyActivity(cfg, uplink.UserParams{PRB: 100, Layers: tc.layers, Mod: tc.mod}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := SteadyActivity(cfg, uplink.UserParams{PRB: 200, Layers: tc.layers, Mod: tc.mod}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := full / half
+		if ratio < 1.7 || ratio > 2.3 {
+			t.Errorf("layers=%d mod=%v: activity(200)/activity(100) = %.2f, want ~2",
+				tc.layers, tc.mod, ratio)
+		}
+	}
+}
+
+func TestNAPPolicyRecordsActiveCores(t *testing.T) {
+	cfg := testConfig()
+	cfg.Policy = NAP
+	cfg.ActiveCores = func(seq int64, users []uplink.UserParams) int { return 10 }
+	res, err := Run(cfg, steady(t, uplink.UserParams{PRB: 20, Layers: 1, Mod: modulation.QPSK}), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, a := range res.ActiveCores {
+		if a != 10 {
+			t.Fatalf("subframe %d: active = %d, want 10", s, a)
+		}
+	}
+	// Capacity per full window must be 10 cores' worth.
+	for i, cap := range res.ActiveCap {
+		want := 10 * res.WindowCycles
+		if math.Abs(cap-want) > 1e-6*want {
+			t.Fatalf("window %d: ActiveCap = %g, want %g", i, cap, want)
+		}
+	}
+}
+
+func TestNAPClampsActiveCores(t *testing.T) {
+	cfg := testConfig()
+	cfg.Policy = NAPIDLE
+	cfg.ActiveCores = func(seq int64, users []uplink.UserParams) int {
+		if seq%2 == 0 {
+			return -3
+		}
+		return 9999
+	}
+	res, err := Run(cfg, steady(t, uplink.UserParams{PRB: 2, Layers: 1, Mod: modulation.QPSK}), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, a := range res.ActiveCores {
+		if a < 1 || a > cfg.Workers {
+			t.Fatalf("subframe %d: active = %d not clamped", s, a)
+		}
+	}
+}
+
+// TestThrottledMaskCausesLag: shrinking the active set must increase
+// completion lag — the cost of under-provisioning the Eq. 5 estimate. (At
+// maximum load the serial per-user backend pipelines beyond the 3-period
+// deadline even on all 62 cores, so the comparison is relative.)
+func TestThrottledMaskCausesLag(t *testing.T) {
+	heavy := uplink.UserParams{PRB: 200, Layers: 4, Mod: modulation.QAM64}
+	run := func(active int) *Result {
+		cfg := testConfig()
+		cfg.Policy = NAP
+		cfg.ActiveCores = func(int64, []uplink.UserParams) int { return active }
+		res, err := Run(cfg, steady(t, heavy), 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	throttled, full := run(1), run(62)
+	if throttled.MaxLagCycles <= full.MaxLagCycles {
+		t.Errorf("1-core lag %g not worse than 62-core lag %g",
+			throttled.MaxLagCycles, full.MaxLagCycles)
+	}
+	// A light workload on all cores must meet the deadline comfortably.
+	light := uplink.UserParams{PRB: 10, Layers: 1, Mod: modulation.QPSK}
+	res, err := Run(testConfig(), steady(t, light), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LateSubframes != 0 {
+		t.Errorf("light load missed %d deadlines on 62 cores", res.LateSubframes)
+	}
+}
+
+func TestIdleNapAddsWakeLatency(t *testing.T) {
+	// The same workload under IDLE must complete no earlier than under
+	// NONAP (wake latency delays pickup), visible as equal-or-later busy
+	// placement; total busy is identical by construction.
+	p := uplink.UserParams{PRB: 30, Layers: 2, Mod: modulation.QAM16}
+	base := testConfig()
+	resA, err := Run(base, steady(t, p), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle := testConfig()
+	idle.Policy = IDLE
+	resB, err := Run(idle, steady(t, p), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(resA.TotalBusy-resB.TotalBusy) > 1e-6*resA.TotalBusy {
+		t.Errorf("busy cycles changed with policy: %g vs %g", resA.TotalBusy, resB.TotalBusy)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := testConfig()
+	run := func() *Result {
+		m := params.NewRandom(42)
+		res, err := Run(cfg, m, 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.TotalBusy != b.TotalBusy || a.MaxLagCycles != b.MaxLagCycles {
+		t.Error("identical runs diverged")
+	}
+	for i := range a.Busy {
+		if a.Busy[i] != b.Busy[i] {
+			t.Fatalf("window %d busy differs", i)
+		}
+	}
+}
+
+// TestRandomModelMeanActivity: the paper's parameter model averaged ~50%
+// activity over the full trace (Fig. 12). A slice of the ramp's middle
+// should land in a sensible band.
+func TestRandomModelMeanActivity(t *testing.T) {
+	cfg := testConfig()
+	cfg.WindowSec = 1.0
+	m := params.NewRandom(1)
+	// Skip to one quarter through the trace (~50% ramp probability).
+	for i := 0; i < params.RampLength/2; i++ {
+		m.Next()
+	}
+	res, err := Run(cfg, m, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := res.MeanActivity()
+	if mean < 0.2 || mean > 0.9 {
+		t.Errorf("mid-ramp mean activity = %.3f, expected mid-band", mean)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Workers = 0 },
+		func(c *Config) { c.Antennas = 0 },
+		func(c *Config) { c.PeriodSec = 0 },
+		func(c *Config) { c.WindowSec = -1 },
+		func(c *Config) { c.Policy = NAP; c.ActiveCores = nil },
+		func(c *Config) { c.Cost.CyclesPerOp = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	want := map[Policy]string{NONAP: "NONAP", IDLE: "IDLE", NAP: "NAP", NAPIDLE: "NAP+IDLE"}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(p), p.String(), s)
+		}
+	}
+	if !NAP.UsesEstimator() || NONAP.UsesEstimator() {
+		t.Error("UsesEstimator wrong")
+	}
+	if !NAPIDLE.UsesIdleNap() || NAP.UsesIdleNap() {
+		t.Error("UsesIdleNap wrong")
+	}
+}
+
+func BenchmarkRun1000Subframes(b *testing.B) {
+	cfg := DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		m := params.NewRandom(7)
+		if _, err := Run(cfg, m, 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestUserLevelOnlyAblation: the Fig. 4 motivation — per-user-only
+// parallelism preserves total work but stretches per-user latency, so the
+// maximum lag grows.
+func TestUserLevelOnlyAblation(t *testing.T) {
+	p := uplink.UserParams{PRB: 120, Layers: 4, Mod: modulation.QAM16}
+	fine := testConfig()
+	resFine, err := Run(fine, steady(t, p), 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse := testConfig()
+	coarse.UserLevelOnly = true
+	resCoarse, err := Run(coarse, steady(t, p), 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resCoarse.MaxLagCycles <= resFine.MaxLagCycles {
+		t.Errorf("user-level-only lag %g not worse than task-parallel lag %g",
+			resCoarse.MaxLagCycles, resFine.MaxLagCycles)
+	}
+	// Work totals match to rounding (the fold preserves per-task overheads).
+	if d := math.Abs(resCoarse.TotalBusy - resFine.TotalBusy); d > 1e-6*resFine.TotalBusy {
+		t.Errorf("coarse busy %g differs from fine busy %g", resCoarse.TotalBusy, resFine.TotalBusy)
+	}
+}
+
+// TestDVFSPolicy: frequency scaling preserves the work (more wall-busy at
+// lower f), keeps all cores on, and records the f-weighted series the
+// power model needs.
+func TestDVFSPolicy(t *testing.T) {
+	p := uplink.UserParams{PRB: 40, Layers: 1, Mod: modulation.QPSK}
+	base := testConfig()
+	resBase, err := Run(base, steady(t, p), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dv := testConfig()
+	dv.Policy = DVFS
+	dv.ActiveCores = func(int64, []uplink.UserParams) int { return 31 } // f = 0.5
+	resDV, err := Run(dv, steady(t, p), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same cycles at half clock: twice the wall-busy time.
+	ratio := resDV.TotalBusy / resBase.TotalBusy
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("wall busy ratio at f=0.5 is %.2f, want ~2", ratio)
+	}
+	// All cores stay on.
+	for s, a := range resDV.ActiveCores {
+		if a != dv.Workers {
+			t.Fatalf("subframe %d: %d active cores under DVFS", s, a)
+		}
+	}
+	// Frequency recorded and floored.
+	for s, f := range resDV.Freq {
+		if f != 0.5 {
+			t.Fatalf("subframe %d: f = %g, want 0.5", s, f)
+		}
+	}
+	// f^3-weighted busy = wall busy * 0.125.
+	var busy, busyF3 float64
+	for i := range resDV.Busy {
+		busy += resDV.Busy[i]
+		busyF3 += resDV.BusyF3[i]
+	}
+	if math.Abs(busyF3-busy*0.125) > 1e-6*busy {
+		t.Errorf("BusyF3 = %g, want %g", busyF3, busy*0.125)
+	}
+}
+
+func TestDVFSFreqFloor(t *testing.T) {
+	dv := testConfig()
+	dv.Policy = DVFS
+	dv.FreqFloor = 0.3
+	dv.ActiveCores = func(int64, []uplink.UserParams) int { return 2 } // would be f=0.03
+	res, err := Run(dv, steady(t, uplink.UserParams{PRB: 2, Layers: 1, Mod: modulation.QPSK}), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, f := range res.Freq {
+		if f != 0.3 {
+			t.Fatalf("subframe %d: f = %g, want floor 0.3", s, f)
+		}
+	}
+}
+
+// TestLatencyHistogram: every job lands in the histogram, percentiles are
+// ordered, and shrinking capacity shifts the distribution right.
+func TestLatencyHistogram(t *testing.T) {
+	p := uplink.UserParams{PRB: 60, Layers: 2, Mod: modulation.QAM16}
+	res, err := Run(testConfig(), steady(t, p), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalJobs != 200 {
+		t.Fatalf("TotalJobs = %d, want 200", res.TotalJobs)
+	}
+	var hsum int64
+	for _, c := range res.LatencyHist {
+		hsum += c
+	}
+	if hsum != res.TotalJobs {
+		t.Fatalf("histogram holds %d jobs, want %d", hsum, res.TotalJobs)
+	}
+	p50 := res.LatencyPercentile(0.5)
+	p95 := res.LatencyPercentile(0.95)
+	p99 := res.LatencyPercentile(0.99)
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Errorf("percentiles not ordered: %g %g %g", p50, p95, p99)
+	}
+	if m := res.MeanLatency(); math.IsNaN(m) || m <= 0 {
+		t.Errorf("mean latency %g", m)
+	}
+
+	// Throttle below the workload's ~6-core demand: queueing must push the
+	// tail right. (At 8+ cores latency is critical-path-bound — the serial
+	// backend — and indifferent to core count.)
+	cfg := testConfig()
+	cfg.Policy = NAP
+	cfg.ActiveCores = func(int64, []uplink.UserParams) int { return 4 }
+	slow, err := Run(cfg, steady(t, p), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.LatencyPercentile(0.95) <= p95 {
+		t.Errorf("4-core P95 %g not above 62-core P95 %g", slow.LatencyPercentile(0.95), p95)
+	}
+}
+
+func TestLatencyEmptyResult(t *testing.T) {
+	var r Result
+	if !math.IsNaN(r.LatencyPercentile(0.5)) || !math.IsNaN(r.MeanLatency()) {
+		t.Error("empty result latency not NaN")
+	}
+}
+
+// TestShortestFirstImprovesMeanLatency: SJF admission must reduce mean
+// latency on a mixed workload without changing the work done.
+func TestShortestFirstImprovesMeanLatency(t *testing.T) {
+	// Heterogeneous subframes: one heavy user then several light ones, in
+	// adversarial (heavy-first) order.
+	var sfs [][]uplink.UserParams
+	for i := 0; i < 150; i++ {
+		sfs = append(sfs, []uplink.UserParams{
+			{ID: 0, PRB: 120, Layers: 4, Mod: modulation.QAM64},
+			{ID: 1, PRB: 4, Layers: 1, Mod: modulation.QPSK},
+			{ID: 2, PRB: 4, Layers: 1, Mod: modulation.QPSK},
+			{ID: 3, PRB: 4, Layers: 1, Mod: modulation.QPSK},
+		})
+	}
+	run := func(sjf bool) *Result {
+		trace := &params.Trace{Subframes: sfs}
+		cfg := testConfig()
+		cfg.ShortestFirst = sjf
+		// Queueing discipline only matters under contention: throttle the
+		// pool so the heavy user's tasks can crowd out the light users.
+		cfg.Policy = NAP
+		cfg.ActiveCores = func(int64, []uplink.UserParams) int { return 10 }
+		res, err := Run(cfg, trace, len(sfs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fifo, sjf := run(false), run(true)
+	if math.Abs(fifo.TotalBusy-sjf.TotalBusy) > 1e-6*fifo.TotalBusy {
+		t.Errorf("SJF changed the work: %g vs %g", sjf.TotalBusy, fifo.TotalBusy)
+	}
+	if sjf.MeanLatency() >= fifo.MeanLatency() {
+		t.Errorf("SJF mean latency %g not below FIFO %g", sjf.MeanLatency(), fifo.MeanLatency())
+	}
+}

@@ -1,0 +1,54 @@
+package uplink
+
+import "fmt"
+
+// HARQProcess combines the soft bits of successive transmissions of the
+// same transport block (incremental redundancy): each retransmission uses
+// a different redundancy version of the rate-matched codeword, and the
+// de-rate-matcher accumulates LLRs into the shared mother buffer until the
+// CRC verifies. This is the eNodeB-side half of LTE's HARQ (TS 36.321);
+// the paper's benchmark stops at a single CRC check, so this is an
+// extension (DESIGN.md §5).
+type HARQProcess struct {
+	format TransportFormat
+	mother []float64
+	rounds int
+}
+
+// NewHARQ starts a combining process for the format, which must be the
+// rate-matched TurboFull format (Rate > 0).
+func (f TransportFormat) NewHARQ() (*HARQProcess, error) {
+	if f.Rate == 0 || f.Seg == nil {
+		return nil, fmt.Errorf("uplink: HARQ requires the rate-matched TurboFull format")
+	}
+	return &HARQProcess{format: f, mother: make([]float64, f.Seg.MotherLen())}, nil
+}
+
+// Rounds returns how many transmissions have been absorbed.
+func (h *HARQProcess) Rounds() int { return h.rounds }
+
+// RVForRound returns the standard redundancy-version cycling for the n-th
+// transmission (0-indexed): 0, 2, 3, 1 (TS 36.321 §5.4.2.2 ordering,
+// chosen so the second transmission adds the most new parity).
+func RVForRound(n int) int {
+	return []int{0, 2, 3, 1}[n%4]
+}
+
+// Absorb accumulates one transmission's demapped (and descrambled) soft
+// bits — exactly the LLR stream UserJob.SoftBits exposes — sent with the
+// given redundancy version, then attempts a decode.
+func (h *HARQProcess) Absorb(llr []float64, rv, iterations int) (payload []uint8, ok bool, err error) {
+	if len(llr) != h.format.TotalBits {
+		return nil, false, fmt.Errorf("uplink: HARQ got %d soft bits, format expects %d",
+			len(llr), h.format.TotalBits)
+	}
+	if err := h.format.Seg.AccumulateRM(h.mother, llr, rv); err != nil {
+		return nil, false, err
+	}
+	h.rounds++
+	tb, ok := h.format.Seg.DecodeMother(h.mother, iterations)
+	if !tbCRC.CheckBits(tb) {
+		ok = false
+	}
+	return tb[:len(tb)-tbCRC.Bits()], ok, nil
+}

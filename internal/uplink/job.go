@@ -1,0 +1,394 @@
+package uplink
+
+import (
+	"fmt"
+	"math"
+
+	"ltephy/internal/phy/fft"
+	"ltephy/internal/phy/linalg"
+	"ltephy/internal/phy/sequence"
+)
+
+// UserJob carries the intermediate state for processing one user in one
+// subframe and exposes the stage/task structure the paper parallelises
+// (Section III and Fig. 5):
+//
+//	stage 1: ChanEstTask(i), i in [0, NumChanEstTasks())  — independent
+//	stage 2: ComputeWeights()                             — serial
+//	stage 3: DataTask(i), i in [0, NumDataTasks())        — independent
+//	stage 4: Finish()                                     — serial
+//
+// Tasks within a stage may run concurrently on different goroutines; the
+// stage boundaries are barriers the caller must enforce (the work-stealing
+// runtime in internal/sched does, and the serial receiver trivially does).
+type UserJob struct {
+	Cfg ReceiverConfig
+	U   *UserData
+
+	n      int // subcarriers
+	layers int
+	format TransportFormat
+
+	layerRef [][]complex128 // conj-ready per-layer DMRS, [layer][k]
+
+	// hest[slot][(a*layers+l)*n + k]: per-slot channel estimates.
+	hest [SlotsPerSubframe][]complex128
+	// weights[slot][(k*layers+l)*antennas + a]: MMSE combining rows.
+	weights [SlotsPerSubframe][]complex128
+	// combined[g*n + t]: despread time-domain symbols in canonical order,
+	// g = (slot*DataSymbolsPerSlot + sym)*layers + layer.
+	combined []complex128
+
+	// nv is the noise variance the combiner and demapper use: the genie
+	// value from UserData, or (with Cfg.EstimateNoise) the slot-difference
+	// estimate computed in ComputeWeights.
+	nv float64
+	// softBits are the demapped (and descrambled) LLRs Finish produced —
+	// the input HARQ combining needs for retransmission soft-combining.
+	softBits []float64
+	// cfo is the estimated carrier frequency offset (fraction of the
+	// subcarrier spacing), resolved in ComputeWeights when Cfg.CorrectCFO.
+	cfo float64
+}
+
+// SoftBits returns the demapped, descrambled LLR stream of the whole
+// allocation. Valid after Finish; HARQProcess.Absorb consumes it.
+func (j *UserJob) SoftBits() []float64 { return j.softBits }
+
+// NewUserJob validates inputs and allocates the job state.
+func NewUserJob(cfg ReceiverConfig, u *UserData) (*UserJob, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := u.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if u.Params.Layers > cfg.Antennas {
+		return nil, fmt.Errorf("uplink: user %d: %d layers exceed %d antennas",
+			u.Params.ID, u.Params.Layers, cfg.Antennas)
+	}
+	if got := u.Antennas(); got != cfg.Antennas {
+		return nil, fmt.Errorf("uplink: user %d: data captured with %d antennas, receiver configured for %d",
+			u.Params.ID, got, cfg.Antennas)
+	}
+	n := u.Params.Subcarriers()
+	for slot := 0; slot < SlotsPerSubframe; slot++ {
+		for a := 0; a < cfg.Antennas; a++ {
+			if len(u.RefRx[slot][a]) != n {
+				return nil, fmt.Errorf("uplink: user %d: ref symbol slot %d antenna %d has %d subcarriers, want %d",
+					u.Params.ID, slot, a, len(u.RefRx[slot][a]), n)
+			}
+		}
+	}
+	format, err := NewTransportFormatRate(u.Params, cfg.Turbo, cfg.CodeRate)
+	if err != nil {
+		return nil, err
+	}
+	j := &UserJob{Cfg: cfg, U: u, n: n, layers: u.Params.Layers, format: format}
+	base := sequence.BaseDMRS(n)
+	j.layerRef = make([][]complex128, j.layers)
+	for l := range j.layerRef {
+		j.layerRef[l] = sequence.LayerDMRS(base, l)
+	}
+	for slot := 0; slot < SlotsPerSubframe; slot++ {
+		j.hest[slot] = make([]complex128, cfg.Antennas*j.layers*n)
+		j.weights[slot] = make([]complex128, n*j.layers*cfg.Antennas)
+	}
+	j.combined = make([]complex128, DataSymbolsPerSubframe*j.layers*n)
+	return j, nil
+}
+
+// Format returns the transport format the job decodes against.
+func (j *UserJob) Format() TransportFormat { return j.format }
+
+// NumChanEstTasks returns antennas * layers — the paper's "up to 16 tasks".
+func (j *UserJob) NumChanEstTasks() int { return j.Cfg.Antennas * j.layers }
+
+// NumDataTasks returns dataSymbols * layers — the paper's "up to 24 tasks"
+// per slot, i.e. 12*layers for the whole subframe.
+func (j *UserJob) NumDataTasks() int { return DataSymbolsPerSubframe * j.layers }
+
+// ChanEstTask estimates the channel for one (antenna, layer) pair across
+// both slots: matched filter against the layer's reference sequence, IFFT
+// to the time domain, windowing around the layer's cyclic shift, FFT back
+// (the paper's Fig. 3 channel-estimation chain).
+func (j *UserJob) ChanEstTask(i int) {
+	a := i / j.layers
+	l := i % j.layers
+	n := j.n
+	plan := fft.Get(n)
+	window := n / sequence.MaxLayers
+	if window < 1 {
+		window = 1
+	}
+	ref := j.layerRef[l]
+	mf := make([]complex128, n)
+	td := make([]complex128, n)
+	for slot := 0; slot < SlotsPerSubframe; slot++ {
+		rx := j.U.RefRx[slot][a]
+		// Matched filter: unit-modulus reference, so conjugate multiply
+		// inverts the known sequence and leaves H plus the other layers'
+		// responses shifted to their own windows.
+		for k := 0; k < n; k++ {
+			mf[k] = rx[k] * cmplxConj(ref[k])
+		}
+		out := j.hest[slot][(a*j.layers+l)*n : (a*j.layers+l+1)*n]
+		if j.Cfg.ChanEst == ChanEstLS {
+			// Raw least-squares: no denoising, no layer separation.
+			copy(out, mf)
+			continue
+		}
+		plan.Inverse(td, mf)
+		// Window: this layer's impulse response occupies [0, window).
+		for t := window; t < n; t++ {
+			td[t] = 0
+		}
+		plan.Forward(out, td)
+	}
+}
+
+// estimateNoise derives the noise variance from the difference of the two
+// slots' channel estimates: the channel is block-fading (constant across
+// the subframe), so (H_slot0 - H_slot1) is estimation noise alone. The
+// window keeps a W/N fraction of the matched filter's noise, hence the
+// N/W rescale back to per-subcarrier variance.
+func (j *UserJob) estimateNoise() float64 {
+	window := j.n / sequence.MaxLayers
+	if window < 1 {
+		window = 1
+	}
+	var sum float64
+	count := 0
+	h0, h1 := j.hest[0], j.hest[1]
+	for i := range h0 {
+		d := h0[i] - h1[i]
+		sum += real(d)*real(d) + imag(d)*imag(d)
+		count++
+	}
+	if count == 0 {
+		return 1e-12
+	}
+	// Var(H0-H1) = 2 * windowed noise variance = 2 * sigma^2 * W/N.
+	est := (sum / float64(count)) / 2 * float64(j.n) / float64(window)
+	if est < 1e-12 {
+		est = 1e-12
+	}
+	return est
+}
+
+// NoiseVar returns the noise variance the job operates with (resolved
+// during ComputeWeights).
+func (j *UserJob) NoiseVar() float64 { return j.nv }
+
+// CFOEstimate returns the estimated carrier frequency offset (fraction of
+// the subcarrier spacing); zero unless Cfg.CorrectCFO was set. Valid after
+// ComputeWeights.
+func (j *UserJob) CFOEstimate() float64 { return j.cfo }
+
+// estimateCFO derives the residual frequency offset from the rotation
+// between the two slots' channel estimates: the references sit seven
+// symbols apart, so angle(sum H1*conj(H0)) = 2*pi*cfo*7. Unambiguous for
+// |cfo| < 1/14 of the subcarrier spacing — ample for a residual offset.
+func (j *UserJob) estimateCFO() float64 {
+	var acc complex128
+	h0, h1 := j.hest[0], j.hest[1]
+	for i := range h0 {
+		acc += h1[i] * cmplxConj(h0[i])
+	}
+	return math.Atan2(imag(acc), real(acc)) / (2 * math.Pi * float64(SymbolsPerSlot))
+}
+
+// ComputeWeights derives the per-subcarrier MMSE combining matrices from
+// the channel estimates. The paper notes this step "considers all the
+// receiver channels and layers, and is therefore not easily parallelized";
+// it runs as one serial task per user. With Cfg.EstimateNoise it first
+// resolves the noise variance from the channel estimates.
+func (j *UserJob) ComputeWeights() {
+	ant := j.Cfg.Antennas
+	var nv float64
+	if j.Cfg.EstimateNoise {
+		nv = j.estimateNoise()
+	} else {
+		nv = j.U.NoiseVar
+	}
+	if nv < 1e-12 {
+		nv = 1e-12 // keep the regularised Gram matrix invertible
+	}
+	j.nv = nv
+	if j.Cfg.CorrectCFO {
+		j.cfo = j.estimateCFO()
+	}
+	if j.Cfg.Combiner == CombinerIRC {
+		j.computeIRCWeights()
+		return
+	}
+	solveNV := nv
+	if j.Cfg.Combiner == CombinerZF {
+		// Zero-forcing: invert the channel outright; the tiny diagonal
+		// term only guards numerical singularity.
+		solveNV = 1e-9
+	}
+	ws := linalg.NewMMSEWorkspace(ant, j.layers)
+	h := linalg.NewMatrix(ant, j.layers)
+	w := linalg.NewMatrix(j.layers, ant)
+	for slot := 0; slot < SlotsPerSubframe; slot++ {
+		hs := j.hest[slot]
+		out := j.weights[slot]
+		for k := 0; k < j.n; k++ {
+			for a := 0; a < ant; a++ {
+				for l := 0; l < j.layers; l++ {
+					h.Set(a, l, hs[(a*j.layers+l)*j.n+k])
+				}
+			}
+			if j.Cfg.Combiner == CombinerMRC {
+				// Per-layer matched filter: w_l = h_l^H / (|h_l|^2 + nv).
+				for l := 0; l < j.layers; l++ {
+					var norm float64
+					for a := 0; a < ant; a++ {
+						v := h.At(a, l)
+						norm += real(v)*real(v) + imag(v)*imag(v)
+					}
+					scale := complex(1/(norm+nv), 0)
+					for a := 0; a < ant; a++ {
+						w.Set(l, a, cmplxConj(h.At(a, l))*scale)
+					}
+				}
+			} else if err := ws.Solve(&w, h, solveNV); err != nil {
+				// A singular channel estimate (all-zero input data) yields
+				// zero weights for this subcarrier rather than failing the
+				// whole subframe.
+				for i := range w.Data {
+					w.Data[i] = 0
+				}
+			}
+			copy(out[(k*j.layers)*ant:(k*j.layers+j.layers)*ant], w.Data)
+		}
+	}
+}
+
+// DataTask combines one (slot, symbol, layer) across antennas and
+// transforms it back to the time domain (SC-FDMA despread) — the paper's
+// "antenna combining and IFFT ... performed on each separate symbol and
+// layer".
+func (j *UserJob) DataTask(i int) {
+	layers := j.layers
+	slot := i / (DataSymbolsPerSlot * layers)
+	rem := i % (DataSymbolsPerSlot * layers)
+	sym := rem / layers
+	l := rem % layers
+	n := j.n
+	ant := j.Cfg.Antennas
+	rx := j.U.DataRx[slot][sym]
+	w := j.weights[slot]
+	comb := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		row := w[(k*layers+l)*ant : (k*layers+l+1)*ant]
+		var sum complex128
+		for a := 0; a < ant; a++ {
+			sum += row[a] * rx[a][k]
+		}
+		comb[k] = sum
+	}
+	if j.cfo != 0 {
+		// The combiner inverted the slot reference's phase; de-rotate the
+		// residual CFO accumulated between the reference and this symbol.
+		delta := float64(DataSymbolPos(sym) - RefSymbolPos)
+		theta := -2 * math.Pi * j.cfo * delta
+		rot := complex(math.Cos(theta), math.Sin(theta))
+		for k := range comb {
+			comb[k] *= rot
+		}
+	}
+	g := (slot*DataSymbolsPerSlot+sym)*layers + l
+	out := j.combined[g*n : (g+1)*n]
+	fft.Get(n).Inverse(out, comb)
+	// Undo the transmitter's unitary 1/sqrt(N) spreading scale.
+	scale := complex(math.Sqrt(float64(n)), 0)
+	for t := range out {
+		out[t] *= scale
+	}
+}
+
+// Finish runs the per-user backend: symbol deinterleaving, soft demapping,
+// turbo decoding (pass-through or full) and the CRC check. It returns the
+// user's result.
+func (j *UserJob) Finish() UserResult {
+	res := UserResult{UserID: j.U.Params.ID, ChannelMSE: math.NaN()}
+	deint := make([]complex128, len(j.combined))
+	deinterleaveSymbols(j.Cfg, deint, j.combined)
+	nv := j.nv
+	if nv <= 0 { // Finish called without ComputeWeights: fall back to genie
+		nv = math.Max(j.U.NoiseVar, 1e-9)
+	}
+	llr := j.U.Params.Mod.Demap(make([]float64, 0, j.format.TotalBits), deint, nv)
+	if j.Cfg.Scramble {
+		Descramble(llr, j.U.Params.ID)
+	}
+	j.softBits = llr
+	payload, ok := j.format.DecodeTransportBlock(llr, j.Cfg.TurboIterations)
+	res.NoiseVarEst = nv
+	res.EVM = j.U.Params.Mod.EVM(deint)
+	res.Bits = payload
+	res.CRCOK = ok
+	if j.U.Channel != nil {
+		res.ChannelMSE = j.channelMSE()
+	}
+	return res
+}
+
+// channelMSE computes the normalised estimation error against ground truth,
+// averaged over slots, antennas, layers and subcarriers.
+func (j *UserJob) channelMSE() float64 {
+	truth := j.U.Channel
+	var num, den float64
+	for slot := 0; slot < SlotsPerSubframe; slot++ {
+		hs := j.hest[slot]
+		for a := 0; a < j.Cfg.Antennas; a++ {
+			for l := 0; l < j.layers; l++ {
+				h := truth.Resp(a, l)
+				for k := 0; k < j.n; k++ {
+					d := hs[(a*j.layers+l)*j.n+k] - h[k]
+					num += real(d)*real(d) + imag(d)*imag(d)
+					den += real(h[k])*real(h[k]) + imag(h[k])*imag(h[k])
+				}
+			}
+		}
+	}
+	if den == 0 {
+		return math.Inf(1)
+	}
+	return num / den
+}
+
+func cmplxConj(v complex128) complex128 { return complex(real(v), -imag(v)) }
+
+// Process runs the whole chain serially — the paper's reference serial
+// implementation used to verify parallelised versions (Section IV-D).
+func Process(cfg ReceiverConfig, u *UserData) (UserResult, error) {
+	j, err := NewUserJob(cfg, u)
+	if err != nil {
+		return UserResult{}, err
+	}
+	for i := 0; i < j.NumChanEstTasks(); i++ {
+		j.ChanEstTask(i)
+	}
+	j.ComputeWeights()
+	for i := 0; i < j.NumDataTasks(); i++ {
+		j.DataTask(i)
+	}
+	return j.Finish(), nil
+}
+
+// ProcessSubframe serially processes every user of a subframe in order.
+func ProcessSubframe(cfg ReceiverConfig, sf *Subframe) ([]UserResult, error) {
+	results := make([]UserResult, 0, len(sf.Users))
+	for _, u := range sf.Users {
+		r, err := Process(cfg, u)
+		if err != nil {
+			return nil, fmt.Errorf("subframe %d: %w", sf.Seq, err)
+		}
+		r.Seq = sf.Seq
+		results = append(results, r)
+	}
+	return results, nil
+}

@@ -1,0 +1,34 @@
+package uplink
+
+import (
+	"sync"
+
+	"ltephy/internal/phy/interleave"
+)
+
+// blockCache memoises symbol interleavers by (length, columns); user
+// allocations repeat heavily across subframes (the paper reuses ten input
+// data sets), so the permutations are shared.
+var blockCache sync.Map // [2]int -> *interleave.Block
+
+func getBlock(n, cols int) *interleave.Block {
+	key := [2]int{n, cols}
+	if v, ok := blockCache.Load(key); ok {
+		return v.(*interleave.Block)
+	}
+	b := interleave.New(n, cols)
+	actual, _ := blockCache.LoadOrStore(key, b)
+	return actual.(*interleave.Block)
+}
+
+// InterleaveSymbols applies the transmit-side symbol interleaver. Exposed
+// for the synthetic transmitter (internal/uplink/tx).
+func InterleaveSymbols(cfg ReceiverConfig, dst, src []complex128) {
+	interleave.Interleave(getBlock(len(src), cfg.InterleaverColumns), dst, src)
+}
+
+// deinterleaveSymbols inverts InterleaveSymbols (the paper's Fig. 3
+// "Deinterleave" kernel, run before soft demapping).
+func deinterleaveSymbols(cfg ReceiverConfig, dst, src []complex128) {
+	interleave.Deinterleave(getBlock(len(src), cfg.InterleaverColumns), dst, src)
+}

@@ -1,0 +1,86 @@
+package tx
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"ltephy/internal/phy/fft"
+	"ltephy/internal/phy/frontend"
+	"ltephy/internal/phy/modulation"
+	"ltephy/internal/rng"
+)
+
+// papr99 returns the 99th-percentile peak-to-average power ratio (dB) of
+// OFDM symbols built from the given per-symbol subcarrier generator.
+func papr99(t *testing.T, gen func(r *rng.RNG, n int) []complex128) float64 {
+	t.Helper()
+	const n = 300
+	cfg, err := frontend.ForSubcarriers(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1234)
+	var paprs []float64
+	for trial := 0; trial < 300; trial++ {
+		grid := make([]complex128, cfg.FFTSize)
+		sub := gen(r, n)
+		for k := 0; k < n; k++ {
+			grid[cfg.AllocationBin(k, n)] = sub[k]
+		}
+		td := make([]complex128, cfg.FFTSize)
+		fft.Get(cfg.FFTSize).Inverse(td, grid)
+		var peak, mean float64
+		for _, v := range td {
+			p := real(v)*real(v) + imag(v)*imag(v)
+			mean += p
+			if p > peak {
+				peak = p
+			}
+		}
+		mean /= float64(cfg.FFTSize)
+		paprs = append(paprs, 10*math.Log10(peak/mean))
+	}
+	sort.Float64s(paprs)
+	return paprs[len(paprs)*99/100]
+}
+
+// TestSCFDMAPAPRAdvantage demonstrates why the uplink uses DFT-precoded
+// SC-FDMA rather than plain OFDMA: the single-carrier structure cuts the
+// 99th-percentile peak-to-average power ratio by several dB, which is what
+// lets handset amplifiers run efficiently. (Context for the paper's
+// Section II-C receiver chain — the IDFT "despread" stage exists to undo
+// this precoding.)
+func TestSCFDMAPAPRAdvantage(t *testing.T) {
+	qam := modulation.QAM16
+	// Plain OFDMA: independent constellation symbols straight onto
+	// subcarriers.
+	ofdma := papr99(t, func(r *rng.RNG, n int) []complex128 {
+		bits := make([]uint8, n*qam.Bits())
+		for i := range bits {
+			bits[i] = r.Bit()
+		}
+		return qam.Map(make([]complex128, 0, n), bits)
+	})
+	// SC-FDMA: the same symbols DFT-precoded before mapping.
+	scfdma := papr99(t, func(r *rng.RNG, n int) []complex128 {
+		bits := make([]uint8, n*qam.Bits())
+		for i := range bits {
+			bits[i] = r.Bit()
+		}
+		syms := qam.Map(make([]complex128, 0, n), bits)
+		spread := make([]complex128, n)
+		fft.Get(n).Forward(spread, syms)
+		scale := complex(1/math.Sqrt(float64(n)), 0)
+		for k := range spread {
+			spread[k] *= scale
+		}
+		return spread
+	})
+	if scfdma >= ofdma-1.5 {
+		t.Errorf("SC-FDMA P99 PAPR %.1f dB not clearly below OFDMA's %.1f dB", scfdma, ofdma)
+	}
+	if ofdma < 8 || ofdma > 13 {
+		t.Errorf("OFDMA P99 PAPR %.1f dB outside the expected ~10 dB band", ofdma)
+	}
+}

@@ -1,0 +1,245 @@
+package tx
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"ltephy/internal/phy/channel"
+	"ltephy/internal/phy/modulation"
+	"ltephy/internal/rng"
+	"ltephy/internal/uplink"
+)
+
+func TestGenerateShapes(t *testing.T) {
+	cfg := DefaultConfig()
+	p := uplink.UserParams{ID: 3, PRB: 5, Layers: 2, Mod: modulation.QAM16}
+	u, err := Generate(cfg, p, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := p.Subcarriers()
+	if u.Antennas() != cfg.Receiver.Antennas {
+		t.Fatalf("antennas = %d", u.Antennas())
+	}
+	for slot := 0; slot < uplink.SlotsPerSubframe; slot++ {
+		if len(u.RefRx[slot]) != 4 {
+			t.Fatalf("slot %d: %d ref antennas", slot, len(u.RefRx[slot]))
+		}
+		for a, row := range u.RefRx[slot] {
+			if len(row) != n {
+				t.Fatalf("ref slot %d antenna %d: %d bins", slot, a, len(row))
+			}
+		}
+		for sym := 0; sym < uplink.DataSymbolsPerSlot; sym++ {
+			for a, row := range u.DataRx[slot][sym] {
+				if len(row) != n {
+					t.Fatalf("data slot %d sym %d antenna %d: %d bins", slot, sym, a, len(row))
+				}
+			}
+		}
+	}
+	if u.Channel == nil || len(u.Payload) == 0 {
+		t.Error("ground truth missing")
+	}
+	format, err := uplink.NewTransportFormat(p, cfg.Receiver.Turbo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Payload) != format.PayloadBits {
+		t.Errorf("payload %d bits, format says %d", len(u.Payload), format.PayloadBits)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	p := uplink.UserParams{ID: 1, PRB: 3, Layers: 1, Mod: modulation.QPSK}
+	a, err := Generate(cfg, p, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg, p, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Payload {
+		if a.Payload[i] != b.Payload[i] {
+			t.Fatal("payload differs for same seed")
+		}
+	}
+	for a4, rowA := range a.RefRx[0] {
+		for k, v := range rowA {
+			if b.RefRx[0][a4][k] != v {
+				t.Fatal("received samples differ for same seed")
+			}
+		}
+	}
+}
+
+// TestSignalPowerBudget: per-subcarrier receive power should be about
+// layers * unit channel gain plus noise — the scaling the demapper's
+// noise variance assumes.
+func TestSignalPowerBudget(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SNRdB = 20
+	p := uplink.UserParams{ID: 1, PRB: 20, Layers: 2, Mod: modulation.QAM16}
+	u, err := Generate(cfg, p, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e float64
+	count := 0
+	for slot := 0; slot < uplink.SlotsPerSubframe; slot++ {
+		for sym := 0; sym < uplink.DataSymbolsPerSlot; sym++ {
+			for _, row := range u.DataRx[slot][sym] {
+				for _, v := range row {
+					e += real(v)*real(v) + imag(v)*imag(v)
+					count++
+				}
+			}
+		}
+	}
+	avg := e / float64(count)
+	want := float64(p.Layers) // sum over layers of unit-gain links
+	if avg < 0.5*want || avg > 2*want {
+		t.Errorf("avg receive power %.2f, want ~%.0f", avg, want)
+	}
+}
+
+// TestReferenceSymbolIsChannelTimesDMRS verifies the reference path
+// without noise: one layer, one antenna, the received reference equals
+// H .* r exactly.
+func TestReferenceSymbolIsChannelTimesDMRS(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SNRdB = 300 // effectively noiseless
+	p := uplink.UserParams{ID: 0, PRB: 4, Layers: 1, Mod: modulation.QPSK}
+	u, err := Generate(cfg, p, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := u.Channel.Resp(0, 0)
+	// The layer-0 DMRS is the base sequence itself (zero shift); compare
+	// |RefRx| with |H| since the base sequence is unit-modulus.
+	for k, v := range u.RefRx[0][0] {
+		if math.Abs(cmplx.Abs(v)-cmplx.Abs(h[k])) > 1e-6 {
+			t.Fatalf("bin %d: |ref| = %g, |H| = %g", k, cmplx.Abs(v), cmplx.Abs(h[k]))
+		}
+	}
+}
+
+func TestGenerateRejectsBadInputs(t *testing.T) {
+	cfg := DefaultConfig()
+	r := rng.New(1)
+	if _, err := Generate(cfg, uplink.UserParams{PRB: 0, Layers: 1}, r); err == nil {
+		t.Error("invalid params accepted")
+	}
+	bad := cfg
+	bad.Receiver.Antennas = 2
+	if _, err := Generate(bad, uplink.UserParams{PRB: 4, Layers: 3, Mod: modulation.QPSK}, r); err == nil {
+		t.Error("layers > antennas accepted")
+	}
+	bad = cfg
+	bad.Receiver.InterleaverColumns = 0
+	if _, err := Generate(bad, uplink.UserParams{PRB: 4, Layers: 1, Mod: modulation.QPSK}, r); err == nil {
+		t.Error("invalid receiver config accepted")
+	}
+}
+
+func TestGenerateSubframeIDs(t *testing.T) {
+	cfg := DefaultConfig()
+	users := []uplink.UserParams{
+		{ID: 0, PRB: 2, Layers: 1, Mod: modulation.QPSK},
+		{ID: 1, PRB: 3, Layers: 1, Mod: modulation.QAM16},
+	}
+	sf, err := GenerateSubframe(cfg, 9, users, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.Seq != 9 || len(sf.Users) != 2 {
+		t.Fatalf("subframe %d with %d users", sf.Seq, len(sf.Users))
+	}
+	for i, u := range sf.Users {
+		if u.Params.ID != users[i].ID {
+			t.Errorf("user %d has ID %d", i, u.Params.ID)
+		}
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	cfg := DefaultConfig()
+	r := rng.New(4)
+	p := uplink.UserParams{ID: 0, PRB: 25, Layers: 2, Mod: modulation.QAM16}
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(cfg, p, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestThroughFrontend: routing the subframe through OFDM synthesis, CP
+// insertion, CP removal and FFT (the paper's Fig. 2 frontend) must leave
+// the receive grids numerically intact and the link decodable.
+func TestThroughFrontend(t *testing.T) {
+	p := uplink.UserParams{ID: 2, PRB: 5, Layers: 2, Mod: modulation.QAM16}
+	direct, err := Generate(DefaultConfig(), p, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.ThroughFrontend = true
+	viaFE, err := Generate(cfg, p, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same seed, same signals — the frontend round trip is exact to FFT
+	// precision.
+	for slot := 0; slot < uplink.SlotsPerSubframe; slot++ {
+		for a := 0; a < 4; a++ {
+			for k := range direct.RefRx[slot][a] {
+				if cmplx.Abs(direct.RefRx[slot][a][k]-viaFE.RefRx[slot][a][k]) > 1e-8 {
+					t.Fatalf("ref slot %d antenna %d bin %d differs through frontend", slot, a, k)
+				}
+			}
+			for sym := 0; sym < uplink.DataSymbolsPerSlot; sym++ {
+				for k := range direct.DataRx[slot][sym][a] {
+					if cmplx.Abs(direct.DataRx[slot][sym][a][k]-viaFE.DataRx[slot][sym][a][k]) > 1e-8 {
+						t.Fatalf("data slot %d sym %d antenna %d bin %d differs", slot, sym, a, k)
+					}
+				}
+			}
+		}
+	}
+	res, err := uplink.Process(cfg.Receiver, viaFE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CRCOK {
+		t.Error("CRC failed through the frontend path")
+	}
+}
+
+// TestChannelProfiles: every built-in power-delay profile yields a
+// decodable link at good SNR.
+func TestChannelProfiles(t *testing.T) {
+	for _, prof := range []channel.Profile{
+		channel.ProfileFlat, channel.ProfilePedestrian, channel.ProfileUrban, channel.ProfileDefault,
+	} {
+		cfg := DefaultConfig()
+		cfg.Profile = prof
+		p := uplink.UserParams{ID: 1, PRB: 5, Layers: 2, Mod: modulation.QAM16}
+		u, err := Generate(cfg, p, rng.New(31))
+		if err != nil {
+			t.Fatalf("%s: %v", prof.Name, err)
+		}
+		res, err := uplink.Process(cfg.Receiver, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.CRCOK {
+			t.Errorf("%s: CRC failed at 25 dB", prof.Name)
+		}
+		if res.ChannelMSE > 0.05 {
+			t.Errorf("%s: channel MSE %g", prof.Name, res.ChannelMSE)
+		}
+	}
+}

@@ -1,0 +1,285 @@
+// Package ltephy is an open LTE Uplink Receiver PHY benchmark with
+// subframe-based power management — a Go reproduction of Själander, McKee,
+// Brauer, Engdal and Vajda, "An LTE Uplink Receiver PHY Benchmark and
+// Subframe-Based Power Management" (ISPASS 2012).
+//
+// The module contains four layers, re-exported here as the supported
+// public surface:
+//
+//   - The uplink receiver itself: per-user baseband processing (channel
+//     estimation, MMSE combining, SC-FDMA despread, deinterleave, soft
+//     demap, turbo decode, CRC) with a synthetic transmitter for
+//     verifiable end-to-end input. See Process, Generate, UserParams.
+//   - The parallel runtime: a work-stealing worker pool and a maintenance-
+//     thread dispatcher, validated against the serial reference receiver.
+//     See NewPool, NewDispatcher, Verify.
+//   - The workload models: the paper's randomised input parameter model
+//     with its triangular load ramp, steady-state calibration model, and
+//     recorded traces. See NewRandomModel, NewSteadyModel.
+//   - The power-management study: the TILEPro64-substitute simulator, the
+//     subframe workload estimator (Eqs. 3-5) and the power/power-gating
+//     models (Eqs. 6-9), plus drivers that regenerate every figure and
+//     table of the paper's evaluation. See Calibrate, SimRun, NewSuite.
+//
+// The underlying implementations live in internal/ packages; the aliases
+// below are the stable import surface for downstream users.
+package ltephy
+
+import (
+	"time"
+
+	"ltephy/internal/amc"
+	"ltephy/internal/estimator"
+	"ltephy/internal/experiments"
+	"ltephy/internal/params"
+	"ltephy/internal/phy/modulation"
+	"ltephy/internal/power"
+	"ltephy/internal/rng"
+	"ltephy/internal/sched"
+	"ltephy/internal/sim"
+	"ltephy/internal/uplink"
+	"ltephy/internal/uplink/tx"
+)
+
+// Modulation schemes (TS 36.211 uplink constellations).
+type Modulation = modulation.Scheme
+
+// The three modulation schemes the paper's parameter model selects.
+const (
+	QPSK  = modulation.QPSK
+	QAM16 = modulation.QAM16
+	QAM64 = modulation.QAM64
+)
+
+// Receiver types.
+type (
+	// UserParams are a scheduled user's grant: PRBs, layers, modulation.
+	UserParams = uplink.UserParams
+	// UserData is one user's frequency-domain receive samples (plus
+	// optional ground truth from the synthetic transmitter).
+	UserData = uplink.UserData
+	// Subframe is the per-millisecond unit of work.
+	Subframe = uplink.Subframe
+	// UserResult is the outcome of processing one user.
+	UserResult = uplink.UserResult
+	// ReceiverConfig selects antennas, turbo mode and interleaving.
+	ReceiverConfig = uplink.ReceiverConfig
+	// UserJob exposes the paper's task granularity for custom schedulers.
+	UserJob = uplink.UserJob
+)
+
+// Turbo decoding modes.
+const (
+	// TurboPassthrough reproduces the paper (decode is a pass-through).
+	TurboPassthrough = uplink.TurboPassthrough
+	// TurboFull runs the real 3GPP turbo decoder.
+	TurboFull = uplink.TurboFull
+)
+
+// Swappable receiver modules (the paper's "modules can easily be
+// replaced" seam).
+const (
+	CombinerMMSE = uplink.CombinerMMSE
+	CombinerZF   = uplink.CombinerZF
+	CombinerMRC  = uplink.CombinerMRC
+	CombinerIRC  = uplink.CombinerIRC
+
+	ChanEstWindowed = uplink.ChanEstWindowed
+	ChanEstLS       = uplink.ChanEstLS
+)
+
+// DefaultReceiverConfig returns the paper-faithful receiver setup.
+func DefaultReceiverConfig() ReceiverConfig { return uplink.DefaultConfig() }
+
+// Process runs the serial reference receiver over one user.
+func Process(cfg ReceiverConfig, u *UserData) (UserResult, error) { return uplink.Process(cfg, u) }
+
+// ProcessSubframe serially processes a whole subframe.
+func ProcessSubframe(cfg ReceiverConfig, sf *Subframe) ([]UserResult, error) {
+	return uplink.ProcessSubframe(cfg, sf)
+}
+
+// NewUserJob builds the staged job a custom scheduler can drive.
+func NewUserJob(cfg ReceiverConfig, u *UserData) (*UserJob, error) { return uplink.NewUserJob(cfg, u) }
+
+// Transmitter (synthetic input generation).
+type TXConfig = tx.Config
+
+// DefaultTXConfig pairs the default receiver with a 25 dB SNR channel.
+func DefaultTXConfig() TXConfig { return tx.DefaultConfig() }
+
+// Generate synthesises one user's subframe input through a fading MIMO
+// channel, with ground truth attached for verification.
+func Generate(cfg TXConfig, p UserParams, r *RNG) (*UserData, error) { return tx.Generate(cfg, p, r) }
+
+// GenerateSubframe synthesises input for a full scheduling decision.
+func GenerateSubframe(cfg TXConfig, seq int64, users []UserParams, r *RNG) (*Subframe, error) {
+	return tx.GenerateSubframe(cfg, seq, users, r)
+}
+
+// RNG is the deterministic generator used throughout the benchmark.
+type RNG = rng.RNG
+
+// NewRNG returns a seeded deterministic generator.
+func NewRNG(seed uint64) *RNG { return rng.New(seed) }
+
+// Workload models.
+type (
+	// Model yields each subframe's scheduled users.
+	Model = params.Model
+	// Trace is a recorded model output for identical replay.
+	Trace = params.Trace
+)
+
+// NewRandomModel returns the paper's Section V-A parameter model.
+func NewRandomModel(seed uint64) Model { return params.NewRandom(seed) }
+
+// NewRandomModelCompressed compresses the 68,000-subframe load ramp by the
+// given factor (for fast experiment presets).
+func NewRandomModelCompressed(seed uint64, factor int) Model {
+	return params.NewRandomCompressed(seed, factor)
+}
+
+// NewSteadyModel returns the fixed-configuration calibration model.
+func NewSteadyModel(p UserParams) (Model, error) { return params.NewSteady(p) }
+
+// RecordTrace captures n subframes from a model for replay.
+func RecordTrace(m Model, n int) *Trace { return params.Record(m, n) }
+
+// Parallel runtime.
+type (
+	// PoolConfig configures the work-stealing worker pool.
+	PoolConfig = sched.Config
+	// Pool is the work-stealing runtime (the paper's Pthreads framework).
+	Pool = sched.Pool
+	// DispatcherConfig configures the maintenance thread.
+	DispatcherConfig = sched.DispatcherConfig
+	// Dispatcher produces and dispatches subframes every DELTA.
+	Dispatcher = sched.Dispatcher
+	// Collector gathers results for verification.
+	Collector = sched.Collector
+	// WorkerStats are per-worker activity counters (Eqs. 1-2).
+	WorkerStats = sched.WorkerStats
+	// RunOptions controls a timed dispatcher run.
+	RunOptions = sched.RunOptions
+)
+
+// SchedActivity computes the Eq. 2 activity of a native pool run over a
+// wall-clock window from two stats snapshots.
+func SchedActivity(before, after []WorkerStats, wall time.Duration) float64 {
+	return sched.Activity(before, after, wall)
+}
+
+// DefaultPoolConfig sizes the pool to the host.
+func DefaultPoolConfig() PoolConfig { return sched.DefaultPoolConfig() }
+
+// NewPool starts the worker pool.
+func NewPool(cfg PoolConfig) (*Pool, error) { return sched.NewPool(cfg) }
+
+// DefaultDispatcherConfig mirrors the paper's evaluation setup.
+func DefaultDispatcherConfig() DispatcherConfig { return sched.DefaultDispatcherConfig() }
+
+// NewDispatcher returns a maintenance-thread dispatcher.
+func NewDispatcher(cfg DispatcherConfig) *Dispatcher { return sched.NewDispatcher(cfg) }
+
+// NewCollector returns an empty result collector.
+func NewCollector() *Collector { return sched.NewCollector() }
+
+// Verify processes a trace serially and in parallel and reports the first
+// mismatch (the paper's Section IV-D validation).
+func Verify(poolCfg PoolConfig, dispCfg DispatcherConfig, trace *Trace) error {
+	return sched.Verify(poolCfg, dispCfg, trace)
+}
+
+// Simulator, estimator and power model.
+type (
+	// SimConfig parameterises the TILEPro64-substitute simulator.
+	SimConfig = sim.Config
+	// SimResult is a simulation's activity/occupancy output.
+	SimResult = sim.Result
+	// Policy is a core-deactivation strategy.
+	Policy = sim.Policy
+	// Calibration holds the estimator's fitted k coefficients (Fig. 11).
+	Calibration = estimator.Calibration
+	// PowerParams are the power-model constants.
+	PowerParams = power.Params
+)
+
+// The paper's four deactivation policies, plus the DVFS extension.
+const (
+	NONAP   = sim.NONAP
+	IDLE    = sim.IDLE
+	NAP     = sim.NAP
+	NAPIDLE = sim.NAPIDLE
+	DVFS    = sim.DVFS
+)
+
+// DefaultSimConfig returns the paper's 62-worker, 5 ms setup.
+func DefaultSimConfig() SimConfig { return sim.DefaultConfig() }
+
+// SimRun simulates n subframes from a model.
+func SimRun(cfg SimConfig, m Model, n int) (*SimResult, error) { return sim.Run(cfg, m, n) }
+
+// Calibrate fits the workload estimator on the simulator (Section VI-A).
+func Calibrate(cfg SimConfig, opts estimator.Options) (*Calibration, error) {
+	return estimator.Calibrate(cfg, opts)
+}
+
+// CalibrationOptions controls the calibration sweep.
+type CalibrationOptions = estimator.Options
+
+// DefaultPowerParams returns the calibrated TILEPro64 power constants.
+func DefaultPowerParams() PowerParams { return power.Default() }
+
+// PowerSeries converts a simulation into a per-window power trace.
+func PowerSeries(res *SimResult, p PowerParams) ([]float64, error) { return power.Series(res, p) }
+
+// Experiments (paper figures and tables).
+type (
+	// ExperimentConfig scales the experiment suite.
+	ExperimentConfig = experiments.Config
+	// ExperimentSuite caches the heavy shared artifacts.
+	ExperimentSuite = experiments.Suite
+	// Dataset is one regenerated figure or table.
+	Dataset = experiments.Dataset
+)
+
+// FullExperiments is the paper-exact configuration; QuickExperiments the
+// compressed fast preset.
+func FullExperiments() ExperimentConfig  { return experiments.Full() }
+func QuickExperiments() ExperimentConfig { return experiments.Quick() }
+
+// NewSuite prepares an experiment suite.
+func NewSuite(cfg ExperimentConfig) (*ExperimentSuite, error) { return experiments.NewSuite(cfg) }
+
+// Transport-format and HARQ surface (extensions; see internal/uplink).
+type (
+	// TransportFormat maps a payload onto a physical allocation.
+	TransportFormat = uplink.TransportFormat
+	// HARQProcess soft-combines retransmissions (incremental redundancy).
+	HARQProcess = uplink.HARQProcess
+)
+
+// NewTransportFormatRate computes a rate-matched TurboFull transport format.
+func NewTransportFormatRate(p UserParams, mode uplink.TurboMode, rate float64) (TransportFormat, error) {
+	return uplink.NewTransportFormatRate(p, mode, rate)
+}
+
+// RVForRound returns the standard redundancy-version cycling (0, 2, 3, 1).
+func RVForRound(n int) int { return uplink.RVForRound(n) }
+
+// GenerateWithPayload transmits a specific payload with a redundancy
+// version — the transmitter half of a HARQ retransmission.
+func GenerateWithPayload(cfg TXConfig, p UserParams, r *RNG, payload []uint8, rv int) (*UserData, error) {
+	return tx.GenerateWithPayload(cfg, p, r, payload, rv)
+}
+
+// Adaptive modulation and coding (extension; see internal/amc).
+type MCS = amc.MCS
+
+// SelectMCS picks the modulation-and-coding scheme for a channel SNR with
+// the given back-off margin (dB).
+func SelectMCS(snrdB, marginDB float64) MCS { return amc.Select(snrdB, marginDB) }
+
+// MCSTable returns the AMC ladder in increasing spectral efficiency.
+func MCSTable() []MCS { return amc.Table }

@@ -1,0 +1,108 @@
+package ltephy_test
+
+import (
+	"testing"
+	"time"
+
+	"ltephy"
+)
+
+// TestPublicAPIQuickstart walks the README's quickstart path through the
+// facade only — the contract a downstream user depends on.
+func TestPublicAPIQuickstart(t *testing.T) {
+	users := []ltephy.UserParams{
+		{ID: 0, PRB: 3, Layers: 1, Mod: ltephy.QPSK},
+		{ID: 1, PRB: 4, Layers: 2, Mod: ltephy.QAM16},
+	}
+	cfg := ltephy.DefaultTXConfig()
+	sf, err := ltephy.GenerateSubframe(cfg, 0, users, ltephy.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := ltephy.ProcessSubframe(cfg.Receiver, sf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("%d results", len(results))
+	}
+	for _, r := range results {
+		if !r.CRCOK {
+			t.Errorf("user %d failed CRC", r.UserID)
+		}
+	}
+}
+
+func TestPublicAPIModels(t *testing.T) {
+	m := ltephy.NewRandomModel(3)
+	trace := ltephy.RecordTrace(m, 50)
+	if len(trace.Subframes) != 50 {
+		t.Fatalf("%d subframes", len(trace.Subframes))
+	}
+	steady, err := ltephy.NewSteadyModel(ltephy.UserParams{PRB: 10, Layers: 1, Mod: ltephy.QPSK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := steady.Next(); len(got) != 1 {
+		t.Fatalf("steady model returned %d users", len(got))
+	}
+	comp := ltephy.NewRandomModelCompressed(3, 10)
+	if got := comp.Next(); len(got) == 0 {
+		t.Fatal("compressed model returned no users")
+	}
+}
+
+func TestPublicAPIParallelVerify(t *testing.T) {
+	m := ltephy.NewRandomModel(5)
+	trace := ltephy.RecordTrace(m, 6)
+	for _, users := range trace.Subframes {
+		for i := range users {
+			if users[i].PRB > 4 {
+				users[i].PRB = 4
+			}
+		}
+	}
+	poolCfg := ltephy.DefaultPoolConfig()
+	poolCfg.Workers = 2
+	dispCfg := ltephy.DefaultDispatcherConfig()
+	dispCfg.Delta = time.Millisecond
+	if err := ltephy.Verify(poolCfg, dispCfg, trace); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPISimAndPower(t *testing.T) {
+	cfg := ltephy.DefaultSimConfig()
+	cfg.WindowSec = 0.1
+	m, err := ltephy.NewSteadyModel(ltephy.UserParams{PRB: 50, Layers: 2, Mod: ltephy.QAM16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ltephy.SimRun(cfg, m, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalBusy <= 0 {
+		t.Fatal("no busy cycles simulated")
+	}
+	series, err := ltephy.PowerSeries(res, ltephy.DefaultPowerParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) == 0 || series[0] < ltephy.DefaultPowerParams().BaseW {
+		t.Fatalf("power series %v implausible", series)
+	}
+}
+
+func TestPublicAPIConstants(t *testing.T) {
+	if ltephy.QPSK.Bits() != 2 || ltephy.QAM16.Bits() != 4 || ltephy.QAM64.Bits() != 6 {
+		t.Error("modulation constants wrong")
+	}
+	if ltephy.NONAP.String() != "NONAP" || ltephy.NAPIDLE.String() != "NAP+IDLE" {
+		t.Error("policy constants wrong")
+	}
+	rc := ltephy.DefaultReceiverConfig()
+	if rc.Antennas != 4 || rc.Turbo != ltephy.TurboPassthrough {
+		t.Errorf("default receiver config unexpected: %+v", rc)
+	}
+}
