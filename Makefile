@@ -1,0 +1,34 @@
+# Developer checks for the ltephy benchmark. `make check` is the
+# pre-commit gate: vet, full build, the race-sensitive scheduler and
+# receiver suites, and the steady-state allocation regression test.
+
+GO ?= go
+
+.PHONY: check vet build test race zeroalloc bench
+
+check: vet build race zeroalloc
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The scheduler and receiver suites exercise per-worker arena isolation
+# and work stealing; -race proves no scratch buffer crosses workers.
+race:
+	$(GO) test -race ./internal/sched/... ./internal/uplink/...
+
+# Guards the ISSUE 1 invariant: the post-warmup receiver hot path must
+# not allocate (see internal/uplink/alloc_bench_test.go).
+zeroalloc:
+	$(GO) test -run TestSteadyStateZeroAlloc -count=1 ./internal/uplink/
+
+# Allocation-regression benchmarks; compare allocs/op against the
+# figures recorded in EXPERIMENTS.md.
+bench:
+	$(GO) test -bench 'BenchmarkSubframeE2E' -benchmem -run '^$$' ./internal/uplink/

@@ -50,6 +50,7 @@ func run(args []string, w io.Writer) error {
 	noiseEst := fs.Bool("noise-est", false, "estimate noise variance at the receiver (no genie)")
 	lockFree := fs.Bool("lockfree", false, "use the Chase-Lev lock-free deque")
 	frontendPath := fs.Bool("frontend", false, "route signals through the Fig. 2 OFDM frontend")
+	allocs := fs.Bool("allocs", false, "report heap allocations per subframe (runtime.MemStats deltas over the run)")
 	verify := fs.Bool("verify", false, "run serial vs parallel verification instead of a timed run")
 	serial := fs.Bool("serial", false, "run the serial reference instead of the pool")
 	snr := fs.Float64("snr", 25, "per-subcarrier SNR in dB for the synthetic channel")
@@ -129,6 +130,11 @@ func run(args []string, w io.Writer) error {
 	trace.Reset()
 
 	if *serial {
+		var before runtime.MemStats
+		if *allocs {
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+		}
 		start := time.Now()
 		var results, crcOK int
 		for seq := int64(0); seq < int64(*subframes); seq++ {
@@ -151,6 +157,9 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "serial: %d subframes, %d users, %d CRC pass in %v (%.1f subframes/s)\n",
 			*subframes, results, crcOK, elapsed.Round(time.Millisecond),
 			float64(*subframes)/elapsed.Seconds())
+		if *allocs {
+			reportAllocs(w, before, *subframes)
+		}
 		return nil
 	}
 
@@ -159,6 +168,11 @@ func run(args []string, w io.Writer) error {
 	pool, err := sched.NewPool(poolCfg)
 	if err != nil {
 		return err
+	}
+	var memBefore runtime.MemStats
+	if *allocs {
+		runtime.GC()
+		runtime.ReadMemStats(&memBefore)
 	}
 	before := pool.Stats()
 	wall, err := disp.Run(pool, trace, sched.RunOptions{Subframes: *subframes})
@@ -196,7 +210,34 @@ func run(args []string, w io.Writer) error {
 	if est, err := power.FromWorkerStats(busy, nap, wall.Nanoseconds(), power.Default()); err == nil {
 		fmt.Fprintf(w, "  as-if power (%d-core model): %.2f W\n", *workers, est)
 	}
+	if *allocs {
+		reportAllocs(w, memBefore, *subframes)
+		var arenaTotal int
+		for _, f := range pool.ArenaFootprints() {
+			arenaTotal += f
+		}
+		fmt.Fprintf(w, "  arena footprint: %.1f KiB total across %d workers\n",
+			float64(arenaTotal)/1024, *workers)
+	}
 	return nil
+}
+
+// reportAllocs prints heap-allocation deltas per subframe since `before`.
+// The first subframes pay one-time costs (FFT plans, transport formats,
+// arena growth), so per-subframe figures approach the steady state only
+// for longer runs.
+func reportAllocs(w io.Writer, before runtime.MemStats, subframes int) {
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	mallocs := after.Mallocs - before.Mallocs
+	bytes := after.TotalAlloc - before.TotalAlloc
+	if subframes < 1 {
+		fmt.Fprintf(w, "  heap allocs: %d total, %.1f KiB total\n", mallocs, float64(bytes)/1024)
+		return
+	}
+	fmt.Fprintf(w, "  heap allocs: %d total (%.1f/subframe), %.1f KiB total (%.2f KiB/subframe)\n",
+		mallocs, float64(mallocs)/float64(subframes),
+		float64(bytes)/1024, float64(bytes)/1024/float64(subframes))
 }
 
 func fail(err error) {

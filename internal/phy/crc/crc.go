@@ -78,15 +78,31 @@ func (k Kind) AppendBits(msg []uint8) []uint8 {
 
 // CheckBits reports whether data, interpreted as message||checksum,
 // carries a consistent CRC. It returns false for inputs shorter than the
-// checksum itself.
+// checksum itself. It compares the shift register directly against the
+// trailing checksum bits, so it performs no allocation — it runs once per
+// decoded block on the receiver hot path.
 func (k Kind) CheckBits(data []uint8) bool {
-	n := len(data) - k.Bits()
+	p := table[k]
+	n := len(data) - p.bits
 	if n < 0 {
 		return false
 	}
-	got := k.ComputeBits(data[:n])
-	for i, b := range got {
-		if b != data[n+i] {
+	var reg uint32
+	top := uint32(1) << (p.bits - 1)
+	mask := (uint32(1) << p.bits) - 1
+	for _, b := range data[:n] {
+		fb := (reg&top != 0) != (b != 0)
+		reg = (reg << 1) & mask
+		if fb {
+			reg ^= p.poly
+		}
+	}
+	for i := 0; i < p.bits; i++ {
+		var want uint8
+		if reg&(uint32(1)<<(p.bits-1-i)) != 0 {
+			want = 1
+		}
+		if data[n+i] != want {
 			return false
 		}
 	}

@@ -1,0 +1,107 @@
+package fft
+
+import (
+	"math/rand"
+	"testing"
+
+	"ltephy/internal/phy/workspace"
+)
+
+// TestInterleavedLengths pins the scratch-pool safety audit (ISSUE 1
+// satellite): transforms of many different lengths — mixed-radix and
+// Bluestein — interleaved on a single goroutine must not contaminate each
+// other through pooled scratch. The pools are per-plan, and sub-level
+// recursion slices the plan-length buffer down to the sublength it needs;
+// a cross-length reuse bug would show up here as a wrong result on the
+// second or later pass over the sizes.
+func TestInterleavedLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sizes := []int{2400, 12, 97, 1024, 31, 300, 199, 60, 625, 144}
+	srcs := make([][]complex128, len(sizes))
+	wants := make([][]complex128, len(sizes))
+	for i, n := range sizes {
+		srcs[i] = randVec(rng, n)
+		wants[i] = naiveDFT(srcs[i])
+	}
+	const tol = 1e-8
+	// Three passes so every plan's pool has warm buffers from prior,
+	// differently-sized neighbours by the time it runs again.
+	for pass := 0; pass < 3; pass++ {
+		for i, n := range sizes {
+			dst := make([]complex128, n)
+			Get(n).Forward(dst, srcs[i])
+			if d := maxAbsDiff(dst, wants[i]); d > tol*float64(n) {
+				t.Fatalf("pass %d n=%d: max |fft-naive| = %g", pass, n, d)
+			}
+		}
+	}
+}
+
+// TestArenaMatchesPool verifies the arena-backed ...In transforms are
+// bit-identical to the pool-backed ones, for both directions, across all
+// structural cases (including in-place calls).
+func TestArenaMatchesPool(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ws := workspace.New()
+	for _, n := range testSizes {
+		p := Get(n)
+		src := randVec(rng, n)
+
+		fwdPool := make([]complex128, n)
+		p.Forward(fwdPool, src)
+		fwdArena := make([]complex128, n)
+		m := ws.Mark()
+		p.ForwardIn(ws, fwdArena, src)
+		ws.Release(m)
+		for i := range fwdPool {
+			if fwdPool[i] != fwdArena[i] {
+				t.Fatalf("n=%d forward: arena path diverges at bin %d: %v vs %v",
+					n, i, fwdPool[i], fwdArena[i])
+			}
+		}
+
+		invPool := make([]complex128, n)
+		p.Inverse(invPool, fwdPool)
+		invArena := make([]complex128, n)
+		m = ws.Mark()
+		p.InverseIn(ws, invArena, fwdArena)
+		ws.Release(m)
+		for i := range invPool {
+			if invPool[i] != invArena[i] {
+				t.Fatalf("n=%d inverse: arena path diverges at bin %d", n, i)
+			}
+		}
+
+		// In-place arena forward (exercises the aliasing copy path).
+		inPlace := append([]complex128(nil), src...)
+		m = ws.Mark()
+		p.ForwardIn(ws, inPlace, inPlace)
+		ws.Release(m)
+		for i := range fwdPool {
+			if fwdPool[i] != inPlace[i] {
+				t.Fatalf("n=%d in-place forward: arena path diverges at bin %d", n, i)
+			}
+		}
+	}
+}
+
+// TestArenaTransformZeroAlloc asserts the arena path performs no heap
+// allocation in steady state, for both a mixed-radix and a Bluestein size.
+func TestArenaTransformZeroAlloc(t *testing.T) {
+	ws := workspace.New()
+	for _, n := range []int{1200, 97} {
+		p := Get(n)
+		src := randVec(rand.New(rand.NewSource(3)), n)
+		dst := make([]complex128, n)
+		run := func() {
+			m := ws.Mark()
+			p.ForwardIn(ws, dst, src)
+			p.InverseIn(ws, dst, dst)
+			ws.Release(m)
+		}
+		run() // warm the arena
+		if allocs := testing.AllocsPerRun(50, run); allocs != 0 {
+			t.Errorf("n=%d: arena transform allocates %.1f times per run", n, allocs)
+		}
+	}
+}

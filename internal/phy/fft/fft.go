@@ -7,10 +7,23 @@
 // decomposition; any other length falls back to Bluestein's chirp-z
 // algorithm built on a power-of-two transform.
 //
-// A Plan precomputes twiddle factors and scratch storage for one length and
-// is safe for concurrent use by multiple goroutines as long as each call
-// supplies its own destination slice (the per-call scratch is allocated from
-// a pool).
+// A Plan precomputes twiddle factors and is safe for concurrent use by
+// multiple goroutines as long as each call supplies its own destination
+// slice. Per-call scratch comes from one of two sources: the ...In methods
+// (ForwardIn, InverseIn) draw it from a caller-supplied per-worker
+// workspace.Arena — the receiver hot path, zero-allocation in steady state
+// — while the plain Forward/Inverse draw from per-plan sync.Pools, the
+// fallback for callers without an arena.
+//
+// Scratch-pool safety audit (ISSUE 1 satellite): every sync.Pool here is a
+// field of the Plan (or its bluestein) it serves, so pooled buffers are
+// keyed by plan identity and two plans never exchange buffers, even for
+// the same length (Get memoises one Plan per length; a Bluestein plan's
+// power-of-two inner Plan is private to it). Within one plan the mixed-
+// radix recursion always slices the pooled plan-length buffer down to the
+// sublength it needs, so no stale length can leak across interleaved
+// transforms of different sizes on one goroutine. TestInterleavedLengths
+// pins this.
 package fft
 
 import (
@@ -18,6 +31,8 @@ import (
 	"math"
 	"math/bits"
 	"sync"
+
+	"ltephy/internal/phy/workspace"
 )
 
 // maxRadix is the largest prime factor handled by the mixed-radix path.
@@ -62,10 +77,16 @@ func (p *Plan) Len() int { return p.n }
 //	dst[k] = sum_j src[j] * exp(-2*pi*i*j*k/N)
 //
 // dst and src must both have length N. dst and src may be the same slice.
-func (p *Plan) Forward(dst, src []complex128) {
+// Scratch comes from the plan's pool; hot paths with a per-worker arena
+// should call ForwardIn instead.
+func (p *Plan) Forward(dst, src []complex128) { p.ForwardIn(nil, dst, src) }
+
+// ForwardIn is Forward with per-call scratch drawn from ws (zero heap
+// allocation in steady state). A nil ws falls back to the plan's pool.
+func (p *Plan) ForwardIn(ws *workspace.Arena, dst, src []complex128) {
 	p.checkLen(dst, src)
 	if !p.smooth {
-		p.blu.transform(dst, src, p)
+		p.blu.transform(ws, dst, src)
 		return
 	}
 	if p.n == 1 {
@@ -75,26 +96,30 @@ func (p *Plan) Forward(dst, src []complex128) {
 	// The recursion reads src with strides, so when dst aliases src the
 	// input must be copied first.
 	if &dst[0] == &src[0] {
-		tmp := p.getScratch()
-		copy(*tmp, src)
-		p.recurse(dst, *tmp, p.n, 1)
-		p.putScratch(tmp)
+		buf, m, tmp := p.getScratchIn(ws, p.n)
+		copy(buf, src)
+		p.recurse(ws, dst, buf, p.n, 1)
+		p.putScratchIn(ws, m, tmp)
 		return
 	}
-	p.recurse(dst, src, p.n, 1)
+	p.recurse(ws, dst, src, p.n, 1)
 }
 
 // Inverse computes the unnormalised-inverse DFT scaled by 1/N, i.e. the
 // exact inverse of Forward. dst and src may be the same slice.
-func (p *Plan) Inverse(dst, src []complex128) {
+func (p *Plan) Inverse(dst, src []complex128) { p.InverseIn(nil, dst, src) }
+
+// InverseIn is Inverse with per-call scratch drawn from ws. A nil ws falls
+// back to the plan's pool.
+func (p *Plan) InverseIn(ws *workspace.Arena, dst, src []complex128) {
 	p.checkLen(dst, src)
 	// IDFT(x) = conj(DFT(conj(x)))/N.
-	tmp := p.getScratch()
+	buf, m, tmp := p.getScratchIn(ws, p.n)
 	for i, v := range src {
-		(*tmp)[i] = cmplxConj(v)
+		buf[i] = cmplxConj(v)
 	}
-	p.Forward(dst, *tmp)
-	p.putScratch(tmp)
+	p.ForwardIn(ws, dst, buf)
+	p.putScratchIn(ws, m, tmp)
 	scale := 1 / float64(p.n)
 	for i, v := range dst {
 		dst[i] = complex(real(v)*scale, -imag(v)*scale)
@@ -131,9 +156,25 @@ func (p *Plan) checkLen(dst, src []complex128) {
 	}
 }
 
-func (p *Plan) getScratch() *[]complex128 { return p.scratch.Get().(*[]complex128) }
-func (p *Plan) putScratch(s *[]complex128) {
-	p.scratch.Put(s)
+// getScratchIn returns an n-element scratch buffer from the arena when one
+// is supplied, else from the plan's pool (n <= plan length always holds:
+// the recursion only shrinks). Exactly one of the returned mark/pointer is
+// meaningful; pass both to putScratchIn.
+func (p *Plan) getScratchIn(ws *workspace.Arena, n int) ([]complex128, workspace.Mark, *[]complex128) {
+	if ws != nil {
+		m := ws.Mark()
+		return ws.Complex(n), m, nil
+	}
+	tmp := p.scratch.Get().(*[]complex128)
+	return (*tmp)[:n], workspace.Mark{}, tmp
+}
+
+func (p *Plan) putScratchIn(ws *workspace.Arena, m workspace.Mark, tmp *[]complex128) {
+	if ws != nil {
+		ws.Release(m)
+		return
+	}
+	p.scratch.Put(tmp)
 }
 
 // recurse computes the DFT of the n elements src[0], src[stride],
@@ -146,7 +187,7 @@ func (p *Plan) putScratch(s *[]complex128) {
 //
 // where W_N = exp(-2*pi*i/N) and stride*n always equals the plan length N,
 // so the root twiddle table serves every level.
-func (p *Plan) recurse(dst, src []complex128, n, stride int) {
+func (p *Plan) recurse(ws *workspace.Arena, dst, src []complex128, n, stride int) {
 	if n == 1 {
 		dst[0] = src[0]
 		return
@@ -154,10 +195,10 @@ func (p *Plan) recurse(dst, src []complex128, n, stride int) {
 	r := smallestFactor(n)
 	m := n / r
 	for j := 0; j < r; j++ {
-		p.recurse(dst[j*m:(j+1)*m], src[j*stride:], m, stride*r)
+		p.recurse(ws, dst[j*m:(j+1)*m], src[j*stride:], m, stride*r)
 	}
 	if r == 2 {
-		// Specialised radix-2 butterfly: no inner sum loop.
+		// Specialised radix-2 butterfly: no inner sum loop, no scratch.
 		for k := 0; k < m; k++ {
 			a := dst[k]
 			b := dst[m+k] * p.tw[(k*stride)%p.n]
@@ -166,8 +207,7 @@ func (p *Plan) recurse(dst, src []complex128, n, stride int) {
 		}
 		return
 	}
-	tmp := p.getScratch()
-	buf := (*tmp)[:n]
+	buf, mk, tmp := p.getScratchIn(ws, n)
 	for q := 0; q < r; q++ {
 		base := q * m
 		for k := 0; k < m; k++ {
@@ -180,7 +220,7 @@ func (p *Plan) recurse(dst, src []complex128, n, stride int) {
 		}
 	}
 	copy(dst[:n], buf)
-	p.putScratch(tmp)
+	p.putScratchIn(ws, mk, tmp)
 }
 
 // twiddles returns exp(-2*pi*i*k/n) for k in [0, n).
@@ -273,38 +313,65 @@ func newBluestein(n int) *bluestein {
 	return b
 }
 
-func (b *bluestein) transform(dst, src []complex128, _ *Plan) {
-	xp := b.pool.Get().(*[]complex128)
-	yp := b.pool.Get().(*[]complex128)
-	x, y := *xp, *yp
-	for i := range x {
-		x[i] = 0
+func (b *bluestein) transform(ws *workspace.Arena, dst, src []complex128) {
+	var x, y []complex128
+	var mk workspace.Mark
+	var xp, yp *[]complex128
+	if ws != nil {
+		mk = ws.Mark()
+		x = ws.Complex(b.m)
+		y = ws.Complex(b.m)
+	} else {
+		xp = b.pool.Get().(*[]complex128)
+		yp = b.pool.Get().(*[]complex128)
+		x, y = *xp, *yp
+		for i := range x {
+			x[i] = 0
+		}
 	}
 	for k := 0; k < b.n; k++ {
 		x[k] = src[k] * b.a[k]
 	}
-	b.inner.Forward(y, x)
+	b.inner.ForwardIn(ws, y, x)
 	for i := range y {
 		y[i] *= b.bfft[i]
 	}
-	b.inner.Inverse(x, y)
+	b.inner.InverseIn(ws, x, y)
 	for k := 0; k < b.n; k++ {
 		dst[k] = x[k] * b.a[k]
 	}
-	b.pool.Put(xp)
-	b.pool.Put(yp)
+	if ws != nil {
+		ws.Release(mk)
+	} else {
+		b.pool.Put(xp)
+		b.pool.Put(yp)
+	}
 }
 
 // planCache memoises plans by length; Get is the concurrency-safe accessor
-// used across the receiver so repeated subframe sizes share twiddle tables.
-var planCache sync.Map // int -> *Plan
+// used across the receiver so repeated subframe sizes share twiddle
+// tables. RWMutex-guarded (not a sync.Map) so lookups don't box the key —
+// Get sits on the per-task hot path and must not allocate.
+var (
+	planMu    sync.RWMutex
+	planCache = map[int]*Plan{}
+)
 
 // Get returns a shared plan for length n, creating it on first use.
 func Get(n int) *Plan {
-	if v, ok := planCache.Load(n); ok {
-		return v.(*Plan)
+	planMu.RLock()
+	p := planCache[n]
+	planMu.RUnlock()
+	if p != nil {
+		return p
 	}
-	p := New(n)
-	actual, _ := planCache.LoadOrStore(n, p)
-	return actual.(*Plan)
+	p = New(n)
+	planMu.Lock()
+	if cached, ok := planCache[n]; ok {
+		p = cached
+	} else {
+		planCache[n] = p
+	}
+	planMu.Unlock()
+	return p
 }

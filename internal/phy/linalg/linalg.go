@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+
+	"ltephy/internal/phy/workspace"
 )
 
 // Matrix is a dense row-major complex matrix.
@@ -24,10 +26,17 @@ type Matrix struct {
 
 // NewMatrix returns a zero matrix of the given shape.
 func NewMatrix(rows, cols int) Matrix {
+	return NewMatrixIn(nil, rows, cols)
+}
+
+// NewMatrixIn returns a zero matrix whose backing storage comes from ws
+// (heap-allocated when ws is nil). The matrix is only valid until the
+// arena mark it was carved under is released.
+func NewMatrixIn(ws *workspace.Arena, rows, cols int) Matrix {
 	if rows < 0 || cols < 0 {
 		panic(fmt.Sprintf("linalg: invalid shape %dx%d", rows, cols))
 	}
-	return Matrix{Rows: rows, Cols: cols, Data: make([]complex128, rows*cols)}
+	return Matrix{Rows: rows, Cols: cols, Data: ws.Complex(rows * cols)}
 }
 
 // At returns the element at row r, column c.
@@ -97,12 +106,26 @@ func AddDiag(m *Matrix, v complex128) {
 // same shape as m and must not alias it. It returns an error when the
 // matrix is numerically singular.
 func InvertInto(dst *Matrix, m Matrix) error {
+	return InvertIntoScratch(dst, m, nil)
+}
+
+// InvertIntoScratch is InvertInto with caller-supplied elimination scratch
+// of at least Rows*Cols elements (it is overwritten). A nil or short
+// scratch is replaced by a fresh allocation, making InvertInto the
+// convenience form. The per-subcarrier solvers pass arena-backed scratch
+// so the inner loop stays allocation-free.
+func InvertIntoScratch(dst *Matrix, m Matrix, scratch []complex128) error {
 	n := m.Rows
 	if m.Cols != n || dst.Rows != n || dst.Cols != n {
 		panic("linalg: InvertInto shape mismatch")
 	}
 	// Augmented elimination on a scratch copy.
-	a := make([]complex128, n*n)
+	a := scratch
+	if len(a) < n*n {
+		a = make([]complex128, n*n)
+	} else {
+		a = a[:n*n]
+	}
 	copy(a, m.Data)
 	for i := range dst.Data {
 		dst.Data[i] = 0
@@ -159,22 +182,33 @@ func swapRows(a []complex128, n, r1, r2 int) {
 // concurrent use; each worker task owns its own workspace.
 type MMSEWorkspace struct {
 	ant, layers int
-	gram        Matrix // layers x layers
-	inv         Matrix // layers x layers
-	hh          Matrix // layers x ant (H^H)
+	gram        Matrix       // layers x layers
+	inv         Matrix       // layers x layers
+	hh          Matrix       // layers x ant (H^H)
+	elim        []complex128 // layers x layers elimination scratch
 }
 
 // NewMMSEWorkspace returns a workspace for ant receive antennas and the
 // given layer count.
 func NewMMSEWorkspace(ant, layers int) *MMSEWorkspace {
+	ws := NewMMSEWorkspaceIn(nil, ant, layers)
+	return &ws
+}
+
+// NewMMSEWorkspaceIn returns a workspace whose scratch matrices live in the
+// arena (heap when nil). Returned by value so arena-path callers can keep
+// it on their stack; it is valid only until the enclosing arena mark is
+// released.
+func NewMMSEWorkspaceIn(a *workspace.Arena, ant, layers int) MMSEWorkspace {
 	if ant < 1 || layers < 1 || layers > ant {
 		panic(fmt.Sprintf("linalg: invalid MMSE shape ant=%d layers=%d", ant, layers))
 	}
-	return &MMSEWorkspace{
+	return MMSEWorkspace{
 		ant: ant, layers: layers,
-		gram: NewMatrix(layers, layers),
-		inv:  NewMatrix(layers, layers),
-		hh:   NewMatrix(layers, ant),
+		gram: NewMatrixIn(a, layers, layers),
+		inv:  NewMatrixIn(a, layers, layers),
+		hh:   NewMatrixIn(a, layers, ant),
+		elim: a.Complex(layers * layers),
 	}
 }
 
@@ -188,7 +222,7 @@ func (w *MMSEWorkspace) Solve(dst *Matrix, h Matrix, nv float64) error {
 	}
 	GramInto(&w.gram, h)
 	AddDiag(&w.gram, complex(nv, 0))
-	if err := InvertInto(&w.inv, w.gram); err != nil {
+	if err := InvertIntoScratch(&w.inv, w.gram, w.elim); err != nil {
 		return err
 	}
 	h.ConjTransposeInto(&w.hh)

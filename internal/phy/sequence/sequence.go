@@ -152,18 +152,26 @@ func Gold(cinit uint32, n int) []uint8 {
 	if n < 0 {
 		panic(fmt.Sprintf("sequence: negative Gold length %d", n))
 	}
+	out := make([]uint8, n)
+	GoldInto(out, cinit)
+	return out
+}
+
+// GoldInto fills dst with the first len(dst) bits of the Gold sequence for
+// cinit — the allocation-free form of Gold for hot paths that reuse a
+// scratch buffer.
+func GoldInto(dst []uint8, cinit uint32) {
 	var x1, x2 uint32
 	x1 = 1
 	x2 = cinit & 0x7FFFFFFF
-	out := make([]uint8, n)
+	n := len(dst)
 	for i := 0; i < goldNc+n; i++ {
 		if i >= goldNc {
-			out[i-goldNc] = uint8((x1 ^ x2) & 1)
+			dst[i-goldNc] = uint8((x1 ^ x2) & 1)
 		}
 		n1 := ((x1 >> 3) ^ x1) & 1
 		n2 := ((x2 >> 3) ^ (x2 >> 2) ^ (x2 >> 1) ^ x2) & 1
 		x1 = (x1 >> 1) | (n1 << 30)
 		x2 = (x2 >> 1) | (n2 << 30)
 	}
-	return out
 }

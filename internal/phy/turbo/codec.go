@@ -1,6 +1,10 @@
 package turbo
 
-import "fmt"
+import (
+	"fmt"
+
+	"ltephy/internal/phy/workspace"
+)
 
 // nStates is the constituent RSC encoder state count: 8 states from the
 // 3-bit shift register of g0 = 1+D^2+D^3 (octal 13), g1 = 1+D+D^3 (15).
@@ -124,6 +128,17 @@ func (c *Codec) Decode(llr []float64, iterations int) []uint8 {
 // only on the blocks that need them. It returns the info bits and the
 // number of full iterations executed.
 func (c *Codec) DecodeEarlyStop(llr []float64, iterations int, check func([]uint8) bool) ([]uint8, int) {
+	return c.DecodeEarlyStopIn(nil, llr, iterations, check)
+}
+
+// DecodeEarlyStopIn is DecodeEarlyStop with all working state — trellis
+// metrics, extrinsics, and the two alternating hard-decision buffers —
+// drawn from ws (heap-allocated when ws is nil). The returned bit slice is
+// arena-backed: it is valid only until the caller releases the arena mark
+// enclosing this call, so callers must copy it out first. The check
+// callback likewise must not retain its argument, which is overwritten on
+// the next iteration.
+func (c *Codec) DecodeEarlyStopIn(ws *workspace.Arena, llr []float64, iterations int, check func([]uint8) bool) ([]uint8, int) {
 	if len(llr) != CodedLen(c.k) {
 		panic(fmt.Sprintf("turbo: Decode got %d LLRs, want %d", len(llr), CodedLen(c.k)))
 	}
@@ -142,38 +157,39 @@ func (c *Codec) DecodeEarlyStop(llr []float64, iterations int, check func([]uint
 	t2sys := [3]float64{tails[6], tails[8], tails[10]}
 	t2par := [3]float64{tails[7], tails[9], tails[11]}
 
-	d := newDecoderState(k)
+	d := newDecoderState(ws, k)
 	// Interleaved systematic LLRs for the second constituent decoder.
 	permute(d.sysIlv, sys, c.il.perm)
 
-	decide := func() []uint8 {
-		// Total LLR in natural order with the current extrinsics.
-		permute(d.apr1, d.ext2, c.il.inv)
-		info := make([]uint8, k)
-		for i := 0; i < k; i++ {
-			if sys[i]+d.ext1[i]+d.apr1[i] < 0 {
-				info[i] = 1
-			}
-		}
-		return info
-	}
-
-	var prev []uint8
+	// Two alternating hard-decision buffers instead of one fresh slice per
+	// iteration: cur holds this iteration's decisions, prev the previous
+	// iteration's for the stability test.
+	cur := ws.Bytes(k)
+	prev := ws.Bytes(k)
+	havePrev := false
 	ran := 0
 	for it := 0; it < iterations; it++ {
 		// Half-iteration 1: apriori = deinterleaved extrinsic from dec 2.
 		permute(d.apr1, d.ext2, c.il.inv)
-		maxLogMAP(d, sys, p1, d.apr1, t1sys, t1par, d.ext1)
+		maxLogMAP(&d, sys, p1, d.apr1, t1sys, t1par, d.ext1)
 		// Half-iteration 2 on interleaved order.
 		permute(d.apr2, d.ext1, c.il.perm)
-		maxLogMAP(d, d.sysIlv, p2, d.apr2, t2sys, t2par, d.ext2)
+		maxLogMAP(&d, d.sysIlv, p2, d.apr2, t2sys, t2par, d.ext2)
 		ran = it + 1
 
-		cur := decide()
+		// Total LLR in natural order with the current extrinsics.
+		permute(d.apr1, d.ext2, c.il.inv)
+		for i := 0; i < k; i++ {
+			if sys[i]+d.ext1[i]+d.apr1[i] < 0 {
+				cur[i] = 1
+			} else {
+				cur[i] = 0
+			}
+		}
 		if check != nil && check(cur) {
 			return cur, ran
 		}
-		if prev != nil {
+		if havePrev {
 			stable := true
 			for i := range cur {
 				if cur[i] != prev[i] {
@@ -185,11 +201,10 @@ func (c *Codec) DecodeEarlyStop(llr []float64, iterations int, check func([]uint
 				return cur, ran
 			}
 		}
-		prev = cur
+		cur, prev = prev, cur
+		havePrev = true
 	}
-	if prev == nil {
-		prev = decide()
-	}
+	// iterations >= 1, so prev holds the latest decisions after the swap.
 	return prev, ran
 }
 
@@ -204,19 +219,22 @@ type decoderState struct {
 	gamma1      []float64
 }
 
-func newDecoderState(k int) *decoderState {
+// newDecoderState carves the working buffers from ws (heap when nil). All
+// buffers come back zeroed either way — required: ext2 is read (as the
+// initial apriori) before the first half-iteration writes it.
+func newDecoderState(ws *workspace.Arena, k int) decoderState {
 	n := k + 4 // info steps + 3 tail steps + terminal column
-	return &decoderState{
+	return decoderState{
 		k:      k,
-		sysIlv: make([]float64, k),
-		apr1:   make([]float64, k),
-		apr2:   make([]float64, k),
-		ext1:   make([]float64, k),
-		ext2:   make([]float64, k),
-		alpha:  make([]float64, n*nStates),
-		beta:   make([]float64, n*nStates),
-		gamma0: make([]float64, (k+3)*nStates),
-		gamma1: make([]float64, (k+3)*nStates),
+		sysIlv: ws.Float(k),
+		apr1:   ws.Float(k),
+		apr2:   ws.Float(k),
+		ext1:   ws.Float(k),
+		ext2:   ws.Float(k),
+		alpha:  ws.Float(n * nStates),
+		beta:   ws.Float(n * nStates),
+		gamma0: ws.Float((k + 3) * nStates),
+		gamma1: ws.Float((k + 3) * nStates),
 	}
 }
 

@@ -148,21 +148,36 @@ type interleaver struct {
 	inv  []int32
 }
 
-var ilvCache sync.Map // int -> *interleaver
+// ilvCache is guarded by an RWMutex rather than a sync.Map: Load on a
+// sync.Map boxes the int key, allocating on every cache hit, which the
+// allocation-free decode hot path cannot afford.
+var (
+	ilvMu    sync.RWMutex
+	ilvCache = map[int]*interleaver{}
+)
 
 func getInterleaver(k int) *interleaver {
-	if v, ok := ilvCache.Load(k); ok {
-		return v.(*interleaver)
+	ilvMu.RLock()
+	il := ilvCache[k]
+	ilvMu.RUnlock()
+	if il != nil {
+		return il
 	}
 	f1, f2 := qppParams(k)
-	il := &interleaver{k: k, perm: make([]int32, k), inv: make([]int32, k)}
+	il = &interleaver{k: k, perm: make([]int32, k), inv: make([]int32, k)}
 	for i := 0; i < k; i++ {
 		p := qppIndex(i, f1, f2, k)
 		il.perm[i] = int32(p)
 		il.inv[p] = int32(i)
 	}
-	actual, _ := ilvCache.LoadOrStore(k, il)
-	return actual.(*interleaver)
+	ilvMu.Lock()
+	if cached, ok := ilvCache[k]; ok {
+		il = cached
+	} else {
+		ilvCache[k] = il
+	}
+	ilvMu.Unlock()
+	return il
 }
 
 // permute writes src read through the permutation into dst:

@@ -50,20 +50,34 @@ type RateMatcher struct {
 	wToCode []int32
 }
 
-var rmCache sync.Map // int -> *RateMatcher
+// rmCache is RWMutex-guarded (not a sync.Map) so cache hits don't box the
+// key and stay allocation-free.
+var (
+	rmMu    sync.RWMutex
+	rmCache = map[int]*RateMatcher{}
+)
 
 // NewRateMatcher returns the (cached) rate matcher for info size k, which
 // must be a valid interleaver size.
 func NewRateMatcher(k int) (*RateMatcher, error) {
-	if v, ok := rmCache.Load(k); ok {
-		return v.(*RateMatcher), nil
+	rmMu.RLock()
+	rm := rmCache[k]
+	rmMu.RUnlock()
+	if rm != nil {
+		return rm, nil
 	}
 	if _, err := NewCodec(k); err != nil {
 		return nil, err
 	}
-	rm := buildRateMatcher(k)
-	actual, _ := rmCache.LoadOrStore(k, rm)
-	return actual.(*RateMatcher), nil
+	rm = buildRateMatcher(k)
+	rmMu.Lock()
+	if cached, ok := rmCache[k]; ok {
+		rm = cached
+	} else {
+		rmCache[k] = rm
+	}
+	rmMu.Unlock()
+	return rm, nil
 }
 
 func buildRateMatcher(k int) *RateMatcher {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ltephy/internal/phy/crc"
+	"ltephy/internal/phy/workspace"
 )
 
 // Segmentation implements code block segmentation (TS 36.212 §5.1.2): a
@@ -23,6 +24,10 @@ type Segmentation struct {
 
 // blockCRC is the per-code-block checksum used when C > 1.
 const blockCRCBits = 24
+
+// crc24bCheck is the early-termination callback as a package-level func,
+// so the per-block decode loop doesn't materialise a method value.
+var crc24bCheck = func(bits []uint8) bool { return crc.CRC24B.CheckBits(bits) }
 
 // NewSegmentation plans segmentation for a transport block of b bits
 // (which should already include the transport-block CRC24A).
@@ -155,11 +160,23 @@ func (s *Segmentation) DecodeMother(mother []float64, iterations int) (tb []uint
 // DecodeRM de-rate-matches e soft values (redundancy version rv) and
 // decodes. ok reports per-block CRC24B results as in Decode.
 func (s *Segmentation) DecodeRM(llr []float64, rv, iterations int) (tb []uint8, ok bool, err error) {
-	mother := make([]float64, s.MotherLen())
+	return s.DecodeRMInto(nil, nil, llr, rv, iterations)
+}
+
+// DecodeRMInto is DecodeRM with the mother soft buffer and decoder state
+// drawn from ws, appending the transport block to dst (which may be nil; a
+// reused dst[:0] keeps the hot path allocation-free). The mother buffer
+// must start zeroed because AccumulateRM adds into it — arena grabs are,
+// like make, always zeroed.
+func (s *Segmentation) DecodeRMInto(dst []uint8, ws *workspace.Arena, llr []float64, rv, iterations int) (tb []uint8, ok bool, err error) {
+	m := ws.Mark()
+	mother := ws.Float(s.MotherLen())
 	if err := s.AccumulateRM(mother, llr, rv); err != nil {
+		ws.Release(m)
 		return nil, false, err
 	}
-	tb, ok = s.Decode(mother, iterations)
+	tb, ok = s.DecodeInto(dst, ws, mother, iterations)
+	ws.Release(m)
 	return tb, ok, nil
 }
 
@@ -167,20 +184,34 @@ func (s *Segmentation) DecodeRM(llr []float64, rv, iterations int) (tb []uint8, 
 // ok reports whether every per-block CRC24B verified (always true when
 // C == 1, where no per-block CRC exists).
 func (s *Segmentation) Decode(llr []float64, iterations int) (tb []uint8, ok bool) {
+	return s.DecodeInto(nil, nil, llr, iterations)
+}
+
+// DecodeInto is Decode with per-block decoder state drawn from ws (heap
+// when nil), appending the decoded transport block to dst. The returned
+// slice is dst's backing memory (grown as needed), never arena memory:
+// decoded bits outlive the per-call scratch. Each code block's state is
+// released before the next begins, so peak arena use is one block's
+// trellis regardless of C.
+func (s *Segmentation) DecodeInto(dst []uint8, ws *workspace.Arena, llr []float64, iterations int) (tb []uint8, ok bool) {
 	if len(llr) != s.CodedLen() {
 		panic(fmt.Sprintf("turbo: got %d LLRs, want %d", len(llr), s.CodedLen()))
 	}
 	ok = true
-	tb = make([]uint8, 0, s.B)
+	if cap(dst) == 0 {
+		dst = make([]uint8, 0, s.B)
+	}
+	tb = dst
 	per := CodedLen(s.K)
 	for c := 0; c < s.C; c++ {
 		var check func([]uint8) bool
 		if s.PerCRC {
 			// CRC-aided early termination: stop iterating the moment the
 			// block verifies.
-			check = crc.CRC24B.CheckBits
+			check = crc24bCheck
 		}
-		block, _ := s.codec.DecodeEarlyStop(llr[c*per:(c+1)*per], iterations, check)
+		m := ws.Mark()
+		block, _ := s.codec.DecodeEarlyStopIn(ws, llr[c*per:(c+1)*per], iterations, check)
 		if s.PerCRC {
 			if !crc.CRC24B.CheckBits(block) {
 				ok = false
@@ -191,6 +222,7 @@ func (s *Segmentation) Decode(llr []float64, iterations int) (tb []uint8, ok boo
 			block = block[s.Fill:]
 		}
 		tb = append(tb, block...)
+		ws.Release(m)
 	}
 	return tb, ok
 }

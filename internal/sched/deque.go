@@ -9,12 +9,18 @@
 // Eqs. 1-2 activity metric can be computed.
 package sched
 
-import "sync"
+import (
+	"sync"
+
+	"ltephy/internal/phy/workspace"
+)
 
 // Task is one unit of schedulable work. Tasks must not block; stage
 // barriers are implemented by the user-thread loop (helpWait), never
-// inside a task.
-type Task func()
+// inside a task. The argument is the executing worker's scratch arena —
+// a stolen task draws scratch from the thief, never from the worker that
+// spawned it.
+type Task func(ws *workspace.Arena)
 
 // deque is a double-ended task queue: the owning worker pushes and pops at
 // the bottom (LIFO, cache-friendly), thieves steal from the top (FIFO,

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ltephy/internal/phy/workspace"
 	"ltephy/internal/rng"
 	"ltephy/internal/uplink"
 )
@@ -86,6 +87,10 @@ type worker struct {
 	pool  *Pool
 	local taskDeque
 	r     *rng.RNG
+	// ws is the worker-owned scratch arena. Only this worker's goroutine
+	// touches it — every task the worker executes (its own or stolen)
+	// draws scratch from here, so no locking is ever needed.
+	ws *workspace.Arena
 	stats struct {
 		tasksRun     atomic.Int64
 		usersStarted atomic.Int64
@@ -112,7 +117,7 @@ func NewPool(cfg Config) (*Pool, error) {
 	seeds := rng.New(cfg.Seed)
 	p.workers = make([]*worker, cfg.Workers)
 	for i := range p.workers {
-		w := &worker{id: i, pool: p, r: seeds.Split()}
+		w := &worker{id: i, pool: p, r: seeds.Split(), ws: workspace.New()}
 		if cfg.LockFreeDeque {
 			w.local = newCLDeque()
 		} else {
@@ -178,6 +183,19 @@ func (p *Pool) Close() {
 	p.Drain()
 	p.closed.Store(true)
 	p.wg.Wait()
+}
+
+// ArenaFootprints reports the backing memory each worker's scratch arena
+// has accumulated. Arenas grow to the high-water mark of the largest jobs
+// they serve and are never trimmed, so after warm-up these are steady.
+// Only call while the pool is quiescent (drained or closed): the counters
+// are read without synchronisation against the worker goroutines.
+func (p *Pool) ArenaFootprints() []int {
+	out := make([]int, len(p.workers))
+	for i, w := range p.workers {
+		out[i] = w.ws.Footprint()
+	}
+	return out
 }
 
 // Stats returns a snapshot of per-worker counters.
@@ -283,14 +301,23 @@ func (w *worker) trySteal() (Task, bool) {
 
 func (w *worker) runTask(t Task) {
 	start := time.Now()
-	t()
+	t(w.ws)
 	w.stats.busyNanos.Add(time.Since(start).Nanoseconds())
 	w.stats.tasksRun.Add(1)
 }
 
-// processUser is the user-thread role (paper Section IV-C): spawn channel-
-// estimation tasks, help until the stage completes, run the serial weight
-// computation, spawn data tasks, help again, then run the backend.
+// processUser is the user-thread role (paper Section IV-C): initialise the
+// job, then walk its Stages() — parallel stages are spawned onto the local
+// deque and helped to completion, serial (single-task) stages run inline.
+//
+// Arena discipline: the job-lifetime buffers are carved from THIS worker's
+// arena under a mark taken here, and released only after the result has
+// been delivered. Tasks stolen by other workers write into those buffers
+// (memory is just memory) but draw their own transient scratch from the
+// thief's arena. While helping, this worker only ever executes stage
+// tasks (its own or stolen), never another processUser — users are picked
+// up solely from the global queue in run() — so every nested Mark/Release
+// brackets a single task and the stack discipline holds trivially.
 func (w *worker) processUser(qu *queuedUser) {
 	w.stats.usersStarted.Add(1)
 	defer func() {
@@ -301,46 +328,49 @@ func (w *worker) processUser(qu *queuedUser) {
 	}()
 
 	start := time.Now()
-	job, err := uplink.NewUserJob(w.pool.cfg.Receiver, qu.data)
-	if err != nil {
+	m := w.ws.Mark()
+	// A fresh job per user: results escape through OnResult, and a reused
+	// job would recycle the previous result's payload storage.
+	job := &uplink.UserJob{}
+	if err := job.Init(w.ws, w.pool.cfg.Receiver, qu.data); err != nil {
 		// Malformed input is a caller bug; surface it loudly rather than
 		// silently dropping the user.
 		panic(fmt.Sprintf("sched: worker %d: %v", w.id, err))
 	}
 	w.stats.busyNanos.Add(time.Since(start).Nanoseconds())
 
-	// Stage 1: channel estimation across antennas x layers.
-	w.runStage(job.NumChanEstTasks(), job.ChanEstTask)
+	for _, s := range job.Stages() {
+		n := s.Tasks(job)
+		if n == 1 {
+			// Serial stage (weights, backend): run inline, no spawn.
+			start = time.Now()
+			s.Run(w.ws, job, 0)
+			w.stats.busyNanos.Add(time.Since(start).Nanoseconds())
+			continue
+		}
+		w.runStage(n, s, job)
+	}
 
-	// Stage 2: serial combiner weights.
-	start = time.Now()
-	job.ComputeWeights()
-	w.stats.busyNanos.Add(time.Since(start).Nanoseconds())
-
-	// Stage 3: antenna combining + despread across symbols x layers.
-	w.runStage(job.NumDataTasks(), job.DataTask)
-
-	// Stage 4: serial backend.
-	start = time.Now()
-	res := job.Finish()
+	res := job.Result()
 	res.Seq = qu.seq
-	w.stats.busyNanos.Add(time.Since(start).Nanoseconds())
 	if w.pool.cfg.OnResult != nil {
 		w.pool.cfg.OnResult(res)
 	}
+	w.ws.Release(m)
 }
 
-// runStage pushes n tasks onto the local deque, processes/helps until all
-// have completed, stealing from others while waiting (the paper: "the user
-// thread waits until the results from all tasks become available" while
-// other workers may still hold stolen tasks).
-func (w *worker) runStage(n int, fn func(int)) {
+// runStage pushes the stage's n tasks onto the local deque, then
+// processes/helps until all have completed, stealing from others while
+// waiting (the paper: "the user thread waits until the results from all
+// tasks become available" while other workers may still hold stolen
+// tasks). Each task runs against the executing worker's arena.
+func (w *worker) runStage(n int, s uplink.Stage, job *uplink.UserJob) {
 	var remaining atomic.Int64
 	remaining.Store(int64(n))
 	for i := 0; i < n; i++ {
 		i := i
-		w.local.push(func() {
-			fn(i)
+		w.local.push(func(ws *workspace.Arena) {
+			s.Run(ws, job, i)
 			remaining.Add(-1)
 		})
 	}

@@ -9,6 +9,7 @@ import (
 
 	"ltephy/internal/params"
 	"ltephy/internal/phy/modulation"
+	"ltephy/internal/phy/workspace"
 	"ltephy/internal/power"
 	"ltephy/internal/uplink"
 )
@@ -18,14 +19,14 @@ func TestDequeLIFOAndFIFO(t *testing.T) {
 	order := []int{}
 	for i := 0; i < 5; i++ {
 		i := i
-		d.push(func() { order = append(order, i) })
+		d.push(func(*workspace.Arena) { order = append(order, i) })
 	}
 	// Owner pops newest first.
 	ta, _ := d.pop()
-	ta()
+	ta(nil)
 	// Thief steals oldest first.
 	tb, _ := d.steal()
-	tb()
+	tb(nil)
 	if order[0] != 4 || order[1] != 0 {
 		t.Errorf("pop/steal order = %v, want [4 0]", order)
 	}
@@ -49,7 +50,7 @@ func TestDequeConcurrentStealing(t *testing.T) {
 	const n = 10000
 	var ran atomic.Int64
 	for i := 0; i < n; i++ {
-		d.push(func() { ran.Add(1) })
+		d.push(func(*workspace.Arena) { ran.Add(1) })
 	}
 	var wg sync.WaitGroup
 	for g := 0; g < 4; g++ {
@@ -67,7 +68,7 @@ func TestDequeConcurrentStealing(t *testing.T) {
 				if !ok {
 					return
 				}
-				task()
+				task(nil)
 			}
 		}(g == 0)
 	}
@@ -81,7 +82,7 @@ func TestDequeCompaction(t *testing.T) {
 	var d deque
 	for round := 0; round < 10; round++ {
 		for i := 0; i < 200; i++ {
-			d.push(func() {})
+			d.push(func(*workspace.Arena) {})
 		}
 		for i := 0; i < 200; i++ {
 			if _, ok := d.steal(); !ok {
@@ -551,5 +552,47 @@ func TestNativeWorkloadScaling(t *testing.T) {
 	// overheads bend it; host jitter widens it further).
 	if ratio < 2 || ratio > 8 {
 		t.Errorf("busy(16 PRB)/busy(4 PRB) = %.2f, want roughly linear (~4)", ratio)
+	}
+}
+
+// TestVerifyArenaPathAllVariants pins the per-worker arena refactor
+// (ISSUE 1): the same trace through the serial reference (one shared
+// arena) and the work-stealing pool (one arena per worker, tasks stealing
+// across arenas) must stay bit-identical, across every estimator/combiner
+// stage the registries offer and the full turbo backend. Run under -race
+// this also proves no two workers ever touch the same arena.
+func TestVerifyArenaPathAllVariants(t *testing.T) {
+	variants := []struct {
+		name string
+		mut  func(*uplink.ReceiverConfig)
+	}{
+		{"mmse", func(rc *uplink.ReceiverConfig) {}},
+		{"zf", func(rc *uplink.ReceiverConfig) { rc.Combiner = uplink.CombinerZF }},
+		{"mrc", func(rc *uplink.ReceiverConfig) { rc.Combiner = uplink.CombinerMRC }},
+		{"irc-ls", func(rc *uplink.ReceiverConfig) {
+			rc.Combiner = uplink.CombinerIRC
+			rc.ChanEst = uplink.ChanEstLS
+		}},
+		{"estnoise-cfo-scramble", func(rc *uplink.ReceiverConfig) {
+			rc.EstimateNoise = true
+			rc.CorrectCFO = true
+			rc.Scramble = true
+		}},
+		{"turbofull-rm", func(rc *uplink.ReceiverConfig) {
+			rc.Turbo = uplink.TurboFull
+			rc.CodeRate = 0.5
+			rc.TurboIterations = 4
+		}},
+	}
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			poolCfg := DefaultPoolConfig()
+			poolCfg.Workers = 8
+			v.mut(&poolCfg.Receiver)
+			if err := Verify(poolCfg, testDispatcherConfig(), smallTrace(t, 12)); err != nil {
+				t.Fatal(err)
+			}
+		})
 	}
 }

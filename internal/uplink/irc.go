@@ -4,6 +4,7 @@ import (
 	"math/cmplx"
 
 	"ltephy/internal/phy/linalg"
+	"ltephy/internal/phy/workspace"
 )
 
 // Interference rejection combining: instead of assuming white noise, the
@@ -13,16 +14,16 @@ import (
 // into the combiner. Classic eNodeB practice; an extension over the
 // paper's pipeline (DESIGN.md §5).
 
-// estimateCovariance returns the band-averaged A x A residual covariance
+// estimateCovariance computes the band-averaged A x A residual covariance
 //
 //	R = mean_k e(k) e(k)^H,  e(k) = y_ref(k) - H_est(k) r(k)
 //
-// over both slots, diagonally loaded with the working noise variance so R
-// stays invertible even in interference-free conditions.
-func (j *UserJob) estimateCovariance() linalg.Matrix {
+// over both slots into r, diagonally loaded with the working noise
+// variance so R stays invertible even in interference-free conditions.
+// r must arrive zeroed (arena grabs and fresh matrices both are); e is
+// an antennas-sized scratch vector.
+func (j *UserJob) estimateCovariance(r *linalg.Matrix, e []complex128) {
 	ant := j.Cfg.Antennas
-	r := linalg.NewMatrix(ant, ant)
-	e := make([]complex128, ant)
 	count := 0
 	for slot := 0; slot < SlotsPerSubframe; slot++ {
 		hs := j.hest[slot]
@@ -47,49 +48,53 @@ func (j *UserJob) estimateCovariance() linalg.Matrix {
 		r.Data[i] *= scale
 	}
 	// Diagonal loading: never trust the residual completely.
-	linalg.AddDiag(&r, complex(j.nv*0.1+1e-9, 0))
-	return r
+	linalg.AddDiag(r, complex(j.nv*0.1+1e-9, 0))
 }
 
 // computeIRCWeights fills the weight buffers with the whitened MMSE
-// solution W = (H^H R^{-1} H + I)^{-1} H^H R^{-1}.
-func (j *UserJob) computeIRCWeights() {
+// solution W = (H^H R^{-1} H + I)^{-1} H^H R^{-1}. All working matrices
+// come from the arena (heap when nil) and are released before returning.
+func (j *UserJob) computeIRCWeights(a *workspace.Arena) {
 	ant := j.Cfg.Antennas
-	rcov := j.estimateCovariance()
-	rinv := linalg.NewMatrix(ant, ant)
-	if err := linalg.InvertInto(&rinv, rcov); err != nil {
+	m := a.Mark()
+	rcov := linalg.NewMatrixIn(a, ant, ant)
+	j.estimateCovariance(&rcov, a.Complex(ant))
+	rinv := linalg.NewMatrixIn(a, ant, ant)
+	// Elimination scratch shared by both inversions (ant >= layers).
+	elim := a.Complex(ant * ant)
+	if err := linalg.InvertIntoScratch(&rinv, rcov, elim); err != nil {
 		// Degenerate covariance (all-zero input): fall back to identity
 		// whitening, i.e. plain MMSE behaviour.
 		for i := range rinv.Data {
 			rinv.Data[i] = 0
 		}
-		for a := 0; a < ant; a++ {
-			rinv.Set(a, a, 1)
+		for ai := 0; ai < ant; ai++ {
+			rinv.Set(ai, ai, 1)
 		}
 	}
 
-	h := linalg.NewMatrix(ant, j.layers)
-	hh := linalg.NewMatrix(j.layers, ant)
-	b := linalg.NewMatrix(ant, j.layers)
-	g := linalg.NewMatrix(j.layers, j.layers)
-	ginv := linalg.NewMatrix(j.layers, j.layers)
-	bh := linalg.NewMatrix(j.layers, ant)
-	w := linalg.NewMatrix(j.layers, ant)
+	h := linalg.NewMatrixIn(a, ant, j.layers)
+	hh := linalg.NewMatrixIn(a, j.layers, ant)
+	b := linalg.NewMatrixIn(a, ant, j.layers)
+	g := linalg.NewMatrixIn(a, j.layers, j.layers)
+	ginv := linalg.NewMatrixIn(a, j.layers, j.layers)
+	bh := linalg.NewMatrixIn(a, j.layers, ant)
+	w := linalg.NewMatrixIn(a, j.layers, ant)
 
 	for slot := 0; slot < SlotsPerSubframe; slot++ {
 		hs := j.hest[slot]
 		out := j.weights[slot]
 		for k := 0; k < j.n; k++ {
-			for a := 0; a < ant; a++ {
+			for ai := 0; ai < ant; ai++ {
 				for l := 0; l < j.layers; l++ {
-					h.Set(a, l, hs[(a*j.layers+l)*j.n+k])
+					h.Set(ai, l, hs[(ai*j.layers+l)*j.n+k])
 				}
 			}
 			linalg.MulInto(&b, rinv, h) // R^{-1} H
 			h.ConjTransposeInto(&hh)
 			linalg.MulInto(&g, hh, b) // H^H R^{-1} H
 			linalg.AddDiag(&g, 1)
-			if err := linalg.InvertInto(&ginv, g); err != nil {
+			if err := linalg.InvertIntoScratch(&ginv, g, elim); err != nil {
 				for i := range w.Data {
 					w.Data[i] = 0
 				}
@@ -100,4 +105,5 @@ func (j *UserJob) computeIRCWeights() {
 			copy(out[(k*j.layers)*ant:(k*j.layers+j.layers)*ant], w.Data)
 		}
 	}
+	a.Release(m)
 }

@@ -3,24 +3,40 @@ package uplink
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"ltephy/internal/phy/fft"
 	"ltephy/internal/phy/linalg"
 	"ltephy/internal/phy/sequence"
+	"ltephy/internal/phy/workspace"
 )
 
 // UserJob carries the intermediate state for processing one user in one
 // subframe and exposes the stage/task structure the paper parallelises
 // (Section III and Fig. 5):
 //
-//	stage 1: ChanEstTask(i), i in [0, NumChanEstTasks())  — independent
-//	stage 2: ComputeWeights()                             — serial
-//	stage 3: DataTask(i), i in [0, NumDataTasks())        — independent
-//	stage 4: Finish()                                     — serial
+//	stage 1: channel estimation, NumChanEstTasks() tasks — independent
+//	stage 2: combiner weights                            — serial
+//	stage 3: combine/despread, NumDataTasks() tasks      — independent
+//	stage 4: backend (demap/decode/CRC)                  — serial
+//
+// Stages() returns the pipeline as Stage values resolved through the
+// estimator/combiner registries; the per-method API (ChanEstTask,
+// ComputeWeights, DataTask, Finish) remains as a convenience wrapper over
+// the same kernels with heap-backed scratch.
 //
 // Tasks within a stage may run concurrently on different goroutines; the
 // stage boundaries are barriers the caller must enforce (the work-stealing
 // runtime in internal/sched does, and the serial receiver trivially does).
+//
+// Memory: a job initialised with Init(ws, ...) carves its job-lifetime
+// buffers (channel estimates, weights, combined symbols) from ws; they are
+// valid until the caller releases the mark enclosing the job. Per-task
+// scratch comes from the arena passed to each Stage.Run call — the
+// executing worker's, which need not be the one that owns the job's
+// buffers. Decoded payload bits are always heap memory (they outlive the
+// job), demapped soft bits live wherever the finish stage's arena puts
+// them.
 type UserJob struct {
 	Cfg ReceiverConfig
 	U   *UserData
@@ -29,7 +45,7 @@ type UserJob struct {
 	layers int
 	format TransportFormat
 
-	layerRef [][]complex128 // conj-ready per-layer DMRS, [layer][k]
+	layerRef [][]complex128 // conj-ready per-layer DMRS, [layer][k]; shared, read-only
 
 	// hest[slot][(a*layers+l)*n + k]: per-slot channel estimates.
 	hest [SlotsPerSubframe][]complex128
@@ -41,61 +57,115 @@ type UserJob struct {
 
 	// nv is the noise variance the combiner and demapper use: the genie
 	// value from UserData, or (with Cfg.EstimateNoise) the slot-difference
-	// estimate computed in ComputeWeights.
+	// estimate computed in the weight stage.
 	nv float64
-	// softBits are the demapped (and descrambled) LLRs Finish produced —
-	// the input HARQ combining needs for retransmission soft-combining.
+	// softBits are the demapped (and descrambled) LLRs the finish stage
+	// produced — the input HARQ combining needs for retransmission
+	// soft-combining. Arena-backed when finish ran with an arena.
 	softBits []float64
 	// cfo is the estimated carrier frequency offset (fraction of the
-	// subcarrier spacing), resolved in ComputeWeights when Cfg.CorrectCFO.
+	// subcarrier spacing), resolved in the weight stage when Cfg.CorrectCFO.
 	cfo float64
+
+	// res is the finished result; bits is its reusable heap backing for the
+	// decoded payload. Re-initialising a job recycles bits, so a result's
+	// Bits are only valid until the job's next run — drivers that retain
+	// results (the pool's OnResult) use a fresh job per user.
+	res  UserResult
+	bits []uint8
 }
 
 // SoftBits returns the demapped, descrambled LLR stream of the whole
-// allocation. Valid after Finish; HARQProcess.Absorb consumes it.
+// allocation. Valid after the finish stage; HARQProcess.Absorb consumes
+// it. When the job ran on an arena the slice is arena-backed and must be
+// consumed before the job's scratch is released.
 func (j *UserJob) SoftBits() []float64 { return j.softBits }
 
-// NewUserJob validates inputs and allocates the job state.
+// Result returns the user result the finish stage produced.
+func (j *UserJob) Result() UserResult { return j.res }
+
+// dmrsCache shares the per-layer reference sequences across jobs: they are
+// a pure function of the allocation width, and user allocations repeat
+// heavily across subframes. Each entry holds all MaxLayers layers.
+// RWMutex-guarded so the per-job lookup doesn't box the key and stays
+// allocation-free.
+var (
+	dmrsMu    sync.RWMutex
+	dmrsCache = map[int][][]complex128{}
+)
+
+func layerRefs(n int) [][]complex128 {
+	dmrsMu.RLock()
+	refs := dmrsCache[n]
+	dmrsMu.RUnlock()
+	if refs != nil {
+		return refs
+	}
+	base := sequence.BaseDMRS(n)
+	refs = make([][]complex128, sequence.MaxLayers)
+	for l := range refs {
+		refs[l] = sequence.LayerDMRS(base, l)
+	}
+	dmrsMu.Lock()
+	if cached, ok := dmrsCache[n]; ok {
+		refs = cached
+	} else {
+		dmrsCache[n] = refs
+	}
+	dmrsMu.Unlock()
+	return refs
+}
+
+// NewUserJob validates inputs and allocates the job state on the heap.
 func NewUserJob(cfg ReceiverConfig, u *UserData) (*UserJob, error) {
-	if err := cfg.Validate(); err != nil {
+	j := &UserJob{}
+	if err := j.Init(nil, cfg, u); err != nil {
 		return nil, err
+	}
+	return j, nil
+}
+
+// Init (re)initialises the job for one user, carving the job-lifetime
+// buffers from ws (heap when nil). A zero-value or previously used UserJob
+// is valid; reuse keeps the hot path allocation-free but recycles the
+// previous result's payload storage.
+func (j *UserJob) Init(ws *workspace.Arena, cfg ReceiverConfig, u *UserData) error {
+	if err := cfg.Validate(); err != nil {
+		return err
 	}
 	if err := u.Params.Validate(); err != nil {
-		return nil, err
+		return err
 	}
 	if u.Params.Layers > cfg.Antennas {
-		return nil, fmt.Errorf("uplink: user %d: %d layers exceed %d antennas",
+		return fmt.Errorf("uplink: user %d: %d layers exceed %d antennas",
 			u.Params.ID, u.Params.Layers, cfg.Antennas)
 	}
 	if got := u.Antennas(); got != cfg.Antennas {
-		return nil, fmt.Errorf("uplink: user %d: data captured with %d antennas, receiver configured for %d",
+		return fmt.Errorf("uplink: user %d: data captured with %d antennas, receiver configured for %d",
 			u.Params.ID, got, cfg.Antennas)
 	}
 	n := u.Params.Subcarriers()
 	for slot := 0; slot < SlotsPerSubframe; slot++ {
 		for a := 0; a < cfg.Antennas; a++ {
 			if len(u.RefRx[slot][a]) != n {
-				return nil, fmt.Errorf("uplink: user %d: ref symbol slot %d antenna %d has %d subcarriers, want %d",
+				return fmt.Errorf("uplink: user %d: ref symbol slot %d antenna %d has %d subcarriers, want %d",
 					u.Params.ID, slot, a, len(u.RefRx[slot][a]), n)
 			}
 		}
 	}
-	format, err := NewTransportFormatRate(u.Params, cfg.Turbo, cfg.CodeRate)
+	format, err := cachedTransportFormat(u.Params, cfg.Turbo, cfg.CodeRate)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	j := &UserJob{Cfg: cfg, U: u, n: n, layers: u.Params.Layers, format: format}
-	base := sequence.BaseDMRS(n)
-	j.layerRef = make([][]complex128, j.layers)
-	for l := range j.layerRef {
-		j.layerRef[l] = sequence.LayerDMRS(base, l)
-	}
+	bits := j.bits // survives re-initialisation: reusable payload storage
+	*j = UserJob{Cfg: cfg, U: u, n: n, layers: u.Params.Layers, format: format, bits: bits}
+	j.layerRef = layerRefs(n)[:j.layers]
 	for slot := 0; slot < SlotsPerSubframe; slot++ {
-		j.hest[slot] = make([]complex128, cfg.Antennas*j.layers*n)
-		j.weights[slot] = make([]complex128, n*j.layers*cfg.Antennas)
+		j.hest[slot] = ws.Complex(cfg.Antennas * j.layers * n)
+		j.weights[slot] = ws.Complex(n * j.layers * cfg.Antennas)
 	}
-	j.combined = make([]complex128, DataSymbolsPerSubframe*j.layers*n)
-	return j, nil
+	j.combined = ws.Complex(DataSymbolsPerSubframe * j.layers * n)
+	return nil
 }
 
 // Format returns the transport format the job decodes against.
@@ -108,11 +178,18 @@ func (j *UserJob) NumChanEstTasks() int { return j.Cfg.Antennas * j.layers }
 // per slot, i.e. 12*layers for the whole subframe.
 func (j *UserJob) NumDataTasks() int { return DataSymbolsPerSubframe * j.layers }
 
-// ChanEstTask estimates the channel for one (antenna, layer) pair across
+// ChanEstTask estimates the channel for one (antenna, layer) pair with
+// heap scratch — the convenience form of the channel-estimation stage.
+func (j *UserJob) ChanEstTask(i int) {
+	chanEstStages[j.Cfg.ChanEst].Run(nil, j, i)
+}
+
+// chanEstTask estimates the channel for one (antenna, layer) pair across
 // both slots: matched filter against the layer's reference sequence, IFFT
 // to the time domain, windowing around the layer's cyclic shift, FFT back
-// (the paper's Fig. 3 channel-estimation chain).
-func (j *UserJob) ChanEstTask(i int) {
+// (the paper's Fig. 3 channel-estimation chain). ls selects the raw
+// least-squares variant (matched filter only).
+func (j *UserJob) chanEstTask(ws *workspace.Arena, i int, ls bool) {
 	a := i / j.layers
 	l := i % j.layers
 	n := j.n
@@ -122,8 +199,12 @@ func (j *UserJob) ChanEstTask(i int) {
 		window = 1
 	}
 	ref := j.layerRef[l]
-	mf := make([]complex128, n)
-	td := make([]complex128, n)
+	m := ws.Mark()
+	mf := ws.Complex(n)
+	var td []complex128
+	if !ls {
+		td = ws.Complex(n)
+	}
 	for slot := 0; slot < SlotsPerSubframe; slot++ {
 		rx := j.U.RefRx[slot][a]
 		// Matched filter: unit-modulus reference, so conjugate multiply
@@ -133,18 +214,19 @@ func (j *UserJob) ChanEstTask(i int) {
 			mf[k] = rx[k] * cmplxConj(ref[k])
 		}
 		out := j.hest[slot][(a*j.layers+l)*n : (a*j.layers+l+1)*n]
-		if j.Cfg.ChanEst == ChanEstLS {
+		if ls {
 			// Raw least-squares: no denoising, no layer separation.
 			copy(out, mf)
 			continue
 		}
-		plan.Inverse(td, mf)
+		plan.InverseIn(ws, td, mf)
 		// Window: this layer's impulse response occupies [0, window).
 		for t := window; t < n; t++ {
 			td[t] = 0
 		}
-		plan.Forward(out, td)
+		plan.ForwardIn(ws, out, td)
 	}
+	ws.Release(m)
 }
 
 // estimateNoise derives the noise variance from the difference of the two
@@ -177,12 +259,12 @@ func (j *UserJob) estimateNoise() float64 {
 }
 
 // NoiseVar returns the noise variance the job operates with (resolved
-// during ComputeWeights).
+// during the weight stage).
 func (j *UserJob) NoiseVar() float64 { return j.nv }
 
 // CFOEstimate returns the estimated carrier frequency offset (fraction of
 // the subcarrier spacing); zero unless Cfg.CorrectCFO was set. Valid after
-// ComputeWeights.
+// the weight stage.
 func (j *UserJob) CFOEstimate() float64 { return j.cfo }
 
 // estimateCFO derives the residual frequency offset from the rotation
@@ -198,13 +280,12 @@ func (j *UserJob) estimateCFO() float64 {
 	return math.Atan2(imag(acc), real(acc)) / (2 * math.Pi * float64(SymbolsPerSlot))
 }
 
-// ComputeWeights derives the per-subcarrier MMSE combining matrices from
-// the channel estimates. The paper notes this step "considers all the
+// resolveNoiseAndCFO fixes the working noise variance (genie or estimated)
+// and, when configured, the residual CFO — the common preamble of every
+// weight stage. The paper notes the weight computation "considers all the
 // receiver channels and layers, and is therefore not easily parallelized";
-// it runs as one serial task per user. With Cfg.EstimateNoise it first
-// resolves the noise variance from the channel estimates.
-func (j *UserJob) ComputeWeights() {
-	ant := j.Cfg.Antennas
+// it runs as one serial task per user.
+func (j *UserJob) resolveNoiseAndCFO() {
 	var nv float64
 	if j.Cfg.EstimateNoise {
 		nv = j.estimateNoise()
@@ -218,39 +299,45 @@ func (j *UserJob) ComputeWeights() {
 	if j.Cfg.CorrectCFO {
 		j.cfo = j.estimateCFO()
 	}
-	if j.Cfg.Combiner == CombinerIRC {
-		j.computeIRCWeights()
-		return
-	}
-	solveNV := nv
-	if j.Cfg.Combiner == CombinerZF {
-		// Zero-forcing: invert the channel outright; the tiny diagonal
-		// term only guards numerical singularity.
-		solveNV = 1e-9
-	}
-	ws := linalg.NewMMSEWorkspace(ant, j.layers)
-	h := linalg.NewMatrix(ant, j.layers)
-	w := linalg.NewMatrix(j.layers, ant)
+}
+
+// ComputeWeights derives the per-subcarrier combining matrices with heap
+// scratch — the convenience form of the weight stage selected by
+// Cfg.Combiner.
+func (j *UserJob) ComputeWeights() {
+	combinerStages[j.Cfg.Combiner].Run(nil, j, 0)
+}
+
+// computeLinearWeights fills the weight buffers for the MMSE family:
+// solveNV is the diagonal loading of the Gram matrix (the noise variance
+// for MMSE, a numerical guard for ZF), and mrc selects the per-layer
+// matched filter instead of the joint solve.
+func (j *UserJob) computeLinearWeights(a *workspace.Arena, solveNV float64, mrc bool) {
+	ant := j.Cfg.Antennas
+	m := a.Mark()
+	ws := linalg.NewMMSEWorkspaceIn(a, ant, j.layers)
+	h := linalg.NewMatrixIn(a, ant, j.layers)
+	w := linalg.NewMatrixIn(a, j.layers, ant)
 	for slot := 0; slot < SlotsPerSubframe; slot++ {
 		hs := j.hest[slot]
 		out := j.weights[slot]
 		for k := 0; k < j.n; k++ {
-			for a := 0; a < ant; a++ {
+			for ai := 0; ai < ant; ai++ {
 				for l := 0; l < j.layers; l++ {
-					h.Set(a, l, hs[(a*j.layers+l)*j.n+k])
+					h.Set(ai, l, hs[(ai*j.layers+l)*j.n+k])
 				}
 			}
-			if j.Cfg.Combiner == CombinerMRC {
+			if mrc {
 				// Per-layer matched filter: w_l = h_l^H / (|h_l|^2 + nv).
 				for l := 0; l < j.layers; l++ {
 					var norm float64
-					for a := 0; a < ant; a++ {
-						v := h.At(a, l)
+					for ai := 0; ai < ant; ai++ {
+						v := h.At(ai, l)
 						norm += real(v)*real(v) + imag(v)*imag(v)
 					}
-					scale := complex(1/(norm+nv), 0)
-					for a := 0; a < ant; a++ {
-						w.Set(l, a, cmplxConj(h.At(a, l))*scale)
+					scale := complex(1/(norm+solveNV), 0)
+					for ai := 0; ai < ant; ai++ {
+						w.Set(l, ai, cmplxConj(h.At(ai, l))*scale)
 					}
 				}
 			} else if err := ws.Solve(&w, h, solveNV); err != nil {
@@ -264,13 +351,20 @@ func (j *UserJob) ComputeWeights() {
 			copy(out[(k*j.layers)*ant:(k*j.layers+j.layers)*ant], w.Data)
 		}
 	}
+	a.Release(m)
 }
 
-// DataTask combines one (slot, symbol, layer) across antennas and
+// DataTask combines one (slot, symbol, layer) with heap scratch — the
+// convenience form of the data stage.
+func (j *UserJob) DataTask(i int) {
+	dataStage{}.Run(nil, j, i)
+}
+
+// dataTask combines one (slot, symbol, layer) across antennas and
 // transforms it back to the time domain (SC-FDMA despread) — the paper's
 // "antenna combining and IFFT ... performed on each separate symbol and
 // layer".
-func (j *UserJob) DataTask(i int) {
+func (j *UserJob) dataTask(ws *workspace.Arena, i int) {
 	layers := j.layers
 	slot := i / (DataSymbolsPerSlot * layers)
 	rem := i % (DataSymbolsPerSlot * layers)
@@ -280,7 +374,8 @@ func (j *UserJob) DataTask(i int) {
 	ant := j.Cfg.Antennas
 	rx := j.U.DataRx[slot][sym]
 	w := j.weights[slot]
-	comb := make([]complex128, n)
+	m := ws.Mark()
+	comb := ws.Complex(n)
 	for k := 0; k < n; k++ {
 		row := w[(k*layers+l)*ant : (k*layers+l+1)*ant]
 		var sum complex128
@@ -301,31 +396,44 @@ func (j *UserJob) DataTask(i int) {
 	}
 	g := (slot*DataSymbolsPerSlot+sym)*layers + l
 	out := j.combined[g*n : (g+1)*n]
-	fft.Get(n).Inverse(out, comb)
+	fft.Get(n).InverseIn(ws, out, comb)
 	// Undo the transmitter's unitary 1/sqrt(N) spreading scale.
 	scale := complex(math.Sqrt(float64(n)), 0)
 	for t := range out {
 		out[t] *= scale
 	}
+	ws.Release(m)
 }
 
-// Finish runs the per-user backend: symbol deinterleaving, soft demapping,
-// turbo decoding (pass-through or full) and the CRC check. It returns the
-// user's result.
+// Finish runs the per-user backend with heap scratch and returns the
+// user's result — the convenience form of the finish stage.
 func (j *UserJob) Finish() UserResult {
+	finishStage{}.Run(nil, j, 0)
+	return j.res
+}
+
+// finish runs the per-user backend: symbol deinterleaving, soft demapping,
+// turbo decoding (pass-through or full) and the CRC check. The result is
+// stored on the job. Scratch (deinterleave buffer, LLRs, decoder state)
+// comes from ws; only the decoded payload bits escape to heap memory.
+func (j *UserJob) finish(ws *workspace.Arena) {
 	res := UserResult{UserID: j.U.Params.ID, ChannelMSE: math.NaN()}
-	deint := make([]complex128, len(j.combined))
+	m := ws.Mark()
+	deint := ws.Complex(len(j.combined))
 	deinterleaveSymbols(j.Cfg, deint, j.combined)
 	nv := j.nv
-	if nv <= 0 { // Finish called without ComputeWeights: fall back to genie
+	if nv <= 0 { // finish ran without the weight stage: fall back to genie
 		nv = math.Max(j.U.NoiseVar, 1e-9)
 	}
-	llr := j.U.Params.Mod.Demap(make([]float64, 0, j.format.TotalBits), deint, nv)
+	// Arena slices have capacity == length, so Demap's appends fill the
+	// buffer exactly without growing it.
+	llr := j.U.Params.Mod.Demap(ws.Float(j.format.TotalBits)[:0], deint, nv)
 	if j.Cfg.Scramble {
-		Descramble(llr, j.U.Params.ID)
+		DescrambleIn(ws, llr, j.U.Params.ID)
 	}
 	j.softBits = llr
-	payload, ok := j.format.DecodeTransportBlock(llr, j.Cfg.TurboIterations)
+	payload, ok := j.format.DecodeTransportBlockInto(j.bits[:0], ws, llr, j.Cfg.TurboIterations)
+	j.bits = payload
 	res.NoiseVarEst = nv
 	res.EVM = j.U.Params.Mod.EVM(deint)
 	res.Bits = payload
@@ -333,7 +441,10 @@ func (j *UserJob) Finish() UserResult {
 	if j.U.Channel != nil {
 		res.ChannelMSE = j.channelMSE()
 	}
-	return res
+	// Scratch released here; softBits intentionally survives on the arena
+	// until the job-lifetime mark is released.
+	j.res = res
+	ws.Release(m)
 }
 
 // channelMSE computes the normalised estimation error against ground truth,
@@ -365,25 +476,49 @@ func cmplxConj(v complex128) complex128 { return complex(real(v), -imag(v)) }
 // Process runs the whole chain serially — the paper's reference serial
 // implementation used to verify parallelised versions (Section IV-D).
 func Process(cfg ReceiverConfig, u *UserData) (UserResult, error) {
-	j, err := NewUserJob(cfg, u)
-	if err != nil {
+	return processIn(nil, &UserJob{}, cfg, u)
+}
+
+// processIn drives one user through the four stages on a single arena,
+// reusing the caller's job storage. All of the user's scratch is released
+// before it returns.
+func processIn(ws *workspace.Arena, j *UserJob, cfg ReceiverConfig, u *UserData) (UserResult, error) {
+	m := ws.Mark()
+	if err := j.Init(ws, cfg, u); err != nil {
+		ws.Release(m)
 		return UserResult{}, err
 	}
-	for i := 0; i < j.NumChanEstTasks(); i++ {
-		j.ChanEstTask(i)
+	for _, s := range j.Stages() {
+		for i, tasks := 0, s.Tasks(j); i < tasks; i++ {
+			s.Run(ws, j, i)
+		}
 	}
-	j.ComputeWeights()
-	for i := 0; i < j.NumDataTasks(); i++ {
-		j.DataTask(i)
-	}
-	return j.Finish(), nil
+	ws.Release(m)
+	return j.res, nil
 }
+
+// serialArenas recycles the serial receiver's scratch arenas across
+// ProcessSubframe calls, so repeated subframe processing is steady-state
+// allocation-free. Concurrent callers each get their own arena.
+var serialArenas = sync.Pool{New: func() any { return workspace.New() }}
+
+// wholesale mark/bits reuse for the serial path is handled per call; the
+// job itself is small and reused via this pool too.
+var serialJobs = sync.Pool{New: func() any { return &UserJob{} }}
 
 // ProcessSubframe serially processes every user of a subframe in order.
 func ProcessSubframe(cfg ReceiverConfig, sf *Subframe) ([]UserResult, error) {
+	ws := serialArenas.Get().(*workspace.Arena)
+	defer serialArenas.Put(ws)
+	j := serialJobs.Get().(*UserJob)
+	// Detach the recycled payload storage: results escape to the caller,
+	// so each user must decode into fresh heap bits.
+	j.bits = nil
+	defer serialJobs.Put(j)
 	results := make([]UserResult, 0, len(sf.Users))
 	for _, u := range sf.Users {
-		r, err := Process(cfg, u)
+		j.bits = nil // the previous user's bits are aliased by its result
+		r, err := processIn(ws, j, cfg, u)
 		if err != nil {
 			return nil, fmt.Errorf("subframe %d: %w", sf.Seq, err)
 		}

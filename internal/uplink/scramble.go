@@ -1,6 +1,9 @@
 package uplink
 
-import "ltephy/internal/phy/sequence"
+import (
+	"ltephy/internal/phy/sequence"
+	"ltephy/internal/phy/workspace"
+)
 
 // Scrambling (TS 36.211 §5.3.1) whitens the coded bit stream with a
 // user-specific Gold sequence before modulation, so one UE's constellation
@@ -31,10 +34,19 @@ func Scramble(bits []uint8, userID int) {
 // Descramble flips the sign of the LLRs at scrambled positions in place
 // (receive side): descrambling soft values before decoding.
 func Descramble(llr []float64, userID int) {
-	seq := ScramblingSequence(userID, len(llr))
+	DescrambleIn(nil, llr, userID)
+}
+
+// DescrambleIn is Descramble with the scrambling sequence generated into
+// arena scratch (heap when ws is nil), released before returning.
+func DescrambleIn(ws *workspace.Arena, llr []float64, userID int) {
+	m := ws.Mark()
+	seq := ws.Bytes(len(llr))
+	sequence.GoldInto(seq, scramblingInit(userID))
 	for i := range llr {
 		if seq[i] == 1 {
 			llr[i] = -llr[i]
 		}
 	}
+	ws.Release(m)
 }

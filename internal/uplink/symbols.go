@@ -8,17 +8,31 @@ import (
 
 // blockCache memoises symbol interleavers by (length, columns); user
 // allocations repeat heavily across subframes (the paper reuses ten input
-// data sets), so the permutations are shared.
-var blockCache sync.Map // [2]int -> *interleave.Block
+// data sets), so the permutations are shared. RWMutex-guarded so cache
+// hits don't box the key — the lookup runs once per user per subframe on
+// the allocation-free hot path.
+var (
+	blockMu    sync.RWMutex
+	blockCache = map[[2]int]*interleave.Block{}
+)
 
 func getBlock(n, cols int) *interleave.Block {
 	key := [2]int{n, cols}
-	if v, ok := blockCache.Load(key); ok {
-		return v.(*interleave.Block)
+	blockMu.RLock()
+	b := blockCache[key]
+	blockMu.RUnlock()
+	if b != nil {
+		return b
 	}
-	b := interleave.New(n, cols)
-	actual, _ := blockCache.LoadOrStore(key, b)
-	return actual.(*interleave.Block)
+	b = interleave.New(n, cols)
+	blockMu.Lock()
+	if cached, ok := blockCache[key]; ok {
+		b = cached
+	} else {
+		blockCache[key] = b
+	}
+	blockMu.Unlock()
+	return b
 }
 
 // InterleaveSymbols applies the transmit-side symbol interleaver. Exposed

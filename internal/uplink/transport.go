@@ -2,9 +2,12 @@ package uplink
 
 import (
 	"fmt"
+	"sync"
 
 	"ltephy/internal/phy/crc"
+	"ltephy/internal/phy/modulation"
 	"ltephy/internal/phy/turbo"
+	"ltephy/internal/phy/workspace"
 )
 
 // TransportFormat describes how a user's payload maps onto its physical
@@ -36,6 +39,48 @@ type TransportFormat struct {
 
 // tbCRC is the transport-block checksum (TS 36.212 §5.1.1: CRC24A).
 const tbCRC = crc.CRC24A
+
+// formatKey identifies a transport format up to everything it depends on —
+// the user ID does not affect the format, so users with equal allocations
+// share one entry.
+type formatKey struct {
+	prb, layers int
+	mod         modulation.Scheme
+	mode        TurboMode
+	rate        float64
+}
+
+// formatCache memoises transport formats: the TurboFull constructor runs a
+// binary search over segmentation plans, far too heavy to repeat per user
+// per subframe. TransportFormat is immutable (its Segmentation and Codec
+// are), so entries are shared freely across jobs. RWMutex-guarded so the
+// per-job lookup doesn't box the key (a sync.Map hit would allocate).
+var (
+	formatMu    sync.RWMutex
+	formatCache = map[formatKey]TransportFormat{}
+)
+
+func cachedTransportFormat(p UserParams, mode TurboMode, rate float64) (TransportFormat, error) {
+	key := formatKey{prb: p.PRB, layers: p.Layers, mod: p.Mod, mode: mode, rate: rate}
+	formatMu.RLock()
+	f, ok := formatCache[key]
+	formatMu.RUnlock()
+	if ok {
+		return f, nil
+	}
+	f, err := NewTransportFormatRate(p, mode, rate)
+	if err != nil {
+		return TransportFormat{}, err
+	}
+	formatMu.Lock()
+	if cached, ok := formatCache[key]; ok {
+		f = cached
+	} else {
+		formatCache[key] = f
+	}
+	formatMu.Unlock()
+	return f, nil
+}
 
 // NewTransportFormatRate computes a rate-matched TurboFull format: the
 // payload is rate*TotalBits (minus CRC), turbo-encoded and rate-matched to
@@ -153,25 +198,39 @@ func (f TransportFormat) EncodeTransportBlockRV(payload []uint8, rv int) []uint8
 // DecodeTransportBlock inverts EncodeTransportBlock from soft bits:
 // it consumes exactly TotalBits LLRs, decodes, and verifies CRC24A.
 func (f TransportFormat) DecodeTransportBlock(llr []float64, iterations int) (payload []uint8, crcOK bool) {
+	return f.DecodeTransportBlockInto(nil, nil, llr, iterations)
+}
+
+// DecodeTransportBlockInto is DecodeTransportBlock with decoder scratch
+// drawn from ws and the decoded bits appended to dst (both may be nil;
+// reusing dst across calls keeps the hot path allocation-free). The
+// returned payload is dst-backed — plain heap memory, never arena scratch.
+func (f TransportFormat) DecodeTransportBlockInto(dst []uint8, ws *workspace.Arena, llr []float64, iterations int) (payload []uint8, crcOK bool) {
 	if len(llr) != f.TotalBits {
 		panic(fmt.Sprintf("uplink: got %d LLRs, format expects %d", len(llr), f.TotalBits))
 	}
 	var tb []uint8
 	if f.Rate > 0 {
 		var err error
-		tb, _, err = f.Seg.DecodeRM(llr, 0, iterations)
+		tb, _, err = f.Seg.DecodeRMInto(dst[:0], ws, llr, 0, iterations)
 		if err != nil {
 			panic(fmt.Sprintf("uplink: de-rate-matching failed: %v", err))
 		}
 	} else if f.Seg != nil {
-		tb, _ = f.Seg.Decode(llr[:f.CodedBits], iterations)
+		tb, _ = f.Seg.DecodeInto(dst[:0], ws, llr[:f.CodedBits], iterations)
 	} else {
 		// Pass-through: hard decision, exactly like the paper's stub that
 		// forwards data unchanged.
-		tb = make([]uint8, f.CodedBits)
+		if cap(dst) >= f.CodedBits {
+			tb = dst[:f.CodedBits]
+		} else {
+			tb = make([]uint8, f.CodedBits)
+		}
 		for i := range tb {
 			if llr[i] < 0 {
 				tb[i] = 1
+			} else {
+				tb[i] = 0
 			}
 		}
 	}
