@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race zeroalloc bench
+.PHONY: check vet build test race zeroalloc bench bench-fft
 
-check: vet build race zeroalloc
+check: vet build race zeroalloc fft-sweep
 	$(GO) test ./...
 
 vet:
@@ -32,3 +32,15 @@ zeroalloc:
 # figures recorded in EXPERIMENTS.md.
 bench:
 	$(GO) test -bench 'BenchmarkSubframeE2E' -benchmem -run '^$$' ./internal/uplink/
+
+# FFT accuracy gate: every LTE length n = 12*nPRB, nPRB in [2, 200],
+# against a naive O(n^2) DFT at <= 1e-9 relative error.
+.PHONY: fft-sweep
+fft-sweep:
+	$(GO) test -run TestAccuracySweepAllLTELengths -count=1 ./internal/phy/fft/
+
+# FFT engine microbenchmarks: single transforms over representative smooth
+# and Bluestein lengths, plus batched-vs-looped comparisons. Compare
+# against the pre-change figures in BENCH_fft_baseline.json.
+bench-fft:
+	$(GO) test -bench 'BenchmarkForward' -benchmem -run '^$$' ./internal/phy/fft/

@@ -9,17 +9,22 @@
 //	lte-bench -verify -subframes 50        # serial-vs-parallel check
 //	lte-bench -serial -subframes 20        # serial reference timing
 //	lte-bench -turbo full                  # real turbo decoding
+//	lte-bench -fftbench                    # FFT engine microbenchmarks
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"runtime"
+	"testing"
 	"time"
 
 	"ltephy/internal/params"
+	"ltephy/internal/phy/fft"
+	"ltephy/internal/phy/workspace"
 	"ltephy/internal/power"
 	"ltephy/internal/sched"
 	"ltephy/internal/uplink"
@@ -54,8 +59,13 @@ func run(args []string, w io.Writer) error {
 	verify := fs.Bool("verify", false, "run serial vs parallel verification instead of a timed run")
 	serial := fs.Bool("serial", false, "run the serial reference instead of the pool")
 	snr := fs.Float64("snr", 25, "per-subcarrier SNR in dB for the synthetic channel")
+	fftBench := fs.Bool("fftbench", false, "run FFT engine microbenchmarks (single and batched-vs-looped) and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *fftBench {
+		return runFFTBench(w)
 	}
 
 	rc := uplink.DefaultConfig()
@@ -218,6 +228,50 @@ func run(args []string, w io.Writer) error {
 		}
 		fmt.Fprintf(w, "  arena footprint: %.1f KiB total across %d workers\n",
 			float64(arenaTotal)/1024, *workers)
+	}
+	return nil
+}
+
+// runFFTBench times the FFT engine natively: single transforms over
+// representative smooth and Bluestein lengths, then batched vs looped over
+// an 8-vector grid — the shape the receiver's channel-estimation and
+// despread stages batch over. Compare against BENCH_fft_baseline.json.
+func runFFTBench(w io.Writer) error {
+	rng := rand.New(rand.NewSource(1))
+	ws := workspace.New()
+	fmt.Fprintln(w, "FFT engine microbenchmarks (ns/op):")
+	fmt.Fprintf(w, "%8s %12s %14s %14s\n", "n", "single", "batched(x8)", "looped(x8)")
+	for _, n := range []int{24, 144, 300, 600, 1200, 2400, 97, 199, 1201} {
+		p := fft.Get(n)
+		const howMany = 8
+		src := make([]complex128, howMany*n)
+		for i := range src {
+			src[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		dst := make([]complex128, howMany*n)
+		single := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.ForwardIn(ws, dst[:n], src[:n])
+			}
+		})
+		batched := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.ForwardBatch(ws, dst, src, howMany, n)
+			}
+		})
+		looped := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for v := 0; v < howMany; v++ {
+					p.ForwardIn(ws, dst[v*n:(v+1)*n], src[v*n:(v+1)*n])
+				}
+			}
+		})
+		kind := ""
+		if n == 97 || n == 199 || n == 1201 {
+			kind = "  (Bluestein)"
+		}
+		fmt.Fprintf(w, "%8d %12d %14d %14d%s\n",
+			n, single.NsPerOp(), batched.NsPerOp(), looped.NsPerOp(), kind)
 	}
 	return nil
 }

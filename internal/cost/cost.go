@@ -37,13 +37,17 @@ const (
 )
 
 // fftOps models a production transform kernel with a uniform ~8*n*log2(n)
-// cost for every length. The native receiver's planner (internal/phy/fft)
-// falls back to Bluestein for lengths with large prime factors at ~10x
-// cost, but that cliff is an artifact of this reproduction — 3GPP restricts
-// DFT-precoding sizes to 2/3/5-smooth values and proprietary kernels
-// handle the rest with mixed radices — so the simulator's workload model
-// deliberately smooths it. This keeps Fig. 11's near-linear activity-vs-PRB
-// curves, which the paper measured and the estimator's linear fit assumes.
+// cost for every length. The native receiver's iterative stage-planned
+// engine (internal/phy/fft) reports its true per-stage butterfly cost via
+// Plan.Ops() — within a small constant factor of this model on smooth
+// lengths (TestFFTOpsTracksPlanOps pins that) — and falls back to
+// Bluestein for lengths with large prime factors at ~10x cost. That cliff
+// is an artifact of this reproduction — 3GPP restricts DFT-precoding sizes
+// to 2/3/5-smooth values and proprietary kernels handle the rest with
+// mixed radices — so the simulator's workload model deliberately smooths
+// over it rather than calling Plan.Ops(). This keeps Fig. 11's near-linear
+// activity-vs-PRB curves, which the paper measured and the estimator's
+// linear fit assumes.
 func fftOps(n int) float64 {
 	if n < 2 {
 		return 8

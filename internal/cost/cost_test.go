@@ -3,6 +3,7 @@ package cost
 import (
 	"testing"
 
+	"ltephy/internal/phy/fft"
 	"ltephy/internal/phy/modulation"
 	"ltephy/internal/uplink"
 )
@@ -18,6 +19,23 @@ func maxUser() uplink.UserParams {
 
 func minUser() uplink.UserParams {
 	return uplink.UserParams{PRB: 200, Layers: 1, Mod: modulation.QPSK}
+}
+
+// TestFFTOpsTracksPlanOps pins the relationship the workload model's
+// comment asserts: the smooth 8*n*log2(n) model stays within a small
+// constant factor of the iterative engine's true stage-based Plan.Ops()
+// across the smooth LTE lengths, so the deliberate smoothing only irons
+// out the Bluestein cliff, not the growth rate the Fig. 11 fit relies on.
+func TestFFTOpsTracksPlanOps(t *testing.T) {
+	for _, nPRB := range []int{2, 4, 8, 16, 25, 50, 100, 200} {
+		n := 12 * nPRB
+		model := fftOps(n)
+		plan := fft.Get(n).Ops()
+		if ratio := model / plan; ratio < 0.5 || ratio > 3 {
+			t.Errorf("n=%d: model %g vs Plan.Ops %g (ratio %.2f outside [0.5, 3])",
+				n, model, plan, ratio)
+		}
+	}
 }
 
 // TestCalibrationOperatingPoint pins the scale the whole power study rests

@@ -85,6 +85,67 @@ func TestArenaMatchesPool(t *testing.T) {
 	}
 }
 
+// TestBluesteinArenaZeroTail pins the zeroed-memory guarantee Bluestein's
+// arena path depends on (ISSUE 2 satellite): core requires the chirp input
+// padding x[n:m) to be zero, and the arena path takes that straight from
+// workspace handout rather than clearing explicitly. Two checks: the
+// workspace contract itself (a released-then-regrabbed buffer must come
+// back zeroed, not holding the garbage written before release), and an
+// end-to-end stale-tail corruption hunt — Bluestein transforms of
+// interleaved lengths on one arena deliberately dirtied by large smooth
+// transforms in between, compared bit-exactly against the pool path.
+func TestBluesteinArenaZeroTail(t *testing.T) {
+	ws := workspace.New()
+	// Contract check: dirty a buffer, release, re-grab the same region.
+	m := ws.Mark()
+	buf := ws.Complex(4096)
+	for i := range buf {
+		buf[i] = complex(1e9, -1e9)
+	}
+	ws.Release(m)
+	m = ws.Mark()
+	buf = ws.Complex(4096)
+	for i, v := range buf {
+		if v != 0 {
+			t.Fatalf("arena re-handout not zeroed at %d: %v", i, v)
+		}
+	}
+	ws.Release(m)
+
+	// Corruption hunt: every Bluestein length's x[n:m) tail lands on arena
+	// memory the preceding transforms filled with nonzero data.
+	rng := rand.New(rand.NewSource(13))
+	bluLens := []int{97, 199, 331, 1201}
+	srcs := make([][]complex128, len(bluLens))
+	wants := make([][]complex128, len(bluLens))
+	for i, n := range bluLens {
+		srcs[i] = randVec(rng, n)
+		wants[i] = make([]complex128, n)
+		Get(n).Forward(wants[i], srcs[i]) // pool path reference
+	}
+	dirty := randVec(rng, 2400)
+	dirtyDst := make([]complex128, 2400)
+	for pass := 0; pass < 3; pass++ {
+		for i, n := range bluLens {
+			m := ws.Mark()
+			// Smear nonzero data across the arena region the next
+			// transform's scratch will occupy.
+			Get(2400).ForwardIn(ws, dirtyDst, dirty)
+			ws.Release(m)
+			got := make([]complex128, n)
+			m = ws.Mark()
+			Get(n).ForwardIn(ws, got, srcs[i])
+			ws.Release(m)
+			for k := range got {
+				if got[k] != wants[i][k] {
+					t.Fatalf("pass %d n=%d: arena Bluestein diverges from pool at bin %d (stale tail?)",
+						pass, n, k)
+				}
+			}
+		}
+	}
+}
+
 // TestArenaTransformZeroAlloc asserts the arena path performs no heap
 // allocation in steady state, for both a mixed-radix and a Bluestein size.
 func TestArenaTransformZeroAlloc(t *testing.T) {

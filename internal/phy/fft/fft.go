@@ -3,27 +3,48 @@
 //
 // LTE uplink allocations span nPRB*12 subcarriers for nPRB in [2, 200], so
 // transform lengths are rarely powers of two. Lengths whose prime factors
-// are all <= 7 are computed with a recursive mixed-radix Cooley-Tukey
-// decomposition; any other length falls back to Bluestein's chirp-z
-// algorithm built on a power-of-two transform.
+// are all <= 7 run on an iterative, stage-planned Stockham engine: New(n)
+// decomposes n into an explicit list of radix stages (4 first, then 2, 3,
+// 5, 7) with one precomputed twiddle table per stage, so the transform
+// loop performs no modulo arithmetic, no recursion and no per-level
+// scratch copies — each stage is a single pass between two ping-pong
+// buffers through a specialised radix-2/3/4/5 butterfly kernel (radix-4
+// folds what would be two radix-2 levels into one pass). Any other length
+// falls back to Bluestein's chirp-z algorithm built on a power-of-two
+// plan, which itself runs on the same iterative engine.
 //
-// A Plan precomputes twiddle factors and is safe for concurrent use by
+// The inverse transform is the forward transform followed by an in-place
+// index reversal and 1/N scale (IDFT(x)[k] = DFT(x)[(N-k) mod N]/N), so
+// both directions share one set of kernels and twiddle tables.
+//
+// Batched transforms: ForwardBatch/InverseBatch run howMany transforms
+// over vectors laid out at a fixed stride, sharing one scratch
+// acquisition and one plan across the whole batch — the shape of the
+// receiver's (antenna x layer) channel-estimation grid and
+// (symbol x layer) demodulation grid. The ...Strided variants allow
+// distinct source and destination strides for scatter/gather layouts.
+//
+// A Plan precomputes its stage tables and is safe for concurrent use by
 // multiple goroutines as long as each call supplies its own destination
-// slice. Per-call scratch comes from one of two sources: the ...In methods
-// (ForwardIn, InverseIn) draw it from a caller-supplied per-worker
+// slice. Per-call scratch comes from one of two sources: the ...In and
+// ...Batch methods draw it from a caller-supplied per-worker
 // workspace.Arena — the receiver hot path, zero-allocation in steady state
 // — while the plain Forward/Inverse draw from per-plan sync.Pools, the
 // fallback for callers without an arena.
 //
-// Scratch-pool safety audit (ISSUE 1 satellite): every sync.Pool here is a
-// field of the Plan (or its bluestein) it serves, so pooled buffers are
-// keyed by plan identity and two plans never exchange buffers, even for
-// the same length (Get memoises one Plan per length; a Bluestein plan's
-// power-of-two inner Plan is private to it). Within one plan the mixed-
-// radix recursion always slices the pooled plan-length buffer down to the
-// sublength it needs, so no stale length can leak across interleaved
-// transforms of different sizes on one goroutine. TestInterleavedLengths
-// pins this.
+// Scratch-pool safety audit (ISSUE 1 satellite, re-verified for the
+// iterative engine): every sync.Pool here is a field of the Plan (or its
+// bluestein) it serves, so pooled buffers are keyed by plan identity and
+// two plans never exchange buffers, even for the same length (Get memoises
+// one Plan per length; a Bluestein plan's power-of-two inner Plan is
+// private to it). All pooled buffers are full plan length; every stage
+// pass overwrites its whole output buffer, so no stale contents can leak
+// between interleaved transforms of different sizes on one goroutine. The
+// one buffer with a read-before-write region is Bluestein's padded chirp
+// input x[n:m), which the engine explicitly zeroes on acquisition from a
+// pool and between batch iterations, and which an Arena guarantees zeroed
+// on handout; TestInterleavedLengths and TestBluesteinArenaZeroTail pin
+// this.
 package fft
 
 import (
@@ -39,15 +60,35 @@ import (
 // Lengths with a larger prime factor use Bluestein's algorithm.
 const maxRadix = 7
 
+// stage is one pass of the iterative Stockham pipeline. Entering stage i
+// the data is organised as s interleaved sequences of length r*m; the pass
+// splits each into r sequences of length m:
+//
+//	y[q + s*(r*p + j)] = sum_c x[q + s*(p + c*m)] * W_r^{j*c} * W_{r*m}^{j*p}
+//
+// for p in [0,m), j in [0,r), q in [0,s), with W_k = exp(-2*pi*i/k). The
+// twiddles W_{r*m}^{j*p} are precomputed in tw, laid out per butterfly:
+// tw[(r-1)*p + j-1] (j = 0 needs none). The radix kernels below hard-code
+// the W_r^{j*c} sub-DFT for r = 2, 3, 4, 5; other radices (only 7 here)
+// use the generic kernel with the precomputed root[j*r+c] table.
+type stage struct {
+	r    int          // radix
+	m    int          // sub-sequence length after this pass
+	s    int          // interleaved sequences entering this pass
+	tw   []complex128 // (r-1)*m twiddles, tw[(r-1)*p+j-1] = W_{r*m}^{j*p}
+	root []complex128 // generic radix only: r*r table, root[j*r+c] = W_r^{(j*c) mod r}
+}
+
 // Plan holds the precomputed state needed to transform vectors of a fixed
-// length N. Create one with New and reuse it; construction is O(N) and
-// transforms are O(N log N).
+// length N. Create one with New and reuse it; construction is O(N log N)
+// and transforms are O(N log N) with no allocation when an Arena (or the
+// warm per-plan pool) supplies scratch.
 type Plan struct {
 	n       int
-	tw      []complex128 // tw[k] = exp(-2*pi*i*k/n), k in [0, n)
-	smooth  bool         // true when n factors into primes <= maxRadix
-	blu     *bluestein   // non-nil when !smooth
-	scratch sync.Pool    // *[]complex128 of length n (mixed-radix combine buffer)
+	stages  []stage    // empty when n == 1 or !smooth
+	smooth  bool       // true when n factors into primes <= maxRadix
+	blu     *bluestein // non-nil when !smooth
+	scratch sync.Pool  // *[]complex128 of length n (ping-pong buffer)
 }
 
 // New returns a transform plan for vectors of length n.
@@ -58,8 +99,9 @@ func New(n int) *Plan {
 		panic(fmt.Sprintf("fft: invalid transform length %d", n))
 	}
 	p := &Plan{n: n, smooth: isSmooth(n)}
-	p.tw = twiddles(n)
-	if !p.smooth {
+	if p.smooth {
+		p.stages = buildStages(n)
+	} else {
 		p.blu = newBluestein(n)
 	}
 	p.scratch.New = func() any {
@@ -71,6 +113,71 @@ func New(n int) *Plan {
 
 // Len returns the transform length the plan was built for.
 func (p *Plan) Len() int { return p.n }
+
+// buildStages decomposes n (smooth, > 1 allowed; n == 1 yields no stages)
+// into the stage list: radix-4 passes first (each folding two radix-2
+// levels), one leftover radix 2, then 3, 5, 7. Larger radices early keep
+// the later, wider passes (large s) on the cheapest kernels.
+func buildStages(n int) []stage {
+	var radices []int
+	rem := n
+	for rem%4 == 0 {
+		radices = append(radices, 4)
+		rem /= 4
+	}
+	if rem%2 == 0 {
+		radices = append(radices, 2)
+		rem /= 2
+	}
+	for _, r := range []int{3, 5, 7} {
+		for rem%r == 0 {
+			radices = append(radices, r)
+			rem /= r
+		}
+	}
+	if rem != 1 {
+		panic(fmt.Sprintf("fft: buildStages called for non-smooth length %d", n))
+	}
+	stages := make([]stage, 0, len(radices))
+	s, cur := 1, n
+	for _, r := range radices {
+		m := cur / r
+		st := stage{r: r, m: m, s: s, tw: stageTwiddles(r, m)}
+		if r > 5 {
+			st.root = radixRoots(r)
+		}
+		stages = append(stages, st)
+		cur = m
+		s *= r
+	}
+	return stages
+}
+
+// stageTwiddles returns the (r-1)*m table tw[(r-1)*p+j-1] = W_{r*m}^{j*p}.
+func stageTwiddles(r, m int) []complex128 {
+	tw := make([]complex128, (r-1)*m)
+	step := -2 * math.Pi / float64(r*m)
+	for p := 0; p < m; p++ {
+		for j := 1; j < r; j++ {
+			theta := step * float64(j*p)
+			tw[(r-1)*p+j-1] = complex(math.Cos(theta), math.Sin(theta))
+		}
+	}
+	return tw
+}
+
+// radixRoots returns the r*r sub-DFT matrix root[j*r+c] = W_r^{(j*c) mod r}
+// for the generic kernel.
+func radixRoots(r int) []complex128 {
+	root := make([]complex128, r*r)
+	for j := 0; j < r; j++ {
+		for c := 0; c < r; c++ {
+			theta := -2 * math.Pi * float64((j*c)%r) / float64(r)
+			root[j*r+c] = complex(math.Cos(theta), math.Sin(theta))
+		}
+	}
+	return root
+}
 
 // Forward computes the forward DFT of src into dst:
 //
@@ -89,20 +196,74 @@ func (p *Plan) ForwardIn(ws *workspace.Arena, dst, src []complex128) {
 		p.blu.transform(ws, dst, src)
 		return
 	}
-	if p.n == 1 {
+	k := len(p.stages)
+	if k == 0 {
 		dst[0] = src[0]
 		return
 	}
-	// The recursion reads src with strides, so when dst aliases src the
-	// input must be copied first.
-	if &dst[0] == &src[0] {
-		buf, m, tmp := p.getScratchIn(ws, p.n)
-		copy(buf, src)
-		p.recurse(ws, dst, buf, p.n, 1)
-		p.putScratchIn(ws, m, tmp)
+	aliased := &dst[0] == &src[0]
+	if k == 1 && !aliased {
+		// Single pass straight src -> dst: no scratch at all.
+		runStage(&p.stages[0], dst, src)
 		return
 	}
-	p.recurse(ws, dst, src, p.n, 1)
+	var mk workspace.Mark
+	var t1, t2 *[]complex128
+	var scr, scr2 []complex128
+	if ws != nil {
+		mk = ws.Mark()
+		scr = ws.Complex(p.n)
+	} else {
+		t1 = p.scratch.Get().(*[]complex128)
+		scr = *t1
+	}
+	if aliased && k > 1 && k&1 == 1 {
+		// Odd stage count writes dst first; an aliased src must survive
+		// that pass, so it is copied aside. Even counts write scr first
+		// and need no copy.
+		if ws != nil {
+			scr2 = ws.Complex(p.n)
+		} else {
+			t2 = p.scratch.Get().(*[]complex128)
+			scr2 = *t2
+		}
+	}
+	p.transformOne(dst, src, scr, scr2)
+	if ws != nil {
+		ws.Release(mk)
+	} else {
+		p.scratch.Put(t1)
+		if t2 != nil {
+			p.scratch.Put(t2)
+		}
+	}
+}
+
+// transformOne runs the stage pipeline for one vector. scr must be a full
+// plan-length buffer whenever the plan has more than one stage or dst
+// aliases src; scr2 additionally when dst aliases src with an odd stage
+// count above one. The pipeline ping-pongs between dst and scr with the
+// parity arranged so the final pass lands in dst.
+func (p *Plan) transformOne(dst, src, scr, scr2 []complex128) {
+	k := len(p.stages)
+	if &dst[0] == &src[0] {
+		if k == 1 {
+			copy(scr, src)
+			src = scr
+		} else if k&1 == 1 {
+			copy(scr2, src)
+			src = scr2
+		}
+	}
+	cur := src
+	for i := range p.stages {
+		out := scr
+		if (k-i)&1 == 1 {
+			out = dst
+		}
+		runStage(&p.stages[i], out, cur)
+		cur = out
+	}
 }
 
 // Inverse computes the unnormalised-inverse DFT scaled by 1/N, i.e. the
@@ -110,44 +271,153 @@ func (p *Plan) ForwardIn(ws *workspace.Arena, dst, src []complex128) {
 func (p *Plan) Inverse(dst, src []complex128) { p.InverseIn(nil, dst, src) }
 
 // InverseIn is Inverse with per-call scratch drawn from ws. A nil ws falls
-// back to the plan's pool.
+// back to the plan's pool. It computes the forward transform and applies
+// the reversal identity IDFT(x)[k] = DFT(x)[(N-k) mod N] / N in place —
+// one extra O(N) pass, against the two conjugation passes of the
+// conjugate-trick inverse.
 func (p *Plan) InverseIn(ws *workspace.Arena, dst, src []complex128) {
-	p.checkLen(dst, src)
-	// IDFT(x) = conj(DFT(conj(x)))/N.
-	buf, m, tmp := p.getScratchIn(ws, p.n)
-	for i, v := range src {
-		buf[i] = cmplxConj(v)
+	p.ForwardIn(ws, dst, src)
+	reverseScale(dst)
+}
+
+// reverseScale maps v[k] <- v[(n-k) mod n] / n in place.
+func reverseScale(v []complex128) {
+	n := len(v)
+	s := 1 / float64(n)
+	v[0] = complex(real(v[0])*s, imag(v[0])*s)
+	for i, j := 1, n-1; i < j; i, j = i+1, j-1 {
+		a, b := v[j], v[i]
+		v[i] = complex(real(a)*s, imag(a)*s)
+		v[j] = complex(real(b)*s, imag(b)*s)
 	}
-	p.ForwardIn(ws, dst, buf)
-	p.putScratchIn(ws, m, tmp)
-	scale := 1 / float64(p.n)
-	for i, v := range dst {
-		dst[i] = complex(real(v)*scale, -imag(v)*scale)
+	if n > 1 && n&1 == 0 {
+		m := n / 2
+		v[m] = complex(real(v[m])*s, imag(v[m])*s)
+	}
+}
+
+// ForwardBatch computes howMany forward DFTs in one call: transform i
+// reads src[i*stride : i*stride+N] and writes dst[i*stride : i*stride+N].
+// stride must be >= N. The whole batch shares one scratch acquisition and
+// the plan's stage tables; per-vector results are bit-identical to
+// howMany ForwardIn calls. dst and src must either be the same slice (with
+// the same stride) or not overlap.
+func (p *Plan) ForwardBatch(ws *workspace.Arena, dst, src []complex128, howMany, stride int) {
+	p.ForwardBatchStrided(ws, dst, src, howMany, stride, stride)
+}
+
+// ForwardBatchStrided is ForwardBatch with distinct destination and source
+// strides: transform i reads src[i*srcStride:][:N] and writes
+// dst[i*dstStride:][:N] — the scatter/gather form grid-shaped callers use
+// to land transforms directly in strided result layouts.
+func (p *Plan) ForwardBatchStrided(ws *workspace.Arena, dst, src []complex128, howMany, dstStride, srcStride int) {
+	if howMany <= 0 {
+		return
+	}
+	p.checkBatch(len(dst), howMany, dstStride, "dst")
+	p.checkBatch(len(src), howMany, srcStride, "src")
+	if !p.smooth {
+		p.blu.transformBatch(ws, dst, src, howMany, dstStride, srcStride)
+		return
+	}
+	k := len(p.stages)
+	if k == 0 {
+		for i := 0; i < howMany; i++ {
+			dst[i*dstStride] = src[i*srcStride]
+		}
+		return
+	}
+	aliased := &dst[0] == &src[0]
+	if k == 1 && !aliased {
+		for i := 0; i < howMany; i++ {
+			runStage(&p.stages[0], dst[i*dstStride:i*dstStride+p.n], src[i*srcStride:i*srcStride+p.n])
+		}
+		return
+	}
+	var mk workspace.Mark
+	var t1, t2 *[]complex128
+	var scr, scr2 []complex128
+	if ws != nil {
+		mk = ws.Mark()
+		scr = ws.Complex(p.n)
+	} else {
+		t1 = p.scratch.Get().(*[]complex128)
+		scr = *t1
+	}
+	if aliased && k > 1 && k&1 == 1 {
+		if ws != nil {
+			scr2 = ws.Complex(p.n)
+		} else {
+			t2 = p.scratch.Get().(*[]complex128)
+			scr2 = *t2
+		}
+	}
+	for i := 0; i < howMany; i++ {
+		p.transformOne(dst[i*dstStride:i*dstStride+p.n], src[i*srcStride:i*srcStride+p.n], scr, scr2)
+	}
+	if ws != nil {
+		ws.Release(mk)
+	} else {
+		p.scratch.Put(t1)
+		if t2 != nil {
+			p.scratch.Put(t2)
+		}
+	}
+}
+
+// InverseBatch computes howMany inverse DFTs in one call, with the same
+// layout contract as ForwardBatch.
+func (p *Plan) InverseBatch(ws *workspace.Arena, dst, src []complex128, howMany, stride int) {
+	p.InverseBatchStrided(ws, dst, src, howMany, stride, stride)
+}
+
+// InverseBatchStrided is InverseBatch with distinct destination and source
+// strides.
+func (p *Plan) InverseBatchStrided(ws *workspace.Arena, dst, src []complex128, howMany, dstStride, srcStride int) {
+	p.ForwardBatchStrided(ws, dst, src, howMany, dstStride, srcStride)
+	for i := 0; i < howMany; i++ {
+		reverseScale(dst[i*dstStride : i*dstStride+p.n])
 	}
 }
 
 // Ops estimates the number of scalar floating-point operations a single
-// Forward transform performs. The cycle-cost model (internal/cost) uses this
-// so that simulated task costs track the true algorithmic complexity,
-// including the extra work Bluestein lengths require.
+// Forward transform performs — the sum over the plan's stages of their
+// butterfly counts times the per-butterfly kernel cost. The cycle-cost
+// model (internal/cost) documents why its workload model deliberately
+// smooths over the Bluestein cliff this estimate exposes.
 func (p *Plan) Ops() float64 {
 	if p.n == 1 {
 		return 1
 	}
 	if p.smooth {
-		// Each combine level over factor r performs n*r complex
-		// multiply-adds; a complex multiply-add is ~8 scalar flops.
 		ops := 0.0
-		for _, r := range factorize(p.n) {
-			ops += float64(p.n) * float64(r) * 8
+		for _, st := range p.stages {
+			ops += float64(p.n/st.r) * butterflyOps(st.r)
 		}
 		return ops
 	}
-	// Bluestein: chirp multiply, two forward FFTs + one inverse of size m,
-	// pointwise multiply, final chirp multiply.
-	m := float64(p.blu.m)
-	perFFT := m * math.Log2(m) * 8
-	return 3*perFFT + 6*8*float64(p.n) + 6*m
+	// Bluestein: chirp multiply, one forward batch + one inverse of size m
+	// on the inner plan (3 transforms total), pointwise multiply, final
+	// chirp multiply.
+	return 3*p.blu.inner.Ops() + 6*8*float64(p.n) + 6*float64(p.blu.m)
+}
+
+// butterflyOps is the approximate scalar-flop cost of one radix-r
+// butterfly in the specialised kernels (complex add = 2, complex mul = 6,
+// real-by-complex scale = 2).
+func butterflyOps(r int) float64 {
+	switch r {
+	case 2:
+		return 10 // 2 cadd + 1 twiddle cmul
+	case 3:
+		return 26 // 4 cadd + 2 scale + 2 twiddle cmul
+	case 4:
+		return 34 // 8 cadd + 3 twiddle cmul
+	case 5:
+		return 72 // 12 cadd + 8 scale + 4 twiddle cmul
+	default:
+		return 8 * float64(r*r) // generic r-point sub-DFT + twiddles
+	}
 }
 
 func (p *Plan) checkLen(dst, src []complex128) {
@@ -156,84 +426,225 @@ func (p *Plan) checkLen(dst, src []complex128) {
 	}
 }
 
-// getScratchIn returns an n-element scratch buffer from the arena when one
-// is supplied, else from the plan's pool (n <= plan length always holds:
-// the recursion only shrinks). Exactly one of the returned mark/pointer is
-// meaningful; pass both to putScratchIn.
-func (p *Plan) getScratchIn(ws *workspace.Arena, n int) ([]complex128, workspace.Mark, *[]complex128) {
-	if ws != nil {
-		m := ws.Mark()
-		return ws.Complex(n), m, nil
+func (p *Plan) checkBatch(have, howMany, stride int, which string) {
+	if stride < p.n {
+		panic(fmt.Sprintf("fft: batch %s stride %d below plan length %d", which, stride, p.n))
 	}
-	tmp := p.scratch.Get().(*[]complex128)
-	return (*tmp)[:n], workspace.Mark{}, tmp
+	if need := (howMany-1)*stride + p.n; have < need {
+		panic(fmt.Sprintf("fft: batch %s has %d elements, %d transforms at stride %d need %d",
+			which, have, howMany, stride, need))
+	}
 }
 
-func (p *Plan) putScratchIn(ws *workspace.Arena, m workspace.Mark, tmp *[]complex128) {
-	if ws != nil {
-		ws.Release(m)
-		return
+// runStage dispatches one Stockham pass to its radix kernel. Every kernel
+// writes each element of y exactly once, so y's prior contents never leak
+// into the output.
+func runStage(st *stage, y, x []complex128) {
+	switch st.r {
+	case 4:
+		stage4(st, y, x)
+	case 2:
+		stage2(st, y, x)
+	case 3:
+		stage3(st, y, x)
+	case 5:
+		stage5(st, y, x)
+	default:
+		stageGeneric(st, y, x)
 	}
-	p.scratch.Put(tmp)
 }
 
-// recurse computes the DFT of the n elements src[0], src[stride],
-// src[2*stride], ... into dst[0:n]. It is the textbook mixed-radix
-// Cooley-Tukey decomposition: split on the smallest prime factor r, solve
-// the r interleaved subproblems of size m = n/r, then combine with
-// twiddle-weighted butterflies:
-//
-//	dst[q*m+k] = sum_{j<r} Y_j[k] * W_N^{j*(q*m+k)*stride}
-//
-// where W_N = exp(-2*pi*i/N) and stride*n always equals the plan length N,
-// so the root twiddle table serves every level.
-func (p *Plan) recurse(ws *workspace.Arena, dst, src []complex128, n, stride int) {
-	if n == 1 {
-		dst[0] = src[0]
-		return
-	}
-	r := smallestFactor(n)
-	m := n / r
-	for j := 0; j < r; j++ {
-		p.recurse(ws, dst[j*m:(j+1)*m], src[j*stride:], m, stride*r)
-	}
-	if r == 2 {
-		// Specialised radix-2 butterfly: no inner sum loop, no scratch.
-		for k := 0; k < m; k++ {
-			a := dst[k]
-			b := dst[m+k] * p.tw[(k*stride)%p.n]
-			dst[k] = a + b
-			dst[m+k] = a - b
+// stage2 is the radix-2 butterfly pass.
+func stage2(st *stage, y, x []complex128) {
+	m, s := st.m, st.s
+	tw := st.tw
+	if s == 1 {
+		// First pass: contiguous data, no inner q loop.
+		for p := 0; p < m; p++ {
+			a, b := x[p], x[p+m]
+			y[2*p] = a + b
+			y[2*p+1] = (a - b) * tw[p]
 		}
 		return
 	}
-	buf, mk, tmp := p.getScratchIn(ws, n)
-	for q := 0; q < r; q++ {
-		base := q * m
-		for k := 0; k < m; k++ {
-			t := base + k
-			var sum complex128
-			for j := 0; j < r; j++ {
-				sum += dst[j*m+k] * p.tw[(j*t*stride)%p.n]
+	for p := 0; p < m; p++ {
+		w := tw[p]
+		xa := x[s*p : s*p+s]
+		xb := x[s*(p+m) : s*(p+m)+s]
+		ya := y[2*s*p : 2*s*p+s]
+		yb := y[s*(2*p+1) : s*(2*p+1)+s]
+		if p == 0 {
+			// w == 1: skip the twiddle multiply on the widest column.
+			for q := 0; q < s; q++ {
+				a, b := xa[q], xb[q]
+				ya[q] = a + b
+				yb[q] = a - b
 			}
-			buf[t] = sum
+			continue
+		}
+		for q := 0; q < s; q++ {
+			a, b := xa[q], xb[q]
+			ya[q] = a + b
+			yb[q] = (a - b) * w
 		}
 	}
-	copy(dst[:n], buf)
-	p.putScratchIn(ws, mk, tmp)
 }
 
-// twiddles returns exp(-2*pi*i*k/n) for k in [0, n).
-func twiddles(n int) []complex128 {
-	tw := make([]complex128, n)
-	for k := range tw {
-		theta := -2 * math.Pi * float64(k) / float64(n)
-		tw[k] = complex(math.Cos(theta), math.Sin(theta))
+// stage4 is the radix-4 butterfly pass — two folded radix-2 levels with a
+// single set of twiddles and one trip through memory.
+func stage4(st *stage, y, x []complex128) {
+	m, s := st.m, st.s
+	tw := st.tw
+	if s == 1 {
+		for p := 0; p < m; p++ {
+			a0, a1, a2, a3 := x[p], x[p+m], x[p+2*m], x[p+3*m]
+			t02p, t02m := a0+a2, a0-a2
+			t13p, t13m := a1+a3, a1-a3
+			jt := complex(imag(t13m), -real(t13m)) // -i * (a1 - a3)
+			y[4*p] = t02p + t13p
+			y[4*p+1] = (t02m + jt) * tw[3*p]
+			y[4*p+2] = (t02p - t13p) * tw[3*p+1]
+			y[4*p+3] = (t02m - jt) * tw[3*p+2]
+		}
+		return
 	}
-	return tw
+	for p := 0; p < m; p++ {
+		w1, w2, w3 := tw[3*p], tw[3*p+1], tw[3*p+2]
+		x0 := x[s*p : s*p+s]
+		x1 := x[s*(p+m) : s*(p+m)+s]
+		x2 := x[s*(p+2*m) : s*(p+2*m)+s]
+		x3 := x[s*(p+3*m) : s*(p+3*m)+s]
+		y0 := y[4*s*p : 4*s*p+s]
+		y1 := y[s*(4*p+1) : s*(4*p+1)+s]
+		y2 := y[s*(4*p+2) : s*(4*p+2)+s]
+		y3 := y[s*(4*p+3) : s*(4*p+3)+s]
+		if p == 0 {
+			for q := 0; q < s; q++ {
+				a0, a1, a2, a3 := x0[q], x1[q], x2[q], x3[q]
+				t02p, t02m := a0+a2, a0-a2
+				t13p, t13m := a1+a3, a1-a3
+				jt := complex(imag(t13m), -real(t13m))
+				y0[q] = t02p + t13p
+				y1[q] = t02m + jt
+				y2[q] = t02p - t13p
+				y3[q] = t02m - jt
+			}
+			continue
+		}
+		for q := 0; q < s; q++ {
+			a0, a1, a2, a3 := x0[q], x1[q], x2[q], x3[q]
+			t02p, t02m := a0+a2, a0-a2
+			t13p, t13m := a1+a3, a1-a3
+			jt := complex(imag(t13m), -real(t13m))
+			y0[q] = t02p + t13p
+			y1[q] = (t02m + jt) * w1
+			y2[q] = (t02p - t13p) * w2
+			y3[q] = (t02m - jt) * w3
+		}
+	}
 }
 
-func cmplxConj(v complex128) complex128 { return complex(real(v), -imag(v)) }
+// sin3 = sin(2*pi/3): the imaginary part of the radix-3 root.
+const sin3 = 0.8660254037844386467637231707529362
+
+// stage3 is the radix-3 butterfly pass.
+func stage3(st *stage, y, x []complex128) {
+	m, s := st.m, st.s
+	tw := st.tw
+	for p := 0; p < m; p++ {
+		w1, w2 := tw[2*p], tw[2*p+1]
+		x0 := x[s*p : s*p+s]
+		x1 := x[s*(p+m) : s*(p+m)+s]
+		x2 := x[s*(p+2*m) : s*(p+2*m)+s]
+		y0 := y[3*s*p : 3*s*p+s]
+		y1 := y[s*(3*p+1) : s*(3*p+1)+s]
+		y2 := y[s*(3*p+2) : s*(3*p+2)+s]
+		for q := 0; q < s; q++ {
+			a0, a1, a2 := x0[q], x1[q], x2[q]
+			u := a1 + a2
+			v := a1 - a2
+			c := a0 - complex(0.5*real(u), 0.5*imag(u))
+			w := complex(sin3*imag(v), -sin3*real(v)) // -i*sin3*v
+			y0[q] = a0 + u
+			y1[q] = (c + w) * w1
+			y2[q] = (c - w) * w2
+		}
+	}
+}
+
+// Radix-5 constants: cos/sin of 2*pi/5 and 4*pi/5.
+const (
+	cos51 = 0.3090169943749474241022934171828191
+	cos52 = -0.8090169943749474241022934171828191
+	sin51 = 0.9510565162951535721164393333793821
+	sin52 = 0.5877852522924731291687059546390728
+)
+
+// stage5 is the radix-5 butterfly pass (Winograd-style grouping of
+// conjugate root pairs).
+func stage5(st *stage, y, x []complex128) {
+	m, s := st.m, st.s
+	tw := st.tw
+	for p := 0; p < m; p++ {
+		w1, w2, w3, w4 := tw[4*p], tw[4*p+1], tw[4*p+2], tw[4*p+3]
+		x0 := x[s*p : s*p+s]
+		x1 := x[s*(p+m) : s*(p+m)+s]
+		x2 := x[s*(p+2*m) : s*(p+2*m)+s]
+		x3 := x[s*(p+3*m) : s*(p+3*m)+s]
+		x4 := x[s*(p+4*m) : s*(p+4*m)+s]
+		y0 := y[5*s*p : 5*s*p+s]
+		y1 := y[s*(5*p+1) : s*(5*p+1)+s]
+		y2 := y[s*(5*p+2) : s*(5*p+2)+s]
+		y3 := y[s*(5*p+3) : s*(5*p+3)+s]
+		y4 := y[s*(5*p+4) : s*(5*p+4)+s]
+		for q := 0; q < s; q++ {
+			a0, a1, a2, a3, a4 := x0[q], x1[q], x2[q], x3[q], x4[q]
+			t1, t2 := a1+a4, a2+a3
+			t3, t4 := a1-a4, a2-a3
+			m1 := a0 + complex(cos51*real(t1)+cos52*real(t2), cos51*imag(t1)+cos52*imag(t2))
+			m2 := a0 + complex(cos52*real(t1)+cos51*real(t2), cos52*imag(t1)+cos51*imag(t2))
+			u1 := complex(sin51*real(t3)+sin52*real(t4), sin51*imag(t3)+sin52*imag(t4))
+			u2 := complex(sin52*real(t3)-sin51*real(t4), sin52*imag(t3)-sin51*imag(t4))
+			m3 := complex(imag(u1), -real(u1)) // -i*u1
+			m4 := complex(imag(u2), -real(u2)) // -i*u2
+			y0[q] = a0 + t1 + t2
+			y1[q] = (m1 + m3) * w1
+			y2[q] = (m2 + m4) * w2
+			y3[q] = (m2 - m4) * w3
+			y4[q] = (m1 - m3) * w4
+		}
+	}
+}
+
+// stageGeneric handles any remaining radix (only 7 for LTE lengths) with
+// the precomputed r*r root table — still table-driven, still modulo-free
+// at transform time.
+func stageGeneric(st *stage, y, x []complex128) {
+	r, m, s := st.r, st.m, st.s
+	tw := st.tw
+	root := st.root
+	var a [maxRadix]complex128
+	for p := 0; p < m; p++ {
+		for q := 0; q < s; q++ {
+			for c := 0; c < r; c++ {
+				a[c] = x[s*(p+c*m)+q]
+			}
+			sum := a[0]
+			for c := 1; c < r; c++ {
+				sum += a[c]
+			}
+			y[s*r*p+q] = sum
+			for j := 1; j < r; j++ {
+				row := root[j*r : j*r+r]
+				sum = a[0]
+				for c := 1; c < r; c++ {
+					sum += a[c] * row[c]
+				}
+				y[s*(r*p+j)+q] = sum * tw[(r-1)*p+j-1]
+			}
+		}
+	}
+}
 
 // isSmooth reports whether every prime factor of n is <= maxRadix.
 func isSmooth(n int) bool {
@@ -245,36 +656,11 @@ func isSmooth(n int) bool {
 	return n == 1
 }
 
-// smallestFactor returns the smallest prime factor of n (n >= 2).
-func smallestFactor(n int) int {
-	for _, f := range []int{2, 3, 5, 7} {
-		if n%f == 0 {
-			return f
-		}
-	}
-	// Only reached for non-smooth n, which the Bluestein path handles;
-	// kept total so factorize works on any n for Ops estimates.
-	for f := 11; f*f <= n; f += 2 {
-		if n%f == 0 {
-			return f
-		}
-	}
-	return n
-}
-
-// factorize returns the prime factorisation of n in nondecreasing order.
-func factorize(n int) []int {
-	var fs []int
-	for n > 1 {
-		f := smallestFactor(n)
-		fs = append(fs, f)
-		n /= f
-	}
-	return fs
-}
+func cmplxConj(v complex128) complex128 { return complex(real(v), -imag(v)) }
 
 // bluestein implements the chirp-z transform: an arbitrary-length DFT
-// expressed as a cyclic convolution, evaluated with power-of-two FFTs.
+// expressed as a cyclic convolution, evaluated with power-of-two FFTs on
+// the iterative engine.
 type bluestein struct {
 	n     int
 	m     int          // power-of-two convolution length, m >= 2n-1
@@ -313,22 +699,11 @@ func newBluestein(n int) *bluestein {
 	return b
 }
 
-func (b *bluestein) transform(ws *workspace.Arena, dst, src []complex128) {
-	var x, y []complex128
-	var mk workspace.Mark
-	var xp, yp *[]complex128
-	if ws != nil {
-		mk = ws.Mark()
-		x = ws.Complex(b.m)
-		y = ws.Complex(b.m)
-	} else {
-		xp = b.pool.Get().(*[]complex128)
-		yp = b.pool.Get().(*[]complex128)
-		x, y = *xp, *yp
-		for i := range x {
-			x[i] = 0
-		}
-	}
+// core runs one chirp-z transform using caller-provided length-m buffers.
+// x[n:m) MUST be zero on entry (the zero padding of the chirp-multiplied
+// input); on exit x holds convolution output over its whole length, so a
+// caller reusing x must re-zero that tail first.
+func (b *bluestein) core(ws *workspace.Arena, dst, src, x, y []complex128) {
 	for k := 0; k < b.n; k++ {
 		x[k] = src[k] * b.a[k]
 	}
@@ -340,12 +715,50 @@ func (b *bluestein) transform(ws *workspace.Arena, dst, src []complex128) {
 	for k := 0; k < b.n; k++ {
 		dst[k] = x[k] * b.a[k]
 	}
+}
+
+// getBuffers acquires the two length-m convolution buffers. Arena slices
+// arrive zeroed by the workspace contract (TestBluesteinArenaZeroTail pins
+// the x[n:m) dependence); pooled x gets its tail zeroed explicitly — the
+// head is fully overwritten by core — and y needs no zeroing at all.
+func (b *bluestein) getBuffers(ws *workspace.Arena) (x, y []complex128, mk workspace.Mark, xp, yp *[]complex128) {
+	if ws != nil {
+		mk = ws.Mark()
+		return ws.Complex(b.m), ws.Complex(b.m), mk, nil, nil
+	}
+	xp = b.pool.Get().(*[]complex128)
+	yp = b.pool.Get().(*[]complex128)
+	x, y = *xp, *yp
+	clear(x[b.n:])
+	return x, y, workspace.Mark{}, xp, yp
+}
+
+func (b *bluestein) putBuffers(ws *workspace.Arena, mk workspace.Mark, xp, yp *[]complex128) {
 	if ws != nil {
 		ws.Release(mk)
-	} else {
-		b.pool.Put(xp)
-		b.pool.Put(yp)
+		return
 	}
+	b.pool.Put(xp)
+	b.pool.Put(yp)
+}
+
+func (b *bluestein) transform(ws *workspace.Arena, dst, src []complex128) {
+	x, y, mk, xp, yp := b.getBuffers(ws)
+	b.core(ws, dst, src, x, y)
+	b.putBuffers(ws, mk, xp, yp)
+}
+
+// transformBatch shares one buffer acquisition across the whole batch,
+// re-zeroing only x's padding tail between transforms.
+func (b *bluestein) transformBatch(ws *workspace.Arena, dst, src []complex128, howMany, dstStride, srcStride int) {
+	x, y, mk, xp, yp := b.getBuffers(ws)
+	for i := 0; i < howMany; i++ {
+		if i > 0 {
+			clear(x[b.n:])
+		}
+		b.core(ws, dst[i*dstStride:i*dstStride+b.n], src[i*srcStride:i*srcStride+b.n], x, y)
+	}
+	b.putBuffers(ws, mk, xp, yp)
 }
 
 // planCache memoises plans by length; Get is the concurrency-safe accessor

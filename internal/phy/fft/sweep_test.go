@@ -1,0 +1,55 @@
+package fft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// naiveDFTTable is an O(n^2) reference DFT with a precomputed root table —
+// the same arithmetic as naiveDFT but fast enough to sweep every LTE
+// length in one test run.
+func naiveDFTTable(src []complex128) []complex128 {
+	n := len(src)
+	roots := make([]complex128, n)
+	for j := range roots {
+		theta := -2 * math.Pi * float64(j) / float64(n)
+		roots[j] = complex(math.Cos(theta), math.Sin(theta))
+	}
+	dst := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			sum += src[j] * roots[(j*k)%n]
+		}
+		dst[k] = sum
+	}
+	return dst
+}
+
+// TestAccuracySweepAllLTELengths sweeps every LTE allocation width
+// n = 12*nPRB for nPRB in [2, 200] — smooth and Bluestein alike — against
+// the O(n^2) reference, requiring max error <= 1e-9 relative to the
+// spectrum's peak magnitude. This is the accuracy gate `make check` runs
+// for the iterative engine across the full deployed size range.
+func TestAccuracySweepAllLTELengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	const relTol = 1e-9
+	for nPRB := 2; nPRB <= 200; nPRB++ {
+		n := 12 * nPRB
+		src := randVec(rng, n)
+		want := naiveDFTTable(src)
+		got := make([]complex128, n)
+		Get(n).Forward(got, src)
+		peak := 0.0
+		for _, v := range want {
+			if m := math.Hypot(real(v), imag(v)); m > peak {
+				peak = m
+			}
+		}
+		if d := maxAbsDiff(got, want); d > relTol*peak {
+			t.Errorf("n=%d (nPRB=%d): max |fft-naive| = %g, relative %g > %g",
+				n, nPRB, d, d/peak, relTol)
+		}
+	}
+}

@@ -129,6 +129,33 @@ var constellations = func() [nSchemes][]complex128 {
 // modify it.
 func (s Scheme) Constellation() []complex128 { return constellations[s] }
 
+// axisLevels[s][t] is the per-axis PAM amplitude for the axis bit group t
+// (MSB first, Bits()/2 bits per axis). The LTE constellations are square
+// Gray-mapped QAM with even-position bits on I and odd-position bits on Q,
+// so a symbol factors as (level[iBits], level[qBits]) and the demapper can
+// search the two axes independently. The levels are read back out of the
+// constellation table itself so both representations are the same float64
+// values by construction.
+var axisLevels = func() [nSchemes][]float64 {
+	var tabs [nSchemes][]float64
+	for _, s := range []Scheme{QPSK, QAM16, QAM64} {
+		h := s.Bits() / 2
+		tab := make([]float64, 1<<uint(h))
+		full := constellations[s]
+		for t := range tab {
+			// The symbol whose I bits are t and Q bits are all zero sits at
+			// the full-table index with t's bits spread to even positions.
+			idx := 0
+			for i := 0; i < h; i++ {
+				idx = idx<<2 | ((t>>uint(h-1-i))&1)<<1
+			}
+			tab[t] = real(full[idx])
+		}
+		tabs[s] = tab
+	}
+	return tabs
+}()
+
 // Map modulates bits (values 0/1, length a multiple of Bits()) into
 // symbols appended to dst, returning the extended slice.
 func (s Scheme) Map(dst []complex128, bits []uint8) []complex128 {
@@ -154,35 +181,77 @@ func (s Scheme) Map(dst []complex128, bits []uint8) []complex128 {
 //
 // so positive LLR means bit 0 is more likely — matching the turbo decoder's
 // input convention. noiseVar must be > 0.
+//
+// The search exploits the square Gray constellations: |y-s|^2 separates
+// into per-axis terms and each bit constrains only one axis, so the 2^Q
+// point scan collapses to two 2^(Q/2) level scans. The result is
+// bit-identical to the exhaustive search (the minimising point of the sum
+// is the pair of per-axis minimisers, and float rounding is monotone), and
+// TestDemapMatchesExhaustive holds the implementation to exactly that.
 func (s Scheme) Demap(dst []float64, syms []complex128, noiseVar float64) []float64 {
 	if noiseVar <= 0 {
 		panic(fmt.Sprintf("modulation: non-positive noise variance %g", noiseVar))
 	}
 	q := s.Bits()
-	tab := constellations[s]
+	h := q / 2
+	lv := axisLevels[s]
+	nl := len(lv)
 	inv := 1 / noiseVar
-	var d0, d1 [6]float64
+	// Per-axis squared distances and per-axis-bit subset minima.
+	var dI, dQ [8]float64
+	var i0, i1, q0, q1 [3]float64
 	for _, y := range syms {
-		for b := 0; b < q; b++ {
-			d0[b] = math.Inf(1)
-			d1[b] = math.Inf(1)
-		}
-		for idx, pt := range tab {
-			dr := real(y) - real(pt)
-			di := imag(y) - imag(pt)
-			d := dr*dr + di*di
-			for b := 0; b < q; b++ {
-				if idx&(1<<uint(q-1-b)) != 0 {
-					if d < d1[b] {
-						d1[b] = d
-					}
-				} else if d < d0[b] {
-					d0[b] = d
-				}
+		yI, yQ := real(y), imag(y)
+		minI, minQ := math.Inf(1), math.Inf(1)
+		for t := 0; t < nl; t++ {
+			dr := yI - lv[t]
+			d := dr * dr
+			dI[t] = d
+			if d < minI {
+				minI = d
+			}
+			di := yQ - lv[t]
+			d = di * di
+			dQ[t] = d
+			if d < minQ {
+				minQ = d
 			}
 		}
-		for b := 0; b < q; b++ {
-			dst = append(dst, (d1[b]-d0[b])*inv)
+		for b := 0; b < h; b++ {
+			mask := 1 << uint(h-1-b)
+			m0, m1 := math.Inf(1), math.Inf(1)
+			n0, n1 := math.Inf(1), math.Inf(1)
+			for t := 0; t < nl; t++ {
+				if t&mask != 0 {
+					if dI[t] < m1 {
+						m1 = dI[t]
+					}
+					if dQ[t] < n1 {
+						n1 = dQ[t]
+					}
+				} else {
+					if dI[t] < m0 {
+						m0 = dI[t]
+					}
+					if dQ[t] < n0 {
+						n0 = dQ[t]
+					}
+				}
+			}
+			i0[b], i1[b] = m0, m1
+			q0[b], q1[b] = n0, n1
+		}
+		// Emit in transmitted bit order: even positions are I bits, odd are
+		// Q bits. The opposite axis contributes its unconstrained minimum to
+		// both hypotheses — added (not cancelled) so each hypothesis distance
+		// rounds exactly as the exhaustive point-wise sums did.
+		for p := 0; p < q; p++ {
+			b := p >> 1
+			if p&1 == 0 {
+				dst = append(dst, ((i1[b]+minQ)-(i0[b]+minQ))*inv)
+			} else {
+				dst = append(dst, ((q1[b]+minI)-(q0[b]+minI))*inv)
+			}
 		}
 	}
 	return dst
@@ -196,18 +265,25 @@ func (s Scheme) EVM(syms []complex128) float64 {
 	if len(syms) == 0 {
 		return 0
 	}
-	tab := constellations[s]
+	lv := axisLevels[s]
+	nl := len(lv)
 	var errPow float64
+	// Same per-axis separation as Demap: the nearest constellation point is
+	// the pair of nearest per-axis levels.
 	for _, y := range syms {
-		best := math.Inf(1)
-		for _, pt := range tab {
-			dr := real(y) - real(pt)
-			di := imag(y) - imag(pt)
-			if d := dr*dr + di*di; d < best {
-				best = d
+		yI, yQ := real(y), imag(y)
+		minI, minQ := math.Inf(1), math.Inf(1)
+		for t := 0; t < nl; t++ {
+			dr := yI - lv[t]
+			if d := dr * dr; d < minI {
+				minI = d
+			}
+			di := yQ - lv[t]
+			if d := di * di; d < minQ {
+				minQ = d
 			}
 		}
-		errPow += best
+		errPow += minI + minQ
 	}
 	return math.Sqrt(errPow / float64(len(syms)))
 }

@@ -206,6 +206,93 @@ func TestBERUnderAWGN(t *testing.T) {
 	}
 }
 
+// demapExhaustive is the reference max-log demapper: a full scan of all
+// 2^Q constellation points per symbol. The production Demap factors the
+// search per axis; this reference holds it to bit-identical output.
+func demapExhaustive(s Scheme, dst []float64, syms []complex128, noiseVar float64) []float64 {
+	q := s.Bits()
+	tab := s.Constellation()
+	inv := 1 / noiseVar
+	var d0, d1 [6]float64
+	for _, y := range syms {
+		for b := 0; b < q; b++ {
+			d0[b] = math.Inf(1)
+			d1[b] = math.Inf(1)
+		}
+		for idx, pt := range tab {
+			dr := real(y) - real(pt)
+			di := imag(y) - imag(pt)
+			d := dr*dr + di*di
+			for b := 0; b < q; b++ {
+				if idx&(1<<uint(q-1-b)) != 0 {
+					if d < d1[b] {
+						d1[b] = d
+					}
+				} else if d < d0[b] {
+					d0[b] = d
+				}
+			}
+		}
+		for b := 0; b < q; b++ {
+			dst = append(dst, (d1[b]-d0[b])*inv)
+		}
+	}
+	return dst
+}
+
+// evmExhaustive is the reference EVM: nearest point by full scan.
+func evmExhaustive(s Scheme, syms []complex128) float64 {
+	if len(syms) == 0 {
+		return 0
+	}
+	tab := s.Constellation()
+	var errPow float64
+	for _, y := range syms {
+		best := math.Inf(1)
+		for _, pt := range tab {
+			dr := real(y) - real(pt)
+			di := imag(y) - imag(pt)
+			if d := dr*dr + di*di; d < best {
+				best = d
+			}
+		}
+		errPow += best
+	}
+	return math.Sqrt(errPow / float64(len(syms)))
+}
+
+// TestDemapMatchesExhaustive pins the per-axis demapper to the exhaustive
+// full-constellation search, bit for bit: the separable search must pick
+// the same hypothesis distances, and the rounding order is arranged so even
+// the float results coincide exactly.
+func TestDemapMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, s := range schemes {
+		for trial := 0; trial < 50; trial++ {
+			syms := make([]complex128, 40)
+			for i := range syms {
+				// Mix far-out and near-boundary samples.
+				scale := 1.0
+				if trial%2 == 0 {
+					scale = 3.0
+				}
+				syms[i] = complex(scale*rng.NormFloat64(), scale*rng.NormFloat64())
+			}
+			nv := 0.01 + rng.Float64()
+			got := s.Demap(nil, syms, nv)
+			want := demapExhaustive(s, nil, syms, nv)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%v trial %d: LLR[%d] = %g, exhaustive %g", s, trial, i, got[i], want[i])
+				}
+			}
+			if ge, we := s.EVM(syms), evmExhaustive(s, syms); ge != we {
+				t.Fatalf("%v trial %d: EVM %g, exhaustive %g", s, trial, ge, we)
+			}
+		}
+	}
+}
+
 func TestMapPanicsOnBitCount(t *testing.T) {
 	defer func() {
 		if recover() == nil {

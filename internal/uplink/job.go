@@ -45,10 +45,19 @@ type UserJob struct {
 	layers int
 	format TransportFormat
 
+	// plan is the shared FFT plan for the allocation width, resolved once
+	// at Init so per-symbol/per-antenna loops never repeat the fft.Get map
+	// lookup; window is the channel-estimation time-domain window width.
+	plan   *fft.Plan
+	window int
+
 	layerRef [][]complex128 // conj-ready per-layer DMRS, [layer][k]; shared, read-only
 
-	// hest[slot][(a*layers+l)*n + k]: per-slot channel estimates.
-	hest [SlotsPerSubframe][]complex128
+	// hestAll is one contiguous carve holding both slots' channel
+	// estimates ([slot][(a*layers+l)*n + k]); batched FFTs write straight
+	// into it. hest[slot] are its per-slot subslices.
+	hestAll []complex128
+	hest    [SlotsPerSubframe][]complex128
 	// weights[slot][(k*layers+l)*antennas + a]: MMSE combining rows.
 	weights [SlotsPerSubframe][]complex128
 	// combined[g*n + t]: despread time-domain symbols in canonical order,
@@ -159,9 +168,16 @@ func (j *UserJob) Init(ws *workspace.Arena, cfg ReceiverConfig, u *UserData) err
 	}
 	bits := j.bits // survives re-initialisation: reusable payload storage
 	*j = UserJob{Cfg: cfg, U: u, n: n, layers: u.Params.Layers, format: format, bits: bits}
+	j.plan = fft.Get(n)
+	j.window = n / sequence.MaxLayers
+	if j.window < 1 {
+		j.window = 1
+	}
 	j.layerRef = layerRefs(n)[:j.layers]
+	al := cfg.Antennas * j.layers
+	j.hestAll = ws.Complex(SlotsPerSubframe * al * n)
 	for slot := 0; slot < SlotsPerSubframe; slot++ {
-		j.hest[slot] = ws.Complex(cfg.Antennas * j.layers * n)
+		j.hest[slot] = j.hestAll[slot*al*n : (slot+1)*al*n]
 		j.weights[slot] = ws.Complex(n * j.layers * cfg.Antennas)
 	}
 	j.combined = ws.Complex(DataSymbolsPerSubframe * j.layers * n)
@@ -184,47 +200,84 @@ func (j *UserJob) ChanEstTask(i int) {
 	chanEstStages[j.Cfg.ChanEst].Run(nil, j, i)
 }
 
+// matchedFilter writes the matched-filter output for (slot, antenna,
+// layer l's reference) into mf: unit-modulus reference, so conjugate
+// multiply inverts the known sequence and leaves H plus the other layers'
+// responses shifted to their own windows.
+func (j *UserJob) matchedFilter(mf []complex128, slot, a, l int) {
+	rx := j.U.RefRx[slot][a]
+	ref := j.layerRef[l]
+	for k := 0; k < j.n; k++ {
+		mf[k] = rx[k] * cmplxConj(ref[k])
+	}
+}
+
 // chanEstTask estimates the channel for one (antenna, layer) pair across
 // both slots: matched filter against the layer's reference sequence, IFFT
 // to the time domain, windowing around the layer's cyclic shift, FFT back
 // (the paper's Fig. 3 channel-estimation chain). ls selects the raw
-// least-squares variant (matched filter only).
+// least-squares variant (matched filter only). The two slots run as one
+// FFT batch, landing directly in hestAll through the strided destination.
 func (j *UserJob) chanEstTask(ws *workspace.Arena, i int, ls bool) {
 	a := i / j.layers
 	l := i % j.layers
 	n := j.n
-	plan := fft.Get(n)
-	window := n / sequence.MaxLayers
-	if window < 1 {
-		window = 1
+	if ls {
+		// Raw least-squares: no denoising, no layer separation.
+		for slot := 0; slot < SlotsPerSubframe; slot++ {
+			out := j.hest[slot][(a*j.layers+l)*n : (a*j.layers+l+1)*n]
+			j.matchedFilter(out, slot, a, l)
+		}
+		return
 	}
-	ref := j.layerRef[l]
 	m := ws.Mark()
-	mf := ws.Complex(n)
-	var td []complex128
-	if !ls {
-		td = ws.Complex(n)
-	}
+	mf := ws.Complex(SlotsPerSubframe * n)
+	td := ws.Complex(SlotsPerSubframe * n)
 	for slot := 0; slot < SlotsPerSubframe; slot++ {
-		rx := j.U.RefRx[slot][a]
-		// Matched filter: unit-modulus reference, so conjugate multiply
-		// inverts the known sequence and leaves H plus the other layers'
-		// responses shifted to their own windows.
-		for k := 0; k < n; k++ {
-			mf[k] = rx[k] * cmplxConj(ref[k])
+		j.matchedFilter(mf[slot*n:(slot+1)*n], slot, a, l)
+	}
+	j.plan.InverseBatch(ws, td, mf, SlotsPerSubframe, n)
+	// Window: this layer's impulse response occupies [0, window).
+	for slot := 0; slot < SlotsPerSubframe; slot++ {
+		seg := td[slot*n : (slot+1)*n]
+		for t := j.window; t < n; t++ {
+			seg[t] = 0
 		}
-		out := j.hest[slot][(a*j.layers+l)*n : (a*j.layers+l+1)*n]
-		if ls {
-			// Raw least-squares: no denoising, no layer separation.
-			copy(out, mf)
-			continue
+	}
+	aln := j.Cfg.Antennas * j.layers * n
+	j.plan.ForwardBatchStrided(ws, j.hestAll[(a*j.layers+l)*n:], td, SlotsPerSubframe, aln, n)
+	ws.Release(m)
+}
+
+// chanEstBatch runs channel-estimation tasks [from, to) as slot-wide FFT
+// batches: per slot, matched-filter every (antenna, layer) of the range
+// into contiguous scratch, one batched IFFT, window, one batched FFT
+// straight into the hest slab. Per-vector arithmetic is identical to
+// chanEstTask, so results are bit-exact with the per-task path.
+func (j *UserJob) chanEstBatch(ws *workspace.Arena, from, to int, ls bool) {
+	if ls {
+		for i := from; i < to; i++ {
+			j.chanEstTask(ws, i, true)
 		}
-		plan.InverseIn(ws, td, mf)
-		// Window: this layer's impulse response occupies [0, window).
-		for t := window; t < n; t++ {
-			td[t] = 0
+		return
+	}
+	n := j.n
+	cnt := to - from
+	m := ws.Mark()
+	mf := ws.Complex(cnt * n)
+	td := ws.Complex(cnt * n)
+	for slot := 0; slot < SlotsPerSubframe; slot++ {
+		for i := from; i < to; i++ {
+			j.matchedFilter(mf[(i-from)*n:(i-from+1)*n], slot, i/j.layers, i%j.layers)
 		}
-		plan.ForwardIn(ws, out, td)
+		j.plan.InverseBatch(ws, td, mf, cnt, n)
+		for i := 0; i < cnt; i++ {
+			seg := td[i*n : (i+1)*n]
+			for t := j.window; t < n; t++ {
+				seg[t] = 0
+			}
+		}
+		j.plan.ForwardBatch(ws, j.hest[slot][from*n:to*n], td, cnt, n)
 	}
 	ws.Release(m)
 }
@@ -235,10 +288,7 @@ func (j *UserJob) chanEstTask(ws *workspace.Arena, i int, ls bool) {
 // window keeps a W/N fraction of the matched filter's noise, hence the
 // N/W rescale back to per-subcarrier variance.
 func (j *UserJob) estimateNoise() float64 {
-	window := j.n / sequence.MaxLayers
-	if window < 1 {
-		window = 1
-	}
+	window := j.window
 	var sum float64
 	count := 0
 	h0, h1 := j.hest[0], j.hest[1]
@@ -360,11 +410,11 @@ func (j *UserJob) DataTask(i int) {
 	dataStage{}.Run(nil, j, i)
 }
 
-// dataTask combines one (slot, symbol, layer) across antennas and
-// transforms it back to the time domain (SC-FDMA despread) — the paper's
-// "antenna combining and IFFT ... performed on each separate symbol and
-// layer".
-func (j *UserJob) dataTask(ws *workspace.Arena, i int) {
+// combineSymbol gathers the combiner input for data task i into comb
+// (length n): the per-subcarrier weighted sum across antennas, plus the
+// residual-CFO de-rotation. This is the frequency-domain vector the
+// despread IDFT consumes.
+func (j *UserJob) combineSymbol(i int, comb []complex128) {
 	layers := j.layers
 	slot := i / (DataSymbolsPerSlot * layers)
 	rem := i % (DataSymbolsPerSlot * layers)
@@ -374,8 +424,6 @@ func (j *UserJob) dataTask(ws *workspace.Arena, i int) {
 	ant := j.Cfg.Antennas
 	rx := j.U.DataRx[slot][sym]
 	w := j.weights[slot]
-	m := ws.Mark()
-	comb := ws.Complex(n)
 	for k := 0; k < n; k++ {
 		row := w[(k*layers+l)*ant : (k*layers+l+1)*ant]
 		var sum complex128
@@ -394,14 +442,49 @@ func (j *UserJob) dataTask(ws *workspace.Arena, i int) {
 			comb[k] *= rot
 		}
 	}
-	g := (slot*DataSymbolsPerSlot+sym)*layers + l
-	out := j.combined[g*n : (g+1)*n]
-	fft.Get(n).InverseIn(ws, out, comb)
-	// Undo the transmitter's unitary 1/sqrt(N) spreading scale.
+}
+
+// despreadScale undoes the transmitter's unitary 1/sqrt(N) spreading
+// scale on the despread output.
+func despreadScale(out []complex128, n int) {
 	scale := complex(math.Sqrt(float64(n)), 0)
 	for t := range out {
 		out[t] *= scale
 	}
+}
+
+// dataTask combines one (slot, symbol, layer) across antennas and
+// transforms it back to the time domain (SC-FDMA despread) — the paper's
+// "antenna combining and IFFT ... performed on each separate symbol and
+// layer".
+func (j *UserJob) dataTask(ws *workspace.Arena, i int) {
+	n := j.n
+	m := ws.Mark()
+	comb := ws.Complex(n)
+	j.combineSymbol(i, comb)
+	// Data task i lands at group index i: tasks and the canonical combined
+	// layout share the (slot, sym, layer) order.
+	out := j.combined[i*n : (i+1)*n]
+	j.plan.InverseIn(ws, out, comb)
+	despreadScale(out, n)
+	ws.Release(m)
+}
+
+// dataBatch runs data tasks [from, to): every symbol of the range is
+// gathered into contiguous scratch, then one batched IDFT despreads them
+// all straight into the combined slab. Per-vector arithmetic is identical
+// to dataTask, so results are bit-exact with the per-task path.
+func (j *UserJob) dataBatch(ws *workspace.Arena, from, to int) {
+	n := j.n
+	cnt := to - from
+	m := ws.Mark()
+	comb := ws.Complex(cnt * n)
+	for i := from; i < to; i++ {
+		j.combineSymbol(i, comb[(i-from)*n:(i-from+1)*n])
+	}
+	out := j.combined[from*n : to*n]
+	j.plan.InverseBatch(ws, out, comb, cnt, n)
+	despreadScale(out, n)
 	ws.Release(m)
 }
 
@@ -489,7 +572,12 @@ func processIn(ws *workspace.Arena, j *UserJob, cfg ReceiverConfig, u *UserData)
 		return UserResult{}, err
 	}
 	for _, s := range j.Stages() {
-		for i, tasks := 0, s.Tasks(j); i < tasks; i++ {
+		tasks := s.Tasks(j)
+		if bs, ok := s.(BatchStage); ok {
+			bs.RunBatch(ws, j, 0, tasks)
+			continue
+		}
+		for i := 0; i < tasks; i++ {
 			s.Run(ws, j, i)
 		}
 	}

@@ -1,0 +1,69 @@
+package uplink_test
+
+import (
+	"testing"
+
+	"ltephy/internal/phy/workspace"
+	"ltephy/internal/uplink"
+)
+
+// Kernel-level timing benchmarks for the two transform-dominated stages of
+// the receiver (EXPERIMENTS.md "kernel timing" section tracks these across
+// PRs). Each benchmark drives one stage exactly the way the serial
+// reference driver does — batched when the stage implements BatchStage,
+// task-by-task otherwise — so the numbers reflect the real serial hot path.
+
+// benchStage runs stage index si of the job once, the way processIn would.
+func benchStage(ws *workspace.Arena, j *uplink.UserJob, si int) {
+	s := j.Stages()[si]
+	n := s.Tasks(j)
+	if bs, ok := s.(uplink.BatchStage); ok {
+		bs.RunBatch(ws, j, 0, n)
+		return
+	}
+	for i := 0; i < n; i++ {
+		s.Run(ws, j, i)
+	}
+}
+
+// benchChanEstJob initialises a job for the heaviest bench user (4 layers)
+// on a fresh arena and advances it through the given number of stages.
+func benchChanEstJob(tb testing.TB, stages int) (*workspace.Arena, *uplink.UserJob) {
+	tb.Helper()
+	rc := uplink.DefaultConfig()
+	sf := benchSubframe(tb, rc)
+	u := sf.Users[2] // PRB 6, 4 layers, 64-QAM: the widest task grid
+	ws := workspace.New()
+	j := &uplink.UserJob{}
+	if err := j.Init(ws, rc, u); err != nil {
+		tb.Fatal(err)
+	}
+	for si := 0; si < stages; si++ {
+		benchStage(ws, j, si)
+	}
+	return ws, j
+}
+
+// BenchmarkChanEstStage times the full channel-estimation stage (all
+// antenna x layer tasks: matched filter, IFFT, window, FFT across both
+// slots) for one user.
+func BenchmarkChanEstStage(b *testing.B) {
+	ws, j := benchChanEstJob(b, 1) // warm arena + caches via one full pass
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchStage(ws, j, 0)
+	}
+}
+
+// BenchmarkDataStage times the full combine+despread stage (all symbol x
+// layer tasks: antenna combining, CFO de-rotation, IDFT, rescale) for one
+// user, with channel estimates and weights precomputed.
+func BenchmarkDataStage(b *testing.B) {
+	ws, j := benchChanEstJob(b, 2) // chanest + weights done
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchStage(ws, j, 2)
+	}
+}

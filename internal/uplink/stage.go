@@ -24,6 +24,19 @@ type Stage interface {
 	Run(ws *workspace.Arena, j *UserJob, taskIdx int)
 }
 
+// BatchStage is implemented by stages whose tasks are grid-shaped enough
+// to profit from running a contiguous range [from, to) in one call: the
+// stage gathers the range's inputs into contiguous scratch and issues
+// batched FFT-engine transforms (one Mark/Release, one plan, shared
+// scratch) instead of per-task calls. Drivers that own a whole stage —
+// the serial reference — use it; per-task Run remains the unit the
+// work-stealing pool spawns, and both paths perform identical per-vector
+// arithmetic, so results stay bit-exact between them.
+type BatchStage interface {
+	Stage
+	RunBatch(ws *workspace.Arena, j *UserJob, from, to int)
+}
+
 // chanEstStages maps each channel-estimator type to its stage singleton.
 var chanEstStages = map[ChanEstType]Stage{
 	ChanEstWindowed: windowedChanEst{},
@@ -54,10 +67,13 @@ func (j *UserJob) Stages() [4]Stage {
 // IFFT, time-domain windowing around the layer's cyclic shift, FFT back.
 type windowedChanEst struct{}
 
-func (windowedChanEst) Name() string          { return "chanest-windowed" }
-func (windowedChanEst) Tasks(j *UserJob) int  { return j.NumChanEstTasks() }
+func (windowedChanEst) Name() string         { return "chanest-windowed" }
+func (windowedChanEst) Tasks(j *UserJob) int { return j.NumChanEstTasks() }
 func (windowedChanEst) Run(ws *workspace.Arena, j *UserJob, i int) {
 	j.chanEstTask(ws, i, false)
+}
+func (windowedChanEst) RunBatch(ws *workspace.Arena, j *UserJob, from, to int) {
+	j.chanEstBatch(ws, from, to, false)
 }
 
 // lsChanEst is raw least squares: the matched filter alone, with no
@@ -120,6 +136,9 @@ func (dataStage) Name() string         { return "combine-despread" }
 func (dataStage) Tasks(j *UserJob) int { return j.NumDataTasks() }
 func (dataStage) Run(ws *workspace.Arena, j *UserJob, i int) {
 	j.dataTask(ws, i)
+}
+func (dataStage) RunBatch(ws *workspace.Arena, j *UserJob, from, to int) {
+	j.dataBatch(ws, from, to)
 }
 
 // finishStage is the serial per-user backend: deinterleave, demap,

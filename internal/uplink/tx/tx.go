@@ -145,15 +145,17 @@ func GenerateWithPayload(cfg Config, p uplink.UserParams, r *rng.RNG, payload []
 	}
 
 	// Data symbols: unitary DFT spreading of each (slot, sym, layer) group,
-	// in the same canonical order the receiver reassembles.
+	// in the same canonical order the receiver reassembles. The layers of
+	// one symbol are contiguous in the interleaved stream, so each symbol
+	// spreads as one FFT batch across its layers.
 	for slot := 0; slot < uplink.SlotsPerSubframe; slot++ {
 		for sym := 0; sym < uplink.DataSymbolsPerSlot; sym++ {
+			gBase := (slot*uplink.DataSymbolsPerSlot + sym) * p.Layers
+			spreadAll := make([]complex128, p.Layers*n)
+			plan.ForwardBatch(nil, spreadAll, ilv[gBase*n:(gBase+p.Layers)*n], p.Layers, n)
 			txGrid := make([][]complex128, p.Layers)
 			for l := 0; l < p.Layers; l++ {
-				g := (slot*uplink.DataSymbolsPerSlot+sym)*p.Layers + l
-				group := ilv[g*n : (g+1)*n]
-				spread := make([]complex128, n)
-				plan.Forward(spread, group)
+				spread := spreadAll[l*n : (l+1)*n]
 				for k := range spread {
 					spread[k] *= scale
 				}
