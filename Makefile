@@ -1,16 +1,29 @@
 # Developer checks for the ltephy benchmark. `make check` is the
-# pre-commit gate: vet, full build, the race-sensitive scheduler and
-# receiver suites, and the steady-state allocation regression test.
+# pre-commit gate: lint (vet + the ltephy-lint invariant suite), full
+# build, the race-sensitive scheduler and receiver suites, and the
+# steady-state allocation regression test.
 
 GO ?= go
 
-.PHONY: check vet build test race zeroalloc bench bench-fft
+.PHONY: check vet lint build test race zeroalloc bench bench-fft fuzz-smoke
 
-check: vet build race zeroalloc fft-sweep
+check: lint build race zeroalloc fft-sweep
 	$(GO) test ./...
 
 vet:
 	$(GO) vet ./...
+
+# Static gate: go vet, the repository's own invariant analyzers
+# (cmd/ltephy-lint: arenapair, arenaescape, hotpathalloc, determinism,
+# atomiccheck — see DESIGN.md "Enforced invariants"), and govulncheck when
+# the tool is installed (skipped otherwise so offline builds stay green).
+lint: vet
+	$(GO) run ./cmd/ltephy-lint ./...
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -44,3 +57,14 @@ fft-sweep:
 # against the pre-change figures in BENCH_fft_baseline.json.
 bench-fft:
 	$(GO) test -bench 'BenchmarkForward' -benchmem -run '^$$' ./internal/phy/fft/
+
+# Short fuzz pass over every fuzz target (~10s each): CRC append/check,
+# turbo segmentation and rate-matching round trips, and the FFT
+# forward/inverse round trip. `go test -fuzz` takes one target per run,
+# hence the separate invocations.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzAppendCheck$$' -fuzztime $(FUZZTIME) ./internal/phy/crc/
+	$(GO) test -run '^$$' -fuzz '^FuzzSegmentationRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/phy/turbo/
+	$(GO) test -run '^$$' -fuzz '^FuzzRateMatchRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/phy/turbo/
+	$(GO) test -run '^$$' -fuzz '^FuzzRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/phy/fft/

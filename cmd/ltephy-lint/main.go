@@ -1,0 +1,121 @@
+// Command ltephy-lint is the repository's invariant multichecker: a
+// suite of custom static analyzers (internal/analysis) that mechanically
+// enforce the rules the arena/zero-alloc/determinism architecture relies
+// on. `make lint` (and therefore `make check` and CI) runs it over ./...;
+// it exits nonzero when any invariant is violated.
+//
+// Usage:
+//
+//	ltephy-lint [-only name[,name]] [packages]
+//
+// With no package patterns it checks ./... relative to the current
+// directory. Analyzer scoping follows the invariants' home turf:
+// arenapair, arenaescape and hotpathalloc run everywhere; determinism
+// runs over the bit-exact receiver/simulator surface (internal/phy,
+// internal/uplink, internal/sim); atomiccheck runs over internal/sched.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ltephy/internal/analysis"
+)
+
+// scopes maps analyzer name to the package-path fragments it applies to;
+// an empty list means every package.
+var scopes = map[string][]string{
+	analysis.ArenaPair.Name:    nil,
+	analysis.ArenaEscape.Name:  nil,
+	analysis.HotPathAlloc.Name: nil,
+	analysis.Determinism.Name:  {"/internal/phy", "/internal/uplink", "/internal/sim"},
+	analysis.AtomicCheck.Name:  {"/internal/sched"},
+}
+
+var all = []*analysis.Analyzer{
+	analysis.ArenaPair,
+	analysis.ArenaEscape,
+	analysis.HotPathAlloc,
+	analysis.Determinism,
+	analysis.AtomicCheck,
+}
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: ltephy-lint [flags] [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := all
+	if *only != "" {
+		want := map[string]bool{}
+		for _, n := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+		analyzers = nil
+		for _, a := range all {
+			if want[a.Name] {
+				analyzers = append(analyzers, a)
+				delete(want, a.Name)
+			}
+		}
+		for n := range want {
+			fmt.Fprintf(os.Stderr, "ltephy-lint: unknown analyzer %q\n", n)
+			os.Exit(2)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	n, err := Run(os.Stdout, ".", analyzers, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ltephy-lint: %v\n", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "ltephy-lint: %d invariant violation(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+// Run loads the packages and runs the analyzers with their scoping,
+// printing diagnostics to w. It returns the number of diagnostics.
+func Run(w *os.File, dir string, analyzers []*analysis.Analyzer, patterns ...string) (int, error) {
+	prog, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		return 0, err
+	}
+	diags, err := analysis.RunAnalyzers(prog, analyzers, func(a *analysis.Analyzer, pkg *analysis.Package) bool {
+		frags, ok := scopes[a.Name]
+		if !ok || len(frags) == 0 {
+			return true
+		}
+		for _, f := range frags {
+			if strings.Contains(pkg.Path, f) {
+				return true
+			}
+		}
+		return false
+	})
+	if err != nil {
+		return 0, err
+	}
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: %s: %s\n", prog.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	return len(diags), nil
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestTreeIsClean runs the full analyzer suite, with the production
+// scoping, over the whole module — the same invocation `make lint` and CI
+// use. The tree must stay invariant-clean: any regression that stores
+// arena scratch past its Release, allocates on the hot path, or breaks
+// the determinism/atomics rules fails this test before it fails in a
+// benchmark.
+func TestTreeIsClean(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Run(os.Stderr, root, all, "./...")
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	if n != 0 {
+		t.Errorf("ltephy-lint found %d invariant violation(s) in the tree; see output above", n)
+	}
+}
+
+// moduleRoot walks up from the test's working directory to the go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the quoted patterns of a `// want "..." "..."` comment.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// AnalysisTest loads the given fixture packages from testdata/src and
+// runs the analyzer over them, comparing the diagnostics against the
+// `// want "regexp"` expectations in the fixture sources — the same
+// convention as x/tools' analysistest, reimplemented over this package's
+// loader so fixtures carry stub dependencies (a stub workspace package)
+// under testdata/src/<import path>.
+func AnalysisTest(t *testing.T, a *Analyzer, pkgPaths ...string) {
+	t.Helper()
+	prog, err := LoadFixture("testdata/src", pkgPaths...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	run := map[string]bool{}
+	for _, p := range pkgPaths {
+		run[p] = true
+	}
+	diags, err := RunAnalyzers(prog, []*Analyzer{a}, func(_ *Analyzer, pkg *Package) bool {
+		return run[pkg.Path]
+	})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	// Collect expectations from the fixture comments.
+	expects := map[key][]*regexp.Regexp{}
+	for _, pkg := range prog.Pkgs {
+		if !run[pkg.Path] {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					k := key{pos.Filename, pos.Line}
+					for _, q := range splitQuoted(m[1]) {
+						re, err := regexp.Compile(q)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, q, err)
+						}
+						expects[k] = append(expects[k], re)
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := prog.Fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		matched := false
+		for i, re := range expects[k] {
+			if re.MatchString(d.Message) {
+				expects[k] = append(expects[k][:i], expects[k][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", posString(pos.Filename, pos.Line), d.Message)
+		}
+	}
+	for k, res := range expects {
+		for _, re := range res {
+			t.Errorf("%s: expected diagnostic matching %q, got none", posString(k.file, k.line), re)
+		}
+	}
+}
+
+func posString(file string, line int) string {
+	return fmt.Sprintf("%s:%d", file, line)
+}
+
+// splitQuoted parses the sequence of Go-quoted strings after `want`.
+func splitQuoted(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for len(s) > 0 {
+		if s[0] != '"' && s[0] != '`' {
+			break
+		}
+		prefix, rest := scanOne(s)
+		if prefix == "" {
+			break
+		}
+		if unq, err := strconv.Unquote(prefix); err == nil {
+			out = append(out, unq)
+		}
+		s = strings.TrimSpace(rest)
+	}
+	return out
+}
+
+func scanOne(s string) (quoted, rest string) {
+	quote := s[0]
+	for i := 1; i < len(s); i++ {
+		if s[i] == '\\' && quote == '"' {
+			i++
+			continue
+		}
+		if s[i] == quote {
+			return s[:i+1], s[i+1:]
+		}
+	}
+	return "", s
+}

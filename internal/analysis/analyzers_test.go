@@ -1,0 +1,14 @@
+package analysis
+
+import "testing"
+
+// Each analyzer is exercised against a fixture package under
+// testdata/src that contains at least one violation per rule (the test
+// fails if the analyzer misses it) and a //ltephy:coldpath-annotated
+// negative case proving the opt-out works.
+
+func TestArenaPair(t *testing.T)    { AnalysisTest(t, ArenaPair, "arenapair") }
+func TestArenaEscape(t *testing.T)  { AnalysisTest(t, ArenaEscape, "arenaescape") }
+func TestHotPathAlloc(t *testing.T) { AnalysisTest(t, HotPathAlloc, "hotpathalloc") }
+func TestDeterminism(t *testing.T)  { AnalysisTest(t, Determinism, "determinism") }
+func TestAtomicCheck(t *testing.T)  { AnalysisTest(t, AtomicCheck, "atomiccheck") }

@@ -1,0 +1,272 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ArenaEscape enforces the scratch-lifetime rule: slices carved from a
+// workspace.Arena die at the enclosing Release, so they must not be
+// stored into struct fields or package-level variables, returned, or
+// captured by closures that outlive the call. Functions that manage
+// longer-lived carves by contract (job Init, paired acquire/release
+// helpers) opt out with //ltephy:owns-scratch.
+var ArenaEscape = &Analyzer{
+	Name: "arenaescape",
+	Doc:  "check that arena scratch slices do not escape their Mark/Release window",
+	Run:  runArenaEscape,
+}
+
+func runArenaEscape(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, fd := range funcDecls(pass.Pkg) {
+		if pass.Pkg.HasDirective(pass.Prog.Fset, fd, DirColdPath) ||
+			pass.Pkg.HasDirective(pass.Prog.Fset, fd, DirOwnsScratch) {
+			continue
+		}
+		checkEscapes(pass, info, fd.Body)
+	}
+	return nil
+}
+
+// checkEscapes runs a simple flow-insensitive taint pass over one
+// function body: values derived from arena allocation calls are tainted,
+// and taint reaching a field store, global store, return statement, or a
+// surviving closure is reported.
+func checkEscapes(pass *Pass, info *types.Info, body *ast.BlockStmt) {
+	tainted := map[types.Object]bool{}
+
+	// isTainted reports whether the expression yields arena-backed memory.
+	var isTainted func(e ast.Expr) bool
+	isTainted = func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := info.ObjectOf(e)
+			return obj != nil && tainted[obj]
+		case *ast.CallExpr:
+			return IsArenaAllocCall(info, e)
+		case *ast.SliceExpr:
+			return isTainted(e.X)
+		case *ast.IndexExpr:
+			// Indexing a tainted [][]T or similar still aliases the arena.
+			return isTainted(e.X)
+		case *ast.CompositeLit:
+			for _, el := range e.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					if isTainted(kv.Value) {
+						return true
+					}
+				} else if isTainted(el) {
+					return true
+				}
+			}
+			return false
+		case *ast.UnaryExpr:
+			return isTainted(e.X)
+		}
+		return false
+	}
+
+	// Two propagation passes reach the depth the codebase uses (a taint
+	// assigned forward once and then re-assigned).
+	for range 2 {
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := info.ObjectOf(id)
+				if obj == nil {
+					continue
+				}
+				if isTainted(as.Rhs[i]) {
+					tainted[obj] = true
+				}
+			}
+			return true
+		})
+	}
+
+	isGlobal := func(obj types.Object) bool {
+		v, ok := obj.(*types.Var)
+		return ok && v.Parent() == pass.Pkg.Types.Scope()
+	}
+
+	// Returns inside nested closures are the closure's own exits, not this
+	// function's: a closure handing scratch to its local call site is
+	// safe, and an escaping closure is reported as a capture instead.
+	var litSpans [][2]ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			litSpans = append(litSpans, [2]ast.Node{lit, lit})
+		}
+		return true
+	})
+	inClosure := func(n ast.Node) bool {
+		for _, sp := range litSpans {
+			if n.Pos() >= sp[0].Pos() && n.End() <= sp[1].End() {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if !isTainted(n.Rhs[i]) {
+					continue
+				}
+				switch l := ast.Unparen(lhs).(type) {
+				case *ast.SelectorExpr:
+					if sel, ok := info.Selections[l]; ok && sel.Kind() == types.FieldVal {
+						pass.Reportf(n.Rhs[i].Pos(),
+							"arena scratch stored in field %s outlives its Release; copy it or carve job-lifetime memory in an owns-scratch function",
+							types.ExprString(l))
+					}
+				case *ast.Ident:
+					if obj := info.ObjectOf(l); obj != nil && isGlobal(obj) {
+						pass.Reportf(n.Rhs[i].Pos(),
+							"arena scratch stored in package-level variable %s outlives its Release", l.Name)
+					}
+				case *ast.IndexExpr:
+					// Storing into an element of a field/global container.
+					switch base := ast.Unparen(l.X).(type) {
+					case *ast.SelectorExpr:
+						if sel, ok := info.Selections[base]; ok && sel.Kind() == types.FieldVal {
+							pass.Reportf(n.Rhs[i].Pos(),
+								"arena scratch stored in field %s outlives its Release", types.ExprString(base))
+						}
+					case *ast.Ident:
+						if obj := info.ObjectOf(base); obj != nil && isGlobal(obj) {
+							pass.Reportf(n.Rhs[i].Pos(),
+								"arena scratch stored in package-level variable %s outlives its Release", base.Name)
+						}
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			if inClosure(n) {
+				return true
+			}
+			for _, res := range n.Results {
+				if isTainted(res) {
+					pass.Reportf(res.Pos(),
+						"arena scratch returned from function; it dies at the enclosing Release (annotate //ltephy:owns-scratch if the caller holds the mark)")
+				}
+			}
+		case *ast.FuncLit:
+			// A closure capturing arena scratch may outlive the call if the
+			// closure itself escapes (returned or stored). Find captured
+			// tainted objects first.
+			captures := false
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := info.ObjectOf(id); obj != nil && tainted[obj] {
+						captures = true
+					}
+				}
+				return !captures
+			})
+			if captures && funcLitEscapes(info, body, n) {
+				pass.Reportf(n.Pos(), "closure capturing arena scratch escapes the function; the scratch dies at Release")
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// funcLitEscapes reports whether the literal can outlive the enclosing
+// call: it is returned, stored into a field, launched as a goroutine, or
+// bound to a local variable that is itself returned or field-stored.
+func funcLitEscapes(info *types.Info, body *ast.BlockStmt, lit *ast.FuncLit) bool {
+	escapes := false
+	carriers := map[types.Object]bool{} // locals holding the literal
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if containsNode(n.Call, lit) {
+				escapes = true
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) || !containsNode(rhs, lit) {
+					continue
+				}
+				switch l := ast.Unparen(n.Lhs[i]).(type) {
+				case *ast.SelectorExpr:
+					if sel, ok := info.Selections[l]; ok && sel.Kind() == types.FieldVal {
+						escapes = true
+					}
+				case *ast.Ident:
+					// Only a direct binding carries the closure; an
+					// immediately-invoked literal binds its result instead.
+					if ast.Unparen(rhs) == ast.Node(lit) {
+						if obj := info.ObjectOf(l); obj != nil {
+							carriers[obj] = true
+						}
+					}
+				}
+			}
+		}
+		return !escapes
+	})
+	if escapes {
+		return true
+	}
+	carried := func(e ast.Expr) bool {
+		if containsNode(e, lit) {
+			return true
+		}
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if obj := info.ObjectOf(id); obj != nil && carriers[obj] {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if carried(r) {
+					escapes = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) || !carried(rhs) || containsNode(rhs, lit) {
+					continue
+				}
+				if l, ok := ast.Unparen(n.Lhs[i]).(*ast.SelectorExpr); ok {
+					if sel, ok := info.Selections[l]; ok && sel.Kind() == types.FieldVal {
+						escapes = true
+					}
+				}
+			}
+		}
+		return !escapes
+	})
+	return escapes
+}
+
+func containsNode(root ast.Node, target ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,268 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ArenaPair enforces the workspace LIFO discipline: every ws.Mark() in a
+// function must be matched by ws.Release(m) on every return path, with
+// the mark released on the arena it came from. Early returns and
+// explicit panics that skip the Release are flagged; `defer ws.Release(m)`
+// immediately satisfies all paths. Functions annotated
+// //ltephy:owns-scratch (paired acquire/release helpers whose caller
+// holds the mark) or //ltephy:coldpath are skipped.
+//
+// The analysis is structural rather than a full CFG: a Release covers a
+// return point only when it precedes it inside a block that encloses the
+// return, so a Release inside one branch does not excuse the paths that
+// bypass that branch.
+var ArenaPair = &Analyzer{
+	Name: "arenapair",
+	Doc:  "check that every Arena.Mark is Released on all return paths",
+	Run:  runArenaPair,
+}
+
+// markSite is one `m := ws.Mark()` occurrence.
+type markSite struct {
+	markObj  types.Object // the mark variable
+	arenaKey string       // identity of the arena expression
+	arenaStr string       // printed arena expression, for messages
+	pos      token.Pos
+}
+
+// releaseSite is one `ws.Release(m)` occurrence.
+type releaseSite struct {
+	arenaKey   string
+	argObj     types.Object // nil when the argument is not a plain variable
+	pos        token.Pos
+	scopeStart token.Pos // span of the innermost enclosing block
+	scopeEnd   token.Pos
+	deferred   bool
+}
+
+func runArenaPair(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, fd := range funcDecls(pass.Pkg) {
+		if pass.Pkg.HasDirective(pass.Prog.Fset, fd, DirColdPath) ||
+			pass.Pkg.HasDirective(pass.Prog.Fset, fd, DirOwnsScratch) {
+			continue
+		}
+		checkMarkScopes(pass, info, fd.Body)
+	}
+	return nil
+}
+
+// checkMarkScopes analyzes one function body as a scope, recursing into
+// nested function literals as independent scopes (their return paths are
+// their own).
+func checkMarkScopes(pass *Pass, info *types.Info, body *ast.BlockStmt) {
+	var marks []markSite
+	var releases []releaseSite
+	var returns []token.Pos
+	var panics []token.Pos
+
+	// scopeEnds records the End of every statement-list scope so each
+	// release can be attributed to its innermost enclosing block.
+	var scopes []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BlockStmt, *ast.CaseClause, *ast.CommClause:
+			scopes = append(scopes, n)
+		}
+		return true
+	})
+	scopeSpanOf := func(pos token.Pos) (token.Pos, token.Pos) {
+		start, end := body.Pos(), body.End()
+		for _, s := range scopes {
+			if s.Pos() <= pos && pos < s.End() && s.End() < end {
+				start, end = s.Pos(), s.End()
+			}
+		}
+		return start, end
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkMarkScopes(pass, info, n.Body)
+			return false
+		case *ast.DeferStmt:
+			// Releases issued by defer (directly or in a deferred closure)
+			// cover every return path, including panics.
+			ast.Inspect(n.Call, func(m ast.Node) bool {
+				if c, ok := m.(*ast.CallExpr); ok {
+					recordRelease(info, c, body.Pos(), body.End(), true, &releases)
+				}
+				return true
+			})
+			return false
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 && len(n.Lhs) == 1 {
+				if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok {
+					if name, recv, ok := arenaMethodCall(info, call); ok && name == "Mark" {
+						if id, ok := n.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+							if obj := info.ObjectOf(id); obj != nil {
+								marks = append(marks, markSite{
+									markObj:  obj,
+									arenaKey: exprKey(info, recv),
+									arenaStr: types.ExprString(recv),
+									pos:      call.Pos(),
+								})
+							}
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			start, end := scopeSpanOf(n.Pos())
+			recordRelease(info, n, start, end, false, &releases)
+			if isBuiltinPanic(info, n) {
+				panics = append(panics, n.Pos())
+			}
+		case *ast.ReturnStmt:
+			returns = append(returns, n.Pos())
+		}
+		return true
+	})
+
+	// Falling off the end of the body is a return path unless the final
+	// statement already terminates.
+	if n := len(body.List); n == 0 || !terminates(body.List[n-1]) {
+		returns = append(returns, body.Rbrace)
+	}
+
+	fset := pass.Prog.Fset
+	for _, m := range marks {
+		var same, cross []releaseSite
+		deferred := false
+		for _, r := range releases {
+			if r.argObj != m.markObj {
+				continue
+			}
+			if r.arenaKey == m.arenaKey {
+				same = append(same, r)
+				if r.deferred {
+					deferred = true
+				}
+			} else {
+				cross = append(cross, r)
+			}
+		}
+		for _, r := range cross {
+			pass.Reportf(r.pos, "Release of mark %q on a different arena than its Mark (%s at %s)",
+				m.markObj.Name(), m.arenaStr, fset.Position(m.pos))
+		}
+		if len(same) == 0 && len(cross) == 0 {
+			pass.Reportf(m.pos, "%s.Mark() result %q is never Released; arena scratch leaks past this call",
+				m.arenaStr, m.markObj.Name())
+			continue
+		}
+		if deferred {
+			continue // defer covers every return path, including panics
+		}
+		for _, ret := range returns {
+			if ret <= m.pos {
+				continue
+			}
+			if !releasedBefore(same, m.pos, ret) {
+				pass.Reportf(ret, "return path skips %s.Release(%s) for the Mark at %s",
+					m.arenaStr, m.markObj.Name(), fset.Position(m.pos))
+			}
+		}
+		for _, pn := range panics {
+			if pn <= m.pos {
+				continue
+			}
+			if !releasedBefore(same, m.pos, pn) {
+				pass.Reportf(pn, "panic skips %s.Release(%s) for the Mark at %s; use defer to release on unwind",
+					m.arenaStr, m.markObj.Name(), fset.Position(m.pos))
+			}
+		}
+	}
+}
+
+// releasedBefore reports whether some release covers the control point at
+// `before`: it executed after the mark, before the point, and either in a
+// block still enclosing the point (a release inside a taken branch does
+// not excuse the paths that bypass the branch) or in a block that also
+// contains the mark (a Mark/Release pair bracketed inside one loop body
+// or conditional is locally balanced, so later exits never hold it).
+func releasedBefore(rs []releaseSite, after, before token.Pos) bool {
+	for _, r := range rs {
+		if r.pos > after && r.pos <= before && (before <= r.scopeEnd || r.scopeStart <= after) {
+			return true
+		}
+	}
+	return false
+}
+
+func recordRelease(info *types.Info, call *ast.CallExpr, scopeStart, scopeEnd token.Pos, deferred bool, releases *[]releaseSite) {
+	name, recv, ok := arenaMethodCall(info, call)
+	if !ok || name != "Release" || len(call.Args) != 1 {
+		return
+	}
+	var argObj types.Object
+	if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+		argObj = info.ObjectOf(id)
+	}
+	*releases = append(*releases, releaseSite{
+		arenaKey:   exprKey(info, recv),
+		argObj:     argObj,
+		pos:        call.Pos(),
+		scopeStart: scopeStart,
+		scopeEnd:   scopeEnd,
+		deferred:   deferred,
+	})
+}
+
+func isBuiltinPanic(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	_, isBuiltin := info.ObjectOf(id).(*types.Builtin)
+	return isBuiltin
+}
+
+// terminates reports whether stmt definitely transfers control (so the
+// closing brace after it is unreachable). Conservative: anything not
+// obviously terminating counts as falling through.
+func terminates(stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if c, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(c.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.ForStmt:
+		return s.Cond == nil && !hasBreak(s.Body)
+	case *ast.BlockStmt:
+		if n := len(s.List); n > 0 {
+			return terminates(s.List[n-1])
+		}
+	}
+	return false
+}
+
+func hasBreak(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK {
+				found = true
+			}
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.FuncLit:
+			return false // break binds to the inner statement
+		}
+		return !found
+	})
+	return found
+}

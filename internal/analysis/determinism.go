@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Determinism guards the serial-vs-parallel bit-exactness contract
+// (`lte-bench -verify`): in the receiver and simulator packages it flags
+// the three classic nondeterminism sources —
+//
+//  1. ranging over a map while accumulating floating-point or complex
+//     values (iteration order varies run to run, and float addition is
+//     not associative);
+//  2. time.Now(), which leaks wall-clock state into results;
+//  3. the global math/rand source (unseeded, and shared across
+//     goroutines), instead of the repo's seeded internal/rng streams or
+//     an explicit rand.New(rand.NewSource(seed)).
+//
+// Functions annotated //ltephy:coldpath (diagnostics, logging) are
+// skipped.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "flag map-order-dependent accumulation, time.Now and global math/rand in deterministic packages",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, fd := range funcDecls(pass.Pkg) {
+		if pass.Pkg.HasDirective(pass.Prog.Fset, fd, DirColdPath) {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				checkMapAccumulation(pass, info, n)
+			case *ast.CallExpr:
+				checkClockAndRand(pass, info, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapAccumulation flags numeric floating accumulation inside a
+// range-over-map body.
+func checkMapAccumulation(pass *Pass, info *types.Info, rs *ast.RangeStmt) {
+	tv, ok := info.Types[rs.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			if isFloatish(info, as.Lhs[0]) {
+				pass.Reportf(as.Pos(),
+					"floating-point accumulation over map iteration order is nondeterministic; iterate a sorted key slice instead")
+			}
+		case token.ASSIGN:
+			// x = x + v style accumulation.
+			for i, lhs := range as.Lhs {
+				if i >= len(as.Rhs) {
+					break
+				}
+				bin, ok := ast.Unparen(as.Rhs[i]).(*ast.BinaryExpr)
+				if !ok || (bin.Op != token.ADD && bin.Op != token.MUL) || !isFloatish(info, lhs) {
+					continue
+				}
+				l := types.ExprString(ast.Unparen(lhs))
+				if types.ExprString(ast.Unparen(bin.X)) == l || types.ExprString(ast.Unparen(bin.Y)) == l {
+					pass.Reportf(as.Pos(),
+						"floating-point accumulation over map iteration order is nondeterministic; iterate a sorted key slice instead")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isFloatish(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// checkClockAndRand flags time.Now and global math/rand entry points.
+func checkClockAndRand(pass *Pass, info *types.Info, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	// Package-level functions only: methods on a seeded *rand.Rand are the
+	// sanctioned escape hatch, so a receiver expression disqualifies.
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" {
+			pass.Reportf(call.Pos(),
+				"time.Now() breaks replayable determinism; thread a timestamp or use the dispatcher's virtual clock")
+		}
+	case "math/rand", "math/rand/v2":
+		switch fn.Name() {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			return // constructing an explicitly seeded generator is fine
+		}
+		pass.Reportf(call.Pos(),
+			"global math/rand source is unseeded and shared; use internal/rng or an explicit rand.New(rand.NewSource(seed))")
+	}
+}

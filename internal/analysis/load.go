@@ -1,0 +1,250 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+}
+
+// Load enumerates the packages matching patterns (relative to dir, e.g.
+// "./...") with the go tool, then parses and type-checks every
+// non-standard-library package from source in dependency order. All
+// packages share one FileSet and one types.Info universe, so
+// cross-package object identity holds — the hot-path call-graph walk
+// depends on it.
+func Load(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-json", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, errb.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(&out)
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if lp.Standard || lp.ImportPath == "" || len(lp.GoFiles) == 0 {
+			continue
+		}
+		pkgs = append(pkgs, lp)
+	}
+	// Topological order: dependencies before dependents.
+	ordered, err := topoSort(pkgs)
+	if err != nil {
+		return nil, err
+	}
+	return typecheck(ordered, func(lp *listPackage) ([]string, error) {
+		files := make([]string, len(lp.GoFiles))
+		for i, g := range lp.GoFiles {
+			files[i] = filepath.Join(lp.Dir, g)
+		}
+		return files, nil
+	})
+}
+
+// LoadFixture loads the package at importPath from a GOPATH-style
+// fixture tree rooted at srcRoot (testdata/src). Fixture imports resolve
+// inside the tree first, then fall back to the standard library — the
+// same layout x/tools' analysistest uses.
+func LoadFixture(srcRoot string, importPaths ...string) (*Program, error) {
+	var pkgs []*listPackage
+	seen := map[string]bool{}
+	var add func(path string) error
+	add = func(path string) error {
+		if seen[path] {
+			return nil
+		}
+		dir := filepath.Join(srcRoot, filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+			return nil // not a fixture package: standard library import
+		}
+		seen[path] = true
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			return err
+		}
+		lp := &listPackage{ImportPath: path, Dir: dir}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				lp.GoFiles = append(lp.GoFiles, e.Name())
+			}
+		}
+		if len(lp.GoFiles) == 0 {
+			return fmt.Errorf("fixture package %s has no Go files", path)
+		}
+		// Parse imports cheaply to pull fixture dependencies in.
+		fset := token.NewFileSet()
+		for _, g := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(dir, g), nil, parser.ImportsOnly)
+			if err != nil {
+				return err
+			}
+			for _, imp := range f.Imports {
+				p := strings.Trim(imp.Path.Value, `"`)
+				lp.Imports = append(lp.Imports, p)
+				if err := add(p); err != nil {
+					return err
+				}
+			}
+		}
+		pkgs = append(pkgs, lp)
+		return nil
+	}
+	for _, p := range importPaths {
+		if err := add(p); err != nil {
+			return nil, err
+		}
+	}
+	ordered, err := topoSort(pkgs)
+	if err != nil {
+		return nil, err
+	}
+	return typecheck(ordered, func(lp *listPackage) ([]string, error) {
+		files := make([]string, len(lp.GoFiles))
+		for i, g := range lp.GoFiles {
+			files[i] = filepath.Join(lp.Dir, g)
+		}
+		return files, nil
+	})
+}
+
+func topoSort(pkgs []*listPackage) ([]*listPackage, error) {
+	byPath := map[string]*listPackage{}
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	var ordered []*listPackage
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *listPackage) error
+	visit = func(p *listPackage) error {
+		switch state[p.ImportPath] {
+		case 1:
+			return fmt.Errorf("import cycle through %s", p.ImportPath)
+		case 2:
+			return nil
+		}
+		state[p.ImportPath] = 1
+		deps := append([]string(nil), p.Imports...)
+		sort.Strings(deps)
+		for _, imp := range deps {
+			if dep, ok := byPath[imp]; ok {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[p.ImportPath] = 2
+		ordered = append(ordered, p)
+		return nil
+	}
+	sorted := append([]*listPackage(nil), pkgs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ImportPath < sorted[j].ImportPath })
+	for _, p := range sorted {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return ordered, nil
+}
+
+// chainImporter resolves module/fixture packages from the already
+// type-checked set, delegating everything else (the standard library) to
+// the compiler's export data, then to source as a last resort.
+type chainImporter struct {
+	local    map[string]*types.Package
+	gc       types.Importer
+	source   types.Importer
+	fsetOnce func() *token.FileSet
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.local[path]; ok {
+		return p, nil
+	}
+	if p, err := c.gc.Import(path); err == nil {
+		return p, nil
+	}
+	return c.source.Import(path)
+}
+
+func typecheck(ordered []*listPackage, filesOf func(*listPackage) ([]string, error)) (*Program, error) {
+	fset := token.NewFileSet()
+	// The source fallback importer parses build-tagged files through
+	// go/build; disabling cgo keeps it to pure-Go variants.
+	ctx := build.Default
+	ctx.CgoEnabled = false
+	build.Default = ctx
+	imp := &chainImporter{
+		local:  map[string]*types.Package{},
+		gc:     importer.Default(),
+		source: importer.ForCompiler(token.NewFileSet(), "source", nil),
+	}
+	prog := &Program{Fset: fset}
+	for _, lp := range ordered {
+		paths, err := filesOf(lp)
+		if err != nil {
+			return nil, err
+		}
+		var files []*ast.File
+		for _, fp := range paths {
+			f, err := parser.ParseFile(fset, fp, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %v", lp.ImportPath, err)
+		}
+		imp.local[lp.ImportPath] = tpkg
+		prog.Pkgs = append(prog.Pkgs, &Package{
+			Path:  lp.ImportPath,
+			Files: files,
+			Types: tpkg,
+			Info:  info,
+		})
+	}
+	return prog, nil
+}

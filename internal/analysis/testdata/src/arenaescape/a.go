@@ -1,0 +1,84 @@
+// Package arenaescape exercises the scratch-lifetime analyzer.
+package arenaescape
+
+import "workspace"
+
+type holder struct {
+	buf  []complex128
+	hook func() float64
+}
+
+var global []float64
+
+// localUse keeps the scratch inside the bracket: no diagnostics.
+func localUse(ws *workspace.Arena, n int) float64 {
+	m := ws.Mark()
+	buf := ws.Float(n)
+	var sum float64
+	for _, v := range buf {
+		sum += v
+	}
+	ws.Release(m)
+	return sum
+}
+
+// fieldStore retains scratch past Release.
+func fieldStore(ws *workspace.Arena, h *holder, n int) {
+	m := ws.Mark()
+	h.buf = ws.Complex(n) // want "stored in field"
+	ws.Release(m)
+}
+
+// fieldStoreViaVar retains through a local variable.
+func fieldStoreViaVar(ws *workspace.Arena, h *holder, n int) {
+	m := ws.Mark()
+	tmp := ws.Complex(n)
+	sub := tmp[:n/2]
+	h.buf = sub // want "stored in field"
+	ws.Release(m)
+}
+
+// globalStore retains scratch in a package variable.
+func globalStore(ws *workspace.Arena, n int) {
+	global = ws.Float(n) // want "package-level variable"
+}
+
+// returned hands scratch to a caller that cannot know the mark.
+func returned(ws *workspace.Arena, n int) []float64 {
+	return ws.Float(n) // want "returned from function"
+}
+
+// returnedComposite smuggles scratch out inside a struct literal.
+func returnedComposite(ws *workspace.Arena, n int) holder {
+	return holder{buf: ws.Complex(n)} // want "returned from function"
+}
+
+// closureEscape returns a closure over dead scratch.
+func closureEscape(ws *workspace.Arena, n int) func() float64 {
+	m := ws.Mark()
+	buf := ws.Float(n)
+	f := func() float64 { return buf[0] } // want "closure capturing arena scratch"
+	ws.Release(m)
+	return f
+}
+
+// closureLocal runs the closure within the call: no diagnostics.
+func closureLocal(ws *workspace.Arena, n int) float64 {
+	m := ws.Mark()
+	buf := ws.Float(n)
+	total := func() float64 { return buf[0] }()
+	ws.Release(m)
+	return total
+}
+
+//ltephy:coldpath — one-time warm-up cache fill, lifetime managed by owner.
+func coldOptOut(ws *workspace.Arena, n int) []float64 {
+	return ws.Float(n)
+}
+
+// carve is a job-lifetime constructor by contract.
+//
+//ltephy:owns-scratch — caller brackets the job mark around this carve.
+func carve(ws *workspace.Arena, h *holder, n int) {
+	h.buf = ws.Complex(n)
+}

@@ -1,0 +1,118 @@
+// Package arenapair exercises the Mark/Release pairing analyzer.
+package arenapair
+
+import "workspace"
+
+// balanced is the canonical bracket: no diagnostics.
+func balanced(ws *workspace.Arena, n int) {
+	m := ws.Mark()
+	buf := ws.Complex(n)
+	_ = buf
+	ws.Release(m)
+}
+
+// deferred releases on every path via defer: no diagnostics.
+func deferred(ws *workspace.Arena, n int) int {
+	m := ws.Mark()
+	defer ws.Release(m)
+	if n > 3 {
+		return 1
+	}
+	return 0
+}
+
+// neverReleased leaks the mark entirely.
+func neverReleased(ws *workspace.Arena, n int) {
+	m := ws.Mark() // want "never Released"
+	_ = m
+	_ = ws.Complex(n)
+}
+
+// earlyReturn skips the Release on the error path.
+func earlyReturn(ws *workspace.Arena, n int) int {
+	m := ws.Mark()
+	buf := ws.Float(n)
+	if len(buf) == 0 {
+		return -1 // want "return path skips"
+	}
+	ws.Release(m)
+	return len(buf)
+}
+
+// fallsOffEnd never reaches a Release before the closing brace.
+func fallsOffEnd(ws *workspace.Arena, n int) {
+	m := ws.Mark()
+	if n > 0 {
+		ws.Release(m)
+		return
+	}
+	_ = n
+} // want "return path skips"
+
+// loopBracket pairs Mark/Release inside the loop body; the return after
+// the loop never holds a mark, so no diagnostics.
+func loopBracket(ws *workspace.Arena, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		m := ws.Mark()
+		buf := ws.Float(i + 1)
+		total += len(buf)
+		ws.Release(m)
+	}
+	return total
+}
+
+// condBracket marks and releases inside the same branch: balanced.
+func condBracket(ws *workspace.Arena, n int) int {
+	if n > 8 {
+		m := ws.Mark()
+		buf := ws.Complex(n)
+		n = len(buf)
+		ws.Release(m)
+	}
+	return n
+}
+
+// loopEarlyReturn exits the loop body between Mark and Release.
+func loopEarlyReturn(ws *workspace.Arena, n int) int {
+	for i := 0; i < n; i++ {
+		m := ws.Mark()
+		buf := ws.Float(i + 1)
+		if len(buf) > 4 {
+			return i // want "return path skips"
+		}
+		ws.Release(m)
+	}
+	return -1
+}
+
+// panicSkips panics while holding the mark.
+func panicSkips(ws *workspace.Arena, n int) {
+	m := ws.Mark()
+	if n < 0 {
+		panic("negative") // want "panic skips"
+	}
+	ws.Release(m)
+}
+
+// crossArena releases a's mark on b.
+func crossArena(a, b *workspace.Arena, n int) {
+	m := a.Mark()
+	_ = a.Complex(n)
+	b.Release(m) // want "different arena"
+	a.Release(m)
+}
+
+//ltephy:coldpath — setup helper, runs once; pairing handled by caller teardown.
+func coldOptOut(ws *workspace.Arena) workspace.Mark {
+	m := ws.Mark()
+	return m
+}
+
+// acquire hands the mark to the caller by contract.
+//
+//ltephy:owns-scratch — caller pairs this with release().
+func acquire(ws *workspace.Arena, n int) ([]complex128, workspace.Mark) {
+	m := ws.Mark()
+	return ws.Complex(n), m
+}

@@ -1,0 +1,42 @@
+// Package atomiccheck exercises the mixed atomic/plain access analyzer
+// on the call-site-atomics style the Chase-Lev deque would regress to.
+package atomiccheck
+
+import "sync/atomic"
+
+type deque struct {
+	top    int64
+	bottom int64
+	size   int64 // never touched atomically: plain access is fine
+}
+
+func (d *deque) push() {
+	b := atomic.LoadInt64(&d.bottom)
+	atomic.StoreInt64(&d.bottom, b+1)
+	d.size++
+}
+
+func (d *deque) steal() bool {
+	t := atomic.LoadInt64(&d.top)
+	return atomic.CompareAndSwapInt64(&d.top, t, t+1)
+}
+
+// race reads and writes the atomically-managed words directly.
+func (d *deque) race() int64 {
+	d.top++           // want "plain access to field d.top"
+	return d.bottom - // want "plain access to field d.bottom"
+		atomic.LoadInt64(&d.top)
+}
+
+// sizeOnly touches only the never-atomic field: no diagnostics.
+func (d *deque) sizeOnly() int64 {
+	return d.size
+}
+
+// coldReset runs before the workers start, by contract.
+//
+//ltephy:coldpath — single-threaded construction, no concurrent access yet.
+func (d *deque) coldReset() {
+	d.top = 0
+	d.bottom = 0
+}

@@ -1,0 +1,66 @@
+// Package determinism exercises the bit-exactness analyzer.
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+// mapAccumulate sums float values in map iteration order.
+func mapAccumulate(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "map iteration order is nondeterministic"
+	}
+	return sum
+}
+
+// mapAccumulateExplicit uses the x = x + v form.
+func mapAccumulateExplicit(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want "map iteration order is nondeterministic"
+	}
+	return total
+}
+
+// mapCount accumulates an integer: order-independent, no diagnostic.
+func mapCount(m map[int]float64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// sliceAccumulate iterates a slice: deterministic, no diagnostic.
+func sliceAccumulate(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}
+
+// wallClock reads the real clock.
+func wallClock() int64 {
+	return time.Now().UnixNano() // want "time.Now"
+}
+
+// globalRand draws from the shared unseeded source.
+func globalRand(n int) int {
+	return rand.Intn(n) // want "global math/rand"
+}
+
+// seededRand constructs an explicit deterministic stream: no diagnostic.
+func seededRand(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+// coldDiagnostics is annotated out of the deterministic surface.
+//
+//ltephy:coldpath — log-only timing, never feeds results.
+func coldDiagnostics() int64 {
+	return time.Now().UnixNano()
+}

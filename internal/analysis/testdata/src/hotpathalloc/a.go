@@ -1,0 +1,81 @@
+// Package hotpathalloc exercises the hot-path allocation analyzer. The
+// stage type mirrors the real uplink.Stage shape: a Run method whose
+// first parameter is *workspace.Arena seeds the call-graph walk.
+package hotpathalloc
+
+import (
+	"fmt"
+	"workspace"
+)
+
+type job struct{ n int }
+
+type stage struct{}
+
+// Run is a hot-path seed; everything it reaches is checked.
+func (stage) Run(ws *workspace.Arena, j *job, i int) {
+	kernel(ws, j.n)
+	warmTable(j.n)
+	guarded(ws, j.n)
+	fill(ws.Float(j.n), j.n)
+	sink(describe(j.n))
+}
+
+// kernel is reachable from Run: its allocations are violations.
+func kernel(ws *workspace.Arena, n int) {
+	buf := make([]complex128, n) // want "bypasses the arena"
+	var acc []float64
+	for i := 0; i < n; i++ {
+		acc = append(acc, float64(i)) // want "may grow fresh heap"
+	}
+	_ = buf
+	_ = acc
+	ok := ws.Complex(n) // arena scratch: fine
+	_ = ok
+	sanctioned := make([]uint8, n) //ltephy:alloc-ok — decoded payload escapes by design
+	_ = sanctioned
+}
+
+// fill appends into a caller-provided buffer: the sanctioned pattern.
+func fill(dst []float64, n int) []float64 {
+	dst = dst[:0]
+	for i := 0; i < n; i++ {
+		dst = append(dst, float64(i))
+	}
+	return dst
+}
+
+// describe boxes its arguments into fmt's ...any variadic.
+func describe(n int) string {
+	return fmt.Sprintf("n=%d", n) // want "boxes arguments"
+}
+
+// guarded allocates only on the already-fatal panic path: exempt.
+func guarded(ws *workspace.Arena, n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("bad length %d", n))
+	}
+	_ = ws.Float(n)
+}
+
+// warmTable is memoised one-time construction, excluded by annotation —
+// and the walk must not traverse through it into buildTable.
+//
+//ltephy:coldpath — table built once per process, cached thereafter.
+func warmTable(n int) []float64 {
+	return buildTable(n)
+}
+
+// buildTable is only reachable through the coldpath function: no
+// diagnostics even though it allocates.
+func buildTable(n int) []float64 {
+	out := make([]float64, n)
+	return out
+}
+
+// coldHelper is not reachable from any Run: allocations are fine.
+func coldHelper(n int) []int {
+	return make([]int, n)
+}
+
+func sink(s string) { _ = s }

@@ -207,11 +207,13 @@ func (p *Plan) ForwardIn(ws *workspace.Arena, dst, src []complex128) {
 		runStage(&p.stages[0], dst, src)
 		return
 	}
-	var mk workspace.Mark
+	// Mark/Release bracket the whole call unconditionally (both are
+	// nil-arena no-ops), keeping the scratch lifetime explicit even on the
+	// pooled fallback path.
+	mk := ws.Mark()
 	var t1, t2 *[]complex128
 	var scr, scr2 []complex128
 	if ws != nil {
-		mk = ws.Mark()
 		scr = ws.Complex(p.n)
 	} else {
 		t1 = p.scratch.Get().(*[]complex128)
@@ -229,9 +231,8 @@ func (p *Plan) ForwardIn(ws *workspace.Arena, dst, src []complex128) {
 		}
 	}
 	p.transformOne(dst, src, scr, scr2)
-	if ws != nil {
-		ws.Release(mk)
-	} else {
+	ws.Release(mk)
+	if ws == nil {
 		p.scratch.Put(t1)
 		if t2 != nil {
 			p.scratch.Put(t2)
@@ -334,11 +335,10 @@ func (p *Plan) ForwardBatchStrided(ws *workspace.Arena, dst, src []complex128, h
 		}
 		return
 	}
-	var mk workspace.Mark
+	mk := ws.Mark() // nil-arena no-op, mirrors ForwardIn's unconditional bracket
 	var t1, t2 *[]complex128
 	var scr, scr2 []complex128
 	if ws != nil {
-		mk = ws.Mark()
 		scr = ws.Complex(p.n)
 	} else {
 		t1 = p.scratch.Get().(*[]complex128)
@@ -355,9 +355,8 @@ func (p *Plan) ForwardBatchStrided(ws *workspace.Arena, dst, src []complex128, h
 	for i := 0; i < howMany; i++ {
 		p.transformOne(dst[i*dstStride:i*dstStride+p.n], src[i*srcStride:i*srcStride+p.n], scr, scr2)
 	}
-	if ws != nil {
-		ws.Release(mk)
-	} else {
+	ws.Release(mk)
+	if ws == nil {
 		p.scratch.Put(t1)
 		if t2 != nil {
 			p.scratch.Put(t2)
@@ -721,6 +720,9 @@ func (b *bluestein) core(ws *workspace.Arena, dst, src, x, y []complex128) {
 // arrive zeroed by the workspace contract (TestBluesteinArenaZeroTail pins
 // the x[n:m) dependence); pooled x gets its tail zeroed explicitly — the
 // head is fully overwritten by core — and y needs no zeroing at all.
+//
+//ltephy:owns-scratch — acquire half of the getBuffers/putBuffers pair; the
+// caller holds the returned mark and hands it back to putBuffers.
 func (b *bluestein) getBuffers(ws *workspace.Arena) (x, y []complex128, mk workspace.Mark, xp, yp *[]complex128) {
 	if ws != nil {
 		mk = ws.Mark()

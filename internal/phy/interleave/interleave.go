@@ -27,6 +27,9 @@ type Block struct {
 // number of columns. Lengths that do not fill the last row are handled by
 // skipping the padding positions (standard pruned interleaving).
 // It panics if n < 0 or cols < 1.
+//
+//ltephy:coldpath — permutation-table construction; hot callers memoise the
+// result (uplink.getBlock), so it runs once per (n, cols) per process.
 func New(n, cols int) *Block {
 	if n < 0 || cols < 1 {
 		panic(fmt.Sprintf("interleave: invalid size n=%d cols=%d", n, cols))

@@ -11,6 +11,7 @@
 package linalg
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/cmplx"
@@ -32,6 +33,9 @@ func NewMatrix(rows, cols int) Matrix {
 // NewMatrixIn returns a zero matrix whose backing storage comes from ws
 // (heap-allocated when ws is nil). The matrix is only valid until the
 // arena mark it was carved under is released.
+//
+//ltephy:owns-scratch — carve constructor: the caller brackets the matrix's
+// lifetime with its own Mark/Release, per the doc contract above.
 func NewMatrixIn(ws *workspace.Arena, rows, cols int) Matrix {
 	if rows < 0 || cols < 0 {
 		panic(fmt.Sprintf("linalg: invalid shape %dx%d", rows, cols))
@@ -101,9 +105,14 @@ func AddDiag(m *Matrix, v complex128) {
 	}
 }
 
+// ErrSingular is returned by the inversion routines when elimination hits
+// a numerically zero (or NaN) pivot. It is a preallocated sentinel so the
+// per-subcarrier solvers can take the error path without heap allocation.
+var ErrSingular = errors.New("linalg: singular matrix")
+
 // InvertInto computes dst = m^{-1} for a square matrix using Gauss-Jordan
 // elimination with partial pivoting. m is left unchanged; dst must be the
-// same shape as m and must not alias it. It returns an error when the
+// same shape as m and must not alias it. It returns ErrSingular when the
 // matrix is numerically singular.
 func InvertInto(dst *Matrix, m Matrix) error {
 	return InvertIntoScratch(dst, m, nil)
@@ -122,7 +131,7 @@ func InvertIntoScratch(dst *Matrix, m Matrix, scratch []complex128) error {
 	// Augmented elimination on a scratch copy.
 	a := scratch
 	if len(a) < n*n {
-		a = make([]complex128, n*n)
+		a = make([]complex128, n*n) //ltephy:alloc-ok — documented nil/short-scratch convenience fallback; hot callers pass arena scratch
 	} else {
 		a = a[:n*n]
 	}
@@ -143,7 +152,11 @@ func InvertIntoScratch(dst *Matrix, m Matrix, scratch []complex128) error {
 			}
 		}
 		if pmag < 1e-300 || math.IsNaN(pmag) {
-			return fmt.Errorf("linalg: singular matrix (pivot %d)", col)
+			// Sentinel, not fmt.Errorf: a singular (all-zero or NaN) channel
+			// can fire this per subcarrier in steady state, and the hot
+			// solvers swallow the error after zeroing their output, so the
+			// error value must not allocate.
+			return ErrSingular
 		}
 		if pivot != col {
 			swapRows(a, n, pivot, col)
@@ -199,6 +212,9 @@ func NewMMSEWorkspace(ant, layers int) *MMSEWorkspace {
 // arena (heap when nil). Returned by value so arena-path callers can keep
 // it on their stack; it is valid only until the enclosing arena mark is
 // released.
+//
+//ltephy:owns-scratch — carve constructor: the caller's Mark/Release bounds
+// the workspace's lifetime.
 func NewMMSEWorkspaceIn(a *workspace.Arena, ant, layers int) MMSEWorkspace {
 	if ant < 1 || layers < 1 || layers > ant {
 		panic(fmt.Sprintf("linalg: invalid MMSE shape ant=%d layers=%d", ant, layers))

@@ -80,6 +80,8 @@ func NewRateMatcher(k int) (*RateMatcher, error) {
 	return rm, nil
 }
 
+//ltephy:coldpath — permutation-table construction, cached in rmCache; runs
+// once per block size for the process lifetime.
 func buildRateMatcher(k int) *RateMatcher {
 	d := k + 4
 	rows := (d + subBlockColumns - 1) / subBlockColumns

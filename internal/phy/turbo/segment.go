@@ -136,6 +136,7 @@ func (s *Segmentation) MotherLen() int { return s.C * CodedLen(s.K) }
 // HARQ incremental-redundancy combining.
 func (s *Segmentation) AccumulateRM(mother, llr []float64, rv int) error {
 	if len(mother) != s.MotherLen() {
+		//ltephy:alloc-ok — validation failure aborts the transmission; never taken in steady state
 		return fmt.Errorf("turbo: mother buffer has %d entries, want %d", len(mother), s.MotherLen())
 	}
 	rm, err := NewRateMatcher(s.K)
@@ -199,7 +200,7 @@ func (s *Segmentation) DecodeInto(dst []uint8, ws *workspace.Arena, llr []float6
 	}
 	ok = true
 	if cap(dst) == 0 {
-		dst = make([]uint8, 0, s.B)
+		dst = make([]uint8, 0, s.B) //ltephy:alloc-ok — payload outlives the arena by design; hot callers pass a preallocated dst
 	}
 	tb = dst
 	per := CodedLen(s.K)

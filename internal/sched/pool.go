@@ -334,7 +334,9 @@ func (w *worker) processUser(qu *queuedUser) {
 	job := &uplink.UserJob{}
 	if err := job.Init(w.ws, w.pool.cfg.Receiver, qu.data); err != nil {
 		// Malformed input is a caller bug; surface it loudly rather than
-		// silently dropping the user.
+		// silently dropping the user. Release first so a recovering test
+		// harness does not inherit a corrupted arena stack.
+		w.ws.Release(m)
 		panic(fmt.Sprintf("sched: worker %d: %v", w.id, err))
 	}
 	w.stats.busyNanos.Add(time.Since(start).Nanoseconds())

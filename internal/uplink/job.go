@@ -138,6 +138,9 @@ func NewUserJob(cfg ReceiverConfig, u *UserData) (*UserJob, error) {
 // buffers from ws (heap when nil). A zero-value or previously used UserJob
 // is valid; reuse keeps the hot path allocation-free but recycles the
 // previous result's payload storage.
+//
+//ltephy:owns-scratch — the carves stored in job fields are job-lifetime by
+// contract: the worker's per-user mark (sched.processUser) outlives the job.
 func (j *UserJob) Init(ws *workspace.Arena, cfg ReceiverConfig, u *UserData) error {
 	if err := cfg.Validate(); err != nil {
 		return err

@@ -224,7 +224,7 @@ func (f TransportFormat) DecodeTransportBlockInto(dst []uint8, ws *workspace.Are
 		if cap(dst) >= f.CodedBits {
 			tb = dst[:f.CodedBits]
 		} else {
-			tb = make([]uint8, f.CodedBits)
+			tb = make([]uint8, f.CodedBits) //ltephy:alloc-ok — payload outlives the arena by design; hot callers pass a preallocated dst
 		}
 		for i := range tb {
 			if llr[i] < 0 {
