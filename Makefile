@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet lint build test race zeroalloc bench bench-fft fuzz-smoke
+.PHONY: check vet lint build test race zeroalloc obs-overhead bench bench-fft fuzz-smoke
 
-check: lint build race zeroalloc fft-sweep
+check: lint build race zeroalloc obs-overhead fft-sweep
 	$(GO) test ./...
 
 vet:
@@ -31,15 +31,22 @@ build:
 test:
 	$(GO) test ./...
 
-# The scheduler and receiver suites exercise per-worker arena isolation
-# and work stealing; -race proves no scratch buffer crosses workers.
+# The scheduler, receiver and telemetry suites exercise per-worker arena
+# isolation, work stealing and concurrent ring snapshots; -race proves no
+# scratch buffer crosses workers and the event rings are race-free.
 race:
-	$(GO) test -race ./internal/sched/... ./internal/uplink/...
+	$(GO) test -race ./internal/sched/... ./internal/uplink/... ./internal/obs/...
 
 # Guards the ISSUE 1 invariant: the post-warmup receiver hot path must
-# not allocate (see internal/uplink/alloc_bench_test.go).
+# not allocate (see internal/uplink/alloc_bench_test.go) — including with
+# telemetry recording at sampling 0, 1 and 64.
 zeroalloc:
 	$(GO) test -run TestSteadyStateZeroAlloc -count=1 ./internal/uplink/
+
+# Telemetry overhead budget (ISSUE 4): a fully instrumented subframe at
+# sampling=1 must cost <= 5% over sampling=0. Benchmarks for ~10s.
+obs-overhead:
+	LTEPHY_OVERHEAD_GATE=1 $(GO) test -run TestTelemetryOverheadGate -count=1 -v ./internal/obs/
 
 # Allocation-regression benchmarks; compare allocs/op against the
 # figures recorded in EXPERIMENTS.md.

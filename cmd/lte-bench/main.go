@@ -17,11 +17,15 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"testing"
 	"time"
 
+	"ltephy/internal/cost"
+	"ltephy/internal/obs"
 	"ltephy/internal/params"
 	"ltephy/internal/phy/fft"
 	"ltephy/internal/phy/workspace"
@@ -60,6 +64,10 @@ func run(args []string, w io.Writer) error {
 	serial := fs.Bool("serial", false, "run the serial reference instead of the pool")
 	snr := fs.Float64("snr", 25, "per-subcarrier SNR in dB for the synthetic channel")
 	fftBench := fs.Bool("fftbench", false, "run FFT engine microbenchmarks (single and batched-vs-looped) and exit")
+	obsSampling := fs.Int("obs", 0, "telemetry sampling knob: 0 = off, N >= 1 = histograms/deadline on every event, ring capture of every Nth")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics (Prometheus), /trace (Chrome trace) and /debug/vars on this address during the run")
+	traceFile := fs.String("trace", "", "write a Chrome trace_event JSON timeline of the run to this file (view in chrome://tracing or Perfetto)")
+	estPair := fs.Bool("est", false, "pair a cost-model workload estimate with each period's measured activity (live Fig. 12 error tracking)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -179,13 +187,50 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+
+	// Telemetry: requesting a trace file or a metrics endpoint implies at
+	// least sampling 1.
+	sampling := *obsSampling
+	if sampling == 0 && (*traceFile != "" || *metricsAddr != "") {
+		sampling = 1
+	}
+	tel := pool.Telemetry()
+	tel.SetSampling(sampling)
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		obs.PublishExpvar(tel)
+		go func() { _ = http.Serve(ln, obs.Handler(tel, pool.WritePrometheus)) }()
+		fmt.Fprintf(w, "telemetry: /metrics, /trace, /debug/vars on http://%s\n", ln.Addr())
+	}
+
+	opts := sched.RunOptions{Subframes: *subframes}
+	if *estPair {
+		// The estimate comes from the cost model (modelled TILEPro64
+		// cycles); host DSP runs at host speed, so the estimator error
+		// reported here measures model-vs-host shape mismatch, not the
+		// paper's calibrated-platform error.
+		cm := cost.Default()
+		denom := float64(*workers) * cm.PeriodCycles(delta.Seconds())
+		opts.Estimate = func(sf *uplink.Subframe) float64 {
+			var cycles float64
+			for _, u := range sf.Users {
+				cycles += cm.UserCycles(u.Params, rc.Antennas)
+			}
+			return cycles / denom
+		}
+	}
+
 	var memBefore runtime.MemStats
 	if *allocs {
 		runtime.GC()
 		runtime.ReadMemStats(&memBefore)
 	}
 	before := pool.Stats()
-	wall, err := disp.Run(pool, trace, sched.RunOptions{Subframes: *subframes})
+	wall, err := disp.Run(pool, trace, opts)
 	if err != nil {
 		return err
 	}
@@ -219,6 +264,24 @@ func run(args []string, w io.Writer) error {
 	}
 	if est, err := power.FromWorkerStats(busy, nap, wall.Nanoseconds(), power.Default()); err == nil {
 		fmt.Fprintf(w, "  as-if power (%d-core model): %.2f W\n", *workers, est)
+	}
+	if sampling > 0 {
+		printTelemetry(w, tel)
+		if *traceFile != "" {
+			f, err := os.Create(*traceFile)
+			if err != nil {
+				return err
+			}
+			if err := obs.WriteChromeTrace(f, tel); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "  trace: %d events -> %s (open in chrome://tracing or ui.perfetto.dev)\n",
+				len(tel.Events()), *traceFile)
+		}
 	}
 	if *allocs {
 		reportAllocs(w, memBefore, *subframes)
@@ -274,6 +337,37 @@ func runFFTBench(w io.Writer) error {
 			n, single.NsPerOp(), batched.NsPerOp(), looped.NsPerOp(), kind)
 	}
 	return nil
+}
+
+// printTelemetry summarises the run's telemetry: per-stage latency,
+// deadline accounting against the DELTA budget, and (when the -est hook
+// was on) the online estimator-error statistics.
+func printTelemetry(w io.Writer, tel *obs.Registry) {
+	fmt.Fprintf(w, "  stage latency (sampling %d):\n", tel.Sampling())
+	for s := 0; s < obs.NumStages; s++ {
+		h := tel.StageHist(uint8(s))
+		n := h.Count()
+		if n == 0 {
+			continue
+		}
+		mean := float64(h.SumNanos()) / float64(n)
+		worst := obs.BucketUpperNanos(h.MaxBucket())
+		fmt.Fprintf(w, "    %-16s %8d runs  mean %8.1f us  worst < %.1f us\n",
+			obs.StageNames[s], n, mean/1e3, float64(worst)/1e3)
+	}
+	d := tel.Deadline()
+	total := d.Met() + d.Missed()
+	if total > 0 {
+		fmt.Fprintf(w, "  deadline (budget %v): %d/%d met", time.Duration(d.Budget()), d.Met(), total)
+		if d.Missed() > 0 {
+			fmt.Fprintf(w, ", worst overrun %v", time.Duration(d.WorstLatenessNanos()).Round(time.Microsecond))
+		}
+		fmt.Fprintln(w)
+	}
+	if es := tel.Estimator().Stats(); es.Count > 0 {
+		fmt.Fprintf(w, "  estimator error over %d periods: avg |err| %.3f, max %.3f, bias %+.3f (measured mean %.3f)\n",
+			es.Count, es.AvgAbsErr, es.MaxAbsErr, es.Bias, es.MeanMeasured)
+	}
 }
 
 // reportAllocs prints heap-allocation deltas per subframe since `before`.

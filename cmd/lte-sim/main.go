@@ -20,6 +20,9 @@ import (
 	"time"
 
 	"ltephy/internal/experiments"
+	"ltephy/internal/obs"
+	"ltephy/internal/params"
+	"ltephy/internal/sim"
 )
 
 func main() {
@@ -44,8 +47,15 @@ func run(args []string, w io.Writer) error {
 	format := fs.String("format", "table", "stdout format: table or csv")
 	rows := fs.Int("rows", 30, "max rows for table output (0 = all)")
 	outdir := fs.String("outdir", "", "also write each dataset as CSV into this directory")
+	traceFile := fs.String("trace", "", "simulate a short run and write its per-core Chrome trace_event timeline (paper Figs. 4-5) to this file, then exit")
+	traceSubframes := fs.Int("trace-subframes", 40, "subframes to simulate for -trace")
+	traceWorkers := fs.Int("trace-workers", sim.DefaultWorkers, "worker cores for -trace")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *traceFile != "" {
+		return runTrace(w, *traceFile, *traceSubframes, *traceWorkers, *seed)
 	}
 
 	cfg := experiments.Quick()
@@ -119,6 +129,40 @@ func run(args []string, w io.Writer) error {
 			}
 		}
 	}
+	return nil
+}
+
+// runTrace simulates n subframes with per-task tracing on and exports
+// the virtual-time per-core timeline as a Chrome trace — the simulator's
+// rendering of the paper's Fig. 4/5 occupancy plots.
+func runTrace(w io.Writer, path string, n, workers int, seed uint64) error {
+	cfg := sim.DefaultConfig()
+	if workers > 0 {
+		cfg.Workers = workers
+	}
+	ring := obs.NewEventRing(1 << 18)
+	cfg.Trace = ring
+	res, err := sim.Run(cfg, params.NewRandom(seed), n)
+	if err != nil {
+		return err
+	}
+	events := ring.Snapshot(nil)
+	if dropped := ring.Total() - uint64(len(events)); dropped > 0 {
+		fmt.Fprintf(w, "trace: ring wrapped, oldest %d spans dropped (lower -trace-subframes for a full window)\n", dropped)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTraceEvents(f, events, "core"); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "trace: %d subframes, %d jobs, %d task spans across %d cores -> %s (open in chrome://tracing or ui.perfetto.dev)\n",
+		n, res.TotalJobs, len(events), cfg.Workers, path)
 	return nil
 }
 

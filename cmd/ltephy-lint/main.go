@@ -12,7 +12,9 @@
 // directory. Analyzer scoping follows the invariants' home turf:
 // arenapair, arenaescape and hotpathalloc run everywhere; determinism
 // runs over the bit-exact receiver/simulator surface (internal/phy,
-// internal/uplink, internal/sim); atomiccheck runs over internal/sched.
+// internal/uplink, internal/sim); atomiccheck runs over internal/sched
+// and internal/obs (the telemetry counters share the scheduler's
+// lock-free discipline).
 package main
 
 import (
@@ -31,7 +33,7 @@ var scopes = map[string][]string{
 	analysis.ArenaEscape.Name:  nil,
 	analysis.HotPathAlloc.Name: nil,
 	analysis.Determinism.Name:  {"/internal/phy", "/internal/uplink", "/internal/sim"},
-	analysis.AtomicCheck.Name:  {"/internal/sched"},
+	analysis.AtomicCheck.Name:  {"/internal/sched", "/internal/obs"},
 }
 
 var all = []*analysis.Analyzer{

@@ -19,6 +19,36 @@ func (stage) Run(ws *workspace.Arena, j *job, i int) {
 	guarded(ws, j.n)
 	fill(ws.Float(j.n), j.n)
 	sink(describe(j.n))
+	telemetry.record(span{0, 1})
+	recordGrowing(span{0, 1})
+}
+
+// span and ring mirror the obs event-ring shape: a fixed-capacity
+// preallocated buffer with wraparound overwrite — the sanctioned
+// telemetry pattern on the hot path.
+type span struct{ start, end int64 }
+
+type ring struct {
+	buf   []span
+	total uint64
+}
+
+// telemetry's buffer is built at package init: cold, never re-sized.
+var telemetry = ring{buf: make([]span, 64)}
+
+// record overwrites in place; reachable from Run via a method call and
+// clean — no diagnostics.
+func (r *ring) record(e span) {
+	r.buf[r.total%uint64(len(r.buf))] = e
+	r.total++
+}
+
+// events is a grow-on-record "ring": the telemetry anti-pattern.
+var events []span
+
+// recordGrowing appends into package-level storage from the hot path.
+func recordGrowing(e span) {
+	events = append(events, e) // want "may grow fresh heap"
 }
 
 // kernel is reachable from Run: its allocations are violations.

@@ -164,6 +164,26 @@ func (c *Calibration) ActiveCoresFunc(maxCores int) func(int64, []uplink.UserPar
 	}
 }
 
+// EstimateActivityFunc adapts Eq. 4 to the simulator's estimator-error
+// hook (sim.Config.EstimateActivity), pairing each subframe's estimate
+// with the activity the simulator measures for its dispatch period.
+func (c *Calibration) EstimateActivityFunc() func(int64, []uplink.UserParams) float64 {
+	return func(_ int64, users []uplink.UserParams) float64 {
+		return c.Estimate(users)
+	}
+}
+
+// EstimateSubframe implements Eq. 4 over a materialised subframe — the
+// form the dispatcher's estimator-error hook (sched.RunOptions.Estimate)
+// takes.
+func (c *Calibration) EstimateSubframe(sf *uplink.Subframe) float64 {
+	var sum float64
+	for _, u := range sf.Users {
+		sum += c.EstimateUser(u.Params)
+	}
+	return sum
+}
+
 // MaxAbsError reports the largest |measured−fit| deviation across all
 // calibration points of a key, normalised to activity units; it quantifies
 // how linear the platform actually is (the paper's fit error feeds the

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace_event exporter: renders captured event rings as the JSON
+// object format understood by chrome://tracing and Perfetto, one track
+// (tid) per worker — the per-core task timeline of the paper's Figs. 4
+// and 5, reconstructable for any captured window of a live run.
+//
+// Span events use phase "X" (complete events: ts + dur); steals are
+// thread-scoped instants (phase "i"). Timestamps are microseconds as the
+// format requires; sub-microsecond precision is kept as fractions.
+
+// traceEvent is one trace_event entry.
+type traceEvent struct {
+	Name  string    `json:"name"`
+	Cat   string    `json:"cat,omitempty"`
+	Phase string    `json:"ph"`
+	TS    float64   `json:"ts"`
+	Dur   *float64  `json:"dur,omitempty"`
+	PID   int       `json:"pid"`
+	TID   int       `json:"tid"`
+	Scope string    `json:"s,omitempty"`
+	Args  traceArgs `json:"args,omitempty"`
+}
+
+type traceArgs struct {
+	Seq  *int64 `json:"seq,omitempty"`
+	User *int32 `json:"user,omitempty"`
+	Task *int32 `json:"task,omitempty"`
+	Name string `json:"name,omitempty"` // metadata payload
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes every worker ring of the registry as one
+// Chrome trace_event JSON document.
+func WriteChromeTrace(w io.Writer, r *Registry) error {
+	return WriteChromeTraceEvents(w, r.Events(), "worker")
+}
+
+// WriteChromeTraceEvents writes the given events as a Chrome
+// trace_event JSON document. trackName labels the per-Worker tracks
+// ("worker" for the native pool, "core" for the simulator). Events are
+// ordered by start time within each track; cross-track order follows
+// timestamps after a global sort.
+func WriteChromeTraceEvents(w io.Writer, events []Event, trackName string) error {
+	out := traceFile{DisplayTimeUnit: "ns", TraceEvents: make([]traceEvent, 0, len(events)+8)}
+
+	sorted := make([]Event, len(events))
+	copy(sorted, events)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+
+	tracks := map[int16]bool{}
+	for _, e := range sorted {
+		tracks[e.Worker] = true
+		te := traceEvent{
+			Name:  e.Name(),
+			Cat:   KindNames[e.Kind],
+			TS:    float64(e.Start) / 1e3,
+			PID:   0,
+			TID:   int(e.Worker),
+		}
+		if e.Kind == KindSteal {
+			te.Phase = "i"
+			te.Scope = "t"
+		} else {
+			te.Phase = "X"
+			dur := float64(e.Duration()) / 1e3
+			te.Dur = &dur
+		}
+		if e.Seq >= 0 {
+			seq, user, task := e.Seq, e.User, e.Task
+			te.Args = traceArgs{Seq: &seq, User: &user, Task: &task}
+		}
+		out.TraceEvents = append(out.TraceEvents, te)
+	}
+
+	// Thread-name metadata so the viewer labels each track.
+	ids := make([]int, 0, len(tracks))
+	for id := range tracks {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		out.TraceEvents = append(out.TraceEvents, traceEvent{
+			Name:  "thread_name",
+			Phase: "M",
+			PID:   0,
+			TID:   id,
+			Args:  traceArgs{Name: fmt.Sprintf("%s %d", trackName, id)},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,22 @@
+package obs
+
+import "time"
+
+// The telemetry clock: monotonic nanoseconds since process start.
+//
+// Go's time.Time carries a monotonic reading when obtained from
+// time.Now(), and time.Since(epoch) subtracts on that monotonic track —
+// a nanotime-style counter read without wall-clock exposure. The epoch
+// lives here, once per process, so every subsystem (scheduler stats,
+// span events, deadline accounting) shares one time base and a single
+// reading can serve both the busy-time counters and the telemetry event
+// bracketing the same interval (the stats paths read the clock once per
+// event edge and reuse the value).
+//
+// Deliberately outside internal/phy, internal/uplink and internal/sim:
+// the determinism analyzer bans wall-clock reads there, and telemetry
+// timestamps must never leak into receiver output.
+var epoch = time.Now()
+
+// Nanotime returns monotonic nanoseconds since the process epoch.
+func Nanotime() int64 { return int64(time.Since(epoch)) }

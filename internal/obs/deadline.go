@@ -1,0 +1,83 @@
+package obs
+
+import "sync/atomic"
+
+// deadlineSlots sizes the seq-indexed dispatch-time table. Slots are
+// reused modulo the table size; real deployments keep a handful of
+// subframes in flight (the paper: two to three), so 1024 in-flight
+// sequence numbers is orders of magnitude of headroom before a
+// collision could misattribute a dispatch time.
+const deadlineSlots = 1024
+
+// DeadlineTracker accounts per-subframe completion against the DELTA
+// dispatch budget (the paper runs its TILEPro64 evaluation at a 5 ms
+// DELTA): the dispatcher stamps each subframe's dispatch time, workers
+// stamp each user's completion, and the tracker folds the difference
+// into miss counters, worst-case lateness and a lateness histogram.
+// All operations are atomic and allocation-free.
+type DeadlineTracker struct {
+	budget   atomic.Int64
+	dispatch [deadlineSlots]atomic.Int64 // Nanotime+1 of the subframe's dispatch; 0 = unset
+	met      atomic.Int64
+	missed   atomic.Int64
+	worst    atomic.Int64 // worst positive lateness, nanos
+	lateSum  atomic.Int64 // total positive lateness, nanos
+	lateness Histogram    // distribution of positive lateness
+}
+
+func (d *DeadlineTracker) init() { d.budget.Store(5_000_000) } // 5 ms DELTA default
+
+// SetBudget sets the per-subframe completion budget in nanoseconds,
+// measured from dispatch.
+func (d *DeadlineTracker) SetBudget(nanos int64) {
+	if nanos > 0 {
+		d.budget.Store(nanos)
+	}
+}
+
+// Budget returns the configured budget in nanoseconds.
+func (d *DeadlineTracker) Budget() int64 { return d.budget.Load() }
+
+// Dispatch stamps subframe seq as dispatched at monotonic time now.
+func (d *DeadlineTracker) Dispatch(seq, now int64) {
+	d.dispatch[uint64(seq)%deadlineSlots].Store(now + 1)
+}
+
+// Complete records one user of subframe seq finishing at time now,
+// charging its lateness against the budget. Completions for subframes
+// whose dispatch was never stamped are ignored.
+func (d *DeadlineTracker) Complete(seq, now int64) {
+	t := d.dispatch[uint64(seq)%deadlineSlots].Load()
+	if t == 0 {
+		return
+	}
+	late := now - (t - 1) - d.budget.Load()
+	if late <= 0 {
+		d.met.Add(1)
+		return
+	}
+	d.missed.Add(1)
+	d.lateSum.Add(late)
+	d.lateness.Observe(late)
+	for {
+		w := d.worst.Load()
+		if late <= w || d.worst.CompareAndSwap(w, late) {
+			return
+		}
+	}
+}
+
+// Met returns the number of user completions inside the budget.
+func (d *DeadlineTracker) Met() int64 { return d.met.Load() }
+
+// Missed returns the number of user completions past the budget.
+func (d *DeadlineTracker) Missed() int64 { return d.missed.Load() }
+
+// WorstLatenessNanos returns the worst observed overrun.
+func (d *DeadlineTracker) WorstLatenessNanos() int64 { return d.worst.Load() }
+
+// TotalLatenessNanos returns the summed overrun across all misses.
+func (d *DeadlineTracker) TotalLatenessNanos() int64 { return d.lateSum.Load() }
+
+// LatenessHist returns the histogram of positive lateness.
+func (d *DeadlineTracker) LatenessHist() *Histogram { return &d.lateness }

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"math"
+	"sync"
+)
+
+// estSlots sizes the seq-indexed pending-estimate table (same headroom
+// argument as the deadline tracker's dispatch table).
+const estSlots = 1024
+
+// EstimatorTracker pairs each subframe's estimated activity (Eq. 4)
+// with the activity actually measured for its dispatch period and keeps
+// online error statistics — the live form of the paper's Fig. 12
+// estimated-vs-measured comparison, computed while the system runs
+// instead of from post-hoc CSVs.
+//
+// Estimates and measurements arrive from different places (the
+// estimator hook at dispatch, the activity sampler or simulator at
+// period end), so they are recorded in two phases keyed by subframe
+// sequence: RecordEstimate then RecordMeasured. Observe records an
+// already-paired sample directly. A mutex serialises updates — one
+// sample per dispatch period is far off the hot path — and the tracker
+// never allocates after construction.
+type EstimatorTracker struct {
+	mu      sync.Mutex
+	pending [estSlots]float64 // NaN = no estimate stored
+	inited  bool              // pending sentinel fill done (guarded by mu)
+
+	count    int64
+	sumAbs   float64
+	sumErr   float64 // signed, for bias
+	maxAbs   float64
+	sumMeas  float64
+	lastEst  float64
+	lastMeas float64
+}
+
+// initPendingLocked lazily fills the sentinel table. A plain flag under
+// the mutex (not sync.Once) keeps the record path allocation-free: a
+// Once.Do call site constructs a closure on every call.
+func (t *EstimatorTracker) initPendingLocked() {
+	if t.inited {
+		return
+	}
+	for i := range t.pending {
+		t.pending[i] = math.NaN()
+	}
+	t.inited = true
+}
+
+// RecordEstimate stores subframe seq's estimated activity until its
+// measurement arrives.
+func (t *EstimatorTracker) RecordEstimate(seq int64, est float64) {
+	t.mu.Lock()
+	t.initPendingLocked()
+	t.pending[uint64(seq)%estSlots] = est
+	t.mu.Unlock()
+}
+
+// RecordMeasured pairs subframe seq's measured activity with its stored
+// estimate and folds the pair into the error statistics. Measurements
+// without a stored estimate are dropped.
+func (t *EstimatorTracker) RecordMeasured(seq int64, measured float64) {
+	t.mu.Lock()
+	t.initPendingLocked()
+	est := t.pending[uint64(seq)%estSlots]
+	t.pending[uint64(seq)%estSlots] = math.NaN()
+	if !math.IsNaN(est) {
+		t.observeLocked(est, measured)
+	}
+	t.mu.Unlock()
+}
+
+// Observe records one already-paired (estimated, measured) sample.
+func (t *EstimatorTracker) Observe(est, measured float64) {
+	t.mu.Lock()
+	t.observeLocked(est, measured)
+	t.mu.Unlock()
+}
+
+func (t *EstimatorTracker) observeLocked(est, measured float64) {
+	e := est - measured
+	t.count++
+	t.sumErr += e
+	if e < 0 {
+		e = -e
+	}
+	t.sumAbs += e
+	if e > t.maxAbs {
+		t.maxAbs = e
+	}
+	t.sumMeas += measured
+	t.lastEst = est
+	t.lastMeas = measured
+}
+
+// EstimatorStats is a snapshot of the online error statistics.
+type EstimatorStats struct {
+	// Count is the number of paired samples.
+	Count int64
+	// AvgAbsErr and MaxAbsErr are in activity units (the paper quotes
+	// 0.012 average and 0.054 max for Fig. 12).
+	AvgAbsErr float64
+	MaxAbsErr float64
+	// Bias is the mean signed error (positive = over-estimating).
+	Bias float64
+	// MeanMeasured is the mean measured activity.
+	MeanMeasured float64
+	// LastEstimated / LastMeasured are the most recent pair — the live
+	// gauges exporters expose.
+	LastEstimated float64
+	LastMeasured  float64
+}
+
+// Stats returns a consistent snapshot.
+func (t *EstimatorTracker) Stats() EstimatorStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := EstimatorStats{
+		Count:         t.count,
+		MaxAbsErr:     t.maxAbs,
+		LastEstimated: t.lastEst,
+		LastMeasured:  t.lastMeas,
+	}
+	if t.count > 0 {
+		s.AvgAbsErr = t.sumAbs / float64(t.count)
+		s.Bias = t.sumErr / float64(t.count)
+		s.MeanMeasured = t.sumMeas / float64(t.count)
+	}
+	return s
+}

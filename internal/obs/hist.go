@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// HistBuckets sizes the latency histograms: bucket b counts durations
+// whose bit length is b, i.e. [2^(b-1), 2^b) nanoseconds (bucket 0 holds
+// zero-length spans). 40 buckets cover up to ~9 minutes — far beyond any
+// receiver span; longer durations clamp into the last bucket.
+const HistBuckets = 40
+
+// Histogram is a fixed-array latency histogram with power-of-two bucket
+// boundaries and atomic counters: Observe is lock-free, allocation-free
+// and safe for any number of concurrent writers. The zero value is
+// ready to use.
+type Histogram struct {
+	counts [HistBuckets]atomic.Int64
+	sum    atomic.Int64 // total observed nanoseconds
+	count  atomic.Int64
+}
+
+// Observe records one duration in nanoseconds (negative clamps to 0).
+func (h *Histogram) Observe(nanos int64) {
+	if nanos < 0 {
+		nanos = 0
+	}
+	b := bits.Len64(uint64(nanos))
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	h.counts[b].Add(1)
+	h.sum.Add(nanos)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// SumNanos returns the total observed nanoseconds.
+func (h *Histogram) SumNanos() int64 { return h.sum.Load() }
+
+// Bucket returns the count of bucket b.
+func (h *Histogram) Bucket(b int) int64 { return h.counts[b].Load() }
+
+// BucketUpperNanos returns the exclusive upper bound of bucket b in
+// nanoseconds (2^b; 1 for bucket 0, which holds only zero).
+func BucketUpperNanos(b int) int64 { return int64(1) << uint(b) }
+
+// MaxBucket returns the highest non-empty bucket index, or -1 when the
+// histogram is empty — a cheap worst-case latency bound.
+func (h *Histogram) MaxBucket() int {
+	for b := HistBuckets - 1; b >= 0; b-- {
+		if h.counts[b].Load() > 0 {
+			return b
+		}
+	}
+	return -1
+}

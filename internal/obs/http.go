@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"expvar"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// HTTP surface: a single handler serving the Prometheus text endpoint,
+// the Chrome trace snapshot and Go's expvar page. Mounted by
+// cmd/lte-bench behind -metrics-addr; everything here is cold path.
+
+// Handler returns an http.Handler serving:
+//
+//	/metrics     Prometheus text format (plus any extra sections)
+//	/trace       Chrome trace_event JSON snapshot of the worker rings
+//	/debug/vars  expvar JSON (including the registry published via
+//	             PublishExpvar)
+//
+// extra writers let callers append their own Prometheus sections (e.g.
+// the scheduler pool's per-worker counters) without this package
+// importing them.
+func Handler(r *Registry, extra ...func(io.Writer) error) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := WritePrometheus(w, r); err != nil {
+			return
+		}
+		for _, fn := range extra {
+			if err := fn(w); err != nil {
+				return
+			}
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteChromeTrace(w, r)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+var expvarOnce sync.Once
+
+// PublishExpvar publishes the registry under the expvar name "ltephy".
+// Safe to call more than once; only the first registry wins (expvar
+// names are process-global and cannot be re-published).
+func PublishExpvar(r *Registry) {
+	expvarOnce.Do(func() {
+		expvar.Publish("ltephy", expvar.Func(func() any {
+			d := r.Deadline()
+			es := r.Estimator().Stats()
+			type stage struct {
+				Count    int64
+				MeanUsec float64
+			}
+			stages := map[string]stage{}
+			for s := 0; s < NumStages; s++ {
+				h := r.StageHist(uint8(s))
+				st := stage{Count: h.Count()}
+				if st.Count > 0 {
+					st.MeanUsec = float64(h.SumNanos()) / float64(st.Count) / 1e3
+				}
+				stages[StageNames[s]] = st
+			}
+			return map[string]any{
+				"sampling":            r.Sampling(),
+				"stages":              stages,
+				"deadline_met":        d.Met(),
+				"deadline_missed":     d.Missed(),
+				"worst_lateness_usec": float64(d.WorstLatenessNanos()) / 1e3,
+				"estimator":           es,
+			}
+		}))
+	})
+}

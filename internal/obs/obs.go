@@ -1,0 +1,221 @@
+// Package obs is the benchmark's allocation-free telemetry layer: the
+// instrument the source paper's measurement study is built from, kept
+// always compiled-in and cheap enough to leave on.
+//
+// The paper's primary artifacts are per-worker activity (Eqs. 1-2),
+// per-core task timelines (Figs. 4-5) and estimated-vs-measured workload
+// (Fig. 12). This package captures the raw material for all three while
+// the system runs:
+//
+//   - per-worker fixed-capacity event rings (preallocated, wraparound
+//     overwrite) holding span events for every stage run, steal, nap and
+//     user pickup — exported as a Chrome trace_event timeline;
+//   - per-stage latency histograms with power-of-two bucket boundaries
+//     (fixed arrays of atomic counters);
+//   - per-subframe deadline accounting against the DELTA dispatch budget
+//     (miss counters, worst-case lateness, lateness histogram);
+//   - online estimator-error tracking pairing each subframe's Eq. 4
+//     estimate with the activity actually measured for its dispatch
+//     period — the live form of the paper's Fig. 12 comparison.
+//
+// # Cost discipline
+//
+// Everything is gated by one atomic sampling knob. Sampling 0 (the
+// default) disables recording behind a single predictable branch per
+// event — the hot path pays one atomic load. Sampling N >= 1 feeds every
+// event into the histograms and deadline counters (plain atomic adds)
+// and every N-th event into the worker's ring. No code path in this
+// package allocates after construction: rings, histograms and trackers
+// are fixed-size, so the scheduler's steady-state zero-allocation
+// invariant (TestSteadyStateZeroAlloc) holds with telemetry enabled.
+//
+// Timestamps are monotonic nanoseconds from the package clock
+// (Nanotime), deliberately outside the bit-exact receiver packages so
+// the determinism analyzer's no-wall-clock rule keeps holding there.
+package obs
+
+import "sync/atomic"
+
+// Stage classes label span events and select the latency histogram. The
+// first four values align, by construction, with the index order of
+// uplink.UserJob.Stages() — the scheduler converts a stage index straight
+// into a class (sched.TestStageClassAlignment pins the correspondence).
+const (
+	StageChanEst = iota
+	StageWeights
+	StageCombine
+	StageBackend
+	// StageInit is the user-thread pickup: job initialisation before the
+	// first stage runs (the paper's user-thread overhead).
+	StageInit
+	// NumStages sizes per-stage arrays.
+	NumStages
+)
+
+// StageNames are the exporter labels for the stage classes.
+var StageNames = [NumStages]string{"chanest", "weights", "combine-despread", "backend", "init"}
+
+// Event kinds.
+const (
+	// KindStage is a span covering one stage task execution.
+	KindStage uint8 = iota
+	// KindSteal is an instant event marking a successful steal.
+	KindSteal
+	// KindNap is a span covering one nap period (deactivated or idle
+	// worker).
+	KindNap
+	numKinds
+)
+
+// KindNames are the exporter labels for event kinds.
+var KindNames = [numKinds]string{"stage", "steal", "nap"}
+
+// DefaultRingDepth is the per-worker event-ring capacity used when the
+// caller does not choose one: at ~40 bytes per event this is ~80 KiB per
+// worker, holding on the order of a hundred multi-user subframes of
+// spans — several paper-Fig.-4/5 windows.
+const DefaultRingDepth = 2048
+
+// Registry ties the telemetry of one worker pool together: a recorder
+// (ring) per worker, the shared per-stage histograms, deadline
+// accounting and estimator-error tracking, all gated by one sampling
+// knob. Construct with New; all methods are safe for concurrent use.
+type Registry struct {
+	// sampling is the single gate: 0 = off, N >= 1 = histograms and
+	// counters on every event, ring capture of every N-th event per
+	// worker.
+	sampling atomic.Int64
+
+	stages   [NumStages]Histogram
+	deadline DeadlineTracker
+	est      EstimatorTracker
+	workers  []WorkerRecorder
+}
+
+// New returns a registry with `workers` recorders whose rings hold
+// ringDepth events each (DefaultRingDepth when <= 0). Sampling starts
+// at 0: everything is preallocated but recording is off.
+func New(workers, ringDepth int) *Registry {
+	if workers < 0 {
+		workers = 0
+	}
+	if ringDepth <= 0 {
+		ringDepth = DefaultRingDepth
+	}
+	r := &Registry{workers: make([]WorkerRecorder, workers)}
+	for i := range r.workers {
+		w := &r.workers[i]
+		w.reg = r
+		w.id = int16(i)
+		w.ring.init(ringDepth)
+	}
+	r.deadline.init()
+	return r
+}
+
+// SetSampling sets the knob: 0 disables recording, n >= 1 records every
+// event into histograms/counters and every n-th event into the rings.
+// Negative values clamp to 0.
+func (r *Registry) SetSampling(n int) {
+	if n < 0 {
+		n = 0
+	}
+	r.sampling.Store(int64(n))
+}
+
+// Sampling returns the current knob value.
+func (r *Registry) Sampling() int { return int(r.sampling.Load()) }
+
+// Enabled reports whether any recording is on — the same single-load
+// check the recording fast paths use.
+func (r *Registry) Enabled() bool { return r.sampling.Load() != 0 }
+
+// Workers returns the number of worker recorders.
+func (r *Registry) Workers() int { return len(r.workers) }
+
+// Worker returns worker i's recorder. The recorder's recording methods
+// must only be called from that worker's goroutine; snapshots may be
+// taken from anywhere.
+func (r *Registry) Worker(i int) *WorkerRecorder { return &r.workers[i] }
+
+// StageHist returns the latency histogram of a stage class.
+func (r *Registry) StageHist(stage uint8) *Histogram { return &r.stages[stage] }
+
+// Deadline returns the deadline accountant.
+func (r *Registry) Deadline() *DeadlineTracker { return &r.deadline }
+
+// Estimator returns the estimator-error tracker.
+func (r *Registry) Estimator() *EstimatorTracker { return &r.est }
+
+// Events snapshots every worker ring into one freshly allocated slice,
+// ordered by worker then by record order (per-worker timestamp order).
+// Cold path: exporters and tests only.
+func (r *Registry) Events() []Event {
+	var total int
+	for i := range r.workers {
+		total += r.workers[i].ring.Len()
+	}
+	out := make([]Event, 0, total)
+	for i := range r.workers {
+		out = r.workers[i].ring.Snapshot(out)
+	}
+	return out
+}
+
+// WorkerRecorder is the single-writer recording front-end of one worker:
+// its event ring plus the sampling countdown. Recording methods must
+// only be called by the owning worker goroutine; the ring itself is
+// safe to snapshot concurrently.
+type WorkerRecorder struct {
+	reg  *Registry
+	id   int16
+	tick uint64 // events seen since the last ring capture (single-writer)
+	ring EventRing
+}
+
+// Enabled reports whether recording is on — exposed so callers can skip
+// preparing event details (extra clock reads, pprof label swaps) when
+// telemetry is off.
+func (w *WorkerRecorder) Enabled() bool { return w.reg.Enabled() }
+
+// Ring returns the worker's event ring for snapshotting.
+func (w *WorkerRecorder) Ring() *EventRing { return &w.ring }
+
+// StageSpan records one stage task execution: the latency histogram on
+// every call (when sampling is on), the ring on every sampling-th call.
+func (w *WorkerRecorder) StageSpan(stage uint8, seq int64, user, task int32, start, end int64) {
+	s := w.reg.sampling.Load()
+	if s == 0 {
+		return
+	}
+	w.reg.stages[stage].Observe(end - start)
+	w.tick++
+	if w.tick%uint64(s) != 0 {
+		return
+	}
+	w.ring.Record(Event{
+		Start: start, End: end, Seq: seq,
+		User: user, Task: task, Worker: w.id,
+		Kind: KindStage, Stage: stage,
+	})
+}
+
+// Span records a non-stage span (naps) subject to the same sampling.
+func (w *WorkerRecorder) Span(kind uint8, start, end int64) {
+	s := w.reg.sampling.Load()
+	if s == 0 {
+		return
+	}
+	w.tick++
+	if w.tick%uint64(s) != 0 {
+		return
+	}
+	w.ring.Record(Event{
+		Start: start, End: end, Seq: -1,
+		User: -1, Task: -1, Worker: w.id,
+		Kind: kind,
+	})
+}
+
+// Instant records a point event (steals) subject to the same sampling.
+func (w *WorkerRecorder) Instant(kind uint8, now int64) { w.Span(kind, now, now) }

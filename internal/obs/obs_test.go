@@ -1,0 +1,302 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"ltephy/internal/obs"
+)
+
+func stageEvent(i int) obs.Event {
+	return obs.Event{
+		Start: int64(i) * 1000, End: int64(i)*1000 + 500,
+		Seq: int64(i), User: int32(i % 3), Task: int32(i % 7),
+		Worker: 0, Kind: obs.KindStage, Stage: uint8(i % obs.NumStages),
+	}
+}
+
+// TestRingWraparound: overfilling a ring keeps exactly the last `depth`
+// events in record (timestamp) order, and the exported Chrome trace
+// contains exactly those spans, in order.
+func TestRingWraparound(t *testing.T) {
+	const depth, total = 8, 27
+	r := obs.NewEventRing(depth)
+	for i := 0; i < total; i++ {
+		r.Record(stageEvent(i))
+	}
+	if r.Len() != depth {
+		t.Fatalf("Len = %d, want %d", r.Len(), depth)
+	}
+	if r.Total() != total {
+		t.Fatalf("Total = %d, want %d", r.Total(), total)
+	}
+	got := r.Snapshot(nil)
+	if len(got) != depth {
+		t.Fatalf("snapshot has %d events, want %d", len(got), depth)
+	}
+	for i, e := range got {
+		want := stageEvent(total - depth + i)
+		if e != want {
+			t.Fatalf("snapshot[%d] = %+v, want %+v (oldest-first order broken)", i, e, want)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTraceEvents(&buf, got, "worker"); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Phase string  `json:"ph"`
+			TS    float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatal(err)
+	}
+	spans := 0
+	lastTS := -1.0
+	for _, e := range tf.TraceEvents {
+		if e.Phase != "X" {
+			continue
+		}
+		spans++
+		if e.TS < lastTS {
+			t.Fatalf("trace spans out of timestamp order: %g after %g", e.TS, lastTS)
+		}
+		lastTS = e.TS
+	}
+	if spans != depth {
+		t.Errorf("trace has %d spans, want exactly the retained %d", spans, depth)
+	}
+}
+
+// TestRingConcurrentRecordSnapshot hammers one recorder against
+// concurrent snapshotters; run under -race this proves the ring is
+// exactly race-free, and every snapshot must be internally consistent
+// (monotonic per-writer timestamps).
+func TestRingConcurrentRecordSnapshot(t *testing.T) {
+	r := obs.NewEventRing(64)
+	const total = 20000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]obs.Event, 0, 64)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				buf = r.Snapshot(buf[:0])
+				for i := 1; i < len(buf); i++ {
+					if buf[i].Start < buf[i-1].Start {
+						t.Error("snapshot not in record order")
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < total; i++ {
+		r.Record(stageEvent(i))
+	}
+	close(stop)
+	wg.Wait()
+	if r.Total() != total {
+		t.Errorf("Total = %d, want %d", r.Total(), total)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h obs.Histogram
+	for _, v := range []int64{0, 1, 1, 3, 900, 1 << 30, -5} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.SumNanos() != 0+1+1+3+900+(1<<30)+0 {
+		t.Errorf("SumNanos = %d", h.SumNanos())
+	}
+	// 0 and -5 land in bucket 0; 1,1 in bucket 1; 3 in bucket 2; 900 in
+	// bucket 10 (2^9 <= 900 < 2^10); 1<<30 in bucket 31.
+	for b, want := range map[int]int64{0: 2, 1: 2, 2: 1, 10: 1, 31: 1} {
+		if got := h.Bucket(b); got != want {
+			t.Errorf("Bucket(%d) = %d, want %d", b, got, want)
+		}
+	}
+	if h.MaxBucket() != 31 {
+		t.Errorf("MaxBucket = %d, want 31", h.MaxBucket())
+	}
+	// Clamp: an absurd duration lands in the last bucket.
+	h.Observe(1 << 62)
+	if h.Bucket(obs.HistBuckets-1) != 1 {
+		t.Error("overflow not clamped into the last bucket")
+	}
+}
+
+func TestDeadlineTracker(t *testing.T) {
+	reg := obs.New(1, 16)
+	d := reg.Deadline()
+	d.SetBudget(1000)
+	d.Dispatch(7, 100)
+	d.Complete(7, 900) // lateness -200: met
+	d.Complete(7, 1100) // lateness 0: met (boundary)
+	d.Complete(7, 1500) // lateness 400: missed
+	d.Complete(7, 1300) // lateness 200: missed, not worst
+	d.Complete(99, 5000) // never dispatched: ignored
+	if d.Met() != 2 || d.Missed() != 2 {
+		t.Errorf("met %d missed %d, want 2/2", d.Met(), d.Missed())
+	}
+	if d.WorstLatenessNanos() != 400 {
+		t.Errorf("worst = %d, want 400", d.WorstLatenessNanos())
+	}
+	if d.TotalLatenessNanos() != 600 {
+		t.Errorf("total = %d, want 600", d.TotalLatenessNanos())
+	}
+	if d.LatenessHist().Count() != 2 {
+		t.Errorf("lateness hist count = %d, want 2", d.LatenessHist().Count())
+	}
+}
+
+func TestEstimatorTrackerPairing(t *testing.T) {
+	var tr obs.EstimatorTracker
+	tr.RecordEstimate(0, 0.5)
+	tr.RecordMeasured(0, 0.4)
+	tr.RecordMeasured(1, 0.9) // no estimate stored: dropped
+	tr.RecordEstimate(2, 0.2)
+	tr.RecordMeasured(2, 0.3)
+	st := tr.Stats()
+	if st.Count != 2 {
+		t.Fatalf("Count = %d, want 2", st.Count)
+	}
+	if got, want := st.AvgAbsErr, 0.1; got < want-1e-12 || got > want+1e-12 {
+		t.Errorf("AvgAbsErr = %g, want %g", got, want)
+	}
+	if st.MaxAbsErr < 0.1-1e-12 || st.MaxAbsErr > 0.1+1e-12 {
+		t.Errorf("MaxAbsErr = %g, want 0.1", st.MaxAbsErr)
+	}
+	if st.Bias < -1e-12 || st.Bias > 1e-12 {
+		t.Errorf("Bias = %g, want 0 (+0.1 and -0.1 cancel)", st.Bias)
+	}
+	if st.LastEstimated != 0.2 || st.LastMeasured != 0.3 {
+		t.Errorf("last pair = (%g, %g)", st.LastEstimated, st.LastMeasured)
+	}
+	// A slot is cleared after pairing: re-measuring the same seq drops.
+	tr.RecordMeasured(2, 0.99)
+	if tr.Stats().Count != 2 {
+		t.Error("cleared slot re-paired")
+	}
+}
+
+// TestSamplingKnob: 0 records nothing; N feeds the histogram on every
+// event and the ring on every Nth.
+func TestSamplingKnob(t *testing.T) {
+	reg := obs.New(1, 1024)
+	w := reg.Worker(0)
+	w.StageSpan(obs.StageChanEst, 1, 0, 0, 0, 10)
+	if reg.StageHist(obs.StageChanEst).Count() != 0 || len(reg.Events()) != 0 {
+		t.Fatal("recording happened at sampling 0")
+	}
+
+	reg.SetSampling(4)
+	const n = 100
+	for i := 0; i < n; i++ {
+		w.StageSpan(obs.StageChanEst, int64(i), 0, 0, int64(i), int64(i)+10)
+	}
+	if got := reg.StageHist(obs.StageChanEst).Count(); got != n {
+		t.Errorf("histogram observed %d of %d events", got, n)
+	}
+	if got := len(reg.Events()); got != n/4 {
+		t.Errorf("ring captured %d events at sampling 4, want %d", got, n/4)
+	}
+
+	reg.SetSampling(-3)
+	if reg.Sampling() != 0 || reg.Enabled() {
+		t.Error("negative sampling did not clamp to off")
+	}
+}
+
+func TestPrometheusFormat(t *testing.T) {
+	reg := obs.New(1, 16)
+	reg.SetSampling(1)
+	w := reg.Worker(0)
+	w.StageSpan(obs.StageBackend, 0, 0, 0, 0, 1500)
+	reg.Deadline().Dispatch(0, 0)
+	reg.Deadline().Complete(0, 10)
+	reg.Estimator().Observe(0.5, 0.4)
+
+	var buf bytes.Buffer
+	if err := obs.WritePrometheus(&buf, reg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`ltephy_stage_latency_seconds_bucket{stage="backend",le="+Inf"} 1`,
+		"ltephy_stage_latency_seconds_sum",
+		"ltephy_deadline_met_total 1",
+		"ltephy_deadline_missed_total 0",
+		"ltephy_estimator_samples_total 1",
+		"ltephy_obs_sampling 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q", want)
+		}
+	}
+	// Cumulative buckets: the 1500 ns span sits in bucket 11 (le 2048 ns);
+	// every higher emitted bound must also count it.
+	if !strings.Contains(out, `ltephy_stage_latency_seconds_bucket{stage="backend",le="2.048e-06"} 1`) {
+		t.Error("span missing from its le bucket")
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	reg := obs.New(1, 16)
+	reg.SetSampling(1)
+	reg.Worker(0).StageSpan(obs.StageInit, 0, 0, 0, 0, 100)
+	h := obs.Handler(reg)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	for path, wantBody := range map[string]string{
+		"/metrics":    "ltephy_stage_latency_seconds",
+		"/trace":      `"traceEvents"`,
+		"/debug/vars": "cmdline",
+	} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if !strings.Contains(buf.String(), wantBody) {
+			t.Errorf("GET %s: body missing %q", path, wantBody)
+		}
+	}
+}
+
+// TestNanotimeMonotonic: the telemetry clock never goes backwards.
+func TestNanotimeMonotonic(t *testing.T) {
+	last := obs.Nanotime()
+	for i := 0; i < 10000; i++ {
+		now := obs.Nanotime()
+		if now < last {
+			t.Fatalf("clock went backwards: %d after %d", now, last)
+		}
+		last = now
+	}
+}

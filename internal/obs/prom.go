@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// Prometheus text-format exporter (exposition format version 0.0.4).
+// Cold path: scraped on demand, never on the receiver hot path. The
+// power-of-two histogram buckets translate directly into cumulative
+// `le` bounds in seconds.
+
+// WritePrometheus writes the registry's stage histograms, deadline
+// accounting and estimator-error statistics in Prometheus text format.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	if _, err := fmt.Fprintf(w, "# HELP ltephy_obs_sampling Telemetry sampling knob (0 = off, N = ring capture of every Nth event).\n# TYPE ltephy_obs_sampling gauge\nltephy_obs_sampling %d\n", r.Sampling()); err != nil {
+		return err
+	}
+
+	// Per-stage latency histograms.
+	if _, err := io.WriteString(w, "# HELP ltephy_stage_latency_seconds Receiver stage execution latency.\n# TYPE ltephy_stage_latency_seconds histogram\n"); err != nil {
+		return err
+	}
+	for s := 0; s < NumStages; s++ {
+		if err := writeHistogram(w, "ltephy_stage_latency_seconds", fmt.Sprintf("stage=%q", StageNames[s]), &r.stages[s]); err != nil {
+			return err
+		}
+	}
+
+	// Deadline accounting.
+	d := r.Deadline()
+	if _, err := fmt.Fprintf(w,
+		"# HELP ltephy_deadline_budget_seconds Per-subframe completion budget (DELTA).\n# TYPE ltephy_deadline_budget_seconds gauge\nltephy_deadline_budget_seconds %g\n"+
+			"# HELP ltephy_deadline_met_total User completions inside the budget.\n# TYPE ltephy_deadline_met_total counter\nltephy_deadline_met_total %d\n"+
+			"# HELP ltephy_deadline_missed_total User completions past the budget.\n# TYPE ltephy_deadline_missed_total counter\nltephy_deadline_missed_total %d\n"+
+			"# HELP ltephy_deadline_worst_lateness_seconds Worst observed overrun past the budget.\n# TYPE ltephy_deadline_worst_lateness_seconds gauge\nltephy_deadline_worst_lateness_seconds %g\n",
+		float64(d.Budget())/1e9, d.Met(), d.Missed(), float64(d.WorstLatenessNanos())/1e9); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, "# HELP ltephy_deadline_lateness_seconds Positive lateness of budget misses.\n# TYPE ltephy_deadline_lateness_seconds histogram\n"); err != nil {
+		return err
+	}
+	if err := writeHistogram(w, "ltephy_deadline_lateness_seconds", "", d.LatenessHist()); err != nil {
+		return err
+	}
+
+	// Estimator error (live Fig. 12).
+	es := r.Estimator().Stats()
+	_, err := fmt.Fprintf(w,
+		"# HELP ltephy_estimator_samples_total Paired estimated/measured activity samples.\n# TYPE ltephy_estimator_samples_total counter\nltephy_estimator_samples_total %d\n"+
+			"# HELP ltephy_estimator_abs_error_avg Mean absolute estimator error (activity units).\n# TYPE ltephy_estimator_abs_error_avg gauge\nltephy_estimator_abs_error_avg %g\n"+
+			"# HELP ltephy_estimator_abs_error_max Max absolute estimator error (activity units).\n# TYPE ltephy_estimator_abs_error_max gauge\nltephy_estimator_abs_error_max %g\n"+
+			"# HELP ltephy_estimator_bias Mean signed estimator error (positive = over-estimating).\n# TYPE ltephy_estimator_bias gauge\nltephy_estimator_bias %g\n"+
+			"# HELP ltephy_estimator_activity_estimated Most recent estimated activity.\n# TYPE ltephy_estimator_activity_estimated gauge\nltephy_estimator_activity_estimated %g\n"+
+			"# HELP ltephy_estimator_activity_measured Most recent measured activity.\n# TYPE ltephy_estimator_activity_measured gauge\nltephy_estimator_activity_measured %g\n",
+		es.Count, es.AvgAbsErr, es.MaxAbsErr, es.Bias, es.LastEstimated, es.LastMeasured)
+	return err
+}
+
+// writeHistogram emits one histogram's cumulative buckets, sum and
+// count. labels is a preformatted `k="v"` list (may be empty). Buckets
+// are emitted up to the highest non-empty one to keep scrapes compact;
+// the +Inf bucket always appears.
+func writeHistogram(w io.Writer, name, labels string, h *Histogram) error {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum int64
+	top := h.MaxBucket()
+	for b := 0; b <= top; b++ {
+		cum += h.Bucket(b)
+		le := float64(BucketUpperNanos(b)) / 1e9
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, fmt.Sprintf("%g", le), cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n%s_sum{%s} %g\n%s_count{%s} %d\n",
+		name, labels, sep, h.Count(),
+		name, labels, float64(h.SumNanos())/1e9,
+		name, labels, h.Count())
+	return err
+}

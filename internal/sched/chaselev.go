@@ -89,7 +89,7 @@ func (d *clDeque) pop() (Task, bool) {
 	if t > b {
 		// Deque was empty; restore.
 		d.bottom.Store(t)
-		return nil, false
+		return Task{}, false
 	}
 	box := a.get(b)
 	if t != b {
@@ -99,7 +99,7 @@ func (d *clDeque) pop() (Task, bool) {
 	won := d.top.CompareAndSwap(t, t+1)
 	d.bottom.Store(t + 1)
 	if !won {
-		return nil, false
+		return Task{}, false
 	}
 	return box.t, true
 }
@@ -109,12 +109,12 @@ func (d *clDeque) steal() (Task, bool) {
 	t := d.top.Load()
 	b := d.bottom.Load()
 	if t >= b {
-		return nil, false
+		return Task{}, false
 	}
 	a := d.buf.Load()
 	box := a.get(t)
 	if !d.top.CompareAndSwap(t, t+1) {
-		return nil, false // lost the race; caller picks another victim
+		return Task{}, false // lost the race; caller picks another victim
 	}
 	return box.t, true
 }

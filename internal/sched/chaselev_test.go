@@ -16,18 +16,18 @@ func TestCLDequeLIFOAndFIFO(t *testing.T) {
 	order := []int{}
 	for i := 0; i < 5; i++ {
 		i := i
-		d.push(func(*workspace.Arena) { order = append(order, i) })
+		d.push(Task{fn: func(*workspace.Arena) { order = append(order, i) }})
 	}
 	ta, ok := d.pop()
 	if !ok {
 		t.Fatal("pop failed")
 	}
-	ta(nil)
+	ta.fn(nil)
 	tb, ok := d.steal()
 	if !ok {
 		t.Fatal("steal failed")
 	}
-	tb(nil)
+	tb.fn(nil)
 	if order[0] != 4 || order[1] != 0 {
 		t.Errorf("pop/steal order = %v, want [4 0]", order)
 	}
@@ -45,7 +45,7 @@ func TestCLDequeEmpty(t *testing.T) {
 		t.Error("steal on empty succeeded")
 	}
 	// Empty after draining too.
-	d.push(func(*workspace.Arena) {})
+	d.push(Task{fn: func(*workspace.Arena) {}})
 	if _, ok := d.pop(); !ok {
 		t.Fatal("pop failed")
 	}
@@ -62,7 +62,7 @@ func TestCLDequeGrowth(t *testing.T) {
 	const n = 10 * clInitialSize
 	var count atomic.Int64
 	for i := 0; i < n; i++ {
-		d.push(func(*workspace.Arena) { count.Add(1) })
+		d.push(Task{fn: func(*workspace.Arena) { count.Add(1) }})
 	}
 	if d.size() != n {
 		t.Fatalf("size = %d, want %d", d.size(), n)
@@ -72,7 +72,7 @@ func TestCLDequeGrowth(t *testing.T) {
 		if !ok {
 			break
 		}
-		task(nil)
+		task.fn(nil)
 	}
 	if count.Load() != n {
 		t.Errorf("ran %d tasks, want %d", count.Load(), n)
@@ -94,7 +94,7 @@ func TestCLDequeOwnerThiefRace(t *testing.T) {
 			defer wg.Done()
 			for !done.Load() {
 				if task, ok := d.steal(); ok {
-					task(nil)
+					task.fn(nil)
 				} else {
 					runtime.Gosched()
 				}
@@ -105,17 +105,17 @@ func TestCLDequeOwnerThiefRace(t *testing.T) {
 				if !ok {
 					return
 				}
-				task(nil)
+				task.fn(nil)
 			}
 		}()
 	}
 
 	// Owner: interleave pushes with occasional pops.
 	for i := 0; i < total; i++ {
-		d.push(func(*workspace.Arena) { ran.Add(1) })
+		d.push(Task{fn: func(*workspace.Arena) { ran.Add(1) }})
 		if i%3 == 0 {
 			if task, ok := d.pop(); ok {
-				task(nil)
+				task.fn(nil)
 			}
 		}
 	}
@@ -124,7 +124,7 @@ func TestCLDequeOwnerThiefRace(t *testing.T) {
 		if !ok {
 			break
 		}
-		task(nil)
+		task.fn(nil)
 	}
 	done.Store(true)
 	wg.Wait()
@@ -134,7 +134,7 @@ func TestCLDequeOwnerThiefRace(t *testing.T) {
 		if !ok {
 			break
 		}
-		task(nil)
+		task.fn(nil)
 	}
 	if ran.Load() != total {
 		t.Errorf("ran %d tasks, want %d (lost or duplicated under contention)", ran.Load(), total)
@@ -184,7 +184,7 @@ func TestLockFreePoolCompletesWork(t *testing.T) {
 func BenchmarkDeques(b *testing.B) {
 	run := func(b *testing.B, d taskDeque) {
 		var sink atomic.Int64
-		task := Task(func(*workspace.Arena) { sink.Add(1) })
+		task := Task{fn: func(*workspace.Arena) { sink.Add(1) }}
 		stop := make(chan struct{})
 		var wg sync.WaitGroup
 		for g := 0; g < 2; g++ {
@@ -198,7 +198,7 @@ func BenchmarkDeques(b *testing.B) {
 					default:
 					}
 					if t, ok := d.steal(); ok {
-						t(nil)
+						t.fn(nil)
 					}
 				}
 			}()
@@ -208,7 +208,7 @@ func BenchmarkDeques(b *testing.B) {
 			d.push(task)
 			if i%2 == 0 {
 				if t, ok := d.pop(); ok {
-					t(nil)
+					t.fn(nil)
 				}
 			}
 		}

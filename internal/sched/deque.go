@@ -20,7 +20,17 @@ import (
 // inside a task. The argument is the executing worker's scratch arena —
 // a stolen task draws scratch from the thief, never from the worker that
 // spawned it.
-type Task func(ws *workspace.Arena)
+//
+// The telemetry identity (stage class, subframe sequence, user, task
+// index) travels with the task so that whichever worker executes it —
+// owner or thief — attributes the span to the right stage and subframe.
+type Task struct {
+	fn    func(ws *workspace.Arena)
+	seq   int64
+	user  int32
+	task  int32
+	stage uint8
+}
 
 // deque is a double-ended task queue: the owning worker pushes and pops at
 // the bottom (LIFO, cache-friendly), thieves steal from the top (FIFO,
@@ -47,10 +57,10 @@ func (d *deque) pop() (Task, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if len(d.tasks) == d.head {
-		return nil, false
+		return Task{}, false
 	}
 	t := d.tasks[len(d.tasks)-1]
-	d.tasks[len(d.tasks)-1] = nil
+	d.tasks[len(d.tasks)-1] = Task{}
 	d.tasks = d.tasks[:len(d.tasks)-1]
 	d.compact()
 	return t, true
@@ -61,10 +71,10 @@ func (d *deque) steal() (Task, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if len(d.tasks) == d.head {
-		return nil, false
+		return Task{}, false
 	}
 	t := d.tasks[d.head]
-	d.tasks[d.head] = nil
+	d.tasks[d.head] = Task{}
 	d.head++
 	d.compact()
 	return t, true
@@ -89,7 +99,7 @@ func (d *deque) compact() {
 	if d.head > 64 && d.head > len(d.tasks)/2 {
 		n := copy(d.tasks, d.tasks[d.head:])
 		for i := n; i < len(d.tasks); i++ {
-			d.tasks[i] = nil
+			d.tasks[i] = Task{}
 		}
 		d.tasks = d.tasks[:n]
 		d.head = 0

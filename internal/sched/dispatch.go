@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"ltephy/internal/obs"
 	"ltephy/internal/params"
 	"ltephy/internal/rng"
 	"ltephy/internal/uplink"
@@ -26,6 +27,10 @@ type DispatcherConfig struct {
 	CacheSets int
 	// Seed drives input data generation.
 	Seed uint64
+	// DeadlineBudget is the per-subframe completion budget charged by the
+	// pool's deadline accounting, measured from dispatch. Defaults to
+	// Delta: a subframe should complete before the next one arrives.
+	DeadlineBudget time.Duration
 }
 
 // DefaultDispatcherConfig mirrors the paper's evaluation setup.
@@ -150,14 +155,36 @@ type RunOptions struct {
 	// submitted — the hook the power-aware resource manager uses to apply
 	// Eq. 5 (estimate workload, set the active-core mask).
 	OnDispatch func(seq int64, sf *uplink.Subframe)
+	// Estimate, when non-nil and telemetry is enabled, supplies each
+	// subframe's estimated activity (Eq. 4). The dispatcher pairs it with
+	// the activity measured over that subframe's dispatch period, feeding
+	// the registry's online estimator-error tracker (live Fig. 12).
+	Estimate func(sf *uplink.Subframe) float64
 }
 
 // Run dispatches subframes from the model to the pool every Delta,
 // mirroring the maintenance thread's signal-alarm loop. It returns the
 // wall-clock duration of the run after the pool drains.
+//
+// When the pool's telemetry is enabled, each dispatch is stamped for
+// deadline accounting and each period's measured activity (Eq. 2 over
+// one Delta window) is paired with the subframe's estimate. The
+// sampling reuses two stat buffers for the whole run — no per-subframe
+// allocation.
 func (d *Dispatcher) Run(pool *Pool, m params.Model, opts RunOptions) (time.Duration, error) {
 	if opts.Subframes <= 0 {
 		return 0, fmt.Errorf("sched: Run needs a positive subframe count")
+	}
+	tel := pool.Telemetry()
+	budget := d.cfg.DeadlineBudget
+	if budget <= 0 {
+		budget = d.cfg.Delta
+	}
+	tel.Deadline().SetBudget(budget.Nanoseconds())
+	var before, after []WorkerStats
+	if tel.Enabled() {
+		before = pool.StatsInto(make([]WorkerStats, pool.Workers()))
+		after = make([]WorkerStats, pool.Workers())
 	}
 	start := time.Now()
 	ticker := time.NewTicker(d.cfg.Delta)
@@ -170,8 +197,27 @@ func (d *Dispatcher) Run(pool *Pool, m params.Model, opts RunOptions) (time.Dura
 		if opts.OnDispatch != nil {
 			opts.OnDispatch(seq, sf)
 		}
+		if tel.Enabled() {
+			tel.Deadline().Dispatch(seq, obs.Nanotime())
+			if opts.Estimate != nil {
+				tel.Estimator().RecordEstimate(seq, opts.Estimate(sf))
+			}
+		}
 		pool.SubmitSubframe(sf)
 		<-ticker.C
+		if tel.Enabled() {
+			// Measured activity of the period that just elapsed — the window
+			// subframe seq was dispatched into.
+			after = pool.StatsInto(after)
+			var busy int64
+			for i := range after {
+				busy += after[i].BusyNanos - before[i].BusyNanos
+			}
+			measured := float64(busy) /
+				(float64(pool.Workers()) * float64(d.cfg.Delta.Nanoseconds()))
+			tel.Estimator().RecordMeasured(seq, measured)
+			before, after = after, before
+		}
 	}
 	pool.Drain()
 	return time.Since(start), nil
@@ -283,10 +329,14 @@ func Verify(poolCfg Config, dispCfg DispatcherConfig, trace *params.Trace) error
 // each subframe is submitted — the native-runtime counterpart of the
 // simulator's NAP policy.
 func DriveActiveWorkers(pool *Pool, activeCores func([]uplink.UserParams) int) func(int64, *uplink.Subframe) {
+	// The hook runs only on the dispatcher goroutine, so one reusable
+	// parameter buffer suffices — no per-subframe allocation after the
+	// first few subframes grow it to the trace's peak user count.
+	var ps []uplink.UserParams
 	return func(_ int64, sf *uplink.Subframe) {
-		ps := make([]uplink.UserParams, len(sf.Users))
-		for i, u := range sf.Users {
-			ps[i] = u.Params
+		ps = ps[:0]
+		for _, u := range sf.Users {
+			ps = append(ps, u.Params)
 		}
 		pool.SetActiveWorkers(activeCores(ps))
 	}

@@ -1,0 +1,203 @@
+package sched
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ltephy/internal/obs"
+	"ltephy/internal/uplink"
+)
+
+// TestStageClassAlignment pins the correspondence the scheduler's
+// telemetry relies on: UserJob.Stages() returns the pipeline in the
+// index order of the obs stage classes, for every estimator/combiner
+// variant the registries offer.
+func TestStageClassAlignment(t *testing.T) {
+	cfgs := []uplink.ReceiverConfig{uplink.DefaultConfig()}
+	for _, mut := range []func(*uplink.ReceiverConfig){
+		func(rc *uplink.ReceiverConfig) { rc.ChanEst = uplink.ChanEstLS },
+		func(rc *uplink.ReceiverConfig) { rc.Combiner = uplink.CombinerZF },
+		func(rc *uplink.ReceiverConfig) { rc.Combiner = uplink.CombinerMRC },
+		func(rc *uplink.ReceiverConfig) { rc.Combiner = uplink.CombinerIRC },
+	} {
+		rc := uplink.DefaultConfig()
+		mut(&rc)
+		cfgs = append(cfgs, rc)
+	}
+	for _, rc := range cfgs {
+		job := &uplink.UserJob{Cfg: rc}
+		for i, s := range job.Stages() {
+			if !strings.HasPrefix(s.Name(), obs.StageNames[i]) {
+				t.Errorf("stage index %d is %q; obs class %d is %q — classes misaligned",
+					i, s.Name(), i, obs.StageNames[i])
+			}
+		}
+	}
+}
+
+// TestPoolTelemetryCapture runs a paced dispatch with sampling 1 and
+// checks every telemetry surface: stage histograms, per-worker event
+// rings, deadline accounting, estimator-error pairing, and the Chrome
+// trace / Prometheus exports.
+func TestPoolTelemetryCapture(t *testing.T) {
+	cfg := DefaultPoolConfig()
+	cfg.Workers = 4
+	col := NewCollector()
+	cfg.OnResult = col.Add
+	pool, err := NewPool(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	tel := pool.Telemetry()
+	tel.SetSampling(1)
+
+	d := NewDispatcher(testDispatcherConfig())
+	trace := smallTrace(t, 10)
+	if err := d.Pregenerate(trace); err != nil {
+		t.Fatal(err)
+	}
+	trace.Reset()
+	if _, err := d.Run(pool, trace, RunOptions{
+		Subframes: 10,
+		Estimate:  func(sf *uplink.Subframe) float64 { return 0.5 },
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	users := 0
+	for _, us := range trace.Subframes {
+		users += len(us)
+	}
+
+	// Every stage class ran and was observed.
+	for s := 0; s < obs.NumStages; s++ {
+		if tel.StageHist(uint8(s)).Count() == 0 {
+			t.Errorf("stage %q histogram empty", obs.StageNames[s])
+		}
+	}
+	// Serial classes run exactly once per user.
+	for _, s := range []uint8{obs.StageWeights, obs.StageBackend, obs.StageInit} {
+		if got := tel.StageHist(s).Count(); got != int64(users) {
+			t.Errorf("stage %q observed %d times, want %d", obs.StageNames[s], got, users)
+		}
+	}
+
+	// Deadline accounting saw every user completion.
+	dl := tel.Deadline()
+	if dl.Met()+dl.Missed() != int64(users) {
+		t.Errorf("deadline met %d + missed %d != %d users", dl.Met(), dl.Missed(), users)
+	}
+
+	// Estimator error was paired for every subframe.
+	es := tel.Estimator().Stats()
+	if es.Count != 10 {
+		t.Errorf("estimator paired %d samples, want 10", es.Count)
+	}
+
+	// Rings hold well-formed spans attributed to real workers.
+	events := tel.Events()
+	if len(events) == 0 {
+		t.Fatal("no events captured at sampling 1")
+	}
+	stageSpans := 0
+	for _, e := range events {
+		if e.End < e.Start {
+			t.Fatalf("event %+v ends before it starts", e)
+		}
+		if e.Worker < 0 || int(e.Worker) >= cfg.Workers {
+			t.Fatalf("event attributed to worker %d of %d", e.Worker, cfg.Workers)
+		}
+		if e.Kind == obs.KindStage {
+			stageSpans++
+			if e.Seq < 0 || e.Seq >= 10 {
+				t.Fatalf("stage span with subframe seq %d", e.Seq)
+			}
+		}
+	}
+	if stageSpans == 0 {
+		t.Error("no stage spans in the rings")
+	}
+
+	// Exports are well-formed.
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, tel); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(tf.TraceEvents) < stageSpans {
+		t.Errorf("trace has %d events for %d captured stage spans", len(tf.TraceEvents), stageSpans)
+	}
+
+	buf.Reset()
+	if err := obs.WritePrometheus(&buf, tel); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"ltephy_stage_latency_seconds_bucket", "ltephy_deadline_met_total",
+		"ltephy_estimator_samples_total", "ltephy_worker_busy_seconds_total",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("prometheus output missing %s", want)
+		}
+	}
+}
+
+// TestStatsIntoAllocFree pins the dispatcher's periodic sampling path:
+// snapshotting into a reused buffer must not allocate.
+func TestStatsIntoAllocFree(t *testing.T) {
+	cfg := DefaultPoolConfig()
+	cfg.Workers = 4
+	pool, err := NewPool(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	dst := make([]WorkerStats, cfg.Workers)
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = pool.StatsInto(dst)
+	})
+	if allocs != 0 {
+		t.Errorf("StatsInto allocated %.1f times per call with a sized buffer", allocs)
+	}
+}
+
+// TestTelemetryOffIsQuiet: with the knob at 0 (the default) nothing is
+// recorded anywhere.
+func TestTelemetryOffIsQuiet(t *testing.T) {
+	cfg := DefaultPoolConfig()
+	cfg.Workers = 2
+	pool, err := NewPool(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	d := NewDispatcher(testDispatcherConfig())
+	sf, err := d.Subframe(0, smallTrace(t, 1).Subframes[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.ProcessSubframe(sf)
+	tel := pool.Telemetry()
+	if len(tel.Events()) != 0 {
+		t.Error("events recorded with sampling off")
+	}
+	for s := 0; s < obs.NumStages; s++ {
+		if tel.StageHist(uint8(s)).Count() != 0 {
+			t.Errorf("stage %q histogram populated with sampling off", obs.StageNames[s])
+		}
+	}
+	if dl := tel.Deadline(); dl.Met()+dl.Missed() != 0 {
+		t.Error("deadline counters moved with sampling off")
+	}
+}

@@ -1,13 +1,18 @@
 package sched
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"math"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"ltephy/internal/obs"
 	"ltephy/internal/phy/workspace"
 	"ltephy/internal/rng"
 	"ltephy/internal/uplink"
@@ -45,6 +50,14 @@ type Config struct {
 	LockFreeDeque bool
 	// Seed randomises steal victim selection.
 	Seed uint64
+	// Telemetry, when non-nil, is the registry the pool records into; it
+	// must have at least Workers recorders. When nil the pool creates its
+	// own (retrievable via Pool.Telemetry) with TraceDepth-deep rings.
+	// Recording stays off until Registry.SetSampling enables it.
+	Telemetry *obs.Registry
+	// TraceDepth is the per-worker event-ring capacity used when the pool
+	// creates its own registry (obs.DefaultRingDepth when <= 0).
+	TraceDepth int
 }
 
 // DefaultPoolConfig returns a pool configuration with paper-equivalent
@@ -75,6 +88,7 @@ type Pool struct {
 	cfg     Config
 	workers []*worker
 	global  userQueue
+	tel     *obs.Registry
 	active  atomic.Int32 // workers with id >= active nap (proactive mask)
 	closed  atomic.Bool
 	wg      sync.WaitGroup
@@ -91,7 +105,14 @@ type worker struct {
 	// touches it — every task the worker executes (its own or stolen)
 	// draws scratch from here, so no locking is ever needed.
 	ws *workspace.Arena
-	stats struct {
+	// rec is this worker's telemetry recorder (ring + sampling countdown).
+	rec *obs.WorkerRecorder
+	// Precomputed pprof label contexts: baseCtx carries the worker label,
+	// stageCtx[c] adds the stage-class label. Precomputing keeps the
+	// per-task SetGoroutineLabels swap allocation-free.
+	baseCtx  context.Context
+	stageCtx [obs.NumStages]context.Context
+	stats    struct {
 		tasksRun     atomic.Int64
 		usersStarted atomic.Int64
 		steals       atomic.Int64
@@ -112,12 +133,25 @@ func NewPool(cfg Config) (*Pool, error) {
 	if err := cfg.Receiver.Validate(); err != nil {
 		return nil, fmt.Errorf("sched: %w", err)
 	}
-	p := &Pool{cfg: cfg}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = obs.New(cfg.Workers, cfg.TraceDepth)
+	} else if cfg.Telemetry.Workers() < cfg.Workers {
+		return nil, fmt.Errorf("sched: telemetry registry has %d recorders for %d workers",
+			cfg.Telemetry.Workers(), cfg.Workers)
+	}
+	p := &Pool{cfg: cfg, tel: cfg.Telemetry}
 	p.active.Store(int32(cfg.Workers))
 	seeds := rng.New(cfg.Seed)
 	p.workers = make([]*worker, cfg.Workers)
 	for i := range p.workers {
 		w := &worker{id: i, pool: p, r: seeds.Split(), ws: workspace.New()}
+		w.rec = p.tel.Worker(i)
+		w.baseCtx = pprof.WithLabels(context.Background(),
+			pprof.Labels("worker", strconv.Itoa(i)))
+		for c := range w.stageCtx {
+			w.stageCtx[c] = pprof.WithLabels(w.baseCtx,
+				pprof.Labels("stage", obs.StageNames[c]))
+		}
 		if cfg.LockFreeDeque {
 			w.local = newCLDeque()
 		} else {
@@ -134,6 +168,9 @@ func NewPool(cfg Config) (*Pool, error) {
 
 // Workers returns the configured worker count.
 func (p *Pool) Workers() int { return p.cfg.Workers }
+
+// Telemetry returns the pool's telemetry registry (never nil).
+func (p *Pool) Telemetry() *obs.Registry { return p.tel }
 
 // SetActiveWorkers applies the proactive nap mask: workers with id >= n
 // nap until the mask rises again (the paper's Eq. 5-driven deactivation).
@@ -200,9 +237,20 @@ func (p *Pool) ArenaFootprints() []int {
 
 // Stats returns a snapshot of per-worker counters.
 func (p *Pool) Stats() []WorkerStats {
-	out := make([]WorkerStats, len(p.workers))
+	return p.StatsInto(make([]WorkerStats, len(p.workers)))
+}
+
+// StatsInto snapshots the per-worker counters into dst, growing it only
+// if too small, and returns the filled slice — the allocation-free form
+// for periodic samplers (the dispatcher's activity measurement reuses
+// two buffers across the whole run).
+func (p *Pool) StatsInto(dst []WorkerStats) []WorkerStats {
+	if cap(dst) < len(p.workers) {
+		dst = make([]WorkerStats, len(p.workers))
+	}
+	dst = dst[:len(p.workers)]
 	for i, w := range p.workers {
-		out[i] = WorkerStats{
+		dst[i] = WorkerStats{
 			TasksRun:     w.stats.tasksRun.Load(),
 			UsersStarted: w.stats.usersStarted.Load(),
 			Steals:       w.stats.steals.Load(),
@@ -211,7 +259,33 @@ func (p *Pool) Stats() []WorkerStats {
 			NapNanos:     w.stats.napNanos.Load(),
 		}
 	}
-	return out
+	return dst
+}
+
+// WritePrometheus writes the per-worker counters in Prometheus text
+// format — the pool-side companion of obs.WritePrometheus, composed by
+// passing it as an extra section to obs.Handler.
+func (p *Pool) WritePrometheus(w io.Writer) error {
+	if _, err := io.WriteString(w,
+		"# HELP ltephy_worker_tasks_total Stage tasks executed per worker.\n# TYPE ltephy_worker_tasks_total counter\n"+
+			"# HELP ltephy_worker_users_total Users picked up per worker.\n# TYPE ltephy_worker_users_total counter\n"+
+			"# HELP ltephy_worker_steals_total Successful steals per worker.\n# TYPE ltephy_worker_steals_total counter\n"+
+			"# HELP ltephy_worker_failed_steals_total Failed steal sweeps per worker.\n# TYPE ltephy_worker_failed_steals_total counter\n"+
+			"# HELP ltephy_worker_busy_seconds_total Useful processing time per worker.\n# TYPE ltephy_worker_busy_seconds_total counter\n"+
+			"# HELP ltephy_worker_nap_seconds_total Deactivated (napping) time per worker.\n# TYPE ltephy_worker_nap_seconds_total counter\n"); err != nil {
+		return err
+	}
+	for i, st := range p.Stats() {
+		if _, err := fmt.Fprintf(w,
+			"ltephy_worker_tasks_total{worker=\"%d\"} %d\nltephy_worker_users_total{worker=\"%d\"} %d\n"+
+				"ltephy_worker_steals_total{worker=\"%d\"} %d\nltephy_worker_failed_steals_total{worker=\"%d\"} %d\n"+
+				"ltephy_worker_busy_seconds_total{worker=\"%d\"} %g\nltephy_worker_nap_seconds_total{worker=\"%d\"} %g\n",
+			i, st.TasksRun, i, st.UsersStarted, i, st.Steals, i, st.FailedSteals,
+			i, float64(st.BusyNanos)/1e9, i, float64(st.NapNanos)/1e9); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Activity computes the paper's Eq. 2 over a measurement window: the sum
@@ -232,6 +306,9 @@ func Activity(before, after []WorkerStats, wall time.Duration) float64 {
 // and the proactive mask.
 func (w *worker) run() {
 	defer w.pool.wg.Done()
+	// The base labels attribute every profiler sample on this goroutine
+	// to the worker; runTask overlays the stage label per task.
+	pprof.SetGoroutineLabels(w.baseCtx)
 	idleSpins := 0
 	for {
 		if w.pool.closed.Load() {
@@ -271,18 +348,21 @@ func (w *worker) run() {
 }
 
 // nap models the TILEPro64 nap instruction: sleep, charge the time to the
-// nap counter, then return to the loop to re-check status.
+// nap counter, then return to the loop to re-check status. One clock read
+// per edge serves both the stats counter and the telemetry span.
 func (w *worker) nap() {
-	start := time.Now()
+	start := obs.Nanotime()
 	time.Sleep(w.pool.cfg.NapCheckPeriod)
-	w.stats.napNanos.Add(time.Since(start).Nanoseconds())
+	end := obs.Nanotime()
+	w.stats.napNanos.Add(end - start)
+	w.rec.Span(obs.KindNap, start, end)
 }
 
 // trySteal visits every other worker once, starting at a random victim.
 func (w *worker) trySteal() (Task, bool) {
 	n := len(w.pool.workers)
 	if n <= 1 {
-		return nil, false
+		return Task{}, false
 	}
 	start := w.r.Intn(n)
 	for i := 0; i < n; i++ {
@@ -292,18 +372,34 @@ func (w *worker) trySteal() (Task, bool) {
 		}
 		if t, ok := w.pool.workers[v].local.steal(); ok {
 			w.stats.steals.Add(1)
+			if w.rec.Enabled() {
+				w.rec.Instant(obs.KindSteal, obs.Nanotime())
+			}
 			return t, true
 		}
 	}
 	w.stats.failedSteals.Add(1)
-	return nil, false
+	return Task{}, false
 }
 
+// runTask executes one stage task, charging its span to the busy counter,
+// the stage histogram and (sampled) the event ring, and overlaying the
+// stage pprof label while it runs. The clock is read once per edge; the
+// same readings feed the stats counter and the telemetry span.
 func (w *worker) runTask(t Task) {
-	start := time.Now()
-	t(w.ws)
-	w.stats.busyNanos.Add(time.Since(start).Nanoseconds())
+	on := w.rec.Enabled()
+	if on {
+		pprof.SetGoroutineLabels(w.stageCtx[t.stage])
+	}
+	start := obs.Nanotime()
+	t.fn(w.ws)
+	end := obs.Nanotime()
+	w.stats.busyNanos.Add(end - start)
 	w.stats.tasksRun.Add(1)
+	if on {
+		w.rec.StageSpan(t.stage, t.seq, t.user, t.task, start, end)
+		pprof.SetGoroutineLabels(w.baseCtx)
+	}
 }
 
 // processUser is the user-thread role (paper Section IV-C): initialise the
@@ -327,7 +423,8 @@ func (w *worker) processUser(qu *queuedUser) {
 		w.pool.pending.Add(-1)
 	}()
 
-	start := time.Now()
+	user := int32(qu.data.Params.ID)
+	start := obs.Nanotime()
 	m := w.ws.Mark()
 	// A fresh job per user: results escape through OnResult, and a reused
 	// job would recycle the previous result's payload storage.
@@ -339,24 +436,37 @@ func (w *worker) processUser(qu *queuedUser) {
 		w.ws.Release(m)
 		panic(fmt.Sprintf("sched: worker %d: %v", w.id, err))
 	}
-	w.stats.busyNanos.Add(time.Since(start).Nanoseconds())
+	end := obs.Nanotime()
+	w.stats.busyNanos.Add(end - start)
+	w.rec.StageSpan(obs.StageInit, qu.seq, user, 0, start, end)
 
-	for _, s := range job.Stages() {
+	stages := job.Stages()
+	for si := range stages {
+		s := stages[si]
+		// The stage index is the obs stage class: Stages() returns the
+		// pipeline in chanest/weights/combine/backend order, matching
+		// obs.StageChanEst..StageBackend (TestStageClassAlignment pins it).
+		cls := uint8(si)
 		n := s.Tasks(job)
 		if n == 1 {
 			// Serial stage (weights, backend): run inline, no spawn.
-			start = time.Now()
+			start = obs.Nanotime()
 			s.Run(w.ws, job, 0)
-			w.stats.busyNanos.Add(time.Since(start).Nanoseconds())
+			end = obs.Nanotime()
+			w.stats.busyNanos.Add(end - start)
+			w.rec.StageSpan(cls, qu.seq, user, 0, start, end)
 			continue
 		}
-		w.runStage(n, s, job)
+		w.runStage(cls, n, s, job, qu.seq, user)
 	}
 
 	res := job.Result()
 	res.Seq = qu.seq
 	if w.pool.cfg.OnResult != nil {
 		w.pool.cfg.OnResult(res)
+	}
+	if w.rec.Enabled() {
+		w.pool.tel.Deadline().Complete(qu.seq, obs.Nanotime())
 	}
 	w.ws.Release(m)
 }
@@ -366,14 +476,17 @@ func (w *worker) processUser(qu *queuedUser) {
 // waiting (the paper: "the user thread waits until the results from all
 // tasks become available" while other workers may still hold stolen
 // tasks). Each task runs against the executing worker's arena.
-func (w *worker) runStage(n int, s uplink.Stage, job *uplink.UserJob) {
+func (w *worker) runStage(cls uint8, n int, s uplink.Stage, job *uplink.UserJob, seq int64, user int32) {
 	var remaining atomic.Int64
 	remaining.Store(int64(n))
 	for i := 0; i < n; i++ {
 		i := i
-		w.local.push(func(ws *workspace.Arena) {
-			s.Run(ws, job, i)
-			remaining.Add(-1)
+		w.local.push(Task{
+			fn: func(ws *workspace.Arena) {
+				s.Run(ws, job, i)
+				remaining.Add(-1)
+			},
+			seq: seq, user: user, task: int32(i), stage: cls,
 		})
 	}
 	for {

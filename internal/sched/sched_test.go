@@ -19,14 +19,14 @@ func TestDequeLIFOAndFIFO(t *testing.T) {
 	order := []int{}
 	for i := 0; i < 5; i++ {
 		i := i
-		d.push(func(*workspace.Arena) { order = append(order, i) })
+		d.push(Task{fn: func(*workspace.Arena) { order = append(order, i) }})
 	}
 	// Owner pops newest first.
 	ta, _ := d.pop()
-	ta(nil)
+	ta.fn(nil)
 	// Thief steals oldest first.
 	tb, _ := d.steal()
-	tb(nil)
+	tb.fn(nil)
 	if order[0] != 4 || order[1] != 0 {
 		t.Errorf("pop/steal order = %v, want [4 0]", order)
 	}
@@ -50,7 +50,7 @@ func TestDequeConcurrentStealing(t *testing.T) {
 	const n = 10000
 	var ran atomic.Int64
 	for i := 0; i < n; i++ {
-		d.push(func(*workspace.Arena) { ran.Add(1) })
+		d.push(Task{fn: func(*workspace.Arena) { ran.Add(1) }})
 	}
 	var wg sync.WaitGroup
 	for g := 0; g < 4; g++ {
@@ -68,7 +68,7 @@ func TestDequeConcurrentStealing(t *testing.T) {
 				if !ok {
 					return
 				}
-				task(nil)
+				task.fn(nil)
 			}
 		}(g == 0)
 	}
@@ -82,7 +82,7 @@ func TestDequeCompaction(t *testing.T) {
 	var d deque
 	for round := 0; round < 10; round++ {
 		for i := 0; i < 200; i++ {
-			d.push(func(*workspace.Arena) {})
+			d.push(Task{fn: func(*workspace.Arena) {}})
 		}
 		for i := 0; i < 200; i++ {
 			if _, ok := d.steal(); !ok {

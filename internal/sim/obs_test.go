@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"ltephy/internal/obs"
+	"ltephy/internal/params"
+	"ltephy/internal/phy/modulation"
+	"ltephy/internal/uplink"
+)
+
+func traceTestModel(t *testing.T) params.Model {
+	t.Helper()
+	m, err := params.NewSteady(uplink.UserParams{PRB: 20, Layers: 2, Mod: modulation.QAM16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestSimTraceCapture: a traced run emits well-formed per-core spans on
+// the virtual timeline and does not change the simulated schedule.
+func TestSimTraceCapture(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workers = 8
+	const n = 40
+
+	plain, err := Run(cfg, traceTestModel(t), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ring := obs.NewEventRing(1 << 16)
+	cfg.Trace = ring
+	traced, err := Run(cfg, traceTestModel(t), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tracing must be behaviour-free: identical results either way.
+	if plain.TotalBusy != traced.TotalBusy || plain.TotalJobs != traced.TotalJobs ||
+		!reflect.DeepEqual(plain.Busy, traced.Busy) {
+		t.Error("tracing changed the simulated schedule")
+	}
+
+	events := ring.Snapshot(nil)
+	if len(events) == 0 {
+		t.Fatal("no events captured")
+	}
+	// Every job contributes 1 init + antennas*layers chanest + 1 weights +
+	// symbols*layers data + 1 backend tasks.
+	perJob := 1 + cfg.Antennas*2 + 1 + uplink.DataSymbolsPerSubframe*2 + 1
+	if want := int(traced.TotalJobs) * perJob; len(events) != want {
+		t.Errorf("captured %d events, want %d (%d jobs x %d tasks)", len(events), want, traced.TotalJobs, perJob)
+	}
+	seenStages := map[uint8]bool{}
+	for _, e := range events {
+		if e.Kind != obs.KindStage {
+			t.Fatalf("non-stage event %+v in simulator trace", e)
+		}
+		if e.Worker < 0 || int(e.Worker) >= cfg.Workers {
+			t.Fatalf("event on core %d of %d", e.Worker, cfg.Workers)
+		}
+		if e.End <= e.Start {
+			t.Fatalf("empty span %+v", e)
+		}
+		seenStages[e.Stage] = true
+	}
+	for s := uint8(0); s < obs.NumStages; s++ {
+		if !seenStages[s] {
+			t.Errorf("no spans for stage %q", obs.StageNames[s])
+		}
+	}
+
+	// Determinism: a second traced run captures the identical event list.
+	ring2 := obs.NewEventRing(1 << 16)
+	cfg.Trace = ring2
+	if _, err := Run(cfg, traceTestModel(t), n); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(events, ring2.Snapshot(nil)) {
+		t.Error("trace differs between identical runs")
+	}
+}
+
+// TestSimEstimatorObs: the (estimate, measured) pairing feeds the
+// tracker once per subframe, and a perfect estimator (feeding back the
+// period's true utilisation shape) keeps the error bounded by pipeline
+// spill across period boundaries.
+func TestSimEstimatorObs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workers = 8
+	var tr obs.EstimatorTracker
+	cfg.EstObs = &tr
+	// A deliberately biased estimator: constant 0.5.
+	cfg.EstimateActivity = func(_ int64, _ []uplink.UserParams) float64 { return 0.5 }
+	const n = 200
+	if _, err := Run(cfg, traceTestModel(t), n); err != nil {
+		t.Fatal(err)
+	}
+	st := tr.Stats()
+	if st.Count != n {
+		t.Fatalf("paired %d samples, want %d", st.Count, n)
+	}
+	if math.IsNaN(st.AvgAbsErr) || st.AvgAbsErr <= 0 {
+		t.Errorf("AvgAbsErr = %g, want positive (estimator is deliberately wrong)", st.AvgAbsErr)
+	}
+	if st.MeanMeasured <= 0 || st.MeanMeasured > 1 {
+		t.Errorf("MeanMeasured = %g, want in (0, 1]", st.MeanMeasured)
+	}
+	// Bias should reflect 0.5 - mean measured.
+	wantBias := 0.5 - st.MeanMeasured
+	if math.Abs(st.Bias-wantBias) > 1e-9 {
+		t.Errorf("Bias = %g, want %g", st.Bias, wantBias)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"ltephy/internal/cost"
+	"ltephy/internal/obs"
 	"ltephy/internal/params"
 	"ltephy/internal/uplink"
 )
@@ -122,6 +123,23 @@ type Config struct {
 	// workload estimate improving latency rather than power (SJF minimises
 	// mean waiting time). Extension studied by TableQueueing.
 	ShortestFirst bool
+	// Trace, when non-nil, receives a span event per simulated task on the
+	// simulator's virtual timeline (virtual nanoseconds at the nominal
+	// clock), attributed to an explicit core — the paper's Fig. 4/5
+	// per-core occupancy timeline, exportable as a Chrome trace. Tasks are
+	// placed on the lowest-numbered free core; the placement is purely an
+	// identity assignment and never changes scheduling decisions, so
+	// results are bit-identical with tracing on or off.
+	Trace *obs.EventRing
+	// EstObs, when non-nil together with EstimateActivity, receives each
+	// subframe's (estimated, measured) activity pair, where measured is
+	// the Eq. 2 activity of that subframe's dispatch period — the live
+	// Fig. 12 estimator-error feed.
+	EstObs *obs.EstimatorTracker
+	// EstimateActivity supplies the Eq. 4 activity estimate for a
+	// subframe (e.g. Calibration.EstimateActivityFunc); consulted only
+	// when EstObs is set.
+	EstimateActivity func(seq int64, users []uplink.UserParams) float64
 }
 
 // DefaultConfig returns the paper's evaluation setup.
@@ -249,9 +267,16 @@ type jobState struct {
 	cfg      *Config
 	n        int // subcarriers
 	p        uplink.UserParams
-	stage    int // next stage to release (0..4), 5 = done
-	pending  int // unfinished tasks of the current stage
+	seq      int64 // subframe sequence, for telemetry attribution
+	stage    int   // next stage to release (0..4), 5 = done
+	pending  int   // unfinished tasks of the current stage
 	deadline float64
+}
+
+// simStageClass maps the simulator's stage index (0 = user pickup and
+// setup, 1..4 = receiver pipeline) to the obs stage class.
+var simStageClass = [5]uint8{
+	obs.StageInit, obs.StageChanEst, obs.StageWeights, obs.StageCombine, obs.StageBackend,
 }
 
 // stageTasks returns the task count and per-task cycles of stage st.
@@ -282,9 +307,11 @@ func (j *jobState) stageTasks(st int) (count int, cycles float64) {
 
 // event is a task completion.
 type event struct {
-	time float64
-	seq  int64 // deterministic tie-break
-	job  *jobState
+	time  float64
+	seq   int64 // deterministic tie-break
+	job   *jobState
+	start float64 // task start time, for trace spans
+	core  int16   // assigned core when tracing, else -1
 }
 
 type eventHeap []event
@@ -358,6 +385,43 @@ func Run(cfg Config, m params.Model, n int) (*Result, error) {
 		res.Freq = make([]float64, n)
 	}
 
+	// Telemetry (all optional, decision-free: the simulated schedule is
+	// identical with or without it).
+	cyc2ns := 1e9 / cfg.Cost.PeriodCycles(1.0) // virtual ns per cycle
+	var coreBusy []bool
+	if cfg.Trace != nil {
+		coreBusy = make([]bool, cfg.Workers)
+	}
+	takeCore := func() int16 {
+		for i := range coreBusy {
+			if !coreBusy[i] {
+				coreBusy[i] = true
+				return int16(i)
+			}
+		}
+		return -1
+	}
+	estObsOn := cfg.EstObs != nil && cfg.EstimateActivity != nil
+	var (
+		periodBusy []float64 // busy cycles per dispatch period
+		estSeries  []float64 // Eq. 4 estimate per subframe
+	)
+	if estObsOn {
+		estSeries = make([]float64, n)
+	}
+	addToPeriod := func(start, end float64) {
+		for start < end {
+			w := int(start / period)
+			for w >= len(periodBusy) {
+				periodBusy = append(periodBusy, 0)
+			}
+			bound := float64(w+1) * period
+			top := math.Min(end, bound)
+			periodBusy[w] += top - start
+			start = top
+		}
+	}
+
 	startTask := func(t readyTask, latency float64) {
 		start := now + latency
 		// Under DVFS the same cycles take 1/f of the wall clock longer.
@@ -366,10 +430,17 @@ func Run(cfg Config, m params.Model, n int) (*Result, error) {
 		if res.BusyF3 != nil {
 			addTo(&res.BusyF3, start, end, curFreq*curFreq*curFreq)
 		}
+		if estObsOn {
+			addToPeriod(start, end)
+		}
 		res.TotalBusy += end - start
 		busyCores++
 		eventSeq++
-		heap.Push(&completions, event{time: end, seq: eventSeq, job: t.job})
+		core := int16(-1)
+		if coreBusy != nil {
+			core = takeCore()
+		}
+		heap.Push(&completions, event{time: end, seq: eventSeq, job: t.job, start: start, core: core})
 	}
 
 	// fill starts as many ready tasks as free enabled cores allow.
@@ -400,6 +471,17 @@ func Run(cfg Config, m params.Model, n int) (*Result, error) {
 	complete := func(e event) {
 		busyCores--
 		j := e.job
+		if e.core >= 0 {
+			coreBusy[e.core] = false
+			// j.stage is still the completing task's stage: it advances only
+			// after the stage's last task, below.
+			cfg.Trace.Record(obs.Event{
+				Start: int64(e.start * cyc2ns),
+				End:   int64(e.time * cyc2ns),
+				Seq:   j.seq, User: int32(j.p.ID), Task: -1,
+				Worker: e.core, Kind: obs.KindStage, Stage: simStageClass[j.stage],
+			})
+		}
 		j.pending--
 		if j.pending > 0 {
 			return
@@ -439,6 +521,9 @@ func Run(cfg Config, m params.Model, n int) (*Result, error) {
 		}
 		now = tDispatch
 		users := m.Next()
+		if estObsOn {
+			estSeries[s] = cfg.EstimateActivity(int64(s), users)
+		}
 		if cfg.ShortestFirst && len(users) > 1 {
 			users = append([]uplink.UserParams(nil), users...)
 			sort.SliceStable(users, func(i, j int) bool {
@@ -476,7 +561,7 @@ func Run(cfg Config, m params.Model, n int) (*Result, error) {
 		}
 
 		for _, p := range users {
-			j := &jobState{cfg: &cfg, n: p.Subcarriers(), p: p,
+			j := &jobState{cfg: &cfg, n: p.Subcarriers(), p: p, seq: int64(s),
 				deadline: tDispatch + DeadlinePeriods*period}
 			releaseStage(j)
 		}
@@ -495,6 +580,16 @@ func Run(cfg Config, m params.Model, n int) (*Result, error) {
 		now = e.time
 		complete(e)
 		fill(0)
+	}
+
+	// Pair each subframe's estimate with the activity measured over its
+	// dispatch period (every task that can touch a period has completed by
+	// now, so the per-period busy series is final).
+	if estObsOn {
+		for s := 0; s < n && s < len(periodBusy); s++ {
+			cfg.EstObs.Observe(estSeries[s],
+				periodBusy[s]/(float64(cfg.Workers)*period))
+		}
 	}
 
 	// Trim to complete windows only, so edge windows do not skew averages.

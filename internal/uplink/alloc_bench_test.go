@@ -1,8 +1,10 @@
 package uplink_test
 
 import (
+	"fmt"
 	"testing"
 
+	"ltephy/internal/obs"
 	"ltephy/internal/phy/modulation"
 	"ltephy/internal/phy/workspace"
 	"ltephy/internal/rng"
@@ -117,5 +119,65 @@ func TestSteadyStateZeroAlloc(t *testing.T) {
 	run()
 	if allocs := testing.AllocsPerRun(50, run); allocs != 0 {
 		t.Errorf("steady-state subframe performs %.1f allocations, want 0", allocs)
+	}
+}
+
+// TestSteadyStateZeroAllocTelemetry re-runs the steady-state invariant
+// with the full telemetry path recording around every task: stage spans
+// into the histograms and event ring, deadline stamps, and an
+// estimate/measured pair per subframe. The invariant must hold with the
+// knob off (sampling 0), at full capture (1) and at the production
+// sampling rate (64) — telemetry is fixed-capacity by construction and
+// may never put allocations back on the hot path.
+func TestSteadyStateZeroAllocTelemetry(t *testing.T) {
+	rc := uplink.DefaultConfig()
+	sf := benchSubframe(t, rc)
+	for _, sampling := range []int{0, 1, 64} {
+		t.Run(fmt.Sprintf("sampling=%d", sampling), func(t *testing.T) {
+			reg := obs.New(1, 256)
+			reg.SetSampling(sampling)
+			rec := reg.Worker(0)
+			dl := reg.Deadline()
+			est := reg.Estimator()
+			ws := workspace.New()
+			jobs := make([]*uplink.UserJob, len(sf.Users))
+			for i := range jobs {
+				jobs[i] = &uplink.UserJob{}
+			}
+			var seq int64
+			run := func() {
+				ws.Reset()
+				dl.Dispatch(seq, obs.Nanotime())
+				est.RecordEstimate(seq, 0.5)
+				for i, u := range sf.Users {
+					j := jobs[i]
+					start := obs.Nanotime()
+					if err := j.Init(ws, rc, u); err != nil {
+						t.Fatal(err)
+					}
+					rec.StageSpan(obs.StageInit, seq, int32(i), 0, start, obs.Nanotime())
+					stages := j.Stages()
+					for si := range stages {
+						s := stages[si]
+						for ti, n := 0, s.Tasks(j); ti < n; ti++ {
+							ts := obs.Nanotime()
+							s.Run(ws, j, ti)
+							rec.StageSpan(uint8(si), seq, int32(i), int32(ti), ts, obs.Nanotime())
+						}
+					}
+					dl.Complete(seq, obs.Nanotime())
+				}
+				est.RecordMeasured(seq, 0.5)
+				seq++
+			}
+			run()
+			run()
+			if allocs := testing.AllocsPerRun(50, run); allocs != 0 {
+				t.Errorf("telemetry at sampling %d performs %.1f allocations, want 0", sampling, allocs)
+			}
+			if sampling > 0 && reg.StageHist(obs.StageInit).Count() == 0 {
+				t.Error("telemetry was on but recorded nothing")
+			}
+		})
 	}
 }
