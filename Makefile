@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet lint build test race zeroalloc obs-overhead bench bench-fft fuzz-smoke
+.PHONY: check vet lint build test race zeroalloc obs-overhead bench bench-fft bench-e2e fuzz-smoke serve-smoke
 
 check: lint build race zeroalloc obs-overhead fft-sweep
 	$(GO) test ./...
@@ -31,11 +31,12 @@ build:
 test:
 	$(GO) test ./...
 
-# The scheduler, receiver and telemetry suites exercise per-worker arena
-# isolation, work stealing and concurrent ring snapshots; -race proves no
-# scratch buffer crosses workers and the event rings are race-free.
+# The scheduler, receiver, telemetry and front-haul suites exercise
+# per-worker arena isolation, work stealing, concurrent ring snapshots and
+# the serving layer's connection/ack plumbing; -race proves no scratch
+# buffer crosses workers and the shared counters are race-free.
 race:
-	$(GO) test -race ./internal/sched/... ./internal/uplink/... ./internal/obs/...
+	$(GO) test -race ./internal/sched/... ./internal/uplink/... ./internal/obs/... ./internal/fronthaul/...
 
 # Guards the ISSUE 1 invariant: the post-warmup receiver hot path must
 # not allocate (see internal/uplink/alloc_bench_test.go) — including with
@@ -65,9 +66,17 @@ fft-sweep:
 bench-fft:
 	$(GO) test -bench 'BenchmarkForward' -benchmem -run '^$$' ./internal/phy/fft/
 
+# End-to-end subframe baseline: re-records BENCH_e2e_baseline.json
+# (SubframeE2E ns/op, bytes/op, allocs/op). Compare a fresh run against
+# the committed figures before and after receiver changes.
+bench-e2e:
+	LTEPHY_BENCH_E2E_OUT=$(CURDIR)/BENCH_e2e_baseline.json \
+		$(GO) test -run TestWriteE2EBenchBaseline -count=1 -v ./internal/uplink/
+
 # Short fuzz pass over every fuzz target (~10s each): CRC append/check,
-# turbo segmentation and rate-matching round trips, and the FFT
-# forward/inverse round trip. `go test -fuzz` takes one target per run,
+# turbo segmentation and rate-matching round trips, the FFT
+# forward/inverse round trip, and the front-haul frame decoder against
+# adversarial wire bytes. `go test -fuzz` takes one target per run,
 # hence the separate invocations.
 FUZZTIME ?= 10s
 fuzz-smoke:
@@ -75,3 +84,24 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzSegmentationRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/phy/turbo/
 	$(GO) test -run '^$$' -fuzz '^FuzzRateMatchRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/phy/turbo/
 	$(GO) test -run '^$$' -fuzz '^FuzzRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/phy/fft/
+	$(GO) test -run '^$$' -fuzz '^FuzzFrameDecode$$' -fuzztime $(FUZZTIME) ./internal/fronthaul/
+
+# Serving-layer smoke: lte-enb on a Unix socket, 2000 subframes per cell
+# at 2x real time through the loopback generator, asserting zero wire
+# corruption and a non-zero accepted count. CI's serve-smoke job runs this.
+serve-smoke:
+	@rm -rf bin/smoke && mkdir -p bin/smoke
+	$(GO) build -o bin/smoke/ ./cmd/lte-enb ./cmd/lte-bench
+	@set -e; \
+	sock=bin/smoke/enb.sock; \
+	./bin/smoke/lte-enb -listen $$sock -network unix -cells 4 -pools 2 -deadline 1m & \
+	enb=$$!; \
+	trap 'kill $$enb 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 100); do [ -S $$sock ] && break; sleep 0.1; done; \
+	[ -S $$sock ] || { echo "serve-smoke: server did not come up"; exit 1; }; \
+	./bin/smoke/lte-bench -loopback $$sock -network unix -cells 4 -subframes 2000 \
+		-speedup 2 -delta 1ms -maxprb 2 | tee bin/smoke/out.txt; \
+	kill $$enb; wait $$enb 2>/dev/null || true; \
+	grep -q 'corrupt=0' bin/smoke/out.txt || { echo "serve-smoke: wire corruption"; exit 1; }; \
+	grep -q 'done=8000' bin/smoke/out.txt || { echo "serve-smoke: not all subframes served"; exit 1; }; \
+	echo "serve-smoke: OK"

@@ -10,6 +10,8 @@
 //	lte-bench -serial -subframes 20        # serial reference timing
 //	lte-bench -turbo full                  # real turbo decoding
 //	lte-bench -fftbench                    # FFT engine microbenchmarks
+//	lte-bench -loopback /tmp/enb.sock -network unix -speedup 2
+//	                                       # drive an lte-enb server at 2x real time
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"time"
 
 	"ltephy/internal/cost"
+	"ltephy/internal/fronthaul"
 	"ltephy/internal/obs"
 	"ltephy/internal/params"
 	"ltephy/internal/phy/fft"
@@ -32,6 +35,7 @@ import (
 	"ltephy/internal/power"
 	"ltephy/internal/sched"
 	"ltephy/internal/uplink"
+	"ltephy/internal/uplink/tx"
 )
 
 func main() {
@@ -68,6 +72,11 @@ func run(args []string, w io.Writer) error {
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics (Prometheus), /trace (Chrome trace) and /debug/vars on this address during the run")
 	traceFile := fs.String("trace", "", "write a Chrome trace_event JSON timeline of the run to this file (view in chrome://tracing or Perfetto)")
 	estPair := fs.Bool("est", false, "pair a cost-model workload estimate with each period's measured activity (live Fig. 12 error tracking)")
+	loopback := fs.String("loopback", "", "run as a loopback load generator against an lte-enb server at this address, then exit")
+	network := fs.String("network", "tcp", "loopback transport: tcp or unix")
+	cells := fs.Int("cells", 1, "loopback: cells to drive (one connection each)")
+	speedup := fs.Float64("speedup", 1, "loopback: real-time rate multiplier — one frame every delta/speedup per cell (0 = as fast as the transport allows)")
+	genLoad := fs.Float64("load", 1, "loopback: offered-load multiplier (parameter-model draws concatenated per subframe)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -103,6 +112,36 @@ func run(args []string, w io.Writer) error {
 	}
 	rc.Scramble = *scramble
 	rc.EstimateNoise = *noiseEst
+
+	if *loopback != "" {
+		interval := time.Duration(0)
+		if *speedup > 0 {
+			interval = time.Duration(float64(*delta) / *speedup)
+		}
+		txCfg := tx.DefaultConfig()
+		txCfg.Receiver = rc
+		txCfg.SNRdB = *snr
+		txCfg.ThroughFrontend = *frontendPath
+		start := time.Now()
+		stats, err := fronthaul.RunLoopback(fronthaul.GenConfig{
+			Network:   *network,
+			Addr:      *loopback,
+			Cells:     *cells,
+			Subframes: *subframes,
+			Interval:  interval,
+			Load:      *genLoad,
+			Seed:      *seed,
+			MaxPRB:    *maxPRB,
+			TX:        txCfg,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "loopback: %d cells x %d subframes in %v\n",
+			*cells, *subframes, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(w, "loopback: %s\n", stats)
+		return nil
+	}
 
 	dispCfg := sched.DefaultDispatcherConfig()
 	dispCfg.Delta = *delta

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ltephy/internal/fronthaul"
+)
+
+// TestServeLoopback brings the daemon up on a Unix socket, drives it with
+// the loopback generator, stops it and checks the serving summary.
+func TestServeLoopback(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "enb.sock")
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	output := func() string { mu.Lock(); defer mu.Unlock(); return buf.String() }
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-listen", sock, "-network", "unix",
+			"-cells", "2", "-workers", "2", "-deadline", "1m",
+		}, w, stop)
+	}()
+
+	// Wait for the socket to come up.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if conn, err := net.Dial("unix", sock); err == nil {
+			conn.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			close(stop)
+			t.Fatalf("server did not come up; output so far:\n%s", output())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	stats, err := fronthaul.RunLoopback(fronthaul.GenConfig{
+		Network: "unix", Addr: sock, Cells: 2, Subframes: 10, Seed: 3, MaxPRB: 2,
+	})
+	if err != nil {
+		t.Fatalf("RunLoopback: %v", err)
+	}
+	if stats.Done != 20 || stats.BadAcks != 0 {
+		t.Fatalf("loopback stats: %s", stats)
+	}
+
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := output()
+	for _, want := range []string{
+		"serving 2 cells", "cell 0: accepted=10", "cell 1: accepted=10", "corrupt_frames=0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := os.Stat(sock); err == nil {
+		// The socket file may linger; a fresh run must still bind.
+		stop2 := make(chan struct{})
+		done2 := make(chan error, 1)
+		go func() {
+			done2 <- run([]string{"-listen", sock, "-network", "unix", "-cells", "1"}, w, stop2)
+		}()
+		waitUp := time.Now().Add(10 * time.Second)
+		for {
+			if conn, err := net.Dial("unix", sock); err == nil {
+				conn.Close()
+				break
+			}
+			if time.Now().After(waitUp) {
+				close(stop2)
+				t.Fatalf("rebind on stale socket failed:\n%s", output())
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		close(stop2)
+		if err := <-done2; err != nil {
+			t.Fatalf("rebind run: %v", err)
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	stop := make(chan struct{})
+	close(stop)
+	if err := run([]string{"-turbo", "quantum"}, &buf, stop); err == nil {
+		t.Error("unknown turbo mode accepted")
+	}
+	if err := run([]string{"-listen", "/nonexistent-dir/enb.sock", "-network", "unix"}, &buf, stop); err == nil {
+		t.Error("unbindable socket accepted")
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

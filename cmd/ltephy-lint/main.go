@@ -12,9 +12,10 @@
 // directory. Analyzer scoping follows the invariants' home turf:
 // arenapair, arenaescape and hotpathalloc run everywhere; determinism
 // runs over the bit-exact receiver/simulator surface (internal/phy,
-// internal/uplink, internal/sim); atomiccheck runs over internal/sched
-// and internal/obs (the telemetry counters share the scheduler's
-// lock-free discipline).
+// internal/uplink, internal/sim); atomiccheck runs over internal/sched,
+// internal/obs and internal/fronthaul (the telemetry counters and the
+// serving layer's per-cell accounting share the scheduler's lock-free
+// discipline).
 package main
 
 import (
@@ -33,7 +34,7 @@ var scopes = map[string][]string{
 	analysis.ArenaEscape.Name:  nil,
 	analysis.HotPathAlloc.Name: nil,
 	analysis.Determinism.Name:  {"/internal/phy", "/internal/uplink", "/internal/sim"},
-	analysis.AtomicCheck.Name:  {"/internal/sched", "/internal/obs"},
+	analysis.AtomicCheck.Name:  {"/internal/sched", "/internal/obs", "/internal/fronthaul"},
 }
 
 var all = []*analysis.Analyzer{

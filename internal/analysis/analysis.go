@@ -30,6 +30,10 @@
 //     allocation inside a hot function: the allocation is sanctioned
 //     (decoded payload bits escape the job by design; nil-arena
 //     convenience fallbacks). Only hotpathalloc consults it.
+//   - //ltephy:hotpath — on a function: an additional hot-path root for
+//     hotpathalloc beyond the Stage.Run/RunBatch shape (the fronthaul
+//     ingest loop's decode→admit→dispatch functions). The function and
+//     everything reachable from it must satisfy the zero-alloc rule.
 package analysis
 
 import (
@@ -110,6 +114,7 @@ const (
 	DirColdPath    = "coldpath"
 	DirOwnsScratch = "owns-scratch"
 	DirAllocOK     = "alloc-ok"
+	DirHotPath     = "hotpath"
 )
 
 const dirPrefix = "//ltephy:"
@@ -155,7 +160,7 @@ func (p *Package) parseDirectives(fset *token.FileSet) {
 					if i := strings.IndexAny(name, " \t"); i >= 0 {
 						name = name[:i]
 					}
-					if name == DirColdPath || name == DirOwnsScratch {
+					if name == DirColdPath || name == DirOwnsScratch || name == DirHotPath {
 						m := p.funcDirs[fd]
 						if m == nil {
 							m = map[string]bool{}

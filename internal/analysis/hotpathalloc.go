@@ -9,10 +9,11 @@ import (
 )
 
 // HotPathAlloc enforces the zero-alloc steady state: in every function
-// reachable from a Stage entry point (a method or function named Run or
-// RunBatch whose first parameter is *workspace.Arena — the shape of
-// uplink.Stage and uplink.BatchStage), heap allocations that bypass the
-// arena are flagged: make(), append that grows fresh heap memory, and
+// reachable from a hot-path root — a Stage entry point (a method or
+// function named Run or RunBatch whose first parameter is
+// *workspace.Arena, the shape of uplink.Stage and uplink.BatchStage) or
+// any function annotated //ltephy:hotpath — heap allocations that bypass
+// the arena are flagged: make(), append that grows fresh heap memory, and
 // interface boxing through ...interface{} variadics or explicit
 // conversions. The call graph is walked across all loaded packages;
 // //ltephy:coldpath functions (memoised warm-up, guards) are neither
@@ -66,7 +67,7 @@ func (prog *Program) hotFuncs() map[string]bool {
 				key := funcKey(fn)
 				decls[key] = fd
 				declPkg[key] = pkg
-				if isStageEntry(fd, fn) {
+				if isStageEntry(fd, fn) || pkg.HasDirective(prog.Fset, fd, DirHotPath) {
 					seeds = append(seeds, key)
 				}
 				ast.Inspect(fd.Body, func(n ast.Node) bool {

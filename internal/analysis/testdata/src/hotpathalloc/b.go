@@ -1,0 +1,62 @@
+// b.go exercises the //ltephy:hotpath directive: serving-loop functions
+// that are not Stage-shaped (no *workspace.Arena first parameter) are
+// seeded by annotation instead — the fronthaul per-connection ingest
+// pattern, where frames decode into a connection-owned arena and the
+// only sanctioned allocation is high-water staging growth.
+package hotpathalloc
+
+import "workspace"
+
+type record struct {
+	off int
+	n   int
+}
+
+type ingest struct {
+	staging []byte
+	ws      *workspace.Arena
+}
+
+// stage grows the reusable payload buffer; after warm-up the hot path
+// reuses it, so the growth site is sanctioned by annotation.
+func (in *ingest) stage(n int) []byte {
+	if cap(in.staging) < n {
+		in.staging = make([]byte, n) //ltephy:alloc-ok high-water staging growth
+	}
+	return in.staging[:n]
+}
+
+// readFrame is the serving loop. It is not a Stage entry (no arena first
+// parameter), so only the directive below makes it a seed.
+//
+//ltephy:hotpath — runs once per ingested frame.
+func (in *ingest) readFrame(n int) {
+	payload := in.stage(n)
+	rec := record{off: 0, n: n}
+	decodeInto(in.ws.Complex(rec.n), payload, rec)
+	_ = badDecode(payload, rec)
+}
+
+// decodeInto fills an arena carve in place: the sanctioned decode shape,
+// no diagnostics.
+func decodeInto(dst []complex128, b []byte, rec record) {
+	for i := range dst {
+		dst[i] = complex(float64(b[rec.off]), 0)
+	}
+}
+
+// badDecode allocates a fresh buffer per frame: reachable from the
+// annotated seed, so the analyzer must flag it.
+func badDecode(b []byte, rec record) []complex128 {
+	out := make([]complex128, rec.n) // want "bypasses the arena"
+	for i := range out {
+		out[i] = complex(float64(b[rec.off]), 0)
+	}
+	return out
+}
+
+// notHot has the same shape but carries no directive: its allocation is
+// outside the hot set and must not be flagged.
+func notHot(n int) []byte {
+	return make([]byte, n)
+}

@@ -1,0 +1,148 @@
+package fronthaul
+
+import (
+	"ltephy/internal/cost"
+	"ltephy/internal/uplink"
+)
+
+// Predictor estimates the workload one user adds to a subframe, as a
+// fraction of the cell's per-period processing capacity (the paper's
+// Eq. 3/4 activity estimate). estimator.Calibration satisfies it
+// directly; CostPredictor derives it from the analytic cycle model.
+type Predictor interface {
+	EstimateUser(p uplink.UserParams) float64
+}
+
+// CostPredictor predicts activity from the cost model: a user's modelled
+// cycles divided by the cycles the pool's workers deliver per period.
+type CostPredictor struct {
+	Model    cost.Model
+	Antennas int
+	// PeriodCycles is workers x Model.PeriodCycles(delta): the cell's
+	// cycle budget per subframe period.
+	PeriodCycles float64
+}
+
+// NewCostPredictor builds a predictor for a pool of `workers` cores and a
+// dispatch period of deltaSec seconds.
+func NewCostPredictor(m cost.Model, antennas, workers int, deltaSec float64) CostPredictor {
+	return CostPredictor{
+		Model:        m,
+		Antennas:     antennas,
+		PeriodCycles: float64(workers) * m.PeriodCycles(deltaSec),
+	}
+}
+
+// EstimateUser implements Predictor.
+func (c CostPredictor) EstimateUser(p uplink.UserParams) float64 {
+	return c.Model.UserCycles(p, c.Antennas) / c.PeriodCycles
+}
+
+// FlatPredictor charges a fixed activity per PRB — the simplest Eq. 3
+// shape (k_LM folded into one coefficient). Tests use it to make
+// admission arithmetic exact.
+type FlatPredictor struct{ PerPRB float64 }
+
+// EstimateUser implements Predictor.
+func (f FlatPredictor) EstimateUser(p uplink.UserParams) float64 {
+	return f.PerPRB * float64(p.PRB)
+}
+
+// Admission is the per-cell admission controller. It runs in virtual
+// time: the budget refills by Capacity per subframe sequence step, so
+// decisions depend only on the offered sequence of subframes — never on
+// wall-clock arrival jitter — which keeps shedding deterministic and
+// reproducible (the acceptance soak relies on this).
+//
+// Decide is not safe for concurrent use; the cell serialises calls.
+type Admission struct {
+	// Capacity is the activity budget granted per subframe period. 1.0
+	// means "the whole pool for one period".
+	Capacity float64
+	// Burst caps the accumulated budget (idle periods bank at most
+	// Burst-Capacity of headroom). Must be >= Capacity.
+	Burst float64
+
+	budget  float64
+	lastSeq int64
+	started bool
+}
+
+// Decision is the outcome of one admission pass.
+type Decision struct {
+	// Late: the subframe's sequence was not newer than the last admitted
+	// one; the whole subframe is shed unprocessed.
+	Late bool
+	// Overload: no user fit the budget; the whole subframe is shed.
+	Overload bool
+	// Admitted is the number of users admitted.
+	Admitted int
+	// AdmittedEst is the predicted activity of the admitted users.
+	AdmittedEst float64
+	// OfferedEst is the predicted activity of all offered users.
+	OfferedEst float64
+}
+
+const admitEps = 1e-12
+
+// Decide runs one admission pass over a subframe's predicted per-user
+// workloads est[i] and priorities prio[i] (higher = more important),
+// marking admit[i] for each accepted user. Users are considered in
+// priority order (ties broken by lower index first, so degradation under
+// overload is deterministic) and admitted greedily while they fit the
+// budget — the lowest-priority users are rejected first.
+//
+//ltephy:hotpath — runs once per ingested frame in the serving loop.
+func (a *Admission) Decide(seq int64, est []float64, prio []uint8, admit []bool) Decision {
+	var d Decision
+	for i := range est {
+		d.OfferedEst += est[i]
+		admit[i] = false
+	}
+	if a.started && seq <= a.lastSeq {
+		d.Late = true
+		return d
+	}
+	if !a.started {
+		a.budget = a.Burst
+		a.started = true
+	} else {
+		a.budget += a.Capacity * float64(seq-a.lastSeq)
+		if a.budget > a.Burst {
+			a.budget = a.Burst
+		}
+	}
+	a.lastSeq = seq
+
+	// Priority order via insertion sort over a fixed index array: frames
+	// carry at most MaxUsersPerFrame users, and the sort must not allocate.
+	var order [MaxUsersPerFrame]int
+	n := len(est)
+	for i := 0; i < n; i++ {
+		j := i
+		for ; j > 0; j-- {
+			k := order[j-1]
+			if prio[k] >= prio[i] {
+				break
+			}
+			order[j] = k
+		}
+		order[j] = i
+	}
+
+	for _, i := range order[:n] {
+		if est[i] <= a.budget+admitEps {
+			admit[i] = true
+			a.budget -= est[i]
+			d.Admitted++
+			d.AdmittedEst += est[i]
+		}
+	}
+	if d.Admitted == 0 && n > 0 {
+		d.Overload = true
+	}
+	return d
+}
+
+// Budget returns the current unspent budget (for tests and metrics).
+func (a *Admission) Budget() float64 { return a.budget }

@@ -1,0 +1,151 @@
+package fronthaul
+
+import (
+	"testing"
+
+	"ltephy/internal/cost"
+	"ltephy/internal/phy/modulation"
+	"ltephy/internal/uplink"
+)
+
+func decide(a *Admission, seq int64, est []float64, prio []uint8) (Decision, []bool) {
+	admit := make([]bool, len(est))
+	d := a.Decide(seq, est, prio, admit)
+	return d, admit
+}
+
+func TestAdmissionAdmitsAllUnderCapacity(t *testing.T) {
+	a := &Admission{Capacity: 1, Burst: 2}
+	for seq := int64(0); seq < 5; seq++ {
+		d, admit := decide(a, seq, []float64{0.2, 0.3, 0.1}, []uint8{1, 2, 3})
+		if d.Late || d.Overload || d.Admitted != 3 {
+			t.Fatalf("seq %d: %+v", seq, d)
+		}
+		for i, ok := range admit {
+			if !ok {
+				t.Fatalf("seq %d: user %d not admitted", seq, i)
+			}
+		}
+		// Summation order differs (offered in index order, admitted in
+		// priority order), so compare within float tolerance.
+		if diff := d.OfferedEst - d.AdmittedEst; diff < -1e-9 || diff > 1e-9 {
+			t.Fatalf("seq %d: offered %g != admitted %g", seq, d.OfferedEst, d.AdmittedEst)
+		}
+	}
+}
+
+func TestAdmissionLateSubframe(t *testing.T) {
+	a := &Admission{Capacity: 1, Burst: 1}
+	if d, _ := decide(a, 10, []float64{0.1}, []uint8{0}); d.Late {
+		t.Fatalf("first subframe marked late: %+v", d)
+	}
+	for _, seq := range []int64{10, 9, 0} {
+		d, admit := decide(a, seq, []float64{0.1}, []uint8{0})
+		if !d.Late || d.Admitted != 0 || admit[0] {
+			t.Fatalf("seq %d: want late shed, got %+v admit=%v", seq, d, admit)
+		}
+	}
+	if d, _ := decide(a, 11, []float64{0.1}, []uint8{0}); d.Late || d.Admitted != 1 {
+		t.Fatalf("seq 11 after late frames: %+v", d)
+	}
+}
+
+func TestAdmissionPriorityOrder(t *testing.T) {
+	// Six users of cost 0.2 against a budget of 0.6: exactly the three
+	// highest priorities are admitted; the tie at priority 5 breaks toward
+	// the lower index.
+	a := &Admission{Capacity: 0.6, Burst: 0.6}
+	est := []float64{0.2, 0.2, 0.2, 0.2, 0.2, 0.2}
+	prio := []uint8{1, 5, 2, 5, 9, 0}
+	d, admit := decide(a, 0, est, prio)
+	want := []bool{false, true, false, true, true, false}
+	if d.Admitted != 3 {
+		t.Fatalf("admitted %d, want 3 (%+v)", d.Admitted, d)
+	}
+	for i := range admit {
+		if admit[i] != want[i] {
+			t.Fatalf("admit = %v, want %v", admit, want)
+		}
+	}
+}
+
+func TestAdmissionSkipsOversizedLowerPriority(t *testing.T) {
+	// The greedy pass keeps scanning after a user that does not fit, so a
+	// cheaper lower-priority user can still use the leftover budget.
+	a := &Admission{Capacity: 0.5, Burst: 0.5}
+	d, admit := decide(a, 0, []float64{0.4, 0.3, 0.1}, []uint8{3, 2, 1})
+	if d.Admitted != 2 || !admit[0] || admit[1] || !admit[2] {
+		t.Fatalf("admit = %v (%+v), want user 0 and 2", admit, d)
+	}
+}
+
+func TestAdmissionOverloadShedsWholeSubframe(t *testing.T) {
+	a := &Admission{Capacity: 0.1, Burst: 0.1}
+	d, admit := decide(a, 0, []float64{0.5, 0.9}, []uint8{1, 0})
+	if !d.Overload || d.Admitted != 0 || admit[0] || admit[1] {
+		t.Fatalf("want overload shed, got %+v admit=%v", d, admit)
+	}
+	// An empty subframe is not an overload.
+	if d, _ := decide(a, 1, nil, nil); d.Overload {
+		t.Fatalf("empty subframe marked overload: %+v", d)
+	}
+}
+
+func TestAdmissionBudgetBanksUpToBurst(t *testing.T) {
+	a := &Admission{Capacity: 0.5, Burst: 1.0}
+	// First subframe starts with a full burst.
+	if d, _ := decide(a, 0, []float64{1.0}, []uint8{0}); d.Admitted != 1 {
+		t.Fatalf("burst not granted on first subframe: %+v", d)
+	}
+	// Budget is now 0; one period refills 0.5 — not enough for a 0.8 user.
+	if d, _ := decide(a, 1, []float64{0.8}, []uint8{0}); d.Admitted != 0 {
+		t.Fatalf("refill exceeded capacity: %+v", d)
+	}
+	// The unspent 0.5 banks; the next period tops it up to Burst.
+	if d, _ := decide(a, 2, []float64{0.8}, []uint8{0}); d.Admitted != 1 {
+		t.Fatalf("banked budget not granted: %+v", d)
+	}
+	// A long idle gap banks at most Burst, never more.
+	a.Decide(100, nil, nil, nil)
+	if got := a.Budget(); got > a.Burst {
+		t.Fatalf("budget %g exceeds burst %g", got, a.Burst)
+	}
+	if d, _ := decide(a, 101, []float64{0.9, 0.9}, []uint8{1, 0}); d.Admitted != 1 {
+		t.Fatalf("after idle gap: %+v, want exactly one admitted", d)
+	}
+}
+
+func TestAdmissionDeterministic(t *testing.T) {
+	est := []float64{0.3, 0.1, 0.4, 0.2, 0.15}
+	prio := []uint8{2, 7, 2, 7, 1}
+	run := func() []Decision {
+		a := &Admission{Capacity: 0.4, Burst: 0.8}
+		var out []Decision
+		for seq := int64(0); seq < 20; seq++ {
+			d, _ := decide(a, seq, est, prio)
+			out = append(out, d)
+		}
+		return out
+	}
+	first, second := run(), run()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("seq %d: %+v != %+v", i, first[i], second[i])
+		}
+	}
+}
+
+func TestCostPredictorScalesWithParams(t *testing.T) {
+	p := NewCostPredictor(cost.Default(), 4, 8, 0.005)
+	small := uplink.UserParams{ID: 0, PRB: 4, Layers: 1, Mod: modulation.QPSK}
+	big := uplink.UserParams{ID: 1, PRB: 40, Layers: 4, Mod: modulation.QAM64}
+	es, eb := p.EstimateUser(small), p.EstimateUser(big)
+	if !(es > 0) || !(eb > es) {
+		t.Fatalf("estimates not ordered: small=%g big=%g", es, eb)
+	}
+	// Doubling the workers halves the predicted activity share.
+	p2 := NewCostPredictor(cost.Default(), 4, 16, 0.005)
+	if got := p2.EstimateUser(big); got >= eb {
+		t.Fatalf("more workers should lower the share: %g vs %g", got, eb)
+	}
+}

@@ -1,0 +1,125 @@
+package fronthaul
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+
+	"ltephy/internal/phy/modulation"
+	"ltephy/internal/phy/workspace"
+	"ltephy/internal/uplink"
+)
+
+// UserRecord is the first-pass decode of one user record: the scheduling
+// parameters the admission controller needs, plus the offset of the
+// user's sample grid within the payload so the second pass can
+// materialise only the admitted users.
+type UserRecord struct {
+	Params   uplink.UserParams
+	Priority uint8
+	NoiseVar float64
+	// off is the payload offset of the user's sample block.
+	off int
+}
+
+// VerifyPayload checks the payload CRC trailer. trailer must be the
+// 4 bytes following the payload on the wire.
+//
+//ltephy:hotpath — runs once per ingested frame in the serving loop.
+func VerifyPayload(payload []byte, trailer *[TrailerLen]byte) error {
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(trailer[:]) {
+		return ErrPayloadCRC
+	}
+	return nil
+}
+
+// ParseUsers decodes the payload's user records into recs (first pass: no
+// sample conversion), validating each against the receiver's parameter
+// limits and checking that the declared payload length exactly covers the
+// records. Returns the user count.
+//
+//ltephy:hotpath — runs once per ingested frame in the serving loop.
+func ParseUsers(h Header, payload []byte, recs *[MaxUsersPerFrame]UserRecord) (int, error) {
+	n := int(h.NUsers)
+	ant := int(h.Antennas)
+	off := 0
+	for i := 0; i < n; i++ {
+		if off+UserHeaderLen > len(payload) {
+			return 0, ErrTruncated
+		}
+		r := &recs[i]
+		r.Params.ID = int(binary.LittleEndian.Uint16(payload[off:]))
+		r.Params.PRB = int(binary.LittleEndian.Uint16(payload[off+2:]))
+		r.Params.Layers = int(payload[off+4])
+		r.Params.Mod = modulation.Scheme(payload[off+5])
+		r.Priority = payload[off+6]
+		r.NoiseVar = math.Float64frombits(binary.LittleEndian.Uint64(payload[off+8:]))
+		if payload[off+7] != 0 || r.Params.Validate() != nil ||
+			r.Params.Layers > ant ||
+			!(r.NoiseVar >= 0) || math.IsInf(r.NoiseVar, 1) {
+			return 0, ErrUserRecord
+		}
+		off += UserHeaderLen
+		r.off = off
+		off += UserSampleBytes(r.Params.PRB, ant)
+		if off > len(payload) {
+			return 0, ErrTruncated
+		}
+	}
+	if off != len(payload) {
+		return 0, ErrTruncated
+	}
+	return n, nil
+}
+
+// fillUser materialises one admitted user into dst: parameters are copied
+// and the sample grid is decoded from the wire payload into carves from
+// the slot's arena. dst's RefRx/DataRx antenna-row headers were
+// preallocated at slot construction; only the sample planes are carved
+// here, so the steady-state fill performs no heap allocation. The carves
+// live until the subframe completes and the slot's arena is Reset;
+// lifetime is the slot freelist's contract.
+//
+//ltephy:hotpath — runs once per admitted user in the serving loop.
+//ltephy:owns-scratch — carves outlive this frame by design (see above).
+func fillUser(dst *uplink.UserData, ws *workspace.Arena, h Header, payload []byte, rec UserRecord) {
+	dst.Params = rec.Params
+	dst.NoiseVar = rec.NoiseVar
+	dst.Payload = nil
+	dst.Channel = nil
+	ant := int(h.Antennas)
+	n := rec.Params.Subcarriers()
+	off := rec.off
+	for s := 0; s < uplink.SlotsPerSubframe; s++ {
+		rows := dst.RefRx[s][:ant]
+		for a := 0; a < ant; a++ {
+			rows[a] = ws.Complex(n)
+			off = getSamples(payload, off, rows[a])
+		}
+		dst.RefRx[s] = rows
+	}
+	for s := 0; s < uplink.SlotsPerSubframe; s++ {
+		for m := 0; m < uplink.DataSymbolsPerSlot; m++ {
+			rows := dst.DataRx[s][m][:ant]
+			for a := 0; a < ant; a++ {
+				rows[a] = ws.Complex(n)
+				off = getSamples(payload, off, rows[a])
+			}
+			dst.DataRx[s][m] = rows
+		}
+	}
+}
+
+// getSamples decodes len(dst) complex128 samples from b[off:] into dst,
+// returning the new offset.
+//
+//ltephy:hotpath — the per-plane inner loop of the frame decode.
+func getSamples(b []byte, off int, dst []complex128) int {
+	for i := range dst {
+		re := math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
+		im := math.Float64frombits(binary.LittleEndian.Uint64(b[off+8:]))
+		dst[i] = complex(re, im)
+		off += 16
+	}
+	return off
+}

@@ -1,0 +1,315 @@
+// Package fronthaul is the serving layer that turns the in-process
+// benchmark receiver into a networked multi-cell eNodeB baseband: a
+// length-prefixed, CRC-protected binary frame codec for subframe payloads
+// (IQ grids + per-user scheduling parameters), a TCP/Unix-socket server
+// sharding N cells across M scheduler pools, and an estimator-driven
+// admission controller that sheds whole late subframes (LTE semantics: a
+// late subframe is useless, so drop-and-count beats queue-and-miss) and
+// degrades gracefully under overload by rejecting lowest-priority users
+// first.
+//
+// # Wire format
+//
+// A frame is header + payload + trailer, all little-endian:
+//
+//	offset size field
+//	0      4    magic "LTEF"
+//	4      2    version (currently 1)
+//	6      2    cell index
+//	8      8    subframe sequence number (int64)
+//	16     1    user count (<= MaxUsersPerFrame)
+//	17     1    antenna count (1..MaxFrameAntennas)
+//	18     2    flags (reserved, zero)
+//	20     4    payload length in bytes
+//	24     4    IEEE CRC-32 of header bytes 0..23
+//
+// The payload holds one record per user: a 16-byte user header
+//
+//	offset size field
+//	0      2    user id
+//	2      2    PRB count
+//	4      1    layers
+//	5      1    modulation scheme
+//	6      1    priority (higher = more important)
+//	7      1    reserved (zero)
+//	8      8    noise variance (float64 bits)
+//
+// followed by the user's frequency-domain receive grid as complex128
+// samples (16 bytes each, real then imaginary float64 bits): the two
+// slots' reference symbols RefRx[slot][antenna][k], then the twelve data
+// symbols DataRx[slot][sym][antenna][k], k running over PRB*12
+// subcarriers — 14*antennas*PRB*12 samples in total. The trailer is the
+// IEEE CRC-32 of the whole payload.
+//
+// Every frame is answered by one fixed-size ack (see Ack) reporting
+// completion or the shed disposition, so a generator can account for
+// every subframe it offered.
+package fronthaul
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+
+	"ltephy/internal/uplink"
+)
+
+// Wire-format limits and sizes.
+const (
+	// FrameHeaderLen is the fixed frame header size in bytes.
+	FrameHeaderLen = 28
+	// UserHeaderLen is the fixed per-user record header size in bytes.
+	UserHeaderLen = 16
+	// TrailerLen is the payload CRC trailer size in bytes.
+	TrailerLen = 4
+	// AckLen is the fixed ack size in bytes.
+	AckLen = 16
+	// FrameVersion is the wire version this codec speaks.
+	FrameVersion = 1
+	// MaxUsersPerFrame bounds the user records one frame may carry. It is
+	// deliberately larger than uplink.MaxUsers: overload experiments offer
+	// several subframes' worth of users in one frame and let admission
+	// reject the excess.
+	MaxUsersPerFrame = 64
+	// MaxFrameAntennas bounds the antenna count a frame may declare,
+	// matching the receiver's limit.
+	MaxFrameAntennas = 8
+	// DefaultMaxPayload is the default payload-size cap (the full 200-PRB
+	// pool at 8 antennas is ~43 MiB).
+	DefaultMaxPayload = 64 << 20
+
+	frameMagic = uint32('L') | uint32('T')<<8 | uint32('E')<<16 | uint32('F')<<24
+	ackMagic   = uint32('L') | uint32('T')<<8 | uint32('E')<<16 | uint32('A')<<24
+
+	// samplesPerUserUnit is the sample count per (antenna x subcarrier):
+	// 2 reference symbols + 12 data symbols.
+	samplesPerUserUnit = uplink.SlotsPerSubframe * (1 + uplink.DataSymbolsPerSlot)
+)
+
+// Decode errors. These are sentinels: the ingest hot path must not box
+// fresh error values per frame. A decode error means the stream framing
+// can no longer be trusted, so the connection is closed.
+var (
+	ErrMagic      = errors.New("fronthaul: bad frame magic")
+	ErrVersion    = errors.New("fronthaul: unsupported frame version")
+	ErrHeaderCRC  = errors.New("fronthaul: header CRC mismatch")
+	ErrPayloadCRC = errors.New("fronthaul: payload CRC mismatch")
+	ErrLimits     = errors.New("fronthaul: frame exceeds configured limits")
+	ErrUserRecord = errors.New("fronthaul: invalid user record")
+	ErrTruncated  = errors.New("fronthaul: payload length does not match user records")
+	ErrAckMagic   = errors.New("fronthaul: bad ack magic")
+)
+
+// Header is a decoded frame header.
+type Header struct {
+	Version    uint16
+	Cell       uint16
+	Seq        int64
+	NUsers     uint8
+	Antennas   uint8
+	Flags      uint16
+	PayloadLen uint32
+}
+
+// UserSampleBytes returns the encoded size of one user's sample grid.
+func UserSampleBytes(prb, antennas int) int {
+	return samplesPerUserUnit * antennas * prb * uplink.SubcarriersPerPRB * 16
+}
+
+// UserRecordBytes returns the encoded size of one full user record.
+func UserRecordBytes(prb, antennas int) int {
+	return UserHeaderLen + UserSampleBytes(prb, antennas)
+}
+
+// ParseHeader decodes and validates a frame header against the given
+// limits (maxUsers <= MaxUsersPerFrame, maxPayload in bytes).
+//
+//ltephy:hotpath — runs once per ingested frame in the serving loop.
+func ParseHeader(b *[FrameHeaderLen]byte, maxUsers, maxPayload int) (Header, error) {
+	var h Header
+	if binary.LittleEndian.Uint32(b[0:4]) != frameMagic {
+		return h, ErrMagic
+	}
+	if crc32.ChecksumIEEE(b[0:24]) != binary.LittleEndian.Uint32(b[24:28]) {
+		return h, ErrHeaderCRC
+	}
+	h.Version = binary.LittleEndian.Uint16(b[4:6])
+	if h.Version != FrameVersion {
+		return h, ErrVersion
+	}
+	h.Cell = binary.LittleEndian.Uint16(b[6:8])
+	h.Seq = int64(binary.LittleEndian.Uint64(b[8:16]))
+	h.NUsers = b[16]
+	h.Antennas = b[17]
+	h.Flags = binary.LittleEndian.Uint16(b[18:20])
+	h.PayloadLen = binary.LittleEndian.Uint32(b[20:24])
+	if int(h.NUsers) > maxUsers || h.NUsers > MaxUsersPerFrame ||
+		h.Antennas < 1 || h.Antennas > MaxFrameAntennas ||
+		h.Flags != 0 || h.Seq < 0 ||
+		int64(h.PayloadLen) > int64(maxPayload) ||
+		int(h.PayloadLen) < int(h.NUsers)*UserHeaderLen {
+		return h, ErrLimits
+	}
+	return h, nil
+}
+
+// putHeader encodes h into b, computing the header CRC.
+func putHeader(b []byte, h Header) {
+	binary.LittleEndian.PutUint32(b[0:4], frameMagic)
+	binary.LittleEndian.PutUint16(b[4:6], h.Version)
+	binary.LittleEndian.PutUint16(b[6:8], h.Cell)
+	binary.LittleEndian.PutUint64(b[8:16], uint64(h.Seq))
+	b[16] = h.NUsers
+	b[17] = h.Antennas
+	binary.LittleEndian.PutUint16(b[18:20], h.Flags)
+	binary.LittleEndian.PutUint32(b[20:24], h.PayloadLen)
+	binary.LittleEndian.PutUint32(b[24:28], crc32.ChecksumIEEE(b[0:24]))
+}
+
+// FrameUser is one user to encode: the receive data plus the serving
+// metadata that exists only at the fronthaul layer.
+type FrameUser struct {
+	Data     *uplink.UserData
+	Priority uint8
+}
+
+// AppendFrame encodes one subframe as a wire frame and appends it to dst,
+// returning the extended slice. All users must carry the same antenna
+// count. The generator reuses one buffer across frames, so steady-state
+// encoding does not allocate once the buffer has reached its high-water
+// size.
+func AppendFrame(dst []byte, cell uint16, seq int64, users []FrameUser) ([]byte, error) {
+	if len(users) > MaxUsersPerFrame {
+		return dst, ErrLimits
+	}
+	ant := 0
+	payload := 0
+	for _, u := range users {
+		a := u.Data.Antennas()
+		if ant == 0 {
+			ant = a
+		} else if a != ant {
+			return dst, errors.New("fronthaul: mixed antenna counts in one frame")
+		}
+		payload += UserRecordBytes(u.Data.Params.PRB, a)
+	}
+	if ant == 0 {
+		ant = 1 // an empty frame still declares a valid antenna count
+	}
+	h := Header{
+		Version:    FrameVersion,
+		Cell:       cell,
+		Seq:        seq,
+		NUsers:     uint8(len(users)),
+		Antennas:   uint8(ant),
+		PayloadLen: uint32(payload),
+	}
+	start := len(dst)
+	need := FrameHeaderLen + payload + TrailerLen
+	dst = append(dst, make([]byte, need)...)
+	b := dst[start:]
+	putHeader(b, h)
+	off := FrameHeaderLen
+	for _, u := range users {
+		off = putUser(b, off, u)
+	}
+	binary.LittleEndian.PutUint32(b[off:off+4],
+		crc32.ChecksumIEEE(b[FrameHeaderLen:FrameHeaderLen+payload]))
+	return dst, nil
+}
+
+// putUser encodes one user record at b[off:], returning the new offset.
+func putUser(b []byte, off int, u FrameUser) int {
+	p := u.Data.Params
+	binary.LittleEndian.PutUint16(b[off:], uint16(p.ID))
+	binary.LittleEndian.PutUint16(b[off+2:], uint16(p.PRB))
+	b[off+4] = uint8(p.Layers)
+	b[off+5] = uint8(p.Mod)
+	b[off+6] = u.Priority
+	b[off+7] = 0
+	binary.LittleEndian.PutUint64(b[off+8:], math.Float64bits(u.Data.NoiseVar))
+	off += UserHeaderLen
+	for s := 0; s < uplink.SlotsPerSubframe; s++ {
+		for _, row := range u.Data.RefRx[s] {
+			off = putSamples(b, off, row)
+		}
+	}
+	for s := 0; s < uplink.SlotsPerSubframe; s++ {
+		for m := 0; m < uplink.DataSymbolsPerSlot; m++ {
+			for _, row := range u.Data.DataRx[s][m] {
+				off = putSamples(b, off, row)
+			}
+		}
+	}
+	return off
+}
+
+func putSamples(b []byte, off int, row []complex128) int {
+	for _, c := range row {
+		binary.LittleEndian.PutUint64(b[off:], math.Float64bits(real(c)))
+		binary.LittleEndian.PutUint64(b[off+8:], math.Float64bits(imag(c)))
+		off += 16
+	}
+	return off
+}
+
+// Ack statuses.
+const (
+	// AckDone: the subframe was admitted (fully or partially) and all
+	// admitted users completed processing.
+	AckDone uint8 = iota
+	// AckShedLate: the whole subframe was shed because its sequence number
+	// was not newer than the cell's last admitted subframe.
+	AckShedLate
+	// AckShedOverload: the whole subframe was shed because the admission
+	// budget could not fit even its highest-priority user.
+	AckShedOverload
+	// AckShedBackpressure: the whole subframe was shed because the
+	// connection had no free decode slot (only with Config.ShedOnBackpressure).
+	AckShedBackpressure
+)
+
+// AckStatusNames are the exporter labels for ack statuses.
+var AckStatusNames = [4]string{"done", "shed_late", "shed_overload", "shed_backpressure"}
+
+// Ack is the per-frame response:
+//
+//	offset size field
+//	0      4    magic "LTEA"
+//	4      2    cell index
+//	6      1    status (AckDone..AckShedBackpressure)
+//	7      1    users accepted
+//	8      8    subframe sequence number (int64)
+type Ack struct {
+	Cell          uint16
+	Status        uint8
+	UsersAccepted uint8
+	Seq           int64
+}
+
+// PutAck encodes a into b.
+func PutAck(b *[AckLen]byte, a Ack) {
+	binary.LittleEndian.PutUint32(b[0:4], ackMagic)
+	binary.LittleEndian.PutUint16(b[4:6], a.Cell)
+	b[6] = a.Status
+	b[7] = a.UsersAccepted
+	binary.LittleEndian.PutUint64(b[8:16], uint64(a.Seq))
+}
+
+// ParseAck decodes an ack.
+func ParseAck(b *[AckLen]byte) (Ack, error) {
+	if binary.LittleEndian.Uint32(b[0:4]) != ackMagic {
+		return Ack{}, ErrAckMagic
+	}
+	a := Ack{
+		Cell:          binary.LittleEndian.Uint16(b[4:6]),
+		Status:        b[6],
+		UsersAccepted: b[7],
+		Seq:           int64(binary.LittleEndian.Uint64(b[8:16])),
+	}
+	if a.Status > AckShedBackpressure {
+		return Ack{}, ErrAckMagic
+	}
+	return a, nil
+}

@@ -1,0 +1,349 @@
+package fronthaul
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+
+	"ltephy/internal/obs"
+	"ltephy/internal/phy/modulation"
+	"ltephy/internal/rng"
+	"ltephy/internal/uplink"
+	"ltephy/internal/uplink/tx"
+)
+
+// genFrameUsers synthesises real receive data for the given PRB counts at
+// the given antenna count, with priority = 255-slot.
+func genFrameUsers(t testing.TB, antennas int, prbs []int) []FrameUser {
+	t.Helper()
+	cfg := tx.DefaultConfig()
+	cfg.Receiver.Antennas = antennas
+	r := rng.New(42)
+	users := make([]FrameUser, len(prbs))
+	for i, prb := range prbs {
+		u, err := tx.Generate(cfg, uplink.UserParams{
+			ID: i, PRB: prb, Layers: 1, Mod: modulation.QPSK,
+		}, r)
+		if err != nil {
+			t.Fatalf("tx.Generate: %v", err)
+		}
+		users[i] = FrameUser{Data: u, Priority: uint8(255 - i)}
+	}
+	return users
+}
+
+// decodeFrame runs the full decode pipeline over one encoded frame and
+// returns the materialised users.
+func decodeFrame(t testing.TB, frame []byte, antennas int) (Header, []*uplink.UserData, []UserRecord) {
+	t.Helper()
+	var hdr [FrameHeaderLen]byte
+	copy(hdr[:], frame)
+	h, err := ParseHeader(&hdr, MaxUsersPerFrame, DefaultMaxPayload)
+	if err != nil {
+		t.Fatalf("ParseHeader: %v", err)
+	}
+	payload := frame[FrameHeaderLen : FrameHeaderLen+int(h.PayloadLen)]
+	var trailer [TrailerLen]byte
+	copy(trailer[:], frame[FrameHeaderLen+int(h.PayloadLen):])
+	if err := VerifyPayload(payload, &trailer); err != nil {
+		t.Fatalf("VerifyPayload: %v", err)
+	}
+	var recs [MaxUsersPerFrame]UserRecord
+	n, err := ParseUsers(h, payload, &recs)
+	if err != nil {
+		t.Fatalf("ParseUsers: %v", err)
+	}
+	slot := newSlot(MaxUsersPerFrame, antennas)
+	out := make([]*uplink.UserData, n)
+	for i := 0; i < n; i++ {
+		fillUser(&slot.users[i], slot.ws, h, payload, recs[i])
+		out[i] = &slot.users[i]
+	}
+	return h, out, recs[:n]
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	const ant = 2
+	users := genFrameUsers(t, ant, []int{2, 4, 3})
+	frame, err := AppendFrame(nil, 7, 123, users)
+	if err != nil {
+		t.Fatalf("AppendFrame: %v", err)
+	}
+	wantLen := FrameHeaderLen + TrailerLen
+	for _, u := range users {
+		wantLen += UserRecordBytes(u.Data.Params.PRB, ant)
+	}
+	if len(frame) != wantLen {
+		t.Fatalf("frame length = %d, want %d", len(frame), wantLen)
+	}
+
+	h, decoded, recs := decodeFrame(t, frame, ant)
+	if h.Cell != 7 || h.Seq != 123 || int(h.NUsers) != len(users) || int(h.Antennas) != ant {
+		t.Fatalf("header mismatch: %+v", h)
+	}
+	for i, d := range decoded {
+		want := users[i].Data
+		if d.Params != want.Params {
+			t.Errorf("user %d params = %+v, want %+v", i, d.Params, want.Params)
+		}
+		if d.NoiseVar != want.NoiseVar {
+			t.Errorf("user %d noise = %g, want %g", i, d.NoiseVar, want.NoiseVar)
+		}
+		if recs[i].Priority != users[i].Priority {
+			t.Errorf("user %d priority = %d, want %d", i, recs[i].Priority, users[i].Priority)
+		}
+		for s := 0; s < uplink.SlotsPerSubframe; s++ {
+			for a := 0; a < ant; a++ {
+				if !equalComplex(d.RefRx[s][a], want.RefRx[s][a]) {
+					t.Errorf("user %d RefRx[%d][%d] mismatch", i, s, a)
+				}
+			}
+			for m := 0; m < uplink.DataSymbolsPerSlot; m++ {
+				for a := 0; a < ant; a++ {
+					if !equalComplex(d.DataRx[s][m][a], want.DataRx[s][m][a]) {
+						t.Errorf("user %d DataRx[%d][%d][%d] mismatch", i, s, m, a)
+					}
+				}
+			}
+		}
+	}
+}
+
+func equalComplex(a, b []complex128) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFrameEmpty(t *testing.T) {
+	frame, err := AppendFrame(nil, 0, 1, nil)
+	if err != nil {
+		t.Fatalf("AppendFrame(empty): %v", err)
+	}
+	h, decoded, _ := decodeFrame(t, frame, 1)
+	if h.NUsers != 0 || h.Antennas != 1 || len(decoded) != 0 {
+		t.Fatalf("empty frame decoded to %+v, %d users", h, len(decoded))
+	}
+}
+
+// corrupt returns a copy of frame with b[i] xor-ed by mask.
+func corrupt(frame []byte, i int, mask byte) []byte {
+	c := append([]byte(nil), frame...)
+	c[i] ^= mask
+	return c
+}
+
+func TestParseHeaderErrors(t *testing.T) {
+	users := genFrameUsers(t, 1, []int{2})
+	frame, err := AppendFrame(nil, 0, 1, users)
+	if err != nil {
+		t.Fatalf("AppendFrame: %v", err)
+	}
+	parse := func(b []byte, maxUsers, maxPayload int) error {
+		var hdr [FrameHeaderLen]byte
+		copy(hdr[:], b)
+		_, err := ParseHeader(&hdr, maxUsers, maxPayload)
+		return err
+	}
+	if err := parse(frame, MaxUsersPerFrame, DefaultMaxPayload); err != nil {
+		t.Fatalf("valid header rejected: %v", err)
+	}
+	cases := []struct {
+		name  string
+		frame []byte
+		want  error
+	}{
+		{"magic", corrupt(frame, 0, 0xFF), ErrMagic},
+		{"crc", corrupt(frame, 24, 0xFF), ErrHeaderCRC},
+		{"seq", corrupt(frame, 9, 0x01), ErrHeaderCRC}, // any body flip fails the CRC first
+	}
+	for _, c := range cases {
+		if err := parse(c.frame, MaxUsersPerFrame, DefaultMaxPayload); err != c.want {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+
+	// Version, flags and limits violations need the CRC recomputed to be
+	// reachable.
+	reseal := func(mutate func(b []byte)) []byte {
+		c := append([]byte(nil), frame...)
+		mutate(c)
+		binary.LittleEndian.PutUint32(c[24:28], crcOf(c[:24]))
+		return c
+	}
+	if err := parse(reseal(func(b []byte) { b[4] = 9 }), MaxUsersPerFrame, DefaultMaxPayload); err != ErrVersion {
+		t.Errorf("version: err = %v, want ErrVersion", err)
+	}
+	if err := parse(reseal(func(b []byte) { b[18] = 1 }), MaxUsersPerFrame, DefaultMaxPayload); err != ErrLimits {
+		t.Errorf("flags: err = %v, want ErrLimits", err)
+	}
+	if err := parse(reseal(func(b []byte) { b[17] = 0 }), MaxUsersPerFrame, DefaultMaxPayload); err != ErrLimits {
+		t.Errorf("zero antennas: err = %v, want ErrLimits", err)
+	}
+	if err := parse(reseal(func(b []byte) { b[16] = 3 }), 2, DefaultMaxPayload); err != ErrLimits {
+		t.Errorf("max users: err = %v, want ErrLimits", err)
+	}
+	if err := parse(frame, MaxUsersPerFrame, 16); err != ErrLimits {
+		t.Errorf("max payload: err = %v, want ErrLimits", err)
+	}
+}
+
+func crcOf(b []byte) uint32 { return crc32.ChecksumIEEE(b) }
+
+// resealSeq rewrites an encoded frame's sequence number in place and
+// recomputes the header CRC.
+func resealSeq(frame []byte, seq int64) {
+	binary.LittleEndian.PutUint64(frame[8:16], uint64(seq))
+	binary.LittleEndian.PutUint32(frame[24:28], crc32.ChecksumIEEE(frame[:24]))
+}
+
+func TestPayloadErrors(t *testing.T) {
+	users := genFrameUsers(t, 1, []int{2, 2})
+	frame, err := AppendFrame(nil, 0, 1, users)
+	if err != nil {
+		t.Fatalf("AppendFrame: %v", err)
+	}
+	var hdr [FrameHeaderLen]byte
+	copy(hdr[:], frame)
+	h, err := ParseHeader(&hdr, MaxUsersPerFrame, DefaultMaxPayload)
+	if err != nil {
+		t.Fatalf("ParseHeader: %v", err)
+	}
+	payload := append([]byte(nil), frame[FrameHeaderLen:FrameHeaderLen+int(h.PayloadLen)]...)
+	var trailer [TrailerLen]byte
+	copy(trailer[:], frame[FrameHeaderLen+int(h.PayloadLen):])
+
+	// Payload CRC catches any sample flip.
+	flipped := append([]byte(nil), payload...)
+	flipped[len(flipped)-1] ^= 0x80
+	if err := VerifyPayload(flipped, &trailer); err != ErrPayloadCRC {
+		t.Errorf("payload flip: err = %v, want ErrPayloadCRC", err)
+	}
+
+	var recs [MaxUsersPerFrame]UserRecord
+	mutated := func(mutate func(p []byte)) error {
+		p := append([]byte(nil), payload...)
+		mutate(p)
+		_, err := ParseUsers(h, p, &recs)
+		return err
+	}
+	if _, err := ParseUsers(h, payload, &recs); err != nil {
+		t.Fatalf("valid payload rejected: %v", err)
+	}
+	if err := mutated(func(p []byte) { p[7] = 1 }); err != ErrUserRecord {
+		t.Errorf("reserved byte: err = %v, want ErrUserRecord", err)
+	}
+	if err := mutated(func(p []byte) { p[4] = 9 }); err != ErrUserRecord {
+		t.Errorf("bad layers: err = %v, want ErrUserRecord", err)
+	}
+	if err := mutated(func(p []byte) { p[5] = 7 }); err != ErrUserRecord {
+		t.Errorf("bad modulation: err = %v, want ErrUserRecord", err)
+	}
+	if err := mutated(func(p []byte) {
+		binary.LittleEndian.PutUint64(p[8:], 0xFFF0000000000000) // -Inf
+	}); err != ErrUserRecord {
+		t.Errorf("bad noise: err = %v, want ErrUserRecord", err)
+	}
+	if err := mutated(func(p []byte) {
+		binary.LittleEndian.PutUint16(p[2:], 200) // PRB beyond declared payload
+	}); err != ErrTruncated {
+		t.Errorf("oversized PRB: err = %v, want ErrTruncated", err)
+	}
+	// Declared payload longer than the records cover.
+	short := h
+	short.PayloadLen += 16
+	grown := append(append([]byte(nil), payload...), make([]byte, 16)...)
+	if _, err := ParseUsers(short, grown, &recs); err != ErrTruncated {
+		t.Errorf("trailing bytes: err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	var buf [AckLen]byte
+	want := Ack{Cell: 3, Status: AckShedOverload, UsersAccepted: 5, Seq: 99}
+	PutAck(&buf, want)
+	got, err := ParseAck(&buf)
+	if err != nil {
+		t.Fatalf("ParseAck: %v", err)
+	}
+	if got != want {
+		t.Fatalf("ack = %+v, want %+v", got, want)
+	}
+	buf[0] ^= 0xFF
+	if _, err := ParseAck(&buf); err != ErrAckMagic {
+		t.Fatalf("bad magic: err = %v, want ErrAckMagic", err)
+	}
+	buf[0] ^= 0xFF
+	buf[6] = 200
+	if _, err := ParseAck(&buf); err != ErrAckMagic {
+		t.Fatalf("bad status: err = %v, want ErrAckMagic", err)
+	}
+}
+
+// newBenchIngest builds an Ingest whose dispatch recycles slots
+// synchronously — the decode→admit→fill path without a scheduler pool.
+func newBenchIngest(antennas int, pred Predictor, capacity, burst float64) (*Ingest, *cell) {
+	c := &cell{
+		pred: pred,
+		ring: obs.NewEventRing(0),
+		adm:  Admission{Capacity: capacity, Burst: burst},
+	}
+	in := &Ingest{
+		maxUsers:   MaxUsersPerFrame,
+		maxPayload: DefaultMaxPayload,
+		antennas:   uint8(antennas),
+		lookup: func(id uint16) *cell {
+			if id == 0 {
+				return c
+			}
+			return nil
+		},
+		ack:   func(Ack) {},
+		slots: make(chan *Slot, 1),
+	}
+	in.dispatch = func(_ *cell, sl *Slot) {
+		sl.recycle()
+		in.slots <- sl
+	}
+	in.slots <- newSlot(MaxUsersPerFrame, antennas)
+	return in, c
+}
+
+// FuzzFrameDecode drives the full per-connection decode path (header,
+// payload CRC, user records, admission, arena fill) over arbitrary byte
+// streams: it must never panic and must reject anything whose CRCs do not
+// hold.
+func FuzzFrameDecode(f *testing.F) {
+	users := genFrameUsers(f, 2, []int{2, 3})
+	valid, err := AppendFrame(nil, 0, 1, users)
+	if err != nil {
+		f.Fatalf("AppendFrame: %v", err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])                 // truncated trailer
+	f.Add(append([]byte(nil), valid[4:]...))    // misaligned stream
+	f.Add(corrupt(valid, 17, 0x03))             // header field flip
+	f.Add(corrupt(valid, FrameHeaderLen, 0x80)) // payload flip
+	empty, _ := AppendFrame(nil, 0, 2, nil)
+	f.Add(append(append([]byte(nil), valid...), empty...)) // two frames back to back
+
+	// One ingest per worker process: slot construction is too heavy to
+	// repeat per input, and carrying admission state (late-shed history)
+	// across inputs only widens the explored state space.
+	in, _ := newBenchIngest(2, FlatPredictor{PerPRB: 0.01}, 1, 2)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			if err := in.ReadFrame(r); err != nil {
+				break
+			}
+		}
+	})
+}

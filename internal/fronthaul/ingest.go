@@ -1,0 +1,161 @@
+package fronthaul
+
+import (
+	"errors"
+	"io"
+
+	"ltephy/internal/obs"
+)
+
+// ErrUnknownCell reports a frame addressed to a cell the server does not
+// serve.
+var ErrUnknownCell = errors.New("fronthaul: unknown cell")
+
+// Ingest is one connection's decode→admit→fill→dispatch engine,
+// independent of the transport: ReadFrame pulls exactly one frame from an
+// io.Reader, runs admission for the addressed cell, materialises the
+// admitted users into a free slot and hands it to the dispatch hook. The
+// server wires dispatch to the cell's scheduler pool and ack to the
+// connection's writer; tests inject both directly.
+//
+// All per-frame state (header, staging buffer, record/estimate/priority
+// arrays) is owned by the Ingest and reused, so steady-state ingest
+// performs no heap allocation (TestIngestSteadyStateZeroAlloc pins this).
+type Ingest struct {
+	maxUsers           int
+	maxPayload         int
+	antennas           uint8
+	shedOnBackpressure bool
+	lookup             func(cellID uint16) *cell
+	dispatch           func(c *cell, s *Slot)
+	ack                func(Ack)
+
+	// slots is the connection's free-slot list; completion returns slots
+	// here, so its capacity bounds the frames in flight.
+	slots chan *Slot
+
+	hdr     [FrameHeaderLen]byte
+	trailer [TrailerLen]byte
+	staging []byte
+	recs    [MaxUsersPerFrame]UserRecord
+	est     [MaxUsersPerFrame]float64
+	prio    [MaxUsersPerFrame]uint8
+	admit   [MaxUsersPerFrame]bool
+}
+
+// IsDecodeError reports whether err is a frame-codec violation — the
+// stream framing can no longer be trusted and the connection must close.
+func IsDecodeError(err error) bool {
+	switch {
+	case errors.Is(err, ErrMagic), errors.Is(err, ErrVersion),
+		errors.Is(err, ErrHeaderCRC), errors.Is(err, ErrPayloadCRC),
+		errors.Is(err, ErrLimits), errors.Is(err, ErrUserRecord),
+		errors.Is(err, ErrTruncated), errors.Is(err, ErrUnknownCell):
+		return true
+	}
+	return false
+}
+
+// stage returns the reusable payload buffer grown to n bytes. Growth is a
+// high-water event: after warm-up the buffer is large enough and the hot
+// path never allocates.
+func (in *Ingest) stage(n int) []byte {
+	if cap(in.staging) < n {
+		in.staging = make([]byte, n) //ltephy:alloc-ok high-water staging growth
+	}
+	return in.staging[:n]
+}
+
+// ReadFrame ingests exactly one frame: read header, payload and trailer;
+// verify CRCs; first-pass decode the user records; predict each user's
+// workload; run the cell's admission pass; then either shed the subframe
+// (late/overload/backpressure — drop-and-count, one ack each) or fill
+// the admitted users into a slot and dispatch it. Returns io.EOF on a
+// clean end of stream, a decode sentinel (see IsDecodeError) on framing
+// violations, and transport errors otherwise.
+//
+//ltephy:hotpath — the serving loop: runs once per ingested frame.
+func (in *Ingest) ReadFrame(r io.Reader) error {
+	if _, err := io.ReadFull(r, in.hdr[:]); err != nil {
+		return err // io.EOF: clean end between frames
+	}
+	h, err := ParseHeader(&in.hdr, in.maxUsers, in.maxPayload)
+	if err != nil {
+		return err
+	}
+	// The receiver is configured for a fixed antenna count; a frame
+	// declaring any other is unservable (and the slots' row headers are
+	// sized for the configured count). Empty frames carry no samples, so
+	// their declared count is irrelevant.
+	if h.NUsers > 0 && h.Antennas != in.antennas {
+		return ErrLimits
+	}
+	payload := in.stage(int(h.PayloadLen))
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return err
+	}
+	if _, err := io.ReadFull(r, in.trailer[:]); err != nil {
+		return err
+	}
+	if err := VerifyPayload(payload, &in.trailer); err != nil {
+		return err
+	}
+	c := in.lookup(h.Cell)
+	if c == nil {
+		return ErrUnknownCell
+	}
+	n, err := ParseUsers(h, payload, &in.recs)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		in.est[i] = c.pred.EstimateUser(in.recs[i].Params)
+		in.prio[i] = in.recs[i].Priority
+	}
+
+	// Acquire a decode slot. By default ingest blocks until one frees up
+	// (transport backpressure); with ShedOnBackpressure the frame is shed
+	// instead, keeping the read loop hot.
+	var slot *Slot
+	if in.shedOnBackpressure {
+		select {
+		case slot = <-in.slots:
+		default:
+			c.countShed(AckShedBackpressure, h.Seq, n, 0)
+			in.ack(Ack{Cell: h.Cell, Status: AckShedBackpressure, Seq: h.Seq})
+			return nil
+		}
+	} else {
+		slot = <-in.slots
+	}
+
+	c.mu.Lock()
+	d := c.adm.Decide(h.Seq, in.est[:n], in.prio[:n], in.admit[:n])
+	c.offeredEst += d.OfferedEst
+	c.admittedEst += d.AdmittedEst
+	c.mu.Unlock()
+
+	if d.Late || d.Overload {
+		in.slots <- slot
+		status := AckShedLate
+		if d.Overload {
+			status = AckShedOverload
+		}
+		c.countShed(status, h.Seq, n, d.OfferedEst)
+		in.ack(Ack{Cell: h.Cell, Status: status, Seq: h.Seq})
+		return nil
+	}
+
+	k := 0
+	for i := 0; i < n; i++ {
+		if in.admit[i] {
+			fillUser(&slot.users[k], slot.ws, h, payload, in.recs[i])
+			k++
+		}
+	}
+	now := obs.Nanotime()
+	slot.arm(h.Cell, h.Seq, k, now)
+	c.countAdmit(h.Seq, k, n-k, now)
+	in.dispatch(c, slot)
+	return nil
+}

@@ -1,0 +1,80 @@
+package fronthaul
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestIngestSteadyStateZeroAlloc pins the decode→admit→fill→dispatch hot
+// path at zero heap allocations per frame: after the staging buffer and
+// slot arena reach their high-water sizes, serving a frame must not touch
+// the heap (the paper's steady-state discipline, extended to the serving
+// layer).
+func TestIngestSteadyStateZeroAlloc(t *testing.T) {
+	const ant = 2
+	users := genFrameUsers(t, ant, []int{3, 2, 4})
+	frame, err := AppendFrame(nil, 0, 0, users)
+	if err != nil {
+		t.Fatalf("AppendFrame: %v", err)
+	}
+
+	in, c := newBenchIngest(ant, FlatPredictor{PerPRB: 0.01}, 1, 2)
+	var nAcks int
+	in.ack = func(Ack) { nAcks++ }
+
+	seq := int64(0)
+	r := bytes.NewReader(nil)
+	serve := func() {
+		// Rewrite only the seq field and reseal the header CRC so every
+		// frame is fresh in virtual time; the payload is untouched.
+		resealSeq(frame, seq)
+		seq++
+		r.Reset(frame)
+		if err := in.ReadFrame(r); err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+	}
+	// Warm up: grow the staging buffer and the slot arena.
+	serve()
+	serve()
+
+	if avg := testing.AllocsPerRun(50, serve); avg != 0 {
+		t.Fatalf("ingest hot path allocates %.1f times per frame, want 0", avg)
+	}
+	if got := c.framesAccepted.Load(); got != seq {
+		t.Fatalf("accepted %d frames, want %d", got, seq)
+	}
+}
+
+func TestIngestShedPathZeroAlloc(t *testing.T) {
+	const ant = 2
+	users := genFrameUsers(t, ant, []int{3, 2})
+	frame, err := AppendFrame(nil, 0, 0, users)
+	if err != nil {
+		t.Fatalf("AppendFrame: %v", err)
+	}
+	// A capacity far below any user's estimate: every frame sheds on
+	// overload, which must also be allocation-free.
+	in, c := newBenchIngest(ant, FlatPredictor{PerPRB: 10}, 1e-6, 1e-6)
+	var nAcks int
+	in.ack = func(Ack) { nAcks++ }
+
+	seq := int64(0)
+	r := bytes.NewReader(nil)
+	serve := func() {
+		resealSeq(frame, seq)
+		seq++
+		r.Reset(frame)
+		if err := in.ReadFrame(r); err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+	}
+	serve()
+	serve()
+	if avg := testing.AllocsPerRun(50, serve); avg != 0 {
+		t.Fatalf("shed path allocates %.1f times per frame, want 0", avg)
+	}
+	if got := c.framesShedOverload.Load(); got != seq {
+		t.Fatalf("shed %d frames, want %d", got, seq)
+	}
+}

@@ -1,0 +1,83 @@
+package fronthaul
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+
+	"ltephy/internal/obs"
+)
+
+// WritePrometheus writes the per-cell serving counters in Prometheus text
+// format — designed to be passed as an extra section to obs.Handler.
+func (s *Server) WritePrometheus(w io.Writer) error {
+	if _, err := io.WriteString(w,
+		"# HELP ltephy_cell_frames_total Subframe frames by cell and disposition.\n# TYPE ltephy_cell_frames_total counter\n"+
+			"# HELP ltephy_cell_users_total User records by cell and disposition.\n# TYPE ltephy_cell_users_total counter\n"+
+			"# HELP ltephy_cell_deadline_total Admitted subframes by cell and deadline outcome.\n# TYPE ltephy_cell_deadline_total counter\n"+
+			"# HELP ltephy_cell_activity_estimate_total Cumulative predicted activity by cell, offered vs admitted.\n# TYPE ltephy_cell_activity_estimate_total counter\n"); err != nil {
+		return err
+	}
+	for i := range s.cells {
+		st := s.CellStats(i)
+		if _, err := fmt.Fprintf(w,
+			"ltephy_cell_frames_total{cell=\"%d\",disposition=\"accepted\"} %d\n"+
+				"ltephy_cell_frames_total{cell=\"%d\",disposition=\"shed_late\"} %d\n"+
+				"ltephy_cell_frames_total{cell=\"%d\",disposition=\"shed_overload\"} %d\n"+
+				"ltephy_cell_frames_total{cell=\"%d\",disposition=\"shed_backpressure\"} %d\n"+
+				"ltephy_cell_users_total{cell=\"%d\",disposition=\"accepted\"} %d\n"+
+				"ltephy_cell_users_total{cell=\"%d\",disposition=\"rejected\"} %d\n"+
+				"ltephy_cell_deadline_total{cell=\"%d\",outcome=\"met\"} %d\n"+
+				"ltephy_cell_deadline_total{cell=\"%d\",outcome=\"missed\"} %d\n"+
+				"ltephy_cell_activity_estimate_total{cell=\"%d\",kind=\"offered\"} %g\n"+
+				"ltephy_cell_activity_estimate_total{cell=\"%d\",kind=\"admitted\"} %g\n",
+			i, st.FramesAccepted, i, st.FramesShedLate, i, st.FramesShedOverload,
+			i, st.FramesShedBackpressure, i, st.UsersAccepted, i, st.UsersRejected,
+			i, st.DeadlineMet, i, st.DeadlineMissed,
+			i, st.OfferedEst, i, st.AdmittedEst); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w,
+		"# HELP ltephy_corrupt_frames_total Connections closed on framing violations.\n"+
+			"# TYPE ltephy_corrupt_frames_total counter\nltephy_corrupt_frames_total %d\n",
+		s.CorruptFrames()); err != nil {
+		return err
+	}
+	return nil
+}
+
+// AdmissionEvents snapshots every cell's admission event ring: admit and
+// shed instants keyed by cell (Worker = cell id, User = admitted count,
+// Task = rejected/offered count).
+func (s *Server) AdmissionEvents() []obs.Event {
+	var out []obs.Event
+	for _, c := range s.cells {
+		out = c.ring.Snapshot(out)
+	}
+	return out
+}
+
+// WriteAdmissionTrace writes the admission decisions as a Chrome
+// trace_event JSON document with one track per cell.
+func (s *Server) WriteAdmissionTrace(w io.Writer) error {
+	return obs.WriteChromeTraceEvents(w, s.AdmissionEvents(), "cell")
+}
+
+// Handler returns the server's observability endpoint: obs.Handler over
+// pool 0's telemetry registry, extended with every pool's worker counters
+// and the per-cell serving metrics, plus /trace/admission for the
+// admission timeline.
+func (s *Server) Handler() http.Handler {
+	extras := []func(io.Writer) error{s.WritePrometheus}
+	for _, p := range s.pools {
+		extras = append(extras, p.WritePrometheus)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", obs.Handler(s.pools[0].Telemetry(), extras...))
+	mux.HandleFunc("/trace/admission", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = s.WriteAdmissionTrace(w)
+	})
+	return mux
+}

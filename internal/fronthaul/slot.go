@@ -1,0 +1,72 @@
+package fronthaul
+
+import (
+	"ltephy/internal/phy/workspace"
+	"ltephy/internal/sched"
+	"ltephy/internal/uplink"
+)
+
+// Slot is one reusable decode slot: the arena the admitted users' sample
+// grids are carved from, the preallocated UserData structs and their
+// antenna-row headers, and the subframe + completion hook handed to the
+// scheduler. A connection owns a small freelist of slots; a slot cycles
+//
+//	freelist -> decode/admit/fill -> dispatch -> (subframe completes)
+//	-> ack -> arena Reset -> freelist
+//
+// so the number of slots bounds the frames a connection may have in
+// flight, and steady-state ingest touches no heap.
+type Slot struct {
+	ws    *workspace.Arena
+	users []uplink.UserData
+	ptrs  []*uplink.UserData
+	sf    uplink.Subframe
+	fin   *sched.SubframeFin
+
+	// Completion context, set at dispatch.
+	cell       uint16
+	seq        int64
+	admitted   uint8
+	dispatchNs int64
+}
+
+// newSlot builds a slot for up to maxUsers users at the given antenna
+// count, preallocating every slice header the decode path needs.
+func newSlot(maxUsers, antennas int) *Slot {
+	s := &Slot{
+		ws:    workspace.New(),
+		users: make([]uplink.UserData, maxUsers),
+		ptrs:  make([]*uplink.UserData, maxUsers),
+	}
+	for i := range s.users {
+		u := &s.users[i]
+		for sl := 0; sl < uplink.SlotsPerSubframe; sl++ {
+			u.RefRx[sl] = make([][]complex128, antennas)
+			for m := 0; m < uplink.DataSymbolsPerSlot; m++ {
+				u.DataRx[sl][m] = make([][]complex128, antennas)
+			}
+		}
+		s.ptrs[i] = u
+	}
+	return s
+}
+
+// arm prepares the slot for dispatch of k admitted users of subframe
+// (cell, seq).
+//
+//ltephy:hotpath — runs once per admitted frame in the serving loop.
+func (s *Slot) arm(cell uint16, seq int64, k int, now int64) {
+	s.cell = cell
+	s.seq = seq
+	s.admitted = uint8(k)
+	s.dispatchNs = now
+	s.sf.Seq = seq
+	s.sf.Users = s.ptrs[:k]
+}
+
+// recycle resets the slot's arena for reuse. The slice headers persist;
+// only the carves are released.
+func (s *Slot) recycle() {
+	s.ws.Reset()
+	s.sf.Users = nil
+}

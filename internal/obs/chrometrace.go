@@ -69,7 +69,7 @@ func WriteChromeTraceEvents(w io.Writer, events []Event, trackName string) error
 			PID:   0,
 			TID:   int(e.Worker),
 		}
-		if e.Kind == KindSteal {
+		if e.Kind == KindSteal || e.Kind == KindAdmit || e.Kind == KindShed {
 			te.Phase = "i"
 			te.Scope = "t"
 		} else {

@@ -64,11 +64,18 @@ const (
 	// KindNap is a span covering one nap period (deactivated or idle
 	// worker).
 	KindNap
+	// KindAdmit is an instant event marking a fronthaul admission decision
+	// that accepted at least one user (Worker = cell, Seq = subframe,
+	// User = admitted count, Task = rejected count).
+	KindAdmit
+	// KindShed is an instant event marking a whole subframe shed by the
+	// fronthaul admission controller (late, overload, or backpressure).
+	KindShed
 	numKinds
 )
 
 // KindNames are the exporter labels for event kinds.
-var KindNames = [numKinds]string{"stage", "steal", "nap"}
+var KindNames = [numKinds]string{"stage", "steal", "nap", "admit", "shed"}
 
 // DefaultRingDepth is the per-worker event-ring capacity used when the
 // caller does not choose one: at ~40 bytes per event this is ~80 KiB per

@@ -108,26 +108,29 @@ func (d *deque) compact() {
 
 // userQueue is the global FIFO of users awaiting processing — the paper's
 // "global queue" the maintenance thread writes each subframe's users to.
+// Entries are stored by value: once the backing array has grown to the
+// high-water in-flight user count, enqueue performs no heap allocation,
+// which the fronthaul ingest loop's zero-alloc dispatch gate relies on.
 type userQueue struct {
 	mu    sync.Mutex
-	items []*queuedUser
+	items []queuedUser
 	head  int
 }
 
-func (q *userQueue) enqueue(u *queuedUser) {
+func (q *userQueue) enqueue(u queuedUser) {
 	q.mu.Lock()
 	q.items = append(q.items, u)
 	q.mu.Unlock()
 }
 
-func (q *userQueue) dequeue() (*queuedUser, bool) {
+func (q *userQueue) dequeue() (queuedUser, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.head == len(q.items) {
-		return nil, false
+		return queuedUser{}, false
 	}
 	u := q.items[q.head]
-	q.items[q.head] = nil
+	q.items[q.head] = queuedUser{}
 	q.head++
 	if q.head == len(q.items) {
 		q.items = q.items[:0]

@@ -19,11 +19,40 @@ import (
 )
 
 // queuedUser pairs a user's input data with its subframe for result
-// labelling.
+// labelling. It is enqueued by value so steady-state submission does not
+// allocate.
 type queuedUser struct {
 	seq  int64
 	data *uplink.UserData
 	done *sync.WaitGroup // non-nil when a caller waits for the subframe
+	fin  *SubframeFin    // non-nil when a completion hook fires at subframe end
+}
+
+// SubframeFin is a reusable subframe-completion hook: the last user of the
+// subframe to finish invokes fn on its worker goroutine. Unlike the
+// WaitGroup path it never blocks a submitter, which is what the fronthaul
+// server needs — its ingest loop must keep decoding while earlier
+// subframes are still in flight, and the hook recycles the subframe's
+// arena slot and sends the ack.
+//
+// A SubframeFin may be reused across subframes (Reset rearms it), but only
+// after the previous subframe's hook has fired.
+type SubframeFin struct {
+	remaining atomic.Int64
+	fn        func()
+}
+
+// NewSubframeFin returns a hook that calls fn when the subframe it is
+// armed for completes.
+func NewSubframeFin(fn func()) *SubframeFin {
+	return &SubframeFin{fn: fn}
+}
+
+// complete records one finished user, firing the hook on the last.
+func (f *SubframeFin) complete() {
+	if f.remaining.Add(-1) == 0 {
+		f.fn()
+	}
 }
 
 // Config configures a worker pool.
@@ -192,7 +221,23 @@ func (p *Pool) ActiveWorkers() int { return int(p.active.Load()) }
 func (p *Pool) SubmitSubframe(sf *uplink.Subframe) {
 	for _, u := range sf.Users {
 		p.pending.Add(1)
-		p.global.enqueue(&queuedUser{seq: sf.Seq, data: u})
+		p.global.enqueue(queuedUser{seq: sf.Seq, data: u})
+	}
+}
+
+// SubmitSubframeFin enqueues a subframe with a completion hook: fin.fn
+// runs (on a worker goroutine) after the last user finishes. An empty
+// subframe fires the hook immediately on the caller's goroutine. The
+// caller must not rearm fin until it has fired.
+func (p *Pool) SubmitSubframeFin(sf *uplink.Subframe, fin *SubframeFin) {
+	if len(sf.Users) == 0 {
+		fin.fn()
+		return
+	}
+	fin.remaining.Store(int64(len(sf.Users)))
+	for _, u := range sf.Users {
+		p.pending.Add(1)
+		p.global.enqueue(queuedUser{seq: sf.Seq, data: u, fin: fin})
 	}
 }
 
@@ -203,7 +248,7 @@ func (p *Pool) ProcessSubframe(sf *uplink.Subframe) {
 	wg.Add(len(sf.Users))
 	for _, u := range sf.Users {
 		p.pending.Add(1)
-		p.global.enqueue(&queuedUser{seq: sf.Seq, data: u, done: &wg})
+		p.global.enqueue(queuedUser{seq: sf.Seq, data: u, done: &wg})
 	}
 	wg.Wait()
 }
@@ -414,11 +459,14 @@ func (w *worker) runTask(t Task) {
 // tasks (its own or stolen), never another processUser — users are picked
 // up solely from the global queue in run() — so every nested Mark/Release
 // brackets a single task and the stack discipline holds trivially.
-func (w *worker) processUser(qu *queuedUser) {
+func (w *worker) processUser(qu queuedUser) {
 	w.stats.usersStarted.Add(1)
 	defer func() {
 		if qu.done != nil {
 			qu.done.Done()
+		}
+		if qu.fin != nil {
+			qu.fin.complete()
 		}
 		w.pool.pending.Add(-1)
 	}()

@@ -100,7 +100,7 @@ func TestDequeCompaction(t *testing.T) {
 func TestUserQueueFIFO(t *testing.T) {
 	var q userQueue
 	for i := int64(0); i < 5; i++ {
-		q.enqueue(&queuedUser{seq: i})
+		q.enqueue(queuedUser{seq: i})
 	}
 	for i := int64(0); i < 5; i++ {
 		u, ok := q.dequeue()

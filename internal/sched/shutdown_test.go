@@ -1,0 +1,198 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ltephy/internal/phy/modulation"
+	"ltephy/internal/uplink"
+	"ltephy/internal/uplink/tx"
+)
+
+// shutdownSubframe builds a tiny subframe (MinPRB users) so shutdown tests
+// spend their time in scheduling edges, not DSP.
+func shutdownSubframe(t *testing.T, seq int64, nUsers int) *uplink.Subframe {
+	t.Helper()
+	d := NewDispatcher(DispatcherConfig{
+		Delta:     1,
+		TX:        tx.DefaultConfig(),
+		CacheSets: 2,
+		Seed:      7,
+	})
+	users := make([]uplink.UserParams, nUsers)
+	for i := range users {
+		users[i] = uplink.UserParams{ID: i, PRB: uplink.MinPRB, Layers: 1, Mod: modulation.QPSK}
+	}
+	sf, err := d.Subframe(seq, users)
+	if err != nil {
+		t.Fatalf("subframe: %v", err)
+	}
+	return sf
+}
+
+// TestCloseDrainsConcurrentSubmitters closes the pool while several
+// goroutines are still dispatching subframes. Close must not return until
+// every user submitted before it was called has been processed, and the
+// result count must match the submission count exactly — no user may be
+// dropped or double-processed during the drain. Run under -race this also
+// exercises the submit/dequeue/close memory ordering.
+func TestCloseDrainsConcurrentSubmitters(t *testing.T) {
+	var results atomic.Int64
+	cfg := DefaultPoolConfig()
+	cfg.Workers = 4
+	cfg.OnResult = func(uplink.UserResult) { results.Add(1) }
+	pool, err := NewPool(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		submitters    = 4
+		perSubmitter  = 25
+		usersPerSubfr = 3
+		totalUsers    = submitters * perSubmitter * usersPerSubfr
+	)
+	sf := shutdownSubframe(t, 0, usersPerSubfr)
+
+	var wg sync.WaitGroup
+	var submitted atomic.Int64
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perSubmitter; i++ {
+				clone := &uplink.Subframe{Seq: int64(g*perSubmitter + i), Users: sf.Users}
+				pool.SubmitSubframe(clone)
+				submitted.Add(int64(len(clone.Users)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	pool.Close()
+
+	if got := results.Load(); got != totalUsers || submitted.Load() != totalUsers {
+		t.Fatalf("results after Close = %d, want %d (submitted %d)",
+			got, totalUsers, submitted.Load())
+	}
+}
+
+// TestDrainUnderConcurrentDispatch interleaves Drain calls with ongoing
+// SubmitSubframe/ProcessSubframe traffic from multiple goroutines: Drain
+// must always observe a consistent pending count (never negative, never
+// stuck) and every blocking ProcessSubframe must return.
+func TestDrainUnderConcurrentDispatch(t *testing.T) {
+	var results atomic.Int64
+	cfg := DefaultPoolConfig()
+	cfg.Workers = 4
+	cfg.OnResult = func(uplink.UserResult) { results.Add(1) }
+	pool, err := NewPool(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf := shutdownSubframe(t, 0, 2)
+
+	var wg sync.WaitGroup
+	const rounds = 20
+	// Async submitters.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				pool.SubmitSubframe(&uplink.Subframe{Seq: int64(i), Users: sf.Users})
+			}
+		}()
+	}
+	// Blocking submitters.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				pool.ProcessSubframe(&uplink.Subframe{Seq: int64(i), Users: sf.Users})
+			}
+		}()
+	}
+	// Concurrent drainers.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				pool.Drain()
+				if p := pool.pending.Load(); p < 0 {
+					t.Errorf("pending went negative: %d", p)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	pool.Close()
+
+	want := int64(4 * rounds * 2) // 4 submitters x rounds x 2 users
+	if got := results.Load(); got != want {
+		t.Fatalf("results = %d, want %d", got, want)
+	}
+}
+
+// TestSubframeFinFiresOnceAfterLastUser submits subframes with completion
+// hooks under concurrent dispatch and checks each hook fires exactly once,
+// only after all of its users' results were delivered.
+func TestSubframeFinFiresOnceAfterLastUser(t *testing.T) {
+	const (
+		nSubframes = 30
+		nUsers     = 3
+	)
+	var perSeq [nSubframes]atomic.Int64
+	cfg := DefaultPoolConfig()
+	cfg.Workers = 4
+	cfg.OnResult = func(r uplink.UserResult) { perSeq[r.Seq].Add(1) }
+	pool, err := NewPool(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf := shutdownSubframe(t, 0, nUsers)
+
+	var fired [nSubframes]atomic.Int64
+	var done sync.WaitGroup
+	done.Add(nSubframes)
+	for seq := 0; seq < nSubframes; seq++ {
+		seq := seq
+		fin := NewSubframeFin(func() {
+			if got := perSeq[seq].Load(); got != nUsers {
+				t.Errorf("subframe %d: hook fired with %d/%d results delivered", seq, got, nUsers)
+			}
+			fired[seq].Add(1)
+			done.Done()
+		})
+		pool.SubmitSubframeFin(&uplink.Subframe{Seq: int64(seq), Users: sf.Users}, fin)
+	}
+	done.Wait()
+	pool.Close()
+
+	for seq := range fired {
+		if n := fired[seq].Load(); n != 1 {
+			t.Errorf("subframe %d: hook fired %d times, want 1", seq, n)
+		}
+	}
+}
+
+// TestSubmitSubframeFinEmpty checks the empty-subframe guard: the hook
+// fires synchronously and the pool stays drainable.
+func TestSubmitSubframeFinEmpty(t *testing.T) {
+	cfg := DefaultPoolConfig()
+	cfg.Workers = 1
+	pool, err := NewPool(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	fired := false
+	pool.SubmitSubframeFin(&uplink.Subframe{Seq: 9}, NewSubframeFin(func() { fired = true }))
+	if !fired {
+		t.Fatal("empty-subframe hook did not fire synchronously")
+	}
+	pool.Drain()
+}

@@ -73,7 +73,11 @@ type UserParams struct {
 // Subcarriers returns the allocation width in subcarriers.
 func (p UserParams) Subcarriers() int { return p.PRB * SubcarriersPerPRB }
 
-// Validate checks the parameters against the standard's limits.
+// Validate checks the parameters against the standard's limits. It is a
+// guard: it allocates only on the reject path, where the caller abandons
+// the work anyway.
+//
+//ltephy:coldpath — error construction happens only for invalid params.
 func (p UserParams) Validate() error {
 	switch {
 	case p.PRB < MinPRB || p.PRB > MaxPRBPool:
