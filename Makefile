@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet lint build test race zeroalloc obs-overhead bench bench-fft bench-e2e fuzz-smoke serve-smoke
+.PHONY: check vet lint build test race zeroalloc obs-overhead bench bench-fft bench-e2e bench-lane bench-compare fuzz-smoke serve-smoke
 
 check: lint build race zeroalloc obs-overhead fft-sweep
 	$(GO) test ./...
@@ -73,6 +73,22 @@ bench-e2e:
 	LTEPHY_BENCH_E2E_OUT=$(CURDIR)/BENCH_e2e_baseline.json \
 		$(GO) test -run TestWriteE2EBenchBaseline -count=1 -v ./internal/uplink/
 
+# Lane-layout kernel baseline: re-records BENCH_lane_baseline.json (the
+# complex128 and float32 stage kernels plus the float32 subframe e2e).
+bench-lane:
+	LTEPHY_BENCH_LANE_OUT=$(CURDIR)/BENCH_lane_baseline.json \
+		$(GO) test -run TestWriteLaneBenchBaseline -count=1 -v ./internal/uplink/
+
+# Benchmark regression gate: run the receiver benchmarks and fail on any
+# >10% ns/op regression (or any allocs/op growth) against the committed
+# baselines. CI's bench-lane job re-records the baseline on its own
+# hardware first, so the comparison is always same-machine.
+bench-compare:
+	$(GO) test -run '^$$' -bench 'BenchmarkSubframeE2E|BenchmarkChanEstStage|BenchmarkDataStage' \
+		-benchmem ./internal/uplink/ | \
+		$(GO) run ./cmd/bench-compare \
+			-baseline $(CURDIR)/BENCH_e2e_baseline.json,$(CURDIR)/BENCH_lane_baseline.json
+
 # Short fuzz pass over every fuzz target (~10s each): CRC append/check,
 # turbo segmentation and rate-matching round trips, the FFT
 # forward/inverse round trip, and the front-haul frame decoder against
@@ -84,6 +100,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzSegmentationRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/phy/turbo/
 	$(GO) test -run '^$$' -fuzz '^FuzzRateMatchRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/phy/turbo/
 	$(GO) test -run '^$$' -fuzz '^FuzzRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/phy/fft/
+	$(GO) test -run '^$$' -fuzz '^FuzzLanePackUnpack$$' -fuzztime $(FUZZTIME) ./internal/phy/lane/
 	$(GO) test -run '^$$' -fuzz '^FuzzFrameDecode$$' -fuzztime $(FUZZTIME) ./internal/fronthaul/
 
 # Serving-layer smoke: lte-enb on a Unix socket, 2000 subframes per cell

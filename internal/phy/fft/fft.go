@@ -721,8 +721,9 @@ func (b *bluestein) core(ws *workspace.Arena, dst, src, x, y []complex128) {
 // the x[n:m) dependence); pooled x gets its tail zeroed explicitly — the
 // head is fully overwritten by core — and y needs no zeroing at all.
 //
-//ltephy:owns-scratch — acquire half of the getBuffers/putBuffers pair; the
 // caller holds the returned mark and hands it back to putBuffers.
+//
+//ltephy:owns-scratch — acquire half of the getBuffers/putBuffers pair; the
 func (b *bluestein) getBuffers(ws *workspace.Arena) (x, y []complex128, mk workspace.Mark, xp, yp *[]complex128) {
 	if ws != nil {
 		mk = ws.Mark()
@@ -763,30 +764,60 @@ func (b *bluestein) transformBatch(ws *workspace.Arena, dst, src []complex128, h
 	b.putBuffers(ws, mk, xp, yp)
 }
 
-// planCache memoises plans by length; Get is the concurrency-safe accessor
-// used across the receiver so repeated subframe sizes share twiddle
-// tables. RWMutex-guarded (not a sync.Map) so lookups don't box the key —
-// Get sits on the per-task hot path and must not allocate.
+// planKey identifies a cached plan by (size, precision), so the float32
+// split-plane and complex128 plans for the same length coexist in one
+// cache instead of evicting each other.
+type planKey struct {
+	n   int
+	f32 bool
+}
+
+// planCache memoises plans by (size, precision); Get and GetF32 are the
+// concurrency-safe accessors used across the receiver so repeated
+// subframe sizes share twiddle tables. RWMutex-guarded (not a sync.Map)
+// and struct-keyed so lookups don't box the key — both accessors sit on
+// the per-task hot path and must not allocate. Values are *Plan or
+// *PlanF32 per the key's precision; storing the pointer in the interface
+// value doesn't allocate either.
 var (
 	planMu    sync.RWMutex
-	planCache = map[int]*Plan{}
+	planCache = map[planKey]any{}
 )
 
-// Get returns a shared plan for length n, creating it on first use.
-func Get(n int) *Plan {
+func lookupPlan(k planKey) any {
 	planMu.RLock()
-	p := planCache[n]
+	p := planCache[k]
 	planMu.RUnlock()
-	if p != nil {
-		return p
-	}
-	p = New(n)
+	return p
+}
+
+func storePlan(k planKey, p any) any {
 	planMu.Lock()
-	if cached, ok := planCache[n]; ok {
+	if cached, ok := planCache[k]; ok {
 		p = cached
 	} else {
-		planCache[n] = p
+		planCache[k] = p
 	}
 	planMu.Unlock()
 	return p
+}
+
+// Get returns a shared complex128 plan for length n, creating it on
+// first use.
+func Get(n int) *Plan {
+	k := planKey{n: n}
+	if p := lookupPlan(k); p != nil {
+		return p.(*Plan)
+	}
+	return storePlan(k, New(n)).(*Plan)
+}
+
+// GetF32 returns a shared float32 split-plane plan for length n,
+// creating it on first use.
+func GetF32(n int) *PlanF32 {
+	k := planKey{n: n, f32: true}
+	if p := lookupPlan(k); p != nil {
+		return p.(*PlanF32)
+	}
+	return storePlan(k, NewF32(n)).(*PlanF32)
 }

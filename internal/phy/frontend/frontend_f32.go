@@ -1,0 +1,46 @@
+package frontend
+
+// Float32 split-plane receive filtering: the FIR front of the chain on
+// the lane layout (internal/phy/lane), for drivers that keep the sample
+// stream in float32 planes. The frontend is outside the paper's
+// benchmark scope, so this stays a convenience entry point rather than
+// an arena-threaded hot path; it exists so the float32 receiver can be
+// exercised end-to-end without a width round trip at the filter.
+
+// FIRLowpassF32 narrows FIRLowpass's Hamming-windowed-sinc design to
+// float32 taps. The design itself runs in float64 (tap count and cutoff
+// maths are construction-time), only the stored taps are narrowed.
+func FIRLowpassF32(taps int, cutoff float64) []float32 {
+	h := FIRLowpass(taps, cutoff)
+	out := make([]float32, len(h))
+	for i, v := range h {
+		out[i] = float32(v)
+	}
+	return out
+}
+
+// FilterF32 applies an FIR filter to split-plane samples with the same
+// group-delay compensation ("same" convolution) as Filter: output sample
+// t uses input samples centred on t, with zeros beyond the block edges.
+// The two planes are filtered independently — a real tap multiplies re
+// and im separately — in stride-1 loops over each plane.
+func FilterF32(xRe, xIm []float32, h []float32) (outRe, outIm []float32) {
+	n := len(xRe)
+	xIm = xIm[:n]
+	outRe = make([]float32, n)
+	outIm = make([]float32, n)
+	mid := len(h) / 2
+	for t := 0; t < n; t++ {
+		var accRe, accIm float32
+		for i, tap := range h {
+			j := t + mid - i
+			if j >= 0 && j < n {
+				accRe += tap * xRe[j]
+				accIm += tap * xIm[j]
+			}
+		}
+		outRe[t] = accRe
+		outIm[t] = accIm
+	}
+	return outRe, outIm
+}

@@ -1,0 +1,39 @@
+package frontend
+
+import (
+	"math"
+	"testing"
+
+	"ltephy/internal/rng"
+)
+
+// TestFilterF32MatchesComplex128 pins the split-plane FIR against the
+// complex128 Filter on identical float32-representable samples.
+func TestFilterF32MatchesComplex128(t *testing.T) {
+	r := rng.New(31)
+	const n = 257
+	xRe := make([]float32, n)
+	xIm := make([]float32, n)
+	x := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		xRe[k] = float32(r.NormFloat64())
+		xIm[k] = float32(r.NormFloat64())
+		x[k] = complex(float64(xRe[k]), float64(xIm[k]))
+	}
+	h64 := FIRLowpass(21, 0.25)
+	h32 := FIRLowpassF32(21, 0.25)
+	for i := range h64 {
+		if d := math.Abs(float64(h32[i]) - h64[i]); d > 1e-7 {
+			t.Fatalf("tap %d narrowed to %g, want %g", i, h32[i], h64[i])
+		}
+	}
+	want := Filter(x, h64)
+	gotRe, gotIm := FilterF32(xRe, xIm, h32)
+	for k := 0; k < n; k++ {
+		dr := math.Abs(float64(gotRe[k]) - real(want[k]))
+		di := math.Abs(float64(gotIm[k]) - imag(want[k]))
+		if dr > 2e-5 || di > 2e-5 {
+			t.Fatalf("sample %d = (%g, %g), want %v", k, gotRe[k], gotIm[k], want[k])
+		}
+	}
+}

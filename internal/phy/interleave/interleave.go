@@ -28,8 +28,9 @@ type Block struct {
 // skipping the padding positions (standard pruned interleaving).
 // It panics if n < 0 or cols < 1.
 //
-//ltephy:coldpath — permutation-table construction; hot callers memoise the
 // result (uplink.getBlock), so it runs once per (n, cols) per process.
+//
+//ltephy:coldpath — permutation-table construction; hot callers memoise the
 func New(n, cols int) *Block {
 	if n < 0 || cols < 1 {
 		panic(fmt.Sprintf("interleave: invalid size n=%d cols=%d", n, cols))

@@ -1,0 +1,268 @@
+package lane
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"ltephy/internal/phy/workspace"
+	"ltephy/internal/rng"
+)
+
+// randVecs returns n-element split planes and the equivalent complex128
+// vector, with every component exactly float32-representable.
+func randVecs(r *rng.RNG, n int) ([]float32, []float32, []complex128) {
+	re := make([]float32, n)
+	im := make([]float32, n)
+	c := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		re[k] = float32(r.NormFloat64())
+		im[k] = float32(r.NormFloat64())
+		c[k] = complex(float64(re[k]), float64(im[k]))
+	}
+	return re, im, c
+}
+
+// checkClose compares a split-plane result against a complex128
+// reference elementwise within a float32-rounding tolerance.
+func checkClose(t *testing.T, name string, re, im []float32, want []complex128, tol float64) {
+	t.Helper()
+	for k := range want {
+		got := complex(float64(re[k]), float64(im[k]))
+		if d := cmplx.Abs(got - want[k]); d > tol*(1+cmplx.Abs(want[k])) {
+			t.Fatalf("%s[%d] = %v, want %v (|diff| %g)", name, k, got, want[k], d)
+		}
+	}
+}
+
+func TestElementwiseKernels(t *testing.T) {
+	r := rng.New(1)
+	for _, n := range []int{1, 7, 24, 101} {
+		are, aim, a := randVecs(r, n)
+		bre, bim, b := randVecs(r, n)
+		want := make([]complex128, n)
+		dre, dim := make([]float32, n), make([]float32, n)
+
+		Mul(dre, dim, are, aim, bre, bim)
+		for k := range want {
+			want[k] = a[k] * b[k]
+		}
+		checkClose(t, "Mul", dre, dim, want, 1e-6)
+
+		MulConj(dre, dim, are, aim, bre, bim)
+		for k := range want {
+			want[k] = a[k] * cmplx.Conj(b[k])
+		}
+		checkClose(t, "MulConj", dre, dim, want, 1e-6)
+
+		MulAcc(dre, dim, are, aim, bre, bim)
+		for k := range want {
+			want[k] += a[k] * b[k]
+		}
+		checkClose(t, "MulAcc", dre, dim, want, 1e-5)
+
+		MulConjAcc(dre, dim, are, aim, bre, bim)
+		for k := range want {
+			want[k] += a[k] * cmplx.Conj(b[k])
+		}
+		checkClose(t, "MulConjAcc", dre, dim, want, 1e-5)
+
+		alpha := complex(0.75, -1.25)
+		yre, yim := append([]float32(nil), bre...), append([]float32(nil), bim...)
+		Axpy(float32(real(alpha)), float32(imag(alpha)), are, aim, yre, yim)
+		for k := range want {
+			want[k] = b[k] + alpha*a[k]
+		}
+		checkClose(t, "Axpy", yre, yim, want, 1e-5)
+
+		sre, sim := append([]float32(nil), are...), append([]float32(nil), aim...)
+		Scale(0.5, sre, sim)
+		for k := range want {
+			want[k] = a[k] * 0.5
+		}
+		checkClose(t, "Scale", sre, sim, want, 1e-6)
+
+		rot := cmplx.Exp(complex(0, 0.7))
+		sre, sim = append([]float32(nil), are...), append([]float32(nil), aim...)
+		ScaleC(float32(real(rot)), float32(imag(rot)), sre, sim)
+		for k := range want {
+			want[k] = a[k] * rot
+		}
+		checkClose(t, "ScaleC", sre, sim, want, 1e-5)
+
+		mag := make([]float32, n)
+		Mag2(mag, are, aim)
+		for k := range a {
+			w := real(a[k])*real(a[k]) + imag(a[k])*imag(a[k])
+			if d := math.Abs(float64(mag[k]) - w); d > 1e-6*(1+w) {
+				t.Fatalf("Mag2[%d] = %g, want %g", k, mag[k], w)
+			}
+		}
+	}
+}
+
+func TestReductions(t *testing.T) {
+	r := rng.New(2)
+	n := 301
+	are, aim, a := randVecs(r, n)
+	bre, bim, b := randVecs(r, n)
+
+	var wantPow float64
+	var wantDot complex128
+	var wantDiff float64
+	for k := range a {
+		wantPow += real(a[k])*real(a[k]) + imag(a[k])*imag(a[k])
+		wantDot += a[k] * cmplx.Conj(b[k])
+		d := a[k] - b[k]
+		wantDiff += real(d)*real(d) + imag(d)*imag(d)
+	}
+	if got := SumMag2(are, aim); math.Abs(got-wantPow) > 1e-4*(1+wantPow) {
+		t.Errorf("SumMag2 = %g, want %g", got, wantPow)
+	}
+	dr, di := DotConj(are, aim, bre, bim)
+	if cmplx.Abs(complex(dr, di)-wantDot) > 1e-4*(1+cmplx.Abs(wantDot)) {
+		t.Errorf("DotConj = (%g, %g), want %v", dr, di, wantDot)
+	}
+	if got := SumDiffMag2(are, aim, bre, bim); math.Abs(got-wantDiff) > 1e-4*(1+wantDiff) {
+		t.Errorf("SumDiffMag2 = %g, want %g", got, wantDiff)
+	}
+}
+
+// refHermSolve solves A X = B in complex128 by Gauss-Jordan, the oracle
+// for the float32 Cholesky.
+func refHermSolve(n, m int, a, b []complex128) []complex128 {
+	aug := make([]complex128, n*(n+m))
+	w := n + m
+	for i := 0; i < n; i++ {
+		copy(aug[i*w:i*w+n], a[i*n:(i+1)*n])
+		copy(aug[i*w+n:(i+1)*w], b[i*m:(i+1)*m])
+	}
+	for col := 0; col < n; col++ {
+		p := col
+		for r := col + 1; r < n; r++ {
+			if cmplx.Abs(aug[r*w+col]) > cmplx.Abs(aug[p*w+col]) {
+				p = r
+			}
+		}
+		for c := 0; c < w; c++ {
+			aug[p*w+c], aug[col*w+c] = aug[col*w+c], aug[p*w+c]
+		}
+		inv := 1 / aug[col*w+col]
+		for c := 0; c < w; c++ {
+			aug[col*w+c] *= inv
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := aug[r*w+col]
+			for c := 0; c < w; c++ {
+				aug[r*w+c] -= f * aug[col*w+c]
+			}
+		}
+	}
+	x := make([]complex128, n*m)
+	for i := 0; i < n; i++ {
+		copy(x[i*m:(i+1)*m], aug[i*w+n:(i+1)*w])
+	}
+	return x
+}
+
+func TestHermSolveMatchesComplexSolve(t *testing.T) {
+	r := rng.New(3)
+	for _, shape := range []struct{ n, m int }{{1, 1}, {2, 4}, {3, 3}, {4, 4}, {4, 8}, {8, 4}} {
+		n, m := shape.n, shape.m
+		// A = H^H H + nv I for a random tall H: Hermitian positive definite,
+		// the exact structure of the MMSE Gram matrix.
+		rows := n + 2
+		h := make([]complex128, rows*n)
+		for i := range h {
+			h[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		a := make([]complex128, n*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var s complex128
+				for k := 0; k < rows; k++ {
+					s += cmplx.Conj(h[k*n+i]) * h[k*n+j]
+				}
+				a[i*n+j] = s
+			}
+			a[i*n+i] += 0.1
+		}
+		b := make([]complex128, n*m)
+		for i := range b {
+			b[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		want := refHermSolve(n, m, a, b)
+
+		aRe, aIm := make([]float32, n*n), make([]float32, n*n)
+		bRe, bIm := make([]float32, n*m), make([]float32, n*m)
+		Pack(aRe, aIm, a)
+		Pack(bRe, bIm, b)
+		xRe, xIm := make([]float32, n*m), make([]float32, n*m)
+		if !HermSolve(n, m, aRe, aIm, bRe, bIm, xRe, xIm) {
+			t.Fatalf("n=%d m=%d: HermSolve reported singular on an HPD matrix", n, m)
+		}
+		checkClose(t, "HermSolve", xRe, xIm, want, 2e-4)
+
+		// Aliased solve (X overwrites B) must give the same answer.
+		if !HermSolve(n, m, aRe, aIm, bRe, bIm, bRe, bIm) {
+			t.Fatalf("n=%d m=%d: aliased HermSolve reported singular", n, m)
+		}
+		for i := range xRe {
+			if xRe[i] != bRe[i] || xIm[i] != bIm[i] {
+				t.Fatalf("n=%d m=%d: aliased solve diverged at %d", n, m, i)
+			}
+		}
+	}
+}
+
+func TestHermSolveSingular(t *testing.T) {
+	// The all-zero matrix is the singular-channel case the receiver hits
+	// with all-zero input data; the solver must report it, not NaN out.
+	var aRe, aIm, bRe, bIm, xRe, xIm [4]float32
+	if HermSolve(2, 2, aRe[:], aIm[:], bRe[:], bIm[:], xRe[:], xIm[:]) {
+		t.Error("HermSolve accepted an all-zero matrix")
+	}
+}
+
+func TestVecArena(t *testing.T) {
+	ws := workspace.New()
+	m := ws.Mark()
+	v := NewVecIn(ws, 17)
+	if v.Len() != 17 || len(v.Im) != 17 {
+		t.Fatalf("NewVecIn planes %d/%d, want 17", len(v.Re), len(v.Im))
+	}
+	s := v.Slice(3, 9)
+	if s.Len() != 6 {
+		t.Fatalf("Slice len %d, want 6", s.Len())
+	}
+	ws.Release(m)
+
+	hv := NewVecIn(nil, 5)
+	if hv.Len() != 5 {
+		t.Fatalf("nil-arena NewVecIn len %d, want 5", hv.Len())
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	r := rng.New(4)
+	for _, n := range []int{0, 1, 2, 3, 15, 64, 129} {
+		re, im, c := randVecs(r, n)
+		gotC := make([]complex128, n)
+		Unpack(gotC, re, im)
+		for k := range c {
+			if gotC[k] != c[k] {
+				t.Fatalf("n=%d: Unpack[%d] = %v, want %v", n, k, gotC[k], c[k])
+			}
+		}
+		gre, gim := make([]float32, n), make([]float32, n)
+		Pack(gre, gim, gotC)
+		for k := 0; k < n; k++ {
+			if gre[k] != re[k] || gim[k] != im[k] {
+				t.Fatalf("n=%d: pack/unpack round trip diverged at %d", n, k)
+			}
+		}
+	}
+}

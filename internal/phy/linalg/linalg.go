@@ -34,8 +34,9 @@ func NewMatrix(rows, cols int) Matrix {
 // (heap-allocated when ws is nil). The matrix is only valid until the
 // arena mark it was carved under is released.
 //
-//ltephy:owns-scratch — carve constructor: the caller brackets the matrix's
 // lifetime with its own Mark/Release, per the doc contract above.
+//
+//ltephy:owns-scratch — carve constructor: the caller brackets the matrix's
 func NewMatrixIn(ws *workspace.Arena, rows, cols int) Matrix {
 	if rows < 0 || cols < 0 {
 		panic(fmt.Sprintf("linalg: invalid shape %dx%d", rows, cols))
@@ -213,8 +214,9 @@ func NewMMSEWorkspace(ant, layers int) *MMSEWorkspace {
 // it on their stack; it is valid only until the enclosing arena mark is
 // released.
 //
-//ltephy:owns-scratch — carve constructor: the caller's Mark/Release bounds
 // the workspace's lifetime.
+//
+//ltephy:owns-scratch — carve constructor: the caller's Mark/Release bounds
 func NewMMSEWorkspaceIn(a *workspace.Arena, ant, layers int) MMSEWorkspace {
 	if ant < 1 || layers < 1 || layers > ant {
 		panic(fmt.Sprintf("linalg: invalid MMSE shape ant=%d layers=%d", ant, layers))

@@ -1,0 +1,126 @@
+// Float32 split-plane weight solves: the per-subcarrier MMSE and IRC
+// combining solutions over the lane layout (internal/phy/lane). Where
+// the complex128 path inverts the Gram matrix by Gauss-Jordan, the
+// float32 path exploits the structure the receiver guarantees — the
+// regularised Gram and the diagonally loaded covariance are Hermitian
+// positive definite — and solves by Cholesky (lane.HermSolve), which is
+// both cheaper and better conditioned in float32 than forming an
+// explicit inverse.
+//
+// All matrices are row-major split planes. Shapes are tiny (at most 8
+// antennas x 4 layers), so scratch lives in fixed stack arrays and every
+// solve is allocation-free — these functions run once per subcarrier on
+// the hot path.
+package linalg
+
+import (
+	"fmt"
+
+	"ltephy/internal/phy/lane"
+)
+
+// MaxDimF32 bounds the float32 solvers' matrix dimensions, matching
+// lane.HermSolve's limit: up to 8 antennas and 4 layers.
+const MaxDimF32 = 8
+
+func checkShapeF32(ant, layers int) {
+	if ant < 1 || ant > MaxDimF32 || layers < 1 || layers > ant {
+		panic(fmt.Sprintf("linalg: invalid f32 solve shape ant=%d layers=%d", ant, layers))
+	}
+}
+
+// MMSESolveF32 computes the MMSE combining matrix
+//
+//	W = (H^H H + nv I)^{-1} H^H
+//
+// into dst (layers x ant row-major planes), where h is the ant x layers
+// channel matrix (row-major planes) and nv the diagonal loading (noise
+// variance). It returns false — leaving dst unspecified — when the
+// regularised Gram matrix is not numerically positive definite (the
+// singular-channel case); the caller zeroes its weights, matching the
+// complex128 path's handling.
+func MMSESolveF32(dstRe, dstIm, hRe, hIm []float32, ant, layers int, nv float32) bool {
+	checkShapeF32(ant, layers)
+	var gRe, gIm [MaxDimF32 * MaxDimF32]float32 // layers x layers Gram
+	var bRe, bIm [MaxDimF32 * MaxDimF32]float32 // layers x ant   H^H
+	// Gram g[i][j] = sum_a conj(h[a][i]) h[a][j]; only the lower triangle
+	// (j <= i) is consumed by the Cholesky solve.
+	for i := 0; i < layers; i++ {
+		for j := 0; j <= i; j++ {
+			var sr, si float32
+			for a := 0; a < ant; a++ {
+				ar, ai := hRe[a*layers+i], hIm[a*layers+i]
+				br, bi := hRe[a*layers+j], hIm[a*layers+j]
+				sr += ar*br + ai*bi
+				si += ar*bi - ai*br
+			}
+			gRe[i*layers+j], gIm[i*layers+j] = sr, si
+		}
+		gRe[i*layers+i] += nv
+	}
+	// B = H^H.
+	for l := 0; l < layers; l++ {
+		for a := 0; a < ant; a++ {
+			bRe[l*ant+a] = hRe[a*layers+l]
+			bIm[l*ant+a] = -hIm[a*layers+l]
+		}
+	}
+	lm := layers * ant
+	return lane.HermSolve(layers, ant,
+		gRe[:layers*layers], gIm[:layers*layers],
+		bRe[:lm], bIm[:lm], dstRe[:lm], dstIm[:lm])
+}
+
+// IRCSolveF32 computes the interference-rejection combining matrix
+//
+//	W = (H^H R^{-1} H + I)^{-1} H^H R^{-1}
+//
+// into dst (layers x ant row-major planes), where r is the ant x ant
+// Hermitian noise-plus-interference covariance (diagonally loaded by the
+// caller, hence positive definite) and h the ant x layers channel. A
+// covariance that fails the Cholesky factorisation (degenerate all-zero
+// input) falls back to identity whitening — plain MMSE behaviour with
+// unit loading — matching the complex128 path. It returns false when
+// the whitened Gram solve itself fails; the caller zeroes its weights.
+//
+// r is preserved; the two inner solves work on stack copies.
+func IRCSolveF32(dstRe, dstIm, rRe, rIm, hRe, hIm []float32, ant, layers int) bool {
+	checkShapeF32(ant, layers)
+	al := ant * layers
+	// B = R^{-1} H (ant x layers): solve R B = H. HermSolve leaves its A
+	// argument untouched, so r passes through directly.
+	var bRe, bIm [MaxDimF32 * MaxDimF32]float32
+	if !lane.HermSolve(ant, layers, rRe[:ant*ant], rIm[:ant*ant],
+		hRe[:al], hIm[:al], bRe[:al], bIm[:al]) {
+		copy(bRe[:al], hRe[:al])
+		copy(bIm[:al], hIm[:al])
+	}
+	// G = H^H B + I (layers x layers): Hermitian since R is; lower
+	// triangle only, as above.
+	var gRe, gIm [MaxDimF32 * MaxDimF32]float32
+	for i := 0; i < layers; i++ {
+		for j := 0; j <= i; j++ {
+			var sr, si float32
+			for a := 0; a < ant; a++ {
+				ar, ai := hRe[a*layers+i], hIm[a*layers+i]
+				br, bi := bRe[a*layers+j], bIm[a*layers+j]
+				sr += ar*br + ai*bi
+				si += ar*bi - ai*br
+			}
+			gRe[i*layers+j], gIm[i*layers+j] = sr, si
+		}
+		gRe[i*layers+i]++
+	}
+	// B^H = H^H R^{-1} (layers x ant), since R is Hermitian.
+	var bhRe, bhIm [MaxDimF32 * MaxDimF32]float32
+	for l := 0; l < layers; l++ {
+		for a := 0; a < ant; a++ {
+			bhRe[l*ant+a] = bRe[a*layers+l]
+			bhIm[l*ant+a] = -bIm[a*layers+l]
+		}
+	}
+	la := layers * ant
+	return lane.HermSolve(layers, ant,
+		gRe[:layers*layers], gIm[:layers*layers],
+		bhRe[:la], bhIm[:la], dstRe[:la], dstIm[:la])
+}

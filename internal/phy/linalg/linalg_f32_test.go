@@ -1,0 +1,163 @@
+package linalg
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"ltephy/internal/phy/lane"
+	"ltephy/internal/rng"
+)
+
+// randChannelF32 returns a random ant x layers channel in both layouts,
+// with float32-representable entries so both paths see identical inputs.
+func randChannelF32(r *rng.RNG, ant, layers int) (hRe, hIm []float32, h Matrix) {
+	hRe = make([]float32, ant*layers)
+	hIm = make([]float32, ant*layers)
+	h = NewMatrix(ant, layers)
+	for i := range hRe {
+		hRe[i] = float32(r.NormFloat64())
+		hIm[i] = float32(r.NormFloat64())
+		h.Data[i] = complex(float64(hRe[i]), float64(hIm[i]))
+	}
+	return
+}
+
+func checkWeightsF32(t *testing.T, name string, ant, layers int, gotRe, gotIm []float32, want Matrix, tol float64) {
+	t.Helper()
+	for i := 0; i < layers*ant; i++ {
+		got := complex(float64(gotRe[i]), float64(gotIm[i]))
+		if d := cmplx.Abs(got - want.Data[i]); d > tol*(1+cmplx.Abs(want.Data[i])) {
+			t.Fatalf("%s ant=%d layers=%d: W[%d] = %v, want %v (|diff| %g)",
+				name, ant, layers, i, got, want.Data[i], d)
+		}
+	}
+}
+
+// TestMMSESolveF32MatchesComplex128 pins the float32 Cholesky MMSE solve
+// against the complex128 Gauss-Jordan solve across the receiver's shape
+// range.
+func TestMMSESolveF32MatchesComplex128(t *testing.T) {
+	r := rng.New(21)
+	for _, shape := range []struct{ ant, layers int }{{1, 1}, {2, 1}, {2, 2}, {4, 1}, {4, 2}, {4, 4}, {8, 4}} {
+		ant, layers := shape.ant, shape.layers
+		hRe, hIm, h := randChannelF32(r, ant, layers)
+		nv := 0.05
+
+		want := NewMatrix(layers, ant)
+		if err := NewMMSEWorkspace(ant, layers).Solve(&want, h, nv); err != nil {
+			t.Fatalf("ant=%d layers=%d: complex128 solve failed: %v", ant, layers, err)
+		}
+		gotRe := make([]float32, layers*ant)
+		gotIm := make([]float32, layers*ant)
+		if !MMSESolveF32(gotRe, gotIm, hRe, hIm, ant, layers, float32(nv)) {
+			t.Fatalf("ant=%d layers=%d: MMSESolveF32 reported singular", ant, layers)
+		}
+		checkWeightsF32(t, "MMSE", ant, layers, gotRe, gotIm, want, 5e-4)
+	}
+}
+
+// TestMMSESolveF32Singular checks the all-zero channel is reported, not
+// NaN'd through.
+func TestMMSESolveF32Singular(t *testing.T) {
+	hRe := make([]float32, 8)
+	hIm := make([]float32, 8)
+	gotRe := make([]float32, 8)
+	gotIm := make([]float32, 8)
+	if MMSESolveF32(gotRe, gotIm, hRe, hIm, 4, 2, 0) {
+		t.Error("MMSESolveF32 accepted an all-zero channel with zero loading")
+	}
+}
+
+// refIRCSolve reproduces the complex128 IRC weight computation
+// W = (H^H R^{-1} H + I)^{-1} H^H R^{-1} using the package's own
+// complex128 primitives — the oracle irc.go builds per subcarrier.
+func refIRCSolve(t *testing.T, rcov, h Matrix, ant, layers int) Matrix {
+	t.Helper()
+	rinv := NewMatrix(ant, ant)
+	if err := InvertInto(&rinv, rcov); err != nil {
+		t.Fatalf("oracle R inversion failed: %v", err)
+	}
+	b := NewMatrix(ant, layers)
+	MulInto(&b, rinv, h)
+	hh := NewMatrix(layers, ant)
+	h.ConjTransposeInto(&hh)
+	g := NewMatrix(layers, layers)
+	MulInto(&g, hh, b)
+	AddDiag(&g, 1)
+	ginv := NewMatrix(layers, layers)
+	if err := InvertInto(&ginv, g); err != nil {
+		t.Fatalf("oracle Gram inversion failed: %v", err)
+	}
+	bh := NewMatrix(layers, ant)
+	b.ConjTransposeInto(&bh)
+	w := NewMatrix(layers, ant)
+	MulInto(&w, ginv, bh)
+	return w
+}
+
+// TestIRCSolveF32MatchesComplex128 pins the float32 IRC solve against
+// the complex128 oracle with a realistic loaded covariance.
+func TestIRCSolveF32MatchesComplex128(t *testing.T) {
+	r := rng.New(22)
+	for _, shape := range []struct{ ant, layers int }{{2, 1}, {4, 2}, {4, 4}, {8, 4}} {
+		ant, layers := shape.ant, shape.layers
+		hRe, hIm, h := randChannelF32(r, ant, layers)
+
+		// Covariance R = E e e^H + loading, built from a few float32-exact
+		// residual vectors so it is Hermitian PSD by construction.
+		rcov := NewMatrix(ant, ant)
+		rRe := make([]float32, ant*ant)
+		rIm := make([]float32, ant*ant)
+		for snap := 0; snap < 3*ant; snap++ {
+			e := make([]complex128, ant)
+			for a := range e {
+				er := float32(r.NormFloat64())
+				ei := float32(r.NormFloat64())
+				e[a] = complex(float64(er), float64(ei))
+			}
+			for a := 0; a < ant; a++ {
+				for b := 0; b < ant; b++ {
+					rcov.Data[a*ant+b] += e[a] * cmplx.Conj(e[b])
+				}
+			}
+		}
+		scale := complex(1/float64(3*ant), 0)
+		for i := range rcov.Data {
+			rcov.Data[i] *= scale
+		}
+		AddDiag(&rcov, 0.01)
+		lane.Pack(rRe, rIm, rcov.Data)
+		// Re-widen so the oracle sees exactly the float32-rounded R.
+		lane.Unpack(rcov.Data, rRe, rIm)
+
+		want := refIRCSolve(t, rcov, h, ant, layers)
+		gotRe := make([]float32, layers*ant)
+		gotIm := make([]float32, layers*ant)
+		if !IRCSolveF32(gotRe, gotIm, rRe, rIm, hRe, hIm, ant, layers) {
+			t.Fatalf("ant=%d layers=%d: IRCSolveF32 reported singular", ant, layers)
+		}
+		checkWeightsF32(t, "IRC", ant, layers, gotRe, gotIm, want, 2e-3)
+	}
+}
+
+// TestIRCSolveF32DegenerateCovariance checks the identity-whitening
+// fallback: an all-zero covariance must behave like MMSE with unit
+// loading, matching irc.go's complex128 fallback.
+func TestIRCSolveF32DegenerateCovariance(t *testing.T) {
+	r := rng.New(23)
+	ant, layers := 4, 2
+	hRe, hIm, h := randChannelF32(r, ant, layers)
+	rRe := make([]float32, ant*ant)
+	rIm := make([]float32, ant*ant)
+
+	want := NewMatrix(layers, ant)
+	if err := NewMMSEWorkspace(ant, layers).Solve(&want, h, 1); err != nil {
+		t.Fatalf("reference MMSE solve failed: %v", err)
+	}
+	gotRe := make([]float32, layers*ant)
+	gotIm := make([]float32, layers*ant)
+	if !IRCSolveF32(gotRe, gotIm, rRe, rIm, hRe, hIm, ant, layers) {
+		t.Fatal("IRCSolveF32 failed on the degenerate-covariance fallback")
+	}
+	checkWeightsF32(t, "IRC-fallback", ant, layers, gotRe, gotIm, want, 5e-4)
+}

@@ -55,8 +55,9 @@ type Codec struct {
 // NewCodec returns a codec for info blocks of k bits. k must be one of the
 // TS 36.212 block sizes (use SmallestValidBlock to round up).
 //
-//ltephy:coldpath — constructor/validation; decode paths reach it only on a
 // rate-matcher cache miss, once per block size for the process lifetime.
+//
+//ltephy:coldpath — constructor/validation; decode paths reach it only on a
 func NewCodec(k int) (*Codec, error) {
 	if _, err := SmallestValidBlock(k); err != nil {
 		return nil, err
@@ -142,8 +143,9 @@ func (c *Codec) DecodeEarlyStop(llr []float64, iterations int, check func([]uint
 // callback likewise must not retain its argument, which is overwritten on
 // the next iteration.
 //
-//ltephy:owns-scratch — returns arena-backed decisions by contract; the
 // caller holds the mark (see segment.DecodeInto) and copies before Release.
+//
+//ltephy:owns-scratch — returns arena-backed decisions by contract; the
 func (c *Codec) DecodeEarlyStopIn(ws *workspace.Arena, llr []float64, iterations int, check func([]uint8) bool) ([]uint8, int) {
 	if len(llr) != CodedLen(c.k) {
 		panic(fmt.Sprintf("turbo: Decode got %d LLRs, want %d", len(llr), CodedLen(c.k)))
@@ -229,8 +231,9 @@ type decoderState struct {
 // buffers come back zeroed either way — required: ext2 is read (as the
 // initial apriori) before the first half-iteration writes it.
 //
-//ltephy:owns-scratch — carve constructor; DecodeEarlyStopIn's caller holds
 // the mark bounding the state's lifetime.
+//
+//ltephy:owns-scratch — carve constructor; DecodeEarlyStopIn's caller holds
 func newDecoderState(ws *workspace.Arena, k int) decoderState {
 	n := k + 4 // info steps + 3 tail steps + terminal column
 	return decoderState{

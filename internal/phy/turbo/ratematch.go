@@ -80,8 +80,9 @@ func NewRateMatcher(k int) (*RateMatcher, error) {
 	return rm, nil
 }
 
-//ltephy:coldpath — permutation-table construction, cached in rmCache; runs
 // once per block size for the process lifetime.
+//
+//ltephy:coldpath — permutation-table construction, cached in rmCache; runs
 func buildRateMatcher(k int) *RateMatcher {
 	d := k + 4
 	rows := (d + subBlockColumns - 1) / subBlockColumns

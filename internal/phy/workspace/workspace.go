@@ -118,20 +118,21 @@ func (s *stack[T]) footprint() int {
 	return total
 }
 
-// Arena is a per-worker scratch allocator: three typed LIFO stacks
-// (complex128, float64, uint8) with shared Mark/Release semantics. The
-// zero value is NOT ready for use via its methods on a nil pointer only in
-// the sense that nil falls back to make(); a &Arena{} (or New()) is fully
-// functional.
+// Arena is a per-worker scratch allocator: four typed LIFO stacks
+// (complex128, float64, float32, uint8) with shared Mark/Release
+// semantics. The zero value is NOT ready for use via its methods on a nil
+// pointer only in the sense that nil falls back to make(); a &Arena{} (or
+// New()) is fully functional.
 type Arena struct {
 	c128 stack[complex128]
 	f64  stack[float64]
+	f32  stack[float32]
 	u8   stack[uint8]
 }
 
-// Mark captures the current allocation state of all three stacks.
+// Mark captures the current allocation state of all four stacks.
 type Mark struct {
-	c128, f64, u8 mark
+	c128, f64, f32, u8 mark
 }
 
 // New returns an empty Arena. Equivalent to new(Arena); provided for
@@ -156,6 +157,16 @@ func (a *Arena) Float(n int) []float64 {
 	return a.f64.grab(n)
 }
 
+// Float32 returns a zeroed []float32 of length n (capacity n). On a nil
+// Arena it falls back to make. The split-plane float32 lane kernels
+// (internal/phy/lane) draw their re/im planes from this stack.
+func (a *Arena) Float32(n int) []float32 {
+	if a == nil {
+		return make([]float32, n)
+	}
+	return a.f32.grab(n)
+}
+
 // Bytes returns a zeroed []uint8 of length n (capacity n). On a nil Arena
 // it falls back to make.
 func (a *Arena) Bytes(n int) []uint8 {
@@ -171,7 +182,7 @@ func (a *Arena) Mark() Mark {
 	if a == nil {
 		return Mark{}
 	}
-	return Mark{a.c128.mark(), a.f64.mark(), a.u8.mark()}
+	return Mark{a.c128.mark(), a.f64.mark(), a.f32.mark(), a.u8.mark()}
 }
 
 // Release rewinds the arena to a checkpoint obtained from Mark. Slices
@@ -184,6 +195,7 @@ func (a *Arena) Release(m Mark) {
 	}
 	a.c128.release(m.c128)
 	a.f64.release(m.f64)
+	a.f32.release(m.f32)
 	a.u8.release(m.u8)
 }
 
@@ -194,6 +206,7 @@ func (a *Arena) Reset() {
 	}
 	a.c128.release(mark{})
 	a.f64.release(mark{})
+	a.f32.release(mark{})
 	a.u8.release(mark{})
 }
 
@@ -204,5 +217,5 @@ func (a *Arena) Footprint() int {
 	if a == nil {
 		return 0
 	}
-	return a.c128.footprint()*16 + a.f64.footprint()*8 + a.u8.footprint()
+	return a.c128.footprint()*16 + a.f64.footprint()*8 + a.f32.footprint()*4 + a.u8.footprint()
 }

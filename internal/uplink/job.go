@@ -82,6 +82,12 @@ type UserJob struct {
 	// results (the pool's OnResult) use a fresh job per user.
 	res  UserResult
 	bits []uint8
+
+	// fp32 selects the float32 split-plane hot path (job_f32.go): every
+	// stage kernel branches to its F32 twin, with f32 holding the lane
+	// layout state. Set from Cfg.Precision at Init.
+	fp32 bool
+	f32  jobF32
 }
 
 // SoftBits returns the demapped, descrambled LLR stream of the whole
@@ -139,8 +145,10 @@ func NewUserJob(cfg ReceiverConfig, u *UserData) (*UserJob, error) {
 // is valid; reuse keeps the hot path allocation-free but recycles the
 // previous result's payload storage.
 //
-//ltephy:owns-scratch — the carves stored in job fields are job-lifetime by
-// contract: the worker's per-user mark (sched.processUser) outlives the job.
+// The carves stored in job fields are job-lifetime by contract: the
+// worker's per-user mark (sched.processUser) outlives the job.
+//
+//ltephy:owns-scratch
 func (j *UserJob) Init(ws *workspace.Arena, cfg ReceiverConfig, u *UserData) error {
 	if err := cfg.Validate(); err != nil {
 		return err
@@ -171,11 +179,18 @@ func (j *UserJob) Init(ws *workspace.Arena, cfg ReceiverConfig, u *UserData) err
 	}
 	bits := j.bits // survives re-initialisation: reusable payload storage
 	*j = UserJob{Cfg: cfg, U: u, n: n, layers: u.Params.Layers, format: format, bits: bits}
-	j.plan = fft.Get(n)
 	j.window = n / sequence.MaxLayers
 	if j.window < 1 {
 		j.window = 1
 	}
+	if cfg.Precision == PrecisionFloat32 {
+		// Float32 lane path: the job-lifetime state is the split-plane
+		// layout in j.f32; the complex128 buffers stay nil.
+		j.fp32 = true
+		j.initF32(ws)
+		return nil
+	}
+	j.plan = fft.Get(n)
 	j.layerRef = layerRefs(n)[:j.layers]
 	al := cfg.Antennas * j.layers
 	j.hestAll = ws.Complex(SlotsPerSubframe * al * n)
@@ -222,6 +237,10 @@ func (j *UserJob) matchedFilter(mf []complex128, slot, a, l int) {
 // least-squares variant (matched filter only). The two slots run as one
 // FFT batch, landing directly in hestAll through the strided destination.
 func (j *UserJob) chanEstTask(ws *workspace.Arena, i int, ls bool) {
+	if j.fp32 {
+		j.chanEstTaskF32(ws, i, ls)
+		return
+	}
 	a := i / j.layers
 	l := i % j.layers
 	n := j.n
@@ -258,6 +277,10 @@ func (j *UserJob) chanEstTask(ws *workspace.Arena, i int, ls bool) {
 // straight into the hest slab. Per-vector arithmetic is identical to
 // chanEstTask, so results are bit-exact with the per-task path.
 func (j *UserJob) chanEstBatch(ws *workspace.Arena, from, to int, ls bool) {
+	if j.fp32 {
+		j.chanEstBatchF32(ws, from, to, ls)
+		return
+	}
 	if ls {
 		for i := from; i < to; i++ {
 			j.chanEstTask(ws, i, true)
@@ -291,6 +314,9 @@ func (j *UserJob) chanEstBatch(ws *workspace.Arena, from, to int, ls bool) {
 // window keeps a W/N fraction of the matched filter's noise, hence the
 // N/W rescale back to per-subcarrier variance.
 func (j *UserJob) estimateNoise() float64 {
+	if j.fp32 {
+		return j.estimateNoiseF32()
+	}
 	window := j.window
 	var sum float64
 	count := 0
@@ -325,6 +351,9 @@ func (j *UserJob) CFOEstimate() float64 { return j.cfo }
 // symbols apart, so angle(sum H1*conj(H0)) = 2*pi*cfo*7. Unambiguous for
 // |cfo| < 1/14 of the subcarrier spacing — ample for a residual offset.
 func (j *UserJob) estimateCFO() float64 {
+	if j.fp32 {
+		return j.estimateCFOF32()
+	}
 	var acc complex128
 	h0, h1 := j.hest[0], j.hest[1]
 	for i := range h0 {
@@ -366,6 +395,10 @@ func (j *UserJob) ComputeWeights() {
 // for MMSE, a numerical guard for ZF), and mrc selects the per-layer
 // matched filter instead of the joint solve.
 func (j *UserJob) computeLinearWeights(a *workspace.Arena, solveNV float64, mrc bool) {
+	if j.fp32 {
+		j.computeLinearWeightsF32(solveNV, mrc)
+		return
+	}
 	ant := j.Cfg.Antennas
 	m := a.Mark()
 	ws := linalg.NewMMSEWorkspaceIn(a, ant, j.layers)
@@ -461,6 +494,10 @@ func despreadScale(out []complex128, n int) {
 // "antenna combining and IFFT ... performed on each separate symbol and
 // layer".
 func (j *UserJob) dataTask(ws *workspace.Arena, i int) {
+	if j.fp32 {
+		j.dataTaskF32(ws, i)
+		return
+	}
 	n := j.n
 	m := ws.Mark()
 	comb := ws.Complex(n)
@@ -478,6 +515,10 @@ func (j *UserJob) dataTask(ws *workspace.Arena, i int) {
 // all straight into the combined slab. Per-vector arithmetic is identical
 // to dataTask, so results are bit-exact with the per-task path.
 func (j *UserJob) dataBatch(ws *workspace.Arena, from, to int) {
+	if j.fp32 {
+		j.dataBatchF32(ws, from, to)
+		return
+	}
 	n := j.n
 	cnt := to - from
 	m := ws.Mark()
@@ -503,6 +544,10 @@ func (j *UserJob) Finish() UserResult {
 // stored on the job. Scratch (deinterleave buffer, LLRs, decoder state)
 // comes from ws; only the decoded payload bits escape to heap memory.
 func (j *UserJob) finish(ws *workspace.Arena) {
+	if j.fp32 {
+		j.finishF32(ws)
+		return
+	}
 	res := UserResult{UserID: j.U.Params.ID, ChannelMSE: math.NaN()}
 	m := ws.Mark()
 	deint := ws.Complex(len(j.combined))

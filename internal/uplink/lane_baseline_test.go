@@ -1,0 +1,60 @@
+package uplink_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestWriteLaneBenchBaseline records the lane-layout kernel baseline —
+// the complex128 and float32 variants of the two transform-dominated
+// stages plus the float32 end-to-end subframe — to the JSON file named
+// by LTEPHY_BENCH_LANE_OUT, in the BENCH_*.json shape bench-compare
+// consumes. Skipped unless the variable is set; `make bench-lane`
+// drives it.
+func TestWriteLaneBenchBaseline(t *testing.T) {
+	out := os.Getenv("LTEPHY_BENCH_LANE_OUT")
+	if out == "" {
+		t.Skip("set LTEPHY_BENCH_LANE_OUT=<path> to record the lane baseline")
+	}
+	type entry struct {
+		NsPerOp     int64 `json:"ns_per_op"`
+		AllocsPerOp int64 `json:"allocs_per_op"`
+	}
+	measure := func(f func(*testing.B)) entry {
+		r := testing.Benchmark(f)
+		return entry{r.NsPerOp(), r.AllocsPerOp()}
+	}
+	doc := struct {
+		Comment    string           `json:"comment"`
+		Go         string           `json:"go"`
+		CPU        string           `json:"cpu"`
+		Date       string           `json:"date"`
+		Benchmarks map[string]entry `json:"benchmarks"`
+	}{
+		Comment: "Lane-layout kernel baseline: complex128 vs float32 split-plane stages and the " +
+			"float32 subframe. Recorded by `make bench-lane`; `make bench-compare` gates against it.",
+		Go:   runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+		CPU:  cpuModel(),
+		Date: time.Now().Format("2006-01-02"),
+		Benchmarks: map[string]entry{
+			"BenchmarkChanEstStage":    measure(BenchmarkChanEstStage),
+			"BenchmarkDataStage":       measure(BenchmarkDataStage),
+			"BenchmarkChanEstStageF32": measure(BenchmarkChanEstStageF32),
+			"BenchmarkDataStageF32":    measure(BenchmarkDataStageF32),
+			"BenchmarkSubframeE2EF32":  measure(BenchmarkSubframeE2EF32),
+		},
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: ChanEstStageF32 %d ns/op, DataStageF32 %d ns/op", out,
+		doc.Benchmarks["BenchmarkChanEstStageF32"].NsPerOp,
+		doc.Benchmarks["BenchmarkDataStageF32"].NsPerOp)
+}
