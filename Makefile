@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet lint build test race zeroalloc obs-overhead bench bench-fft bench-e2e bench-lane bench-compare fuzz-smoke serve-smoke
+.PHONY: check vet lint build test race zeroalloc obs-overhead bench bench-fft bench-e2e bench-lane bench-turbo bench-compare fuzz-smoke serve-smoke
 
 check: lint build race zeroalloc obs-overhead fft-sweep
 	$(GO) test ./...
@@ -79,18 +79,28 @@ bench-lane:
 	LTEPHY_BENCH_LANE_OUT=$(CURDIR)/BENCH_lane_baseline.json \
 		$(GO) test -run TestWriteLaneBenchBaseline -count=1 -v ./internal/uplink/
 
-# Benchmark regression gate: run the receiver benchmarks and fail on any
-# >10% ns/op regression (or any allocs/op growth) against the committed
-# baselines. CI's bench-lane job re-records the baseline on its own
-# hardware first, so the comparison is always same-machine.
+# Line-rate turbo baseline: re-records BENCH_turbo_baseline.json (the
+# full-turbo subframe e2e plus the int8 sliding-window kernel at K=512
+# and K=6144). CI's bench-turbo job re-records on its own hardware
+# before gating.
+bench-turbo:
+	LTEPHY_BENCH_TURBO_OUT=$(CURDIR)/BENCH_turbo_baseline.json \
+		$(GO) test -run TestWriteTurboBenchBaseline -count=1 -v ./internal/uplink/
+
+# Benchmark regression gate: run the receiver and turbo-kernel benchmarks
+# and fail on any >10% ns/op regression (or any allocs/op growth) against
+# the committed baselines. CI's bench jobs re-record the baselines on
+# their own hardware first, so the comparison is always same-machine.
 bench-compare:
-	$(GO) test -run '^$$' -bench 'BenchmarkSubframeE2E|BenchmarkChanEstStage|BenchmarkDataStage' \
-		-benchmem ./internal/uplink/ | \
+	@( $(GO) test -run '^$$' -bench 'BenchmarkSubframeE2E|BenchmarkChanEstStage|BenchmarkDataStage' \
+		-benchmem ./internal/uplink/ && \
+	   $(GO) test -run '^$$' -bench 'BenchmarkDecodeQuant' -benchmem ./internal/phy/turbo/ ) | \
 		$(GO) run ./cmd/bench-compare \
-			-baseline $(CURDIR)/BENCH_e2e_baseline.json,$(CURDIR)/BENCH_lane_baseline.json
+			-baseline $(CURDIR)/BENCH_e2e_baseline.json,$(CURDIR)/BENCH_lane_baseline.json,$(CURDIR)/BENCH_turbo_baseline.json
 
 # Short fuzz pass over every fuzz target (~10s each): CRC append/check,
-# turbo segmentation and rate-matching round trips, the FFT
+# turbo segmentation and rate-matching round trips, the int8 decoder
+# against the float64 oracle, the FFT
 # forward/inverse round trip, and the front-haul frame decoder against
 # adversarial wire bytes. `go test -fuzz` takes one target per run,
 # hence the separate invocations.
@@ -99,6 +109,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzAppendCheck$$' -fuzztime $(FUZZTIME) ./internal/phy/crc/
 	$(GO) test -run '^$$' -fuzz '^FuzzSegmentationRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/phy/turbo/
 	$(GO) test -run '^$$' -fuzz '^FuzzRateMatchRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/phy/turbo/
+	$(GO) test -run '^$$' -fuzz '^FuzzTurboQuantized$$' -fuzztime $(FUZZTIME) ./internal/phy/turbo/
 	$(GO) test -run '^$$' -fuzz '^FuzzRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/phy/fft/
 	$(GO) test -run '^$$' -fuzz '^FuzzLanePackUnpack$$' -fuzztime $(FUZZTIME) ./internal/phy/lane/
 	$(GO) test -run '^$$' -fuzz '^FuzzFrameDecode$$' -fuzztime $(FUZZTIME) ./internal/fronthaul/

@@ -31,6 +31,7 @@ import (
 	"ltephy/internal/obs"
 	"ltephy/internal/params"
 	"ltephy/internal/phy/fft"
+	phyturbo "ltephy/internal/phy/turbo"
 	"ltephy/internal/phy/workspace"
 	"ltephy/internal/power"
 	"ltephy/internal/sched"
@@ -56,6 +57,8 @@ func run(args []string, w io.Writer) error {
 	maxPRB := fs.Int("maxprb", 20, "clamp per-user PRBs (native DSP is host-speed; the paper's 200-PRB pool needs a base station)")
 	napOnIdle := fs.Bool("idle-nap", false, "reactive policy: nap workers that find no work")
 	turbo := fs.String("turbo", "passthrough", "turbo mode: passthrough (paper) or full")
+	turboIter := fs.Int("turbo-iter", 0, "max full turbo iterations per code block (0 = receiver default); CRC-gated early stop usually finishes sooner")
+	turboKernel := fs.String("turbo-kernel", "int8", "full-turbo decoder kernel: int8 (line-rate) or float64 (oracle)")
 	rate := fs.Float64("rate", 0, "code rate for rate-matched full-turbo mode (0 = mother rate + padding)")
 	combiner := fs.String("combiner", "mmse", "antenna combiner: mmse, zf or mrc")
 	precision := fs.String("precision", "complex128", "kernel precision: complex128 or float32 (split-plane lane layout)")
@@ -93,6 +96,16 @@ func run(args []string, w io.Writer) error {
 		rc.Turbo = uplink.TurboFull
 	default:
 		return fmt.Errorf("unknown turbo mode %q", *turbo)
+	}
+	if *turboIter > 0 {
+		rc.TurboIterations = *turboIter
+	}
+	switch *turboKernel {
+	case "int8":
+	case "float64":
+		rc.TurboKernel = phyturbo.KernelFloat64
+	default:
+		return fmt.Errorf("unknown turbo kernel %q", *turboKernel)
 	}
 	rc.CodeRate = *rate
 	switch *combiner {
@@ -401,6 +414,15 @@ func printTelemetry(w io.Writer, tel *obs.Registry) {
 		worst := obs.BucketUpperNanos(h.MaxBucket())
 		fmt.Fprintf(w, "    %-16s %8d runs  mean %8.1f us  worst < %.1f us\n",
 			obs.StageNames[s], n, mean/1e3, float64(worst)/1e3)
+	}
+	if th := tel.TurboHist(); th.Count() > 0 {
+		fmt.Fprintf(w, "  turbo half-iterations over %d decodes: mean %.2f, histogram", th.Count(), th.Mean())
+		for b := 0; b < obs.CountHistBuckets; b++ {
+			if c := th.Bucket(b); c > 0 {
+				fmt.Fprintf(w, "  %d:%d", b, c)
+			}
+		}
+		fmt.Fprintln(w)
 	}
 	d := tel.Deadline()
 	total := d.Met() + d.Missed()

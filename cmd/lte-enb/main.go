@@ -62,6 +62,7 @@ func run(args []string, w io.Writer, stop <-chan struct{}) error {
 	maxUsers := fs.Int("maxusers", fronthaul.MaxUsersPerFrame, "user records allowed per frame")
 	shedBackpressure := fs.Bool("shed-backpressure", false, "shed frames when no decode slot is free instead of blocking the read loop")
 	turbo := fs.String("turbo", "passthrough", "turbo mode: passthrough (paper) or full")
+	turboIter := fs.Int("turbo-iter", 0, "max full turbo iterations per code block (0 = receiver default)")
 	lockFree := fs.Bool("lockfree", false, "use the Chase-Lev lock-free deque")
 	obsSampling := fs.Int("obs", 0, "telemetry sampling knob for the pools (0 = off)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /trace, /trace/admission and /debug/vars on this address")
@@ -77,6 +78,9 @@ func run(args []string, w io.Writer, stop <-chan struct{}) error {
 		rc.Turbo = uplink.TurboFull
 	default:
 		return fmt.Errorf("unknown turbo mode %q", *turbo)
+	}
+	if *turboIter > 0 {
+		rc.TurboIterations = *turboIter
 	}
 
 	srv, err := fronthaul.NewServer(fronthaul.Config{

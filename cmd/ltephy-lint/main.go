@@ -12,7 +12,9 @@
 // directory. Analyzer scoping follows the invariants' home turf:
 // arenapair, arenaescape and hotpathalloc run everywhere; determinism
 // runs over the bit-exact receiver/simulator surface (internal/phy,
-// internal/uplink, internal/sim); atomiccheck runs over internal/sched,
+// internal/uplink, internal/sim) and internal/sched, whose turbo window
+// fan-out is part of the serial-vs-parallel bit-exactness contract;
+// atomiccheck runs over internal/sched,
 // internal/obs and internal/fronthaul (the telemetry counters and the
 // serving layer's per-cell accounting share the scheduler's lock-free
 // discipline).
@@ -33,7 +35,7 @@ var scopes = map[string][]string{
 	analysis.ArenaPair.Name:    nil,
 	analysis.ArenaEscape.Name:  nil,
 	analysis.HotPathAlloc.Name: nil,
-	analysis.Determinism.Name:  {"/internal/phy", "/internal/uplink", "/internal/sim"},
+	analysis.Determinism.Name:  {"/internal/phy", "/internal/uplink", "/internal/sim", "/internal/sched"},
 	analysis.AtomicCheck.Name:  {"/internal/sched", "/internal/obs", "/internal/fronthaul"},
 }
 

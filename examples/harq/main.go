@@ -29,7 +29,9 @@ func main() {
 	for i := range payload {
 		payload[i] = pr.Bit()
 	}
-	harq, err := format.NewHARQ()
+	hc := cfg.Receiver
+	hc.TurboIterations = 6
+	harq, err := format.NewHARQCfg(hc)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,7 +58,7 @@ func main() {
 		}
 		solo := job.Finish()
 
-		got, ok, err := harq.Absorb(job.SoftBits(), rv, 6)
+		got, ok, err := harq.Absorb(job.SoftBits(), rv)
 		if err != nil {
 			log.Fatal(err)
 		}

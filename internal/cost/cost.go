@@ -65,6 +65,14 @@ type Model struct {
 	TurboFull bool
 	// TurboIterations scales the full-decode cost.
 	TurboIterations int
+	// TurboHalfIters, when nonzero, prices the decode by the realized
+	// half-iteration count instead of the worst-case 2*TurboIterations:
+	// CRC-gated early termination usually stops a decode after a fraction
+	// of its budget, and a pricing model that charges the full cap
+	// systematically over-admits headroom the receiver never uses. Feed it
+	// from observed counts (obs.Registry.TurboHist or
+	// UserResult.TurboHalfIters EWMAs); fractional values are meaningful.
+	TurboHalfIters float64
 }
 
 // Default returns the calibrated model.
@@ -135,11 +143,16 @@ func (m Model) BackendTask(n, layers int, mod modulation.Scheme) float64 {
 		syms*q*BackendPerBitOps // demap + decode passthrough + CRC
 	if m.TurboFull {
 		// Max-log-MAP: per info bit, 8 states x (gamma + alpha + beta +
-		// LLR) across two constituent decoders and TurboIterations
-		// iterations; coded bits ~ 3x info bits.
+		// LLR) per half-iteration (one constituent decoder pass); the
+		// worst case runs 2*TurboIterations half-iterations, the realized
+		// count (when known) is usually far lower. Coded bits ~ 3x info
+		// bits.
 		info := syms * q / 3
-		iters := float64(m.TurboIterations)
-		ops += info * 8 * 16 * 2 * iters
+		halves := 2 * float64(m.TurboIterations)
+		if m.TurboHalfIters > 0 {
+			halves = m.TurboHalfIters
+		}
+		ops += info * 8 * 16 * halves
 	}
 	return ops * m.CyclesPerOp
 }

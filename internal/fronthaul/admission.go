@@ -1,6 +1,9 @@
 package fronthaul
 
 import (
+	"math"
+	"sync/atomic"
+
 	"ltephy/internal/cost"
 	"ltephy/internal/uplink"
 )
@@ -13,6 +16,46 @@ type Predictor interface {
 	EstimateUser(p uplink.UserParams) float64
 }
 
+// TurboTracker is an exponentially weighted moving average of the
+// realized turbo half-iteration counts the receiver reports
+// (UserResult.TurboHalfIters). CRC-gated early termination makes the
+// decode cost data-dependent; the tracker closes the loop so admission
+// prices turbo by what decodes actually cost instead of the worst-case
+// iteration budget. Observe is lock-free and safe for concurrent workers;
+// the zero value is ready to use (HalfIters reports 0 until the first
+// observation, leaving the worst-case pricing in force).
+type TurboTracker struct {
+	bits atomic.Uint64 // float64 EWMA, CAS-updated
+}
+
+// turboEWMAAlpha is the weight of each new observation: 1/16 smooths over
+// SNR bursts while still following load shifts within tens of users.
+const turboEWMAAlpha = 1.0 / 16
+
+// Observe folds one user's realized half-iteration count into the EWMA.
+// Zero counts (users decoded outside TurboFull mode) are ignored.
+func (t *TurboTracker) Observe(halfIters int) {
+	if halfIters <= 0 {
+		return
+	}
+	for {
+		old := t.bits.Load()
+		next := float64(halfIters)
+		if old != 0 {
+			cur := math.Float64frombits(old)
+			next = cur + turboEWMAAlpha*(next-cur)
+		}
+		if t.bits.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// HalfIters returns the current EWMA (0 before any observation).
+func (t *TurboTracker) HalfIters() float64 {
+	return math.Float64frombits(t.bits.Load())
+}
+
 // CostPredictor predicts activity from the cost model: a user's modelled
 // cycles divided by the cycles the pool's workers deliver per period.
 type CostPredictor struct {
@@ -21,6 +64,11 @@ type CostPredictor struct {
 	// PeriodCycles is workers x Model.PeriodCycles(delta): the cell's
 	// cycle budget per subframe period.
 	PeriodCycles float64
+	// Turbo, when non-nil, feeds the realized half-iteration EWMA into
+	// the model's TurboHalfIters so estimates track early termination.
+	// The server wires it up for the default predictor and feeds it from
+	// every user result.
+	Turbo *TurboTracker
 }
 
 // NewCostPredictor builds a predictor for a pool of `workers` cores and a
@@ -35,7 +83,22 @@ func NewCostPredictor(m cost.Model, antennas, workers int, deltaSec float64) Cos
 
 // EstimateUser implements Predictor.
 func (c CostPredictor) EstimateUser(p uplink.UserParams) float64 {
-	return c.Model.UserCycles(p, c.Antennas) / c.PeriodCycles
+	m := c.Model
+	if c.Turbo != nil {
+		if h := c.Turbo.HalfIters(); h > 0 {
+			m.TurboHalfIters = h
+		}
+	}
+	return m.UserCycles(p, c.Antennas) / c.PeriodCycles
+}
+
+// ObserveTurbo implements the optional feedback interface the server
+// probes for: it folds a result's realized half-iteration count into the
+// tracker (no-op without one).
+func (c CostPredictor) ObserveTurbo(halfIters int) {
+	if c.Turbo != nil {
+		c.Turbo.Observe(halfIters)
+	}
 }
 
 // FlatPredictor charges a fixed activity per PRB — the simplest Eq. 3

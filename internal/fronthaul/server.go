@@ -104,7 +104,11 @@ func (c Config) withDefaults() (Config, error) {
 		c.Burst = 2 * c.Capacity
 	}
 	if c.Predictor == nil {
-		c.Predictor = NewCostPredictor(cost.Default(), c.Receiver.Antennas, c.Workers, c.Delta.Seconds())
+		cp := NewCostPredictor(cost.Default(), c.Receiver.Antennas, c.Workers, c.Delta.Seconds())
+		cp.Model.TurboFull = c.Receiver.Turbo == uplink.TurboFull
+		cp.Model.TurboIterations = c.Receiver.TurboIterations
+		cp.Turbo = &TurboTracker{}
+		c.Predictor = cp
 	}
 	if c.SlotsPerConn <= 0 {
 		c.SlotsPerConn = 4
@@ -234,6 +238,19 @@ func NewServer(cfg Config) (*Server, error) {
 		lns:      map[net.Listener]struct{}{},
 		conns:    map[net.Conn]struct{}{},
 	}
+	// Feedback loop: when the predictor can absorb realized turbo
+	// half-iteration counts, every result feeds it before reaching the
+	// caller's hook, so admission estimates follow early termination.
+	onResult := cfg.OnResult
+	if to, ok := cfg.Predictor.(interface{ ObserveTurbo(int) }); ok {
+		user := onResult
+		onResult = func(r uplink.UserResult) {
+			to.ObserveTurbo(r.TurboHalfIters)
+			if user != nil {
+				user(r)
+			}
+		}
+	}
 	s.pools = make([]*sched.Pool, cfg.Pools)
 	for i := range s.pools {
 		pc := sched.DefaultPoolConfig()
@@ -241,7 +258,7 @@ func NewServer(cfg Config) (*Server, error) {
 		pc.Receiver = cfg.Receiver
 		pc.Seed = cfg.Seed + uint64(i)
 		pc.LockFreeDeque = cfg.LockFreeDeque
-		pc.OnResult = cfg.OnResult
+		pc.OnResult = onResult
 		pool, err := sched.NewPool(pc)
 		if err != nil {
 			for _, p := range s.pools[:i] {

@@ -58,3 +58,53 @@ func (h *Histogram) MaxBucket() int {
 	}
 	return -1
 }
+
+// CountHistBuckets sizes CountHist: linear unit-width buckets 0..n-1 with
+// the last bucket absorbing overflow. 33 covers the turbo decoder's
+// half-iteration range (2 per full iteration, iteration caps well under
+// 16) with exact resolution.
+const CountHistBuckets = 33
+
+// CountHist is a fixed-array histogram for small non-negative integer
+// counts (turbo half-iterations realized per transport block): exact
+// unit-width buckets, atomic counters, allocation-free, any number of
+// concurrent writers. The zero value is ready to use.
+type CountHist struct {
+	counts [CountHistBuckets]atomic.Int64
+	sum    atomic.Int64
+	count  atomic.Int64
+}
+
+// Observe records one count (negative clamps to 0, large values clamp
+// into the last bucket).
+func (h *CountHist) Observe(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	b := n
+	if b >= CountHistBuckets {
+		b = CountHistBuckets - 1
+	}
+	h.counts[b].Add(1)
+	h.sum.Add(n)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *CountHist) Count() int64 { return h.count.Load() }
+
+// Sum returns the total of all observed counts.
+func (h *CountHist) Sum() int64 { return h.sum.Load() }
+
+// Bucket returns the count of exact value b (the last bucket also holds
+// every overflow observation).
+func (h *CountHist) Bucket(b int) int64 { return h.counts[b].Load() }
+
+// Mean returns the average observed count (NaN-free: 0 when empty).
+func (h *CountHist) Mean() float64 {
+	c := h.count.Load()
+	if c == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(c)
+}

@@ -94,6 +94,7 @@ type Registry struct {
 	sampling atomic.Int64
 
 	stages   [NumStages]Histogram
+	turbo    CountHist
 	deadline DeadlineTracker
 	est      EstimatorTracker
 	workers  []WorkerRecorder
@@ -147,6 +148,12 @@ func (r *Registry) Worker(i int) *WorkerRecorder { return &r.workers[i] }
 
 // StageHist returns the latency histogram of a stage class.
 func (r *Registry) StageHist(stage uint8) *Histogram { return &r.stages[stage] }
+
+// TurboHist returns the realized turbo half-iteration histogram: one
+// observation per decoded user in TurboFull mode, recording how many
+// half-iterations CRC-gated early termination actually ran — the live
+// form of the iteration-count figure the decode cost model consumes.
+func (r *Registry) TurboHist() *CountHist { return &r.turbo }
 
 // Deadline returns the deadline accountant.
 func (r *Registry) Deadline() *DeadlineTracker { return &r.deadline }
@@ -226,3 +233,14 @@ func (w *WorkerRecorder) Span(kind uint8, start, end int64) {
 
 // Instant records a point event (steals) subject to the same sampling.
 func (w *WorkerRecorder) Instant(kind uint8, now int64) { w.Span(kind, now, now) }
+
+// TurboHalfIters records one user's realized turbo half-iteration count
+// into the shared histogram (when sampling is on). Zero counts — users
+// decoded outside TurboFull mode — are skipped so the histogram reads as
+// a per-turbo-decode distribution.
+func (w *WorkerRecorder) TurboHalfIters(n int) {
+	if n == 0 || w.reg.sampling.Load() == 0 {
+		return
+	}
+	w.reg.turbo.Observe(int64(n))
+}

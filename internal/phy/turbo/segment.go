@@ -181,6 +181,107 @@ func (s *Segmentation) DecodeRMInto(dst []uint8, ws *workspace.Arena, llr []floa
 	return tb, ok, nil
 }
 
+// Kernel selects which decoder implementation a segmented decode uses.
+type Kernel int
+
+const (
+	// KernelInt8 is the quantized sliding-window max-log-MAP path — the
+	// default, line-rate kernel.
+	KernelInt8 Kernel = iota
+	// KernelFloat64 is the float64 max-log-MAP path, kept as the
+	// accuracy oracle.
+	KernelFloat64
+)
+
+// SegDecodeOpts configures a segmented transport-block decode.
+type SegDecodeOpts struct {
+	// Iterations caps full decode iterations per code block.
+	Iterations int
+	// Kernel selects the int8 line-rate path (default) or the float64
+	// oracle.
+	Kernel Kernel
+	// Par fans one code block's trellis windows out across workers
+	// (int8 kernel only; nil = serial).
+	Par Parallel
+	// TBCheck, when non-nil and C == 1, gates early termination on the
+	// transport-block CRC: it is called per half-iteration with the
+	// decoded transport block (filler stripped). Segments with C > 1
+	// use the per-block CRC24B gate instead, as before. Must be a
+	// non-capturing func on allocation-free paths.
+	TBCheck func([]uint8) bool
+}
+
+// DecodeRMOptsInto is DecodeRMInto with kernel selection, window fan-out
+// and CRC gating; it additionally returns the realized half-iteration
+// count summed across code blocks, which feeds the iteration-aware decode
+// cost model.
+func (s *Segmentation) DecodeRMOptsInto(dst []uint8, ws *workspace.Arena, llr []float64, rv int, opts SegDecodeOpts) (tb []uint8, ok bool, halfIters int, err error) {
+	m := ws.Mark()
+	mother := ws.Float(s.MotherLen())
+	if err := s.AccumulateRM(mother, llr, rv); err != nil {
+		ws.Release(m)
+		return nil, false, 0, err
+	}
+	tb, ok, halfIters = s.DecodeOptsInto(dst, ws, mother, opts)
+	ws.Release(m)
+	return tb, ok, halfIters, nil
+}
+
+// DecodeOptsInto is DecodeInto with kernel selection, window fan-out and
+// CRC-gated early termination; it additionally returns the realized
+// half-iteration count summed across code blocks. The float64 kernel
+// keeps DecodeInto's exact semantics (stability-only stop when C == 1)
+// and reports full iterations as two half-iterations each.
+func (s *Segmentation) DecodeOptsInto(dst []uint8, ws *workspace.Arena, llr []float64, opts SegDecodeOpts) (tb []uint8, ok bool, halfIters int) {
+	if len(llr) != s.CodedLen() {
+		panic(fmt.Sprintf("turbo: got %d LLRs, want %d", len(llr), s.CodedLen()))
+	}
+	ok = true
+	if cap(dst) == 0 {
+		dst = make([]uint8, 0, s.B) //ltephy:alloc-ok — payload outlives the arena by design; hot callers pass a preallocated dst
+	}
+	tb = dst
+	per := CodedLen(s.K)
+	for c := 0; c < s.C; c++ {
+		m := ws.Mark()
+		var block []uint8
+		if opts.Kernel == KernelFloat64 {
+			var check func([]uint8) bool
+			if s.PerCRC {
+				check = crc24bCheck
+			}
+			var ran int
+			block, ran = s.codec.DecodeEarlyStopIn(ws, llr[c*per:(c+1)*per], opts.Iterations, check)
+			halfIters += 2 * ran
+		} else {
+			q := DecodeOpts{Iterations: opts.Iterations, Par: opts.Par}
+			if s.PerCRC {
+				q.Check = crc24bCheck
+			} else if opts.TBCheck != nil {
+				// C == 1: the transport block is the code block minus
+				// filler, so the TB CRC gates decoding directly.
+				q.Check = opts.TBCheck
+				q.CheckOffset = s.Fill
+			}
+			var ran int
+			block, ran = s.codec.DecodeQuantIn(ws, llr[c*per:(c+1)*per], q)
+			halfIters += ran
+		}
+		if s.PerCRC {
+			if !crc.CRC24B.CheckBits(block) {
+				ok = false
+			}
+			block = block[:len(block)-blockCRCBits]
+		}
+		if c == 0 {
+			block = block[s.Fill:]
+		}
+		tb = append(tb, block...)
+		ws.Release(m)
+	}
+	return tb, ok, halfIters
+}
+
 // Decode decodes concatenated codeword LLRs back into the transport block.
 // ok reports whether every per-block CRC24B verified (always true when
 // C == 1, where no per-block CRC exists).

@@ -118,21 +118,24 @@ func (s *stack[T]) footprint() int {
 	return total
 }
 
-// Arena is a per-worker scratch allocator: four typed LIFO stacks
-// (complex128, float64, float32, uint8) with shared Mark/Release
-// semantics. The zero value is NOT ready for use via its methods on a nil
-// pointer only in the sense that nil falls back to make(); a &Arena{} (or
-// New()) is fully functional.
+// Arena is a per-worker scratch allocator: typed LIFO stacks
+// (complex128, float64, float32, uint8, int8, int16, int32) with shared
+// Mark/Release semantics. The zero value is NOT ready for use via its
+// methods on a nil pointer only in the sense that nil falls back to
+// make(); a &Arena{} (or New()) is fully functional.
 type Arena struct {
 	c128 stack[complex128]
 	f64  stack[float64]
 	f32  stack[float32]
 	u8   stack[uint8]
+	i8   stack[int8]
+	i16  stack[int16]
+	i32  stack[int32]
 }
 
-// Mark captures the current allocation state of all four stacks.
+// Mark captures the current allocation state of all stacks.
 type Mark struct {
-	c128, f64, f32, u8 mark
+	c128, f64, f32, u8, i8, i16, i32 mark
 }
 
 // New returns an empty Arena. Equivalent to new(Arena); provided for
@@ -176,13 +179,42 @@ func (a *Arena) Bytes(n int) []uint8 {
 	return a.u8.grab(n)
 }
 
+// Int8 returns a zeroed []int8 of length n (capacity n). On a nil Arena
+// it falls back to make. The quantized turbo decoder draws its channel
+// LLR and extrinsic buffers from this stack.
+func (a *Arena) Int8(n int) []int8 {
+	if a == nil {
+		return make([]int8, n)
+	}
+	return a.i8.grab(n)
+}
+
+// Int16 returns a zeroed []int16 of length n (capacity n). On a nil
+// Arena it falls back to make.
+func (a *Arena) Int16(n int) []int16 {
+	if a == nil {
+		return make([]int16, n)
+	}
+	return a.i16.grab(n)
+}
+
+// Int32 returns a zeroed []int32 of length n (capacity n). On a nil
+// Arena it falls back to make. The quantized turbo decoder's path-metric
+// slabs live here.
+func (a *Arena) Int32(n int) []int32 {
+	if a == nil {
+		return make([]int32, n)
+	}
+	return a.i32.grab(n)
+}
+
 // Mark returns a checkpoint; Release with it frees everything allocated
 // since. On a nil Arena the checkpoint is meaningless and Release a no-op.
 func (a *Arena) Mark() Mark {
 	if a == nil {
 		return Mark{}
 	}
-	return Mark{a.c128.mark(), a.f64.mark(), a.f32.mark(), a.u8.mark()}
+	return Mark{a.c128.mark(), a.f64.mark(), a.f32.mark(), a.u8.mark(), a.i8.mark(), a.i16.mark(), a.i32.mark()}
 }
 
 // Release rewinds the arena to a checkpoint obtained from Mark. Slices
@@ -197,6 +229,9 @@ func (a *Arena) Release(m Mark) {
 	a.f64.release(m.f64)
 	a.f32.release(m.f32)
 	a.u8.release(m.u8)
+	a.i8.release(m.i8)
+	a.i16.release(m.i16)
+	a.i32.release(m.i32)
 }
 
 // Reset releases everything, keeping the reserved chunks for reuse.
@@ -208,6 +243,9 @@ func (a *Arena) Reset() {
 	a.f64.release(mark{})
 	a.f32.release(mark{})
 	a.u8.release(mark{})
+	a.i8.release(mark{})
+	a.i16.release(mark{})
+	a.i32.release(mark{})
 }
 
 // Footprint returns the total bytes of backing memory the arena has
@@ -217,5 +255,6 @@ func (a *Arena) Footprint() int {
 	if a == nil {
 		return 0
 	}
-	return a.c128.footprint()*16 + a.f64.footprint()*8 + a.f32.footprint()*4 + a.u8.footprint()
+	return a.c128.footprint()*16 + a.f64.footprint()*8 + a.f32.footprint()*4 +
+		a.u8.footprint() + a.i8.footprint() + a.i16.footprint()*2 + a.i32.footprint()*4
 }

@@ -171,6 +171,9 @@ type RunOptions struct {
 // one Delta window) is paired with the subframe's estimate. The
 // sampling reuses two stat buffers for the whole run — no per-subframe
 // allocation.
+//
+//ltephy:coldpath — real-time pacing driver: the wall-clock reads pace
+// dispatch and measure elapsed run time, and never influence decoded bits.
 func (d *Dispatcher) Run(pool *Pool, m params.Model, opts RunOptions) (time.Duration, error) {
 	if opts.Subframes <= 0 {
 		return 0, fmt.Errorf("sched: Run needs a positive subframe count")

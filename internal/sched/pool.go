@@ -488,6 +488,18 @@ func (w *worker) processUser(qu queuedUser) {
 	w.stats.busyNanos.Add(end - start)
 	w.rec.StageSpan(obs.StageInit, qu.seq, user, 0, start, end)
 
+	// Window fan-out: hand the turbo decoder a hook that turns one large
+	// code block's trellis windows into backend-class tasks on this
+	// worker's deque, so a single max-size block no longer serializes the
+	// subframe on one core. Installed after Init (which clears it); with
+	// one worker the hook would only add push/pop overhead, so the decoder
+	// runs serially — results are bit-identical either way.
+	if len(w.pool.workers) > 1 {
+		job.SetParallel(func(n int, fn func(int)) {
+			w.runWindows(qu.seq, user, n, fn)
+		})
+	}
+
 	stages := job.Stages()
 	for si := range stages {
 		s := stages[si]
@@ -514,9 +526,53 @@ func (w *worker) processUser(qu queuedUser) {
 		w.pool.cfg.OnResult(res)
 	}
 	if w.rec.Enabled() {
+		w.rec.TurboHalfIters(res.TurboHalfIters)
 		w.pool.tel.Deadline().Complete(qu.seq, obs.Nanotime())
 	}
 	w.ws.Release(m)
+}
+
+// runWindows is the turbo window fan-out (the hook processUser installs
+// via UserJob.SetParallel): each of the decoder's n independent trellis
+// windows becomes a backend-class task on this worker's deque, and the
+// worker processes/helps until the half-iteration's windows are all done
+// — the same spawn-and-help discipline runStage applies to the paper's
+// stage tasks, one level deeper. Windows write disjoint slices of the
+// decoder's state, so thieves need no synchronisation beyond the
+// completion counter, and the result is bit-identical for any worker
+// count.
+//
+// The decoder invokes the hook from the backend stage, which runs inline
+// on the user thread — never from a stolen task — so the help loop here
+// is the only task loop active on this goroutine and the arena mark
+// discipline of processUser is undisturbed.
+func (w *worker) runWindows(seq int64, user int32, n int, fn func(int)) {
+	var remaining atomic.Int64
+	remaining.Store(int64(n))
+	for i := 0; i < n; i++ {
+		i := i
+		w.local.push(Task{
+			fn: func(*workspace.Arena) {
+				fn(i)
+				remaining.Add(-1)
+			},
+			seq: seq, user: user, task: int32(i), stage: obs.StageBackend,
+		})
+	}
+	for {
+		if t, ok := w.local.pop(); ok {
+			w.runTask(t)
+			continue
+		}
+		if remaining.Load() == 0 {
+			return
+		}
+		if t, ok := w.trySteal(); ok {
+			w.runTask(t)
+			continue
+		}
+		runtime.Gosched()
+	}
 }
 
 // runStage pushes the stage's n tasks onto the local deque, then

@@ -1,6 +1,10 @@
 package uplink
 
-import "fmt"
+import (
+	"fmt"
+
+	"ltephy/internal/phy/turbo"
+)
 
 // HARQProcess combines the soft bits of successive transmissions of the
 // same transport block (incremental redundancy): each retransmission uses
@@ -10,22 +14,42 @@ import "fmt"
 // the paper's benchmark stops at a single CRC check, so this is an
 // extension (DESIGN.md §5).
 type HARQProcess struct {
-	format TransportFormat
-	mother []float64
-	rounds int
+	format    TransportFormat
+	params    DecodeParams
+	mother    []float64
+	rounds    int
+	halfIters int
 }
 
 // NewHARQ starts a combining process for the format, which must be the
-// rate-matched TurboFull format (Rate > 0).
+// rate-matched TurboFull format (Rate > 0), decoding with the default
+// receiver configuration. Use NewHARQCfg to configure iterations/kernel.
 func (f TransportFormat) NewHARQ() (*HARQProcess, error) {
+	return f.NewHARQCfg(DefaultConfig())
+}
+
+// NewHARQCfg starts a combining process whose decode attempts use the
+// receiver configuration's turbo settings — the same iteration cap and
+// kernel the subframe path applies, so bench/enb/sim configure HARQ and
+// first transmissions from one place instead of hardcoding an iteration
+// count at the Absorb call site.
+func (f TransportFormat) NewHARQCfg(cfg ReceiverConfig) (*HARQProcess, error) {
 	if f.Rate == 0 || f.Seg == nil {
 		return nil, fmt.Errorf("uplink: HARQ requires the rate-matched TurboFull format")
 	}
-	return &HARQProcess{format: f, mother: make([]float64, f.Seg.MotherLen())}, nil
+	return &HARQProcess{
+		format: f,
+		params: cfg.DecodeParams(),
+		mother: make([]float64, f.Seg.MotherLen()),
+	}, nil
 }
 
 // Rounds returns how many transmissions have been absorbed.
 func (h *HARQProcess) Rounds() int { return h.rounds }
+
+// HalfIters returns the realized turbo half-iteration count of the most
+// recent Absorb.
+func (h *HARQProcess) HalfIters() int { return h.halfIters }
 
 // RVForRound returns the standard redundancy-version cycling for the n-th
 // transmission (0-indexed): 0, 2, 3, 1 (TS 36.321 §5.4.2.2 ordering,
@@ -36,8 +60,9 @@ func RVForRound(n int) int {
 
 // Absorb accumulates one transmission's demapped (and descrambled) soft
 // bits — exactly the LLR stream UserJob.SoftBits exposes — sent with the
-// given redundancy version, then attempts a decode.
-func (h *HARQProcess) Absorb(llr []float64, rv, iterations int) (payload []uint8, ok bool, err error) {
+// given redundancy version, then attempts a decode with the configured
+// iteration cap and kernel.
+func (h *HARQProcess) Absorb(llr []float64, rv int) (payload []uint8, ok bool, err error) {
 	if len(llr) != h.format.TotalBits {
 		return nil, false, fmt.Errorf("uplink: HARQ got %d soft bits, format expects %d",
 			len(llr), h.format.TotalBits)
@@ -46,9 +71,12 @@ func (h *HARQProcess) Absorb(llr []float64, rv, iterations int) (payload []uint8
 		return nil, false, err
 	}
 	h.rounds++
-	tb, ok := h.format.Seg.DecodeMother(h.mother, iterations)
-	if !tbCRC.CheckBits(tb) {
-		ok = false
-	}
+	tb, segOK, halfIters := h.format.Seg.DecodeOptsInto(nil, nil, h.mother, turbo.SegDecodeOpts{
+		Iterations: h.params.Iterations,
+		Kernel:     h.params.Kernel,
+		TBCheck:    tbCRCCheck,
+	})
+	h.halfIters = halfIters
+	ok = segOK && tbCRC.CheckBits(tb)
 	return tb[:len(tb)-tbCRC.Bits()], ok, nil
 }

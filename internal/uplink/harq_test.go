@@ -93,11 +93,13 @@ func TestHARQIncrementalRedundancy(t *testing.T) {
 		t.Skip("first transmission decoded on its own; scenario needs a harsher channel seed")
 	}
 
-	harq, err := format.NewHARQ()
+	hc := cfg.Receiver
+	hc.TurboIterations = 6
+	harq, err := format.NewHARQCfg(hc)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, err := harq.Absorb(job0.SoftBits(), uplink.RVForRound(0), 6); err != nil {
+	if _, ok, err := harq.Absorb(job0.SoftBits(), uplink.RVForRound(0)); err != nil {
 		t.Fatal(err)
 	} else if ok {
 		t.Fatal("combiner decoded from the first transmission the standalone decoder failed on (same data)")
@@ -112,7 +114,7 @@ func TestHARQIncrementalRedundancy(t *testing.T) {
 		t.Fatal(err)
 	}
 	job1, _ := runReceiver(t, cfg.Receiver, u1)
-	got, ok, err := harq.Absorb(job1.SoftBits(), uplink.RVForRound(1), 6)
+	got, ok, err := harq.Absorb(job1.SoftBits(), uplink.RVForRound(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +138,7 @@ func TestHARQRejectsWrongLength(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := harq.Absorb(make([]float64, 10), 0, 2); err == nil {
+	if _, _, err := harq.Absorb(make([]float64, 10), 0); err == nil {
 		t.Error("wrong-length soft bits accepted")
 	}
 }

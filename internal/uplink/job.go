@@ -8,6 +8,7 @@ import (
 	"ltephy/internal/phy/fft"
 	"ltephy/internal/phy/linalg"
 	"ltephy/internal/phy/sequence"
+	"ltephy/internal/phy/turbo"
 	"ltephy/internal/phy/workspace"
 )
 
@@ -88,7 +89,17 @@ type UserJob struct {
 	// layout state. Set from Cfg.Precision at Init.
 	fp32 bool
 	f32  jobF32
+
+	// par, when set (after Init — Init clears it), lets the turbo
+	// decoder fan one code block's trellis windows out across scheduler
+	// workers instead of serializing a large block on one core.
+	par turbo.Parallel
 }
+
+// SetParallel installs the window fan-out hook the finish stage hands to
+// the turbo decoder. Call after Init; a nil hook (or none) decodes
+// serially with identical results.
+func (j *UserJob) SetParallel(p turbo.Parallel) { j.par = p }
 
 // SoftBits returns the demapped, descrambled LLR stream of the whole
 // allocation. Valid after the finish stage; HARQProcess.Absorb consumes
@@ -563,12 +574,15 @@ func (j *UserJob) finish(ws *workspace.Arena) {
 		DescrambleIn(ws, llr, j.U.Params.ID)
 	}
 	j.softBits = llr
-	payload, ok := j.format.DecodeTransportBlockInto(j.bits[:0], ws, llr, j.Cfg.TurboIterations)
+	dp := j.Cfg.DecodeParams()
+	dp.Par = j.par
+	payload, ok, halfIters := j.format.DecodeTransportBlockParams(j.bits[:0], ws, llr, dp)
 	j.bits = payload
 	res.NoiseVarEst = nv
 	res.EVM = j.U.Params.Mod.EVM(deint)
 	res.Bits = payload
 	res.CRCOK = ok
+	res.TurboHalfIters = halfIters
 	if j.U.Channel != nil {
 		res.ChannelMSE = j.channelMSE()
 	}

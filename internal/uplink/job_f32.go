@@ -474,12 +474,15 @@ func (j *UserJob) finishF32(ws *workspace.Arena) {
 		DescrambleIn(ws, llr, j.U.Params.ID)
 	}
 	j.softBits = llr
-	payload, ok := j.format.DecodeTransportBlockInto(j.bits[:0], ws, llr, j.Cfg.TurboIterations)
+	dp := j.Cfg.DecodeParams()
+	dp.Par = j.par
+	payload, ok, halfIters := j.format.DecodeTransportBlockParams(j.bits[:0], ws, llr, dp)
 	j.bits = payload
 	res.NoiseVarEst = nv
 	res.EVM = j.U.Params.Mod.EVMF32(deintRe, deintIm)
 	res.Bits = payload
 	res.CRCOK = ok
+	res.TurboHalfIters = halfIters
 	if j.U.Channel != nil {
 		res.ChannelMSE = j.channelMSEF32()
 	}

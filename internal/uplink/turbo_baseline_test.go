@@ -1,0 +1,107 @@
+package uplink_test
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"ltephy/internal/phy/turbo"
+	"ltephy/internal/phy/workspace"
+)
+
+// TestWriteTurboBenchBaseline records the line-rate turbo baseline to the
+// JSON file named by LTEPHY_BENCH_TURBO_OUT: the full-turbo end-to-end
+// subframe and the int8 sliding-window kernel at the smallest and largest
+// interesting block sizes. Skipped unless the variable is set;
+// `make bench-turbo` drives it, and `make bench-compare` gates against
+// the committed figures. The kernel entries mirror BenchmarkDecodeQuant
+// in internal/phy/turbo (same sizes, same Eb/N0, no CRC gate, so the
+// decode always runs its full 10 half-iterations); decode time is set by
+// the block size and iteration budget, not the noise realization, so the
+// figures are comparable across the two harnesses.
+func TestWriteTurboBenchBaseline(t *testing.T) {
+	out := os.Getenv("LTEPHY_BENCH_TURBO_OUT")
+	if out == "" {
+		t.Skip("set LTEPHY_BENCH_TURBO_OUT=<path> to record the turbo baseline")
+	}
+	type entry struct {
+		NsPerOp     int64 `json:"ns_per_op"`
+		BytesPerOp  int64 `json:"bytes_per_op"`
+		AllocsPerOp int64 `json:"allocs_per_op"`
+	}
+	measure := func(f func(*testing.B)) entry {
+		r := testing.Benchmark(f)
+		return entry{r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp()}
+	}
+	doc := struct {
+		Comment    string           `json:"comment"`
+		Go         string           `json:"go"`
+		CPU        string           `json:"cpu"`
+		Date       string           `json:"date"`
+		Benchmarks map[string]entry `json:"benchmarks"`
+	}{
+		Comment: "Line-rate turbo baseline: full-turbo subframe e2e plus the int8 " +
+			"sliding-window kernel (serial, full iteration budget). allocs_per_op is " +
+			"the tracked regression metric; compare with `make bench-turbo` output.",
+		Go:   runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+		CPU:  cpuModel(),
+		Date: time.Now().Format("2006-01-02"),
+		Benchmarks: map[string]entry{
+			"BenchmarkSubframeE2ETurboFull": measure(BenchmarkSubframeE2ETurboFull),
+			"BenchmarkDecodeQuant/K512":     measure(benchDecodeQuantK(512)),
+			"BenchmarkDecodeQuant/K6144":    measure(benchDecodeQuantK(6144)),
+		},
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: SubframeE2ETurboFull %d ns/op %d allocs/op, DecodeQuant/K6144 %d ns/op", out,
+		doc.Benchmarks["BenchmarkSubframeE2ETurboFull"].NsPerOp,
+		doc.Benchmarks["BenchmarkSubframeE2ETurboFull"].AllocsPerOp,
+		doc.Benchmarks["BenchmarkDecodeQuant/K6144"].NsPerOp)
+}
+
+// benchDecodeQuantK reproduces the BenchmarkDecodeQuant body for one block
+// size: fixed-seed AWGN LLRs at 1.5 dB Eb/N0 through the arena-backed int8
+// decoder with the default 5-iteration budget and no early-stop check.
+func benchDecodeQuantK(k int) func(*testing.B) {
+	return func(b *testing.B) {
+		c, err := turbo.NewCodec(k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(1))
+		info := make([]uint8, k)
+		for i := range info {
+			info[i] = uint8(rng.Intn(2))
+		}
+		coded := c.Encode(info)
+		esn0 := math.Pow(10, 1.5/10) / 3
+		sigma := math.Sqrt(1 / (2 * esn0))
+		llr := make([]float64, len(coded))
+		for i, bit := range coded {
+			x := 1.0
+			if bit == 1 {
+				x = -1
+			}
+			llr[i] = 2 * (x + sigma*rng.NormFloat64()) / (sigma * sigma)
+		}
+		ws := workspace.New()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m := ws.Mark()
+			c.DecodeQuantIn(ws, llr, turbo.DecodeOpts{Iterations: 5})
+			ws.Release(m)
+		}
+		b.SetBytes(int64(k) / 8)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"ltephy/internal/phy/channel"
 	"ltephy/internal/phy/modulation"
 	"ltephy/internal/phy/sequence"
+	"ltephy/internal/phy/turbo"
 )
 
 // LTE numerology fixed by the standard and used throughout the paper.
@@ -145,12 +146,18 @@ type UserResult struct {
 	// EVM is the root-mean-square error-vector magnitude of the equalised
 	// constellation (0.1 = -20 dB): the standard link-quality measure.
 	EVM float64
+	// TurboHalfIters is the realized turbo half-iteration count summed
+	// over the user's code blocks (0 outside TurboFull mode): the
+	// CRC-gated early-termination outcome that iteration-aware cost
+	// pricing consumes.
+	TurboHalfIters int
 }
 
 // Equal reports whether two results are bit-identical — the paper's
 // serial-vs-parallel verification criterion (Section IV-D).
 func (r UserResult) Equal(o UserResult) bool {
-	if r.UserID != o.UserID || r.Seq != o.Seq || r.CRCOK != o.CRCOK || len(r.Bits) != len(o.Bits) {
+	if r.UserID != o.UserID || r.Seq != o.Seq || r.CRCOK != o.CRCOK ||
+		r.TurboHalfIters != o.TurboHalfIters || len(r.Bits) != len(o.Bits) {
 		return false
 	}
 	for i := range r.Bits {
@@ -270,6 +277,10 @@ type ReceiverConfig struct {
 	Antennas        int
 	Turbo           TurboMode
 	TurboIterations int // used only in TurboFull mode
+	// TurboKernel selects the turbo decoder implementation in TurboFull
+	// mode: the zero value is the int8 sliding-window line-rate kernel;
+	// turbo.KernelFloat64 keeps the float oracle path.
+	TurboKernel turbo.Kernel
 	// CodeRate, when nonzero, enables rate matching in TurboFull mode: the
 	// payload is CodeRate*capacity and the codeword is punctured/repeated
 	// to fill the allocation exactly. Zero keeps the mother-rate codeword
@@ -314,6 +325,8 @@ func (c ReceiverConfig) Validate() error {
 		return fmt.Errorf("uplink: antenna count %d outside [1, 8]", c.Antennas)
 	case c.Turbo == TurboFull && c.TurboIterations < 1:
 		return fmt.Errorf("uplink: turbo iterations %d < 1", c.TurboIterations)
+	case c.TurboKernel != turbo.KernelInt8 && c.TurboKernel != turbo.KernelFloat64:
+		return fmt.Errorf("uplink: unknown turbo kernel %d", int(c.TurboKernel))
 	case c.CodeRate != 0 && (c.CodeRate < 0 || c.CodeRate >= 1):
 		return fmt.Errorf("uplink: code rate %g outside (0, 1)", c.CodeRate)
 	case c.Combiner < CombinerMMSE || c.Combiner > CombinerIRC:
