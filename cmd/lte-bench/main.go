@@ -53,6 +53,7 @@ func run(args []string, w io.Writer) error {
 	subframes := fs.Int("subframes", 200, "number of subframes to process")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines")
 	delta := fs.Duration("delta", 5*time.Millisecond, "dispatch period (the paper's DELTA)")
+	unpaced := fs.Bool("unpaced", false, "dispatch without pacing (obs.UnpacedClock): run the trace as fast as the pool drains")
 	seed := fs.Uint64("seed", 1, "parameter model and input data seed")
 	maxPRB := fs.Int("maxprb", 20, "clamp per-user PRBs (native DSP is host-speed; the paper's 200-PRB pool needs a base station)")
 	napOnIdle := fs.Bool("idle-nap", false, "reactive policy: nap workers that find no work")
@@ -166,6 +167,9 @@ func run(args []string, w io.Writer) error {
 
 	dispCfg := sched.DefaultDispatcherConfig()
 	dispCfg.Delta = *delta
+	if *unpaced {
+		dispCfg.Clock = obs.UnpacedClock{}
+	}
 	dispCfg.Seed = *seed
 	dispCfg.TX.Receiver = rc
 	dispCfg.TX.SNRdB = *snr

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"ltephy/internal/analysis"
+)
+
+// The baseline file is the suppression mechanism for triaged findings:
+// entries name an (analyzer, repo-relative path, message) triple that is
+// known, audited and accepted. Matching deliberately ignores line
+// numbers so unrelated edits above a triaged site do not resurrect it;
+// editing the flagged code enough to change the message re-opens the
+// finding. An empty findings list is the healthy steady state — the
+// committed file keeps the mechanism exercised and gives triage a place
+// to land without a format change.
+
+const defaultBaseline = ".ltephy-lint.baseline.json"
+
+type baselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	Path     string `json:"path"`
+	Message  string `json:"message"`
+}
+
+type baselineFile struct {
+	Comment  string          `json:"comment,omitempty"`
+	Findings []baselineEntry `json:"findings"`
+}
+
+// loadBaseline reads the baseline as a multiset of entries. A missing
+// file is an empty baseline, not an error.
+func loadBaseline(path string) (map[baselineEntry]int, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return map[baselineEntry]int{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	set := map[baselineEntry]int{}
+	for _, e := range bf.Findings {
+		set[e]++
+	}
+	return set, nil
+}
+
+// entryFor renders a diagnostic as its baseline identity.
+func entryFor(prog *analysis.Program, root string, d analysis.Diagnostic) baselineEntry {
+	pos := prog.Fset.Position(d.Pos)
+	return baselineEntry{
+		Analyzer: d.Analyzer,
+		Path:     analysis.RelPath(root, pos.Filename),
+		Message:  d.Message,
+	}
+}
+
+// applyBaseline splits diagnostics into kept (new) and suppressed
+// (baselined) findings, consuming baseline entries as a multiset.
+func applyBaseline(prog *analysis.Program, root string, diags []analysis.Diagnostic, base map[baselineEntry]int) (kept []analysis.Diagnostic, suppressed int) {
+	for _, d := range diags {
+		e := entryFor(prog, root, d)
+		if base[e] > 0 {
+			base[e]--
+			suppressed++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, suppressed
+}
+
+// writeBaseline records the current findings as the new accepted set.
+func writeBaseline(path string, prog *analysis.Program, root string, diags []analysis.Diagnostic) error {
+	bf := baselineFile{
+		Comment:  "ltephy-lint suppression baseline: triaged findings accepted as-is; regenerate with ltephy-lint -write-baseline. See EXPERIMENTS.md for the triage log.",
+		Findings: []baselineEntry{},
+	}
+	for _, d := range diags {
+		bf.Findings = append(bf.Findings, entryFor(prog, root, d))
+	}
+	sort.Slice(bf.Findings, func(i, j int) bool {
+		a, b := bf.Findings[i], bf.Findings[j]
+		if a.Path != b.Path {
+			return a.Path < b.Path
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	data, err := json.MarshalIndent(&bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -6,24 +6,39 @@
 //
 // Usage:
 //
-//	ltephy-lint [-only name[,name]] [packages]
+//	ltephy-lint [-only name[,name]] [-sarif file] [-baseline file]
+//	            [-write-baseline] [packages]
 //
 // With no package patterns it checks ./... relative to the current
 // directory. Analyzer scoping follows the invariants' home turf:
-// arenapair, arenaescape and hotpathalloc run everywhere; determinism
-// runs over the bit-exact receiver/simulator surface (internal/phy,
-// internal/uplink, internal/sim) and internal/sched, whose turbo window
-// fan-out is part of the serial-vs-parallel bit-exactness contract;
-// atomiccheck runs over internal/sched,
-// internal/obs and internal/fronthaul (the telemetry counters and the
-// serving layer's per-cell accounting share the scheduler's lock-free
-// discipline).
+// arenapair, arenaescape, hotpathalloc, blockingcall and crossarena run
+// everywhere; determinism runs over the bit-exact receiver/simulator
+// surface (internal/phy, internal/uplink, internal/sim) and
+// internal/sched, whose turbo window fan-out is part of the
+// serial-vs-parallel bit-exactness contract; atomiccheck runs over
+// internal/sched, internal/obs and internal/fronthaul (the telemetry
+// counters and the serving layer's per-cell accounting share the
+// scheduler's lock-free discipline); spawncheck and lockorder run over
+// internal/sched and internal/fronthaul, the only layers that own
+// goroutines and cross-goroutine mutexes.
+//
+// Exit codes: 0 clean (or every finding baselined), 1 findings, 2 driver
+// failure (bad flags, load or type-check error).
+//
+// -sarif writes the findings (before baseline filtering) as a SARIF
+// 2.1.0 log for GitHub code scanning. -baseline names the committed
+// suppression file (default .ltephy-lint.baseline.json in the lint
+// directory, ignored when absent); -write-baseline regenerates it from
+// the current findings.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"ltephy/internal/analysis"
@@ -35,36 +50,59 @@ var scopes = map[string][]string{
 	analysis.ArenaPair.Name:    nil,
 	analysis.ArenaEscape.Name:  nil,
 	analysis.HotPathAlloc.Name: nil,
+	analysis.BlockingCall.Name: nil,
+	analysis.CrossArena.Name:   nil,
 	analysis.Determinism.Name:  {"/internal/phy", "/internal/uplink", "/internal/sim", "/internal/sched"},
 	analysis.AtomicCheck.Name:  {"/internal/sched", "/internal/obs", "/internal/fronthaul"},
+	analysis.SpawnCheck.Name:   {"/internal/sched", "/internal/fronthaul"},
+	analysis.LockOrder.Name:    {"/internal/sched", "/internal/fronthaul"},
 }
 
 var all = []*analysis.Analyzer{
 	analysis.ArenaPair,
 	analysis.ArenaEscape,
 	analysis.HotPathAlloc,
+	analysis.BlockingCall,
+	analysis.SpawnCheck,
+	analysis.LockOrder,
+	analysis.CrossArena,
 	analysis.Determinism,
 	analysis.AtomicCheck,
 }
 
 func main() {
-	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
-	list := flag.Bool("list", false, "list analyzers and exit")
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: ltephy-lint [flags] [packages]\n\n")
-		flag.PrintDefaults()
+	os.Exit(cliMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// cliMain is the testable entry point: it parses args, runs the suite
+// and returns the process exit code (0 clean, 1 findings, 2 driver
+// failure).
+func cliMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ltephy-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	sarifOut := fs.String("sarif", "", "write findings as a SARIF 2.1.0 log to this file")
+	baselinePath := fs.String("baseline", "", "suppression baseline file (default "+defaultBaseline+" in the lint directory)")
+	writeBase := fs.Bool("write-baseline", false, "regenerate the baseline from the current findings and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: ltephy-lint [flags] [packages]\n\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, a := range all {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 
 	analyzers := all
 	if *only != "" {
+		var unknown []string
 		want := map[string]bool{}
 		for _, n := range strings.Split(*only, ",") {
 			want[strings.TrimSpace(n)] = true
@@ -77,32 +115,90 @@ func main() {
 			}
 		}
 		for n := range want {
-			fmt.Fprintf(os.Stderr, "ltephy-lint: unknown analyzer %q\n", n)
-			os.Exit(2)
+			unknown = append(unknown, fmt.Sprintf("%q", n))
+		}
+		if len(unknown) > 0 {
+			sort.Strings(unknown)
+			fmt.Fprintf(stderr, "ltephy-lint: unknown analyzer(s) %s; valid names: %s\n",
+				strings.Join(unknown, ", "), strings.Join(analyzerNames(), ", "))
+			return 2
 		}
 	}
 
-	patterns := flag.Args()
+	dir := "."
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	n, err := Run(os.Stdout, ".", analyzers, patterns...)
+
+	prog, diags, err := runLint(dir, analyzers, patterns...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ltephy-lint: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "ltephy-lint: %v\n", err)
+		return 2
 	}
-	if n > 0 {
-		fmt.Fprintf(os.Stderr, "ltephy-lint: %d invariant violation(s)\n", n)
-		os.Exit(1)
+	root, err := filepath.Abs(dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "ltephy-lint: %v\n", err)
+		return 2
 	}
+
+	if *sarifOut != "" {
+		data, err := analysis.SARIFReport(prog.Fset, analyzers, diags, root)
+		if err == nil {
+			err = os.WriteFile(*sarifOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "ltephy-lint: writing SARIF: %v\n", err)
+			return 2
+		}
+	}
+
+	basePath := *baselinePath
+	if basePath == "" {
+		basePath = filepath.Join(dir, defaultBaseline)
+	}
+	if *writeBase {
+		if err := writeBaseline(basePath, prog, root, diags); err != nil {
+			fmt.Fprintf(stderr, "ltephy-lint: writing baseline: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "ltephy-lint: wrote %d finding(s) to %s\n", len(diags), basePath)
+		return 0
+	}
+	base, err := loadBaseline(basePath)
+	if err != nil {
+		fmt.Fprintf(stderr, "ltephy-lint: %v\n", err)
+		return 2
+	}
+	kept, suppressed := applyBaseline(prog, root, diags, base)
+
+	for _, d := range kept {
+		fmt.Fprintf(stdout, "%s: %s: %s\n", prog.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if suppressed > 0 {
+		fmt.Fprintf(stderr, "ltephy-lint: %d finding(s) suppressed by %s\n", suppressed, basePath)
+	}
+	if len(kept) > 0 {
+		fmt.Fprintf(stderr, "ltephy-lint: %d invariant violation(s)\n", len(kept))
+		return 1
+	}
+	return 0
 }
 
-// Run loads the packages and runs the analyzers with their scoping,
-// printing diagnostics to w. It returns the number of diagnostics.
-func Run(w *os.File, dir string, analyzers []*analysis.Analyzer, patterns ...string) (int, error) {
+func analyzerNames() []string {
+	names := make([]string, 0, len(all))
+	for _, a := range all {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// runLint loads the packages and runs the analyzers with their scoping.
+func runLint(dir string, analyzers []*analysis.Analyzer, patterns ...string) (*analysis.Program, []analysis.Diagnostic, error) {
 	prog, err := analysis.Load(dir, patterns...)
 	if err != nil {
-		return 0, err
+		return nil, nil, err
 	}
 	diags, err := analysis.RunAnalyzers(prog, analyzers, func(a *analysis.Analyzer, pkg *analysis.Package) bool {
 		frags, ok := scopes[a.Name]
@@ -116,6 +212,17 @@ func Run(w *os.File, dir string, analyzers []*analysis.Analyzer, patterns ...str
 		}
 		return false
 	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return prog, diags, nil
+}
+
+// Run loads the packages, runs the analyzers and prints diagnostics to
+// w, returning the diagnostic count. It applies no baseline: it is the
+// strict form TestTreeIsClean uses.
+func Run(w io.Writer, dir string, analyzers []*analysis.Analyzer, patterns ...string) (int, error) {
+	prog, diags, err := runLint(dir, analyzers, patterns...)
 	if err != nil {
 		return 0, err
 	}

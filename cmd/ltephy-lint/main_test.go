@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -23,6 +24,136 @@ func TestTreeIsClean(t *testing.T) {
 	}
 	if n != 0 {
 		t.Errorf("ltephy-lint found %d invariant violation(s) in the tree; see output above", n)
+	}
+}
+
+// TestListFlag checks that -list names every registered analyzer and
+// exits cleanly.
+func TestListFlag(t *testing.T) {
+	var out, errBuf strings.Builder
+	if code := cliMain([]string{"-list"}, &out, &errBuf); code != 0 {
+		t.Fatalf("-list exit code = %d, want 0 (stderr: %s)", code, errBuf.String())
+	}
+	for _, a := range all {
+		if !strings.Contains(out.String(), a.Name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", a.Name, out.String())
+		}
+	}
+}
+
+// TestUnknownAnalyzer checks that -only with a bogus name is a driver
+// failure (exit 2, distinct from findings) and that the error names the
+// valid analyzer set.
+func TestUnknownAnalyzer(t *testing.T) {
+	var out, errBuf strings.Builder
+	code := cliMain([]string{"-only", "nosuch,arenapair"}, &out, &errBuf)
+	if code != 2 {
+		t.Fatalf("-only nosuch exit code = %d, want 2", code)
+	}
+	msg := errBuf.String()
+	if !strings.Contains(msg, `"nosuch"`) {
+		t.Errorf("error does not name the unknown analyzer: %s", msg)
+	}
+	for _, a := range all {
+		if !strings.Contains(msg, a.Name) {
+			t.Errorf("error does not list valid analyzer %q: %s", a.Name, msg)
+		}
+	}
+}
+
+// TestBadFlag checks that flag parse errors are driver failures too.
+func TestBadFlag(t *testing.T) {
+	var out, errBuf strings.Builder
+	if code := cliMain([]string{"-definitely-not-a-flag"}, &out, &errBuf); code != 2 {
+		t.Fatalf("bad flag exit code = %d, want 2", code)
+	}
+}
+
+// TestExitCodes builds a throwaway module with a determinism violation
+// and checks the full ladder: 1 for findings, 0 once the finding is
+// baselined, 2 for a load failure — the distinction CI relies on.
+func TestExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module scratchlint\n\ngo 1.21\n")
+	// The determinism analyzer scopes to path fragment /internal/sim.
+	writeFile(t, filepath.Join(dir, "internal", "sim", "sim.go"),
+		"package sim\n\nimport \"time\"\n\nfunc Now() int64 { return time.Now().UnixNano() }\n")
+
+	restore := chdir(t, dir)
+	defer restore()
+
+	var out, errBuf strings.Builder
+	if code := cliMain([]string{"./..."}, &out, &errBuf); code != 1 {
+		t.Fatalf("violating tree exit code = %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errBuf.String())
+	}
+	if !strings.Contains(out.String(), "determinism") {
+		t.Errorf("expected a determinism finding, got: %s", out.String())
+	}
+
+	// Baseline the finding: same invocation must now be clean.
+	out.Reset()
+	errBuf.Reset()
+	if code := cliMain([]string{"-write-baseline", "./..."}, &out, &errBuf); code != 0 {
+		t.Fatalf("-write-baseline exit code = %d, want 0 (stderr: %s)", code, errBuf.String())
+	}
+	out.Reset()
+	errBuf.Reset()
+	if code := cliMain([]string{"./..."}, &out, &errBuf); code != 0 {
+		t.Fatalf("baselined tree exit code = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "suppressed") {
+		t.Errorf("expected a suppression notice on stderr, got: %s", errBuf.String())
+	}
+
+	// A SARIF log carries the finding even when the baseline hides it.
+	out.Reset()
+	errBuf.Reset()
+	sarifPath := filepath.Join(dir, "lint.sarif")
+	if code := cliMain([]string{"-sarif", sarifPath, "./..."}, &out, &errBuf); code != 0 {
+		t.Fatalf("-sarif exit code = %d, want 0 (stderr: %s)", code, errBuf.String())
+	}
+	sarif, err := os.ReadFile(sarifPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"2.1.0"`, `"ltephy-lint"`, "determinism", "internal/sim/sim.go"} {
+		if !strings.Contains(string(sarif), want) {
+			t.Errorf("SARIF log missing %q:\n%s", want, sarif)
+		}
+	}
+
+	// Unbuildable code is a driver failure, not a finding.
+	writeFile(t, filepath.Join(dir, "internal", "sim", "broken.go"), "package sim\n\nfunc () {\n")
+	out.Reset()
+	errBuf.Reset()
+	if code := cliMain([]string{"./..."}, &out, &errBuf); code != 2 {
+		t.Fatalf("broken tree exit code = %d, want 2\nstdout: %s\nstderr: %s", code, out.String(), errBuf.String())
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func chdir(t *testing.T, dir string) func() {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	return func() {
+		if err := os.Chdir(old); err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 

@@ -33,7 +33,24 @@
 //   - //ltephy:hotpath — on a function: an additional hot-path root for
 //     hotpathalloc beyond the Stage.Run/RunBatch shape (the fronthaul
 //     ingest loop's decode→admit→dispatch functions). The function and
-//     everything reachable from it must satisfy the zero-alloc rule.
+//     everything reachable from it must satisfy the zero-alloc rule, and
+//     it joins the deadline-bound root set for blockingcall/crossarena.
+//   - //ltephy:deadline-root — on a function: a deadline-bound root for
+//     blockingcall and crossarena that is not a zero-alloc root (the
+//     scheduler's per-user driver loop: it allocates the job by design
+//     but must never block inside the subframe budget).
+//   - //ltephy:blocking-ok — on a function: its own blocking operations
+//     are audited and sanctioned (bounded uncontended critical sections
+//     like the deque mutex, transport-paced ingest reads). blockingcall
+//     skips the function's body but still traverses its callees.
+//   - //ltephy:spawn-point — on a function: a goroutine lifecycle point.
+//     spawncheck requires every `go` statement to sit in one, and still
+//     demands a provable join (WaitGroup Add/Done bracket or a result
+//     channel the spawner receives from).
+//   - //ltephy:cross-worker-ok — on a function: its closures are allowed
+//     to carry arena-backed memory to other workers (the audited turbo
+//     window fan-out, whose windows write disjoint slices under a
+//     completion counter). crossarena skips the function.
 package analysis
 
 import (
@@ -95,8 +112,16 @@ type Program struct {
 	Fset *token.FileSet
 	Pkgs []*Package
 
-	hotOnce sync.Once
-	hotSet  map[string]bool // funcKey -> reachable from Stage.Run/RunBatch
+	// Shared cross-function caches, each built at most once per load and
+	// shared by every analyzer (the lint wall-time budget depends on it).
+	cgOnce       sync.Once
+	cg           *CallGraph
+	hotOnce      sync.Once
+	hotSet       map[string]bool // funcKey -> reachable from a stage root
+	deadlineOnce sync.Once
+	deadlineSet  *Reach // reachable from a deadline-bound root
+	lockOnce     sync.Once
+	lockFacts    *lockOrderFacts
 }
 
 // PackageOf returns the loaded package with the given import path, or nil.
@@ -111,11 +136,27 @@ func (prog *Program) PackageOf(path string) *Package {
 
 // Directive names recognised on function declarations.
 const (
-	DirColdPath    = "coldpath"
-	DirOwnsScratch = "owns-scratch"
-	DirAllocOK     = "alloc-ok"
-	DirHotPath     = "hotpath"
+	DirColdPath     = "coldpath"
+	DirOwnsScratch  = "owns-scratch"
+	DirAllocOK      = "alloc-ok"
+	DirHotPath      = "hotpath"
+	DirDeadlineRoot = "deadline-root"
+	DirBlockingOK   = "blocking-ok"
+	DirSpawnPoint   = "spawn-point"
+	DirCrossWorker  = "cross-worker-ok"
 )
+
+// funcDirectives is the set of directive names attached to function
+// declarations (as opposed to line-level ones like alloc-ok).
+var funcDirectives = map[string]bool{
+	DirColdPath:     true,
+	DirOwnsScratch:  true,
+	DirHotPath:      true,
+	DirDeadlineRoot: true,
+	DirBlockingOK:   true,
+	DirSpawnPoint:   true,
+	DirCrossWorker:  true,
+}
 
 const dirPrefix = "//ltephy:"
 
@@ -160,7 +201,7 @@ func (p *Package) parseDirectives(fset *token.FileSet) {
 					if i := strings.IndexAny(name, " \t"); i >= 0 {
 						name = name[:i]
 					}
-					if name == DirColdPath || name == DirOwnsScratch || name == DirHotPath {
+					if funcDirectives[name] {
 						m := p.funcDirs[fd]
 						if m == nil {
 							m = map[string]bool{}

@@ -12,3 +12,7 @@ func TestArenaEscape(t *testing.T)  { AnalysisTest(t, ArenaEscape, "arenaescape"
 func TestHotPathAlloc(t *testing.T) { AnalysisTest(t, HotPathAlloc, "hotpathalloc") }
 func TestDeterminism(t *testing.T)  { AnalysisTest(t, Determinism, "determinism") }
 func TestAtomicCheck(t *testing.T)  { AnalysisTest(t, AtomicCheck, "atomiccheck") }
+func TestBlockingCall(t *testing.T) { AnalysisTest(t, BlockingCall, "blockingcall") }
+func TestSpawnCheck(t *testing.T)   { AnalysisTest(t, SpawnCheck, "spawncheck") }
+func TestLockOrder(t *testing.T)    { AnalysisTest(t, LockOrder, "lockorder") }
+func TestCrossArena(t *testing.T)   { AnalysisTest(t, CrossArena, "crossarena") }

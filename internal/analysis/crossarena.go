@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CrossArena extends the arena-scratch lifetime rule across goroutine
+// boundaries. Each worker owns its arena: Mark/Release run on the
+// worker's own stack, so scratch carved from worker A's arena is freed
+// the instant A releases — a closure that worker B might still be
+// executing then reads reused memory. The analyzer taints values that
+// alias arena memory (direct carves plus results of //ltephy:owns-scratch
+// helpers) and reports when a tainted value crosses a goroutine
+// boundary:
+//
+//   - a closure capturing tainted scratch is launched with `go`;
+//   - a closure capturing tainted scratch is sent on a channel, or
+//     packed into a composite literal (a task struct) that is sent or
+//     passed to a call — another worker can pop and run it;
+//   - the tainted value itself is sent on a channel or passed as an
+//     argument inside a `go` statement.
+//
+// The one audited exception is the turbo window fan-out: its windows
+// write disjoint slices and the spawner blocks on a completion counter
+// before releasing, so the enclosing function carries
+// //ltephy:cross-worker-ok with that justification.
+var CrossArena = &Analyzer{
+	Name: "crossarena",
+	Doc:  "check that arena scratch is not captured by closures another worker can execute",
+	Run:  runCrossArena,
+}
+
+func runCrossArena(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, fd := range funcDecls(pass.Pkg) {
+		if pass.Pkg.HasDirective(pass.Prog.Fset, fd, DirColdPath) ||
+			pass.Pkg.HasDirective(pass.Prog.Fset, fd, DirCrossWorker) {
+			continue
+		}
+		checkCrossArena(pass, info, fd.Body)
+	}
+	return nil
+}
+
+func checkCrossArena(pass *Pass, info *types.Info, body *ast.BlockStmt) {
+	tainted := map[types.Object]bool{}
+
+	// isTainted mirrors arenaescape's aliasing rules, with one addition:
+	// calls to //ltephy:owns-scratch program functions return job-lifetime
+	// arena memory, which is still worker-owned and so still tainted here.
+	var isTainted func(e ast.Expr) bool
+	isTainted = func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := info.ObjectOf(e)
+			return obj != nil && tainted[obj]
+		case *ast.CallExpr:
+			if IsArenaAllocCall(info, e) {
+				return true
+			}
+			return ownsScratchCall(pass, info, e)
+		case *ast.SliceExpr:
+			return isTainted(e.X)
+		case *ast.IndexExpr:
+			return isTainted(e.X)
+		case *ast.CompositeLit:
+			for _, el := range e.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					if isTainted(kv.Value) {
+						return true
+					}
+				} else if isTainted(el) {
+					return true
+				}
+			}
+			return false
+		case *ast.UnaryExpr:
+			return isTainted(e.X)
+		}
+		return false
+	}
+
+	for range 2 {
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				if obj := info.ObjectOf(id); obj != nil && isTainted(as.Rhs[i]) {
+					tainted[obj] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// capturesTaint reports whether a literal's body reads a tainted
+	// object declared outside the literal.
+	capturesTaint := func(lit *ast.FuncLit) bool {
+		captures := false
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if obj := info.ObjectOf(id); obj != nil && tainted[obj] &&
+					(obj.Pos() < lit.Pos() || obj.Pos() > lit.End()) {
+					captures = true
+				}
+			}
+			return !captures
+		})
+		return captures
+	}
+
+	// crossesWorker reports whether the expression hands a value to code
+	// another goroutine can run, with a human-readable route.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// Tainted arguments and taint-capturing closures under `go`.
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok && capturesTaint(lit) {
+				pass.Reportf(n.Pos(),
+					"closure capturing arena scratch is launched on another goroutine; the owner's Release frees it mid-flight (annotate //ltephy:cross-worker-ok if joined before Release)")
+			}
+			for _, arg := range n.Call.Args {
+				if isTainted(arg) {
+					pass.Reportf(arg.Pos(),
+						"arena scratch passed to a goroutine; the owner's Release frees it mid-flight (annotate //ltephy:cross-worker-ok if joined before Release)")
+				}
+			}
+		case *ast.SendStmt:
+			// Tainted values — or closures/task literals capturing them —
+			// sent on a channel cross to whichever worker receives.
+			if isTainted(n.Value) {
+				pass.Reportf(n.Value.Pos(),
+					"arena scratch sent on a channel crosses workers; the owner's Release frees it while the receiver still holds it")
+			}
+			if lit := litIn(n.Value); lit != nil && capturesTaint(lit) {
+				pass.Reportf(n.Value.Pos(),
+					"closure capturing arena scratch sent on a channel; another worker can execute it after the owner's Release")
+			}
+		case *ast.CallExpr:
+			// Task hand-off: a composite literal or closure capturing
+			// scratch passed into a call that enqueues it (deque push,
+			// dispatcher submit). Only composite literals containing a
+			// capturing closure are flagged — a direct closure argument is
+			// the ordinary serial helper-call shape.
+			for _, arg := range n.Args {
+				cl, ok := ast.Unparen(arg).(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				for _, el := range cl.Elts {
+					v := el
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						v = kv.Value
+					}
+					if lit, ok := ast.Unparen(v).(*ast.FuncLit); ok && capturesTaint(lit) {
+						pass.Reportf(arg.Pos(),
+							"task literal carries a closure capturing arena scratch; a stealing worker can run it after the owner's Release (annotate //ltephy:cross-worker-ok if the hand-off is joined before Release)")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// litIn unwraps an expression to a function literal if it directly is one.
+func litIn(e ast.Expr) *ast.FuncLit {
+	if lit, ok := ast.Unparen(e).(*ast.FuncLit); ok {
+		return lit
+	}
+	return nil
+}
+
+// ownsScratchCall reports whether the call statically resolves to a
+// program function annotated //ltephy:owns-scratch (its results are
+// arena-backed by contract).
+func ownsScratchCall(pass *Pass, info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	fd, pkg := pass.Prog.CallGraph().Decl(funcKey(fn))
+	return fd != nil && pkg.HasDirective(pass.Prog.Fset, fd, DirOwnsScratch)
+}

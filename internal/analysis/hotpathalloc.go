@@ -50,66 +50,15 @@ func declObj(info *types.Info, fd *ast.FuncDecl) *types.Func {
 	return fn
 }
 
-// hotSet computes (once per Program) the set of funcKeys reachable from
-// the Stage entry points over static calls.
+// hotFuncs computes (once per Program) the set of funcKeys reachable
+// from the stage roots over the shared call graph — static calls plus
+// interface dispatch through program-declared interfaces, so a Stage
+// resolved through the registry or a deque behind the taskDeque
+// interface no longer hides its callees from the walk.
 func (prog *Program) hotFuncs() map[string]bool {
 	prog.hotOnce.Do(func() {
-		decls := map[string]*ast.FuncDecl{}
-		declPkg := map[string]*Package{}
-		edges := map[string][]string{}
-		var seeds []string
-		for _, pkg := range prog.Pkgs {
-			for _, fd := range funcDecls(pkg) {
-				fn := declObj(pkg.Info, fd)
-				if fn == nil {
-					continue
-				}
-				key := funcKey(fn)
-				decls[key] = fd
-				declPkg[key] = pkg
-				if isStageEntry(fd, fn) || pkg.HasDirective(prog.Fset, fd, DirHotPath) {
-					seeds = append(seeds, key)
-				}
-				ast.Inspect(fd.Body, func(n ast.Node) bool {
-					call, ok := n.(*ast.CallExpr)
-					if !ok {
-						return true
-					}
-					if callee := calleeFunc(pkg.Info, call); callee != nil {
-						edges[key] = append(edges[key], funcKey(callee))
-					}
-					return true
-				})
-			}
-		}
-		hot := map[string]bool{}
-		var queue []string
-		for _, s := range seeds {
-			if pkg := declPkg[s]; pkg != nil && pkg.HasDirective(prog.Fset, decls[s], DirColdPath) {
-				continue
-			}
-			hot[s] = true
-			queue = append(queue, s)
-		}
-		for len(queue) > 0 {
-			cur := queue[0]
-			queue = queue[1:]
-			for _, next := range edges[cur] {
-				if hot[next] {
-					continue
-				}
-				fd, ok := decls[next]
-				if !ok {
-					continue // outside the loaded program (stdlib)
-				}
-				if declPkg[next].HasDirective(prog.Fset, fd, DirColdPath) {
-					continue // annotated cold: do not traverse through it
-				}
-				hot[next] = true
-				queue = append(queue, next)
-			}
-		}
-		prog.hotSet = hot
+		g := prog.CallGraph()
+		prog.hotSet = g.Reachable(g.StageRoots()).Set()
 	})
 	return prog.hotSet
 }

@@ -1,0 +1,314 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockOrder infers the mutex acquisition partial order across the
+// scheduler and fronthaul layers and flags inversions that could
+// deadlock the pool. A lock *class* is a mutex with a stable identity:
+// a sync.Mutex/RWMutex field of a named struct ("sched.deque.mu") or a
+// package-level mutex variable ("fft.planMu"). For every function the
+// analyzer computes the held span of each acquisition (Lock/RLock to
+// the matching Unlock/RUnlock on the same receiver; to function end for
+// deferred or unmatched releases) and records an order edge A→B whenever
+// class B is acquired — directly or through any call-graph path — while
+// class A is held. A pair of edges A→B and B→A is a potential deadlock:
+// two goroutines taking the locks in opposite orders can each hold one
+// and wait forever on the other. A self-edge A→A (re-acquiring a held
+// class) is flagged too: Go mutexes are not reentrant.
+//
+// RLock acquisitions share their class with Lock: a read-read inversion
+// is usually benign, but a writer arriving between two readers converts
+// it into a deadlock, so it still warrants an audit.
+//
+// //ltephy:coldpath functions are exempt and not traversed: one-time
+// construction runs before the pool goes concurrent, so its acquisition
+// order cannot deadlock steady-state workers. Genuinely concurrent code
+// must not carry the annotation.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "flag mutex acquisition order inversions that could deadlock",
+	Run:  runLockOrder,
+}
+
+// lockEdge records "to acquired while from was held", with the position
+// of the inner acquisition (or the call leading to it).
+type lockEdge struct {
+	from, to string
+	pos      token.Pos
+	pkgPath  string
+	via      string // "" for a direct nested acquisition, callee key otherwise
+}
+
+type lockOrderFacts struct {
+	// edges maps (from,to) to the first-seen witness edge.
+	edges map[[2]string]lockEdge
+}
+
+// lockAcq is one acquisition site inside a function body.
+type lockAcq struct {
+	class string
+	pos   token.Pos // position of the Lock/RLock call
+	end   token.Pos // end of the held span
+}
+
+func runLockOrder(pass *Pass) error {
+	facts := pass.Prog.lockOrder()
+	var keys [][2]string
+	for k := range facts.edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		e := facts.edges[k]
+		if e.pkgPath != pass.Pkg.Path {
+			continue // reported in the package that owns the witness site
+		}
+		if e.from == e.to {
+			pass.Reportf(e.pos, "recursive acquisition of %s while already held%s; Go mutexes are not reentrant",
+				e.from, viaSuffix(e.via))
+			continue
+		}
+		rev, ok := facts.edges[[2]string{e.to, e.from}]
+		if !ok {
+			continue
+		}
+		pass.Reportf(e.pos,
+			"lock order inversion: %s acquired while holding %s%s, but the reverse order is taken at %s — two goroutines can deadlock",
+			e.to, e.from, viaSuffix(e.via), pass.Prog.Fset.Position(rev.pos))
+	}
+	return nil
+}
+
+func viaSuffix(via string) string {
+	if via == "" {
+		return ""
+	}
+	return " (via call to " + shortKey(via) + ")"
+}
+
+// buildLockOrderFacts computes the whole-program acquisition order facts
+// once; every lockorder pass shares them through Program.lockOrder.
+func buildLockOrderFacts(prog *Program) *lockOrderFacts {
+	g := prog.CallGraph()
+	facts := &lockOrderFacts{edges: map[[2]string]lockEdge{}}
+
+	// Pass 1: direct acquisitions (with held spans) per function.
+	acqs := map[string][]lockAcq{}
+	var keys []string
+	for key := range g.decls {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		if g.isColdPath(key) {
+			continue // one-time init runs outside the concurrent steady state
+		}
+		fd, pkg := g.decls[key], g.pkgOf[key]
+		acqs[key] = collectAcquisitions(pkg.Info, fd)
+	}
+
+	// Pass 2: transitive acquisition sets (classes a call to the function
+	// may acquire, directly or through callees), memoised over the graph.
+	memo := map[string]map[string]bool{}
+	var transitive func(key string, onPath map[string]bool) map[string]bool
+	transitive = func(key string, onPath map[string]bool) map[string]bool {
+		if set, ok := memo[key]; ok {
+			return set
+		}
+		if onPath[key] {
+			return nil // cycle: contributions come from the first visit
+		}
+		onPath[key] = true
+		set := map[string]bool{}
+		for _, a := range acqs[key] {
+			set[a.class] = true
+		}
+		for _, callee := range g.edges[key] {
+			if g.isColdPath(callee) {
+				continue
+			}
+			for c := range transitive(callee, onPath) {
+				set[c] = true
+			}
+		}
+		delete(onPath, key)
+		memo[key] = set
+		return set
+	}
+
+	addEdge := func(from, to string, pos token.Pos, pkgPath, via string) {
+		k := [2]string{from, to}
+		if _, ok := facts.edges[k]; !ok {
+			facts.edges[k] = lockEdge{from: from, to: to, pos: pos, pkgPath: pkgPath, via: via}
+		}
+	}
+
+	// Pass 3: for every held span, record what is acquired inside it.
+	for _, key := range keys {
+		fd, pkg := g.decls[key], g.pkgOf[key]
+		held := acqs[key]
+		if len(held) == 0 {
+			continue
+		}
+		for _, h := range held {
+			// Direct nested acquisitions within the span.
+			for _, inner := range held {
+				if inner.pos > h.pos && inner.pos < h.end {
+					addEdge(h.class, inner.class, inner.pos, pkg.Path, "")
+				}
+			}
+			// Calls within the span: union of the callees' transitive sets.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || call.Pos() <= h.pos || call.Pos() >= h.end {
+					return true
+				}
+				for _, callee := range g.callees(pkg.Info, call) {
+					for c := range transitive(callee, map[string]bool{}) {
+						addEdge(h.class, c, call.Pos(), pkg.Path, callee)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return facts
+}
+
+// collectAcquisitions finds every Lock/RLock on a classifiable mutex in
+// the function body and computes its held span. Each acquisition is
+// scoped to its innermost enclosing function literal (a deferred
+// closure's Lock/Unlock pair runs at defer time, not in the enclosing
+// body's flow), falling back to the declaration body.
+func collectAcquisitions(info *types.Info, fd *ast.FuncDecl) []lockAcq {
+	var lits []*ast.FuncLit
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, lit)
+		}
+		return true
+	})
+	scopeOf := func(pos token.Pos) *ast.BlockStmt {
+		scope := fd.Body
+		for _, lit := range lits {
+			if pos >= lit.Body.Pos() && pos <= lit.Body.End() &&
+				(scope == fd.Body || lit.Body.Pos() >= scope.Pos()) {
+				scope = lit.Body
+			}
+		}
+		return scope
+	}
+
+	var out []lockAcq
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, method, ok := mutexMethod(info, call)
+		if !ok || (method != "Lock" && method != "RLock") {
+			return true
+		}
+		class := lockClass(info, sel.X)
+		if class == "" {
+			return true // local mutex: no cross-goroutine identity
+		}
+		release := "Unlock"
+		if method == "RLock" {
+			release = "RUnlock"
+		}
+		out = append(out, lockAcq{
+			class: class,
+			pos:   call.Pos(),
+			end:   releaseEnd(info, scopeOf(call.Pos()), call, sel.X, release),
+		})
+		return true
+	})
+	return out
+}
+
+// mutexMethod matches a method call on a sync.Mutex/RWMutex receiver.
+func mutexMethod(info *types.Info, call *ast.CallExpr) (*ast.SelectorExpr, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return nil, "", false
+	}
+	if !isNamed(tv.Type, "sync", "Mutex") && !isNamed(tv.Type, "sync", "RWMutex") {
+		return nil, "", false
+	}
+	return sel, sel.Sel.Name, true
+}
+
+// lockClass gives a mutex expression a program-wide identity: the owning
+// named struct type plus field name for field mutexes, the package path
+// plus variable name for package-level mutexes. Locals return "".
+func lockClass(info *types.Info, expr ast.Expr) string {
+	expr = ast.Unparen(expr)
+	switch e := expr.(type) {
+	case *ast.Ident:
+		obj := info.ObjectOf(e)
+		if obj == nil || obj.Pkg() == nil {
+			return ""
+		}
+		if obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+		return ""
+	case *ast.SelectorExpr:
+		s, ok := info.Selections[e]
+		if !ok || s.Kind() != types.FieldVal {
+			return ""
+		}
+		recv := s.Recv()
+		if ptr, isPtr := recv.(*types.Pointer); isPtr {
+			recv = ptr.Elem()
+		}
+		named, ok := recv.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			return ""
+		}
+		return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + s.Obj().Name()
+	}
+	return ""
+}
+
+// releaseEnd finds the end of the held span within the acquisition's
+// scope: the first matching release call on the same receiver after the
+// acquisition, or the scope end when the release is deferred or absent.
+func releaseEnd(info *types.Info, scope *ast.BlockStmt, lock *ast.CallExpr, recv ast.Expr, release string) token.Pos {
+	recvKey := exprKey(info, recv)
+	end := scope.End()
+	ast.Inspect(scope, func(n ast.Node) bool {
+		if _, isDefer := n.(*ast.DeferStmt); isDefer {
+			return false // deferred releases run at scope end
+		}
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != scope {
+			return false // nested literal: runs in its own flow
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= lock.Pos() || call.Pos() >= end {
+			return true
+		}
+		sel, method, ok := mutexMethod(info, call)
+		if !ok || method != release || exprKey(info, sel.X) != recvKey {
+			return true
+		}
+		end = call.Pos()
+		return true
+	})
+	return end
+}

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"encoding/json"
+	"go/token"
+	"path/filepath"
+	"strings"
+)
+
+// SARIF export: the diagnostics rendered as a Static Analysis Results
+// Interchange Format 2.1.0 log, the schema GitHub code scanning ingests.
+// One run, one tool ("ltephy-lint"), one rule per analyzer, one result
+// per diagnostic with a physical location relative to root so the log is
+// stable across checkouts.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// SARIFReport renders diags as a SARIF 2.1.0 log. File paths are made
+// relative to root (and slash-separated) so the artifact URIs match the
+// repository layout regardless of where the checker ran.
+func SARIFReport(fset *token.FileSet, analyzers []*Analyzer, diags []Diagnostic, root string) ([]byte, error) {
+	rules := make([]sarifRule, 0, len(analyzers))
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: RelPath(root, pos.Filename)},
+				Region:           sarifRegion{StartLine: pos.Line, StartColumn: pos.Column},
+			}}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "ltephy-lint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(&log, "", "  ")
+}
+
+// RelPath renders filename relative to root with forward slashes — the
+// stable repo-relative form used by both the SARIF artifact URIs and the
+// baseline file. Paths outside root fall back to the cleaned original.
+func RelPath(root, filename string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, filename); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(filename)
+}

@@ -1,0 +1,90 @@
+// Package crossarena exercises the cross-goroutine arena-scratch
+// analyzer: worker-owned scratch must not reach code another worker can
+// execute.
+package crossarena
+
+import "workspace"
+
+type task struct{ fn func() }
+
+type queue struct{}
+
+func (q *queue) push(t task) {}
+
+// spawnLeak launches a closure over live scratch: the spawner's Release
+// frees the memory while the goroutine may still be writing.
+func spawnLeak(ws *workspace.Arena) {
+	buf := ws.Float(8)
+	go func() { // want "closure capturing arena scratch is launched on another goroutine"
+		buf[0] = 1
+	}()
+}
+
+// goArg hands the scratch itself to the goroutine.
+func goArg(ws *workspace.Arena) {
+	buf := ws.Float(8)
+	go consume(buf) // want "arena scratch passed to a goroutine"
+}
+
+func consume(b []float64) {}
+
+// sendLeak ships the slice to whichever worker receives it.
+func sendLeak(ws *workspace.Arena, ch chan []float64) {
+	buf := ws.Float(8)
+	ch <- buf // want "arena scratch sent on a channel crosses workers"
+}
+
+// closureSend ships a closure over the scratch instead.
+func closureSend(ws *workspace.Arena, ch chan func()) {
+	buf := ws.Float(8)
+	ch <- func() { buf[0] = 1 } // want "closure capturing arena scratch sent on a channel"
+}
+
+// taskHandoff packs the capturing closure into a task literal and
+// enqueues it: a stealing worker can pop and run it after Release.
+func taskHandoff(ws *workspace.Arena, q *queue) {
+	buf := ws.Float(8)
+	q.push(task{fn: func() { buf[0] = 1 }}) // want "task literal carries a closure capturing arena scratch"
+}
+
+// indirect taints through an owns-scratch helper: the carve is
+// job-lifetime but still worker-owned.
+//
+//ltephy:owns-scratch — job-lifetime carve helper.
+func carve(ws *workspace.Arena, n int) []float64 { return ws.Float(n) }
+
+func indirect(ws *workspace.Arena, ch chan []float64) {
+	buf := carve(ws, 8)
+	ch <- buf // want "arena scratch sent on a channel crosses workers"
+}
+
+// serial passes a capturing closure straight to a call: the ordinary
+// helper shape, executed on this worker's stack. Clean.
+func serial(ws *workspace.Arena) {
+	buf := ws.Float(8)
+	apply(func() { buf[0] = 1 })
+}
+
+func apply(f func()) { f() }
+
+// audited is the sanctioned window fan-out shape: disjoint writes joined
+// on the completion counter before Release.
+//
+//ltephy:cross-worker-ok — windows write disjoint slices; spawner joins before Release.
+func audited(ws *workspace.Arena, ch chan func()) {
+	buf := ws.Float(8)
+	ch <- func() { buf[0] = 1 }
+}
+
+// cold construction may stage buffers however it likes.
+//
+//ltephy:coldpath — one-time wiring.
+func coldStage(ws *workspace.Arena, ch chan []float64) {
+	ch <- ws.Float(8)
+}
+
+// plain values crossing channels are fine: only arena aliases are taint.
+func plainSend(ch chan []float64) {
+	buf := make([]float64, 8)
+	ch <- buf
+}

@@ -1,0 +1,143 @@
+// Package lockorder exercises the mutex acquisition-order analyzer:
+// opposite nesting orders of the same two lock classes deadlock.
+package lockorder
+
+import "sync"
+
+type a struct{ mu sync.Mutex }
+type b struct{ mu sync.Mutex }
+
+// lockAB and lockBA nest the same two classes in opposite orders: two
+// goroutines running them concurrently can each hold one lock and wait
+// forever on the other.
+func lockAB(x *a, y *b) {
+	x.mu.Lock()
+	y.mu.Lock() // want "lock order inversion"
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+func lockBA(x *a, y *b) {
+	y.mu.Lock()
+	x.mu.Lock() // want "lock order inversion"
+	x.mu.Unlock()
+	y.mu.Unlock()
+}
+
+type c struct{ mu sync.Mutex }
+type d struct{ mu sync.Mutex }
+
+// outer acquires d's class indirectly, through the call graph, while
+// holding c's — the inversion partner is outer2's direct nesting.
+func outer(x *c, y *d) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	inner(y) // want "lock order inversion.*via call to"
+}
+
+func inner(y *d) {
+	y.mu.Lock()
+	defer y.mu.Unlock()
+}
+
+func outer2(x *c, y *d) {
+	y.mu.Lock()
+	x.mu.Lock() // want "lock order inversion"
+	x.mu.Unlock()
+	y.mu.Unlock()
+}
+
+type r struct{ mu sync.Mutex }
+
+// reenter re-acquires a held class through a helper: Go mutexes are not
+// reentrant, so this self-deadlocks outright.
+func reenter(x *r) {
+	x.mu.Lock()
+	helperLock(x) // want "recursive acquisition"
+	x.mu.Unlock()
+}
+
+func helperLock(x *r) {
+	x.mu.Lock()
+	x.mu.Unlock()
+}
+
+type e struct{ mu sync.Mutex }
+type f struct{ mu sync.Mutex }
+
+// sequentialEF holds the two classes one after the other, never nested:
+// no ordering constraint, no diagnostics.
+func sequentialEF(x *e, y *f) {
+	x.mu.Lock()
+	x.mu.Unlock()
+	y.mu.Lock()
+	y.mu.Unlock()
+}
+
+// lockEF is the only warm nesting of e before f: one order alone is a
+// partial order, not an inversion.
+func lockEF(x *e, y *f) {
+	x.mu.Lock()
+	y.mu.Lock()
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+// coldFE nests the opposite way but runs once at construction, before
+// anything is concurrent: the coldpath opt-out keeps it out of the
+// partial order.
+//
+//ltephy:coldpath — one-time wiring; the pool is not running yet.
+func coldFE(x *e, y *f) {
+	y.mu.Lock()
+	x.mu.Lock()
+	x.mu.Unlock()
+	y.mu.Unlock()
+}
+
+// localOnly uses a function-local mutex: no cross-goroutine identity,
+// no class, no diagnostics.
+func localOnly(y *f) {
+	var mu sync.Mutex
+	mu.Lock()
+	y.mu.Lock()
+	y.mu.Unlock()
+	mu.Unlock()
+}
+
+type h struct {
+	mu sync.Mutex
+	m  map[int]int
+}
+
+// deferredCleanup mirrors the fronthaul accept loop: a deferred closure
+// re-locks for teardown while the body locks per iteration. The closure
+// runs at return, after every body critical section, so none of these
+// acquisitions nest — no diagnostics.
+func deferredCleanup(x *h) {
+	x.mu.Lock()
+	x.m[0] = 1
+	x.mu.Unlock()
+	defer func() {
+		x.mu.Lock()
+		delete(x.m, 0)
+		x.mu.Unlock()
+	}()
+	x.mu.Lock()
+	x.m[1] = 2
+	x.mu.Unlock()
+}
+
+var gmu sync.Mutex
+
+type g struct{ mu sync.Mutex }
+
+// pkgLevel nests a package-level mutex class under a field class — one
+// order only, so clean; the class machinery for package-level vars is
+// still exercised.
+func pkgLevel(x *g) {
+	gmu.Lock()
+	x.mu.Lock()
+	x.mu.Unlock()
+	gmu.Unlock()
+}

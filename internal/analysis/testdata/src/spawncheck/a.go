@@ -1,0 +1,67 @@
+// Package spawncheck exercises the goroutine lifecycle analyzer: every
+// go statement needs a //ltephy:spawn-point home and a provable join.
+package spawncheck
+
+import "sync"
+
+type server struct{ wg sync.WaitGroup }
+
+// start is the audited WaitGroup-bracket shape: Add before the spawn,
+// Done inside the statically resolved callee. No diagnostics.
+//
+//ltephy:spawn-point — worker lifecycle owned by wg; Close joins.
+func (s *server) start(n int) {
+	s.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go s.run()
+	}
+}
+
+func (s *server) run() {
+	defer s.wg.Done()
+}
+
+// produce is the result-channel join shape: the spawner receives the
+// goroutine's result before returning. No diagnostics.
+//
+//ltephy:spawn-point — single-shot worker joined on the result channel.
+func produce() int {
+	done := make(chan int, 1)
+	go func() { done <- work() }()
+	return <-done
+}
+
+func work() int { return 1 }
+
+// leak spawns outside any annotated lifecycle point and never joins.
+func leak() {
+	go work() // want "outside a //ltephy:spawn-point" "no provable join"
+}
+
+// unjoined sits at an annotated point but has no Add/Done bracket and no
+// result channel: the goroutine can outlive its owner.
+//
+//ltephy:spawn-point — annotated, but the join is missing.
+func unjoined() {
+	go work() // want "no provable join"
+}
+
+// dyn spawns a func value: no statically resolvable body, so no
+// provable join even at an annotated point.
+//
+//ltephy:spawn-point — dynamic spawn, join unprovable.
+func dyn(f func()) {
+	go f() // want "no provable join"
+}
+
+// fireAndWait is a closure bracket: Add before, Done inside the literal.
+//
+//ltephy:spawn-point — closure bracket joined by the owner's Wait.
+func (s *server) fireAndWait() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		work()
+	}()
+	s.wg.Wait()
+}

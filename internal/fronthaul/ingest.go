@@ -74,7 +74,15 @@ func (in *Ingest) stage(n int) []byte {
 // clean end of stream, a decode sentinel (see IsDecodeError) on framing
 // violations, and transport errors otherwise.
 //
+// Blocking is sanctioned here because ReadFrame IS the transport
+// boundary: the reads are paced by the peer (blocking on them is the
+// contract), the slot receive is deliberate admission backpressure (or
+// sheds, with ShedOnBackpressure), and the cell mutex guards a bounded
+// accounting section shared with countShed/countAdmit. Everything it
+// dispatches into stays under the blockingcall walk.
+//
 //ltephy:hotpath — the serving loop: runs once per ingested frame.
+//ltephy:blocking-ok
 func (in *Ingest) ReadFrame(r io.Reader) error {
 	if _, err := io.ReadFull(r, in.hdr[:]); err != nil {
 		return err // io.EOF: clean end between frames

@@ -105,6 +105,12 @@ type cellGen struct {
 // RunLoopback drives the server at cfg.Addr with one connection per cell
 // and returns the aggregated stats. The first per-cell error aborts the
 // aggregate (partial stats are still returned).
+//
+// Spawns one generator goroutine per cell, bracketed by wg.Add before
+// the spawn and a deferred Done; wg.Wait joins them all before stats
+// are aggregated.
+//
+//ltephy:spawn-point
 func RunLoopback(cfg GenConfig) (GenStats, error) {
 	if cfg.Cells <= 0 {
 		cfg.Cells = 1
@@ -185,7 +191,11 @@ func RunLoopback(cfg GenConfig) (GenStats, error) {
 	return total, firstErr
 }
 
-// run sends this cell's frames and consumes acks concurrently.
+// run sends this cell's frames and consumes acks concurrently. The ack
+// reader's result is joined on ackDone on every exit path (error,
+// drain, timeout) before run returns.
+//
+//ltephy:spawn-point
 func (g *cellGen) run() error {
 	conn, err := net.Dial(g.cfg.Network, g.cfg.Addr)
 	if err != nil {

@@ -326,6 +326,12 @@ func (s *Server) Pools() []*sched.Pool { return s.pools }
 // Serve accepts connections on ln until the listener is closed (by Close
 // or externally). It always returns a non-nil error; after Close the
 // error is net.ErrClosed.
+//
+// Per-connection handler lifecycle is owned by s.wg: Add(1) under the
+// mutex before the spawn, handleConn defers Done, Close joins via
+// wg.Wait after closing every connection.
+//
+//ltephy:spawn-point
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	if s.closing {
@@ -371,6 +377,12 @@ func (s *Server) lookupCell(id uint16) *cell {
 // (done or shed); teardown reclaims all slots first, which guarantees
 // every in-flight subframe's completion hook has fired before the ack
 // channel closes.
+//
+// The ack writer is bracketed by the local writer WaitGroup: Add before
+// the spawn, Done deferred in the closure, joined by writer.Wait before
+// the connection closes.
+//
+//ltephy:spawn-point
 func (s *Server) handleConn(conn net.Conn) {
 	defer s.wg.Done()
 	acks := make(chan Ack, s.cfg.SlotsPerConn+64)

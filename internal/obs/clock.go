@@ -20,3 +20,45 @@ var epoch = time.Now()
 
 // Nanotime returns monotonic nanoseconds since the process epoch.
 func Nanotime() int64 { return int64(time.Since(epoch)) }
+
+// Clock is the injectable pacing and elapsed-time source for drivers that
+// dispatch on a period (sched.Dispatcher). It exists so the deterministic
+// layers never touch the wall clock directly: the real clock lives here,
+// outside the determinism lint surface, and simulation/test runs swap in
+// UnpacedClock to run the same dispatch loop flat out.
+//
+// Now returns monotonic nanoseconds on the shared process time base
+// (Nanotime), so deadline stamps and busy-time counters stay comparable
+// whichever implementation is installed. Tick returns a pacing channel
+// that delivers one edge per period plus a release function.
+type Clock interface {
+	Now() int64
+	Tick(d time.Duration) (<-chan time.Time, func())
+}
+
+// SystemClock paces with a real time.Ticker — the production clock.
+type SystemClock struct{}
+
+// Now returns Nanotime.
+func (SystemClock) Now() int64 { return Nanotime() }
+
+// Tick returns a real ticker channel and its Stop.
+func (SystemClock) Tick(d time.Duration) (<-chan time.Time, func()) {
+	t := time.NewTicker(d)
+	return t.C, t.Stop
+}
+
+// UnpacedClock removes pacing: every tick is immediately ready (a closed
+// channel), so a dispatch loop runs as fast as the pool drains. Elapsed
+// time is still real (Nanotime), so throughput numbers remain honest.
+type UnpacedClock struct{}
+
+// Now returns Nanotime.
+func (UnpacedClock) Now() int64 { return Nanotime() }
+
+// Tick returns an always-ready channel; the release function is a no-op.
+func (UnpacedClock) Tick(time.Duration) (<-chan time.Time, func()) {
+	c := make(chan time.Time)
+	close(c)
+	return c, func() {}
+}

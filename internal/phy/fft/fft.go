@@ -784,6 +784,10 @@ var (
 	planCache = map[planKey]any{}
 )
 
+// lookupPlan is an uncontended RLock over one map read; plans are
+// memoised per size so steady state never holds the write lock.
+//
+//ltephy:blocking-ok
 func lookupPlan(k planKey) any {
 	planMu.RLock()
 	p := planCache[k]
@@ -791,6 +795,10 @@ func lookupPlan(k planKey) any {
 	return p
 }
 
+// storePlan takes the write lock only on first sight of a new FFT size
+// (cold warm-up); the critical section is one map read + write.
+//
+//ltephy:blocking-ok
 func storePlan(k planKey, p any) any {
 	planMu.Lock()
 	if cached, ok := planCache[k]; ok {

@@ -59,6 +59,11 @@ var (
 
 // NewRateMatcher returns the (cached) rate matcher for info size k, which
 // must be a valid interleaver size.
+//
+// Double-checked RWMutex cache: steady state is one uncontended RLock
+// over a map read; the write lock is first-sight-only.
+//
+//ltephy:blocking-ok
 func NewRateMatcher(k int) (*RateMatcher, error) {
 	rmMu.RLock()
 	rm := rmCache[k]

@@ -31,6 +31,12 @@ type DispatcherConfig struct {
 	// pool's deadline accounting, measured from dispatch. Defaults to
 	// Delta: a subframe should complete before the next one arrives.
 	DeadlineBudget time.Duration
+	// Clock paces Run and stamps dispatches. Nil defaults to
+	// obs.SystemClock (real-time pacing); obs.UnpacedClock runs the loop
+	// flat out for simulation and tests. The scheduler itself never reads
+	// the wall clock — the determinism analyzer enforces that — so all
+	// time flows through this injection point.
+	Clock obs.Clock
 }
 
 // DefaultDispatcherConfig mirrors the paper's evaluation setup.
@@ -172,11 +178,17 @@ type RunOptions struct {
 // sampling reuses two stat buffers for the whole run — no per-subframe
 // allocation.
 //
-//ltephy:coldpath — real-time pacing driver: the wall-clock reads pace
-// dispatch and measure elapsed run time, and never influence decoded bits.
+// Pacing and elapsed time come from the injected cfg.Clock (default
+// obs.SystemClock), never from direct wall-clock reads: the loop passes
+// the determinism analyzer unannotated, and an obs.UnpacedClock makes the
+// identical loop pace-free for simulation and tests.
 func (d *Dispatcher) Run(pool *Pool, m params.Model, opts RunOptions) (time.Duration, error) {
 	if opts.Subframes <= 0 {
 		return 0, fmt.Errorf("sched: Run needs a positive subframe count")
+	}
+	clk := d.cfg.Clock
+	if clk == nil {
+		clk = obs.SystemClock{}
 	}
 	tel := pool.Telemetry()
 	budget := d.cfg.DeadlineBudget
@@ -189,9 +201,9 @@ func (d *Dispatcher) Run(pool *Pool, m params.Model, opts RunOptions) (time.Dura
 		before = pool.StatsInto(make([]WorkerStats, pool.Workers()))
 		after = make([]WorkerStats, pool.Workers())
 	}
-	start := time.Now()
-	ticker := time.NewTicker(d.cfg.Delta)
-	defer ticker.Stop()
+	start := clk.Now()
+	tick, release := clk.Tick(d.cfg.Delta)
+	defer release()
 	for seq := int64(0); seq < int64(opts.Subframes); seq++ {
 		sf, err := d.Subframe(seq, m.Next())
 		if err != nil {
@@ -201,13 +213,13 @@ func (d *Dispatcher) Run(pool *Pool, m params.Model, opts RunOptions) (time.Dura
 			opts.OnDispatch(seq, sf)
 		}
 		if tel.Enabled() {
-			tel.Deadline().Dispatch(seq, obs.Nanotime())
+			tel.Deadline().Dispatch(seq, clk.Now())
 			if opts.Estimate != nil {
 				tel.Estimator().RecordEstimate(seq, opts.Estimate(sf))
 			}
 		}
 		pool.SubmitSubframe(sf)
-		<-ticker.C
+		<-tick
 		if tel.Enabled() {
 			// Measured activity of the period that just elapsed — the window
 			// subframe seq was dispatched into.
@@ -223,7 +235,7 @@ func (d *Dispatcher) Run(pool *Pool, m params.Model, opts RunOptions) (time.Dura
 		}
 	}
 	pool.Drain()
-	return time.Since(start), nil
+	return time.Duration(clk.Now() - start), nil
 }
 
 // Collector gathers results keyed by subframe for verification.

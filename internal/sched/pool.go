@@ -151,7 +151,11 @@ type worker struct {
 	}
 }
 
-// NewPool starts the workers. Call Close to stop them.
+// NewPool starts the workers. Call Close to stop them. The worker
+// lifecycle is owned by p.wg: Add(Workers) before the spawns, every
+// run() defers Done, Close joins via wg.Wait.
+//
+//ltephy:spawn-point
 func NewPool(cfg Config) (*Pool, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
@@ -459,6 +463,12 @@ func (w *worker) runTask(t Task) {
 // tasks (its own or stolen), never another processUser — users are picked
 // up solely from the global queue in run() — so every nested Mark/Release
 // brackets a single task and the stack discipline holds trivially.
+//
+// This is the per-user deadline root: the driver loop allocates the job
+// by design (not a zero-alloc root) but everything it reaches runs
+// inside the subframe budget and must never block.
+//
+//ltephy:deadline-root
 func (w *worker) processUser(qu queuedUser) {
 	w.stats.usersStarted.Add(1)
 	defer func() {
@@ -546,6 +556,13 @@ func (w *worker) processUser(qu queuedUser) {
 // on the user thread — never from a stolen task — so the help loop here
 // is the only task loop active on this goroutine and the arena mark
 // discipline of processUser is undisturbed.
+//
+// This is the audited window-task hand-off: the pushed closures
+// reference the decoder's arena-backed window state (through fn),
+// stealing workers write disjoint slices, and the help loop joins on
+// the completion counter before processUser releases the mark.
+//
+//ltephy:cross-worker-ok
 func (w *worker) runWindows(seq int64, user int32, n int, fn func(int)) {
 	var remaining atomic.Int64
 	remaining.Store(int64(n))

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"ltephy/internal/obs"
 	"ltephy/internal/params"
 	"ltephy/internal/phy/modulation"
 	"ltephy/internal/phy/workspace"
@@ -333,6 +334,44 @@ func TestDispatcherRunPaced(t *testing.T) {
 	}
 	if wall < 18*time.Millisecond {
 		t.Errorf("run finished in %v; pacing at 2 ms x 10 subframes not enforced", wall)
+	}
+	want := 0
+	for _, users := range trace.Subframes {
+		want += len(users)
+	}
+	if col.Len() != want {
+		t.Errorf("collected %d results, want %d", col.Len(), want)
+	}
+}
+
+// TestDispatcherRunUnpaced pins the injected-clock contract: with
+// obs.UnpacedClock the identical dispatch loop runs pace-free — far
+// faster than Subframes x Delta — while still delivering every result.
+func TestDispatcherRunUnpaced(t *testing.T) {
+	cfg := testDispatcherConfig()
+	cfg.Delta = 50 * time.Millisecond // would pace a 10-subframe run to 500 ms
+	cfg.Clock = obs.UnpacedClock{}
+	d := NewDispatcher(cfg)
+	trace := smallTrace(t, 10)
+	if err := d.Pregenerate(trace); err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector()
+	poolCfg := DefaultPoolConfig()
+	poolCfg.Workers = 4
+	poolCfg.OnResult = col.Add
+	pool, err := NewPool(poolCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	trace.Reset()
+	wall, err := d.Run(pool, trace, RunOptions{Subframes: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wall >= 250*time.Millisecond {
+		t.Errorf("unpaced run took %v; pacing was not removed (10 x 50 ms budget)", wall)
 	}
 	want := 0
 	for _, users := range trace.Subframes {

@@ -120,6 +120,10 @@ var (
 	dmrsCache = map[int][][]complex128{}
 )
 
+// layerRefs is a double-checked RWMutex cache: steady state is one
+// uncontended RLock over a map read; the write lock is first-sight-only.
+//
+//ltephy:blocking-ok
 func layerRefs(n int) [][]complex128 {
 	dmrsMu.RLock()
 	refs := dmrsCache[n]

@@ -79,6 +79,10 @@ var (
 	dmrsF32Cache = map[int][]lane.Vec{}
 )
 
+// layerRefsF32 is a double-checked RWMutex cache: steady state is one
+// uncontended RLock over a map read; the write lock is first-sight-only.
+//
+//ltephy:blocking-ok
 func layerRefsF32(n int) []lane.Vec {
 	dmrsF32Mu.RLock()
 	refs := dmrsF32Cache[n]

@@ -16,6 +16,10 @@ var (
 	blockCache = map[[2]int]*interleave.Block{}
 )
 
+// getBlock is a double-checked RWMutex cache: steady state is one
+// uncontended RLock over a map read; the write lock is first-sight-only.
+//
+//ltephy:blocking-ok
 func getBlock(n, cols int) *interleave.Block {
 	key := [2]int{n, cols}
 	blockMu.RLock()

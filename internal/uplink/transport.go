@@ -60,6 +60,11 @@ var (
 	formatCache = map[formatKey]TransportFormat{}
 )
 
+// cachedTransportFormat is a double-checked RWMutex cache: steady state
+// is one uncontended RLock over a map read; the write lock is
+// first-sight-only.
+//
+//ltephy:blocking-ok
 func cachedTransportFormat(p UserParams, mode TurboMode, rate float64) (TransportFormat, error) {
 	key := formatKey{prb: p.PRB, layers: p.Layers, mod: p.Mod, mode: mode, rate: rate}
 	formatMu.RLock()
