@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet lint build test race zeroalloc obs-overhead bench bench-fft bench-e2e bench-lane bench-turbo bench-compare fuzz-smoke serve-smoke print-govulncheck-version
+.PHONY: check vet lint build test race zeroalloc obs-overhead bench bench-fft bench-e2e bench-lane bench-turbo bench-compare fuzz-smoke serve-smoke kpi-smoke print-govulncheck-version
 
-check: lint build race zeroalloc obs-overhead fft-sweep
+check: lint build race zeroalloc obs-overhead fft-sweep kpi-smoke
 	$(GO) test ./...
 
 vet:
@@ -146,3 +146,13 @@ serve-smoke:
 	grep -q 'corrupt=0' bin/smoke/out.txt || { echo "serve-smoke: wire corruption"; exit 1; }; \
 	grep -q 'done=8000' bin/smoke/out.txt || { echo "serve-smoke: not all subframes served"; exit 1; }; \
 	echo "serve-smoke: OK"
+
+# KPI measurement smoke (ISSUE 9): a 3-point BLER-vs-SNR campaign through
+# the full-turbo receive path, asserting the physics — BLER monotone
+# non-increasing in SNR and 0% at the top of the grid — and leaving the
+# curve artifacts under results/. Runs in well under a second.
+kpi-smoke:
+	$(GO) run ./cmd/lte-bench -bler-sweep -turbo full -rate 0.5 \
+		-sweep-subframes 8 -maxprb 4 -snr-grid "-4,-1,6" \
+		-assert-monotone -out results
+	@echo "kpi-smoke: OK"

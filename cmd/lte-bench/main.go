@@ -77,11 +77,17 @@ func run(args []string, w io.Writer) error {
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics (Prometheus), /trace (Chrome trace) and /debug/vars on this address during the run")
 	traceFile := fs.String("trace", "", "write a Chrome trace_event JSON timeline of the run to this file (view in chrome://tracing or Perfetto)")
 	estPair := fs.Bool("est", false, "pair a cost-model workload estimate with each period's measured activity (live Fig. 12 error tracking)")
+	blerSweepRun := fs.Bool("bler-sweep", false, "run a BLER-vs-SNR campaign over -snr-grid and emit CSV+JSON curves under -out, then exit")
+	snrGrid := fs.String("snr-grid", "-4,-2,0,2,6", "bler-sweep: comma-separated SNR grid in dB")
+	sweepSubframes := fs.Int("sweep-subframes", 12, "bler-sweep: subframes per SNR point")
+	outDir := fs.String("out", "results", "bler-sweep: artifact output directory")
+	assertMonotone := fs.Bool("assert-monotone", false, "bler-sweep: fail unless BLER is monotone non-increasing in SNR and 0% at the top of the grid")
 	loopback := fs.String("loopback", "", "run as a loopback load generator against an lte-enb server at this address, then exit")
 	network := fs.String("network", "tcp", "loopback transport: tcp or unix")
 	cells := fs.Int("cells", 1, "loopback: cells to drive (one connection each)")
 	speedup := fs.Float64("speedup", 1, "loopback: real-time rate multiplier — one frame every delta/speedup per cell (0 = as fast as the transport allows)")
 	genLoad := fs.Float64("load", 1, "loopback: offered-load multiplier (parameter-model draws concatenated per subframe)")
+	dtxProb := fs.Float64("dtx", 0, "loopback: probability a scheduled user is DTX-flagged (absent UE, feeds the KPI Dtx counter)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -135,6 +141,14 @@ func run(args []string, w io.Writer) error {
 	rc.Scramble = *scramble
 	rc.EstimateNoise = *noiseEst
 
+	if *blerSweepRun {
+		grid, err := parseSNRGrid(*snrGrid)
+		if err != nil {
+			return err
+		}
+		return runBLERSweep(w, rc, grid, *sweepSubframes, *maxPRB, *seed, *outDir, *assertMonotone)
+	}
+
 	if *loopback != "" {
 		interval := time.Duration(0)
 		if *speedup > 0 {
@@ -152,6 +166,7 @@ func run(args []string, w io.Writer) error {
 			Subframes: *subframes,
 			Interval:  interval,
 			Load:      *genLoad,
+			DTXProb:   *dtxProb,
 			Seed:      *seed,
 			MaxPRB:    *maxPRB,
 			TX:        txCfg,

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -52,5 +55,61 @@ func TestRunBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-chanest", "psychic"}, &buf); err == nil {
 		t.Error("unknown channel estimator accepted")
+	}
+}
+
+func TestRunBLERSweep(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	err := run([]string{"-bler-sweep", "-turbo", "full", "-rate", "0.5",
+		"-sweep-subframes", "4", "-maxprb", "4", "-snr-grid", "-4,-1,6",
+		"-assert-monotone", "-out", dir}, &buf)
+	if err != nil {
+		t.Fatalf("bler-sweep: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"bler-sweep: 3 points", "monotonicity asserted"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "bler_sweep.csv"))
+	if err != nil {
+		t.Fatalf("csv artifact: %v", err)
+	}
+	if !strings.HasPrefix(string(csv), "snr_db,bler_percent,throughput_kbps") {
+		t.Errorf("csv header:\n%s", csv)
+	}
+	var doc struct {
+		Points []struct {
+			SNRdB float64 `json:"snr_db"`
+			Bler  float64 `json:"bler"`
+		} `json:"points"`
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "bler_sweep.json"))
+	if err != nil {
+		t.Fatalf("json artifact: %v", err)
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("json artifact: %v", err)
+	}
+	if len(doc.Points) != 3 || doc.Points[2].Bler != 0 {
+		t.Errorf("json points: %+v", doc.Points)
+	}
+}
+
+func TestParseSNRGrid(t *testing.T) {
+	grid, err := parseSNRGrid(" 6, -2,0 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) != 3 || grid[0] != -2 || grid[2] != 6 {
+		t.Errorf("grid = %v, want sorted [-2 0 6]", grid)
+	}
+	if _, err := parseSNRGrid("1,banana"); err == nil {
+		t.Error("bad grid entry accepted")
+	}
+	if _, err := parseSNRGrid("5"); err == nil {
+		t.Error("single-point grid accepted")
 	}
 }

@@ -25,6 +25,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -65,7 +67,9 @@ func run(args []string, w io.Writer, stop <-chan struct{}) error {
 	turboIter := fs.Int("turbo-iter", 0, "max full turbo iterations per code block (0 = receiver default)")
 	lockFree := fs.Bool("lockfree", false, "use the Chase-Lev lock-free deque")
 	obsSampling := fs.Int("obs", 0, "telemetry sampling knob for the pools (0 = off)")
-	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /trace, /trace/admission and /debug/vars on this address")
+	kpiSampling := fs.Int("kpi", 1, "KPI accounting knob: 1 = count every block outcome, 0 = off")
+	kpiWindows := fs.String("kpi-windows", "", "comma-separated KPI window lengths in subframes (default 200,1000,10000)")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /fetch, /trace, /trace/admission and /debug/vars on this address")
 	seed := fs.Uint64("seed", 1, "steal-RNG seed for the pools")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,6 +86,10 @@ func run(args []string, w io.Writer, stop <-chan struct{}) error {
 	if *turboIter > 0 {
 		rc.TurboIterations = *turboIter
 	}
+	windows, err := parseWindows(*kpiWindows)
+	if err != nil {
+		return err
+	}
 
 	srv, err := fronthaul.NewServer(fronthaul.Config{
 		Cells:              *cells,
@@ -96,6 +104,8 @@ func run(args []string, w io.Writer, stop <-chan struct{}) error {
 		MaxUsers:           *maxUsers,
 		ShedOnBackpressure: *shedBackpressure,
 		Sampling:           *obsSampling,
+		KPISampling:        *kpiSampling,
+		KPIWindows:         windows,
 		Seed:               *seed,
 		LockFreeDeque:      *lockFree,
 	})
@@ -153,5 +163,31 @@ func run(args []string, w io.Writer, stop <-chan struct{}) error {
 			st.DeadlineMet, st.DeadlineMissed, st.OfferedEst, st.AdmittedEst)
 	}
 	fmt.Fprintf(w, "corrupt_frames=%d\n", srv.CorruptFrames())
+	if reg := srv.KPI(); reg.Enabled() {
+		for _, c := range reg.Snapshot() {
+			f := c.Cumulative
+			fmt.Fprintf(w, "kpi cell %d: reliability=%d bler=%.3f%% throughput=%.1fkbps "+
+				"crc_pass=%d crc_fail=%d dtx=%d skipped=%d users=%d\n",
+				c.Cell, f.Reliability, f.Bler, f.Throughput,
+				f.CrcPass, f.CrcFail, f.Dtx, f.Skipped, len(c.Users))
+		}
+	}
 	return nil
+}
+
+// parseWindows parses the -kpi-windows comma-separated subframe lengths
+// ("" = package defaults).
+func parseWindows(s string) ([]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad -kpi-windows entry %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }

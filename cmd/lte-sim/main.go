@@ -21,6 +21,7 @@ import (
 
 	"ltephy/internal/experiments"
 	"ltephy/internal/obs"
+	"ltephy/internal/obs/kpi"
 	"ltephy/internal/params"
 	"ltephy/internal/sim"
 )
@@ -50,12 +51,17 @@ func run(args []string, w io.Writer) error {
 	traceFile := fs.String("trace", "", "simulate a short run and write its per-core Chrome trace_event timeline (paper Figs. 4-5) to this file, then exit")
 	traceSubframes := fs.Int("trace-subframes", 40, "subframes to simulate for -trace")
 	traceWorkers := fs.Int("trace-workers", sim.DefaultWorkers, "worker cores for -trace")
+	kpiRun := fs.Bool("kpi", false, "simulate a short run with KPI accounting on and print the cell's EBLer-style FETCH summary, then exit")
+	kpiSubframes := fs.Int("kpi-subframes", 400, "subframes to simulate for -kpi")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *traceFile != "" {
 		return runTrace(w, *traceFile, *traceSubframes, *traceWorkers, *seed)
+	}
+	if *kpiRun {
+		return runKPI(w, *kpiSubframes, *traceWorkers, *seed)
 	}
 
 	cfg := experiments.Quick()
@@ -163,6 +169,36 @@ func runTrace(w io.Writer, path string, n, workers int, seed uint64) error {
 	}
 	fmt.Fprintf(w, "trace: %d subframes, %d jobs, %d task spans across %d cores -> %s (open in chrome://tracing or ui.perfetto.dev)\n",
 		n, res.TotalJobs, len(events), cfg.Workers, path)
+	return nil
+}
+
+// runKPI simulates n subframes with the KPI hook attached and prints the
+// cell's FETCH summary: on-time jobs count as delivered blocks, deadline
+// misses as Skipped. A smoke view of the measurement service over the
+// virtual-time simulator.
+func runKPI(w io.Writer, n, workers int, seed uint64) error {
+	cfg := sim.DefaultConfig()
+	if workers > 0 {
+		cfg.Workers = workers
+	}
+	reg := kpi.New(kpi.Config{Cells: 1, Windows: []int64{200, 1000}})
+	reg.SetSampling(1)
+	cfg.KPI = reg
+	res, err := sim.Run(cfg, params.NewRandom(seed), n)
+	if err != nil {
+		return err
+	}
+	c := reg.CellSnapshot(0)
+	f := c.Cumulative
+	fmt.Fprintf(w, "kpi: %d subframes, %d jobs: reliability=%d bler=%.3f%% throughput=%.1fkbps crc_pass=%d crc_fail=%d dtx=%d skipped=%d\n",
+		n, res.TotalJobs, f.Reliability, f.Bler, f.Throughput, f.CrcPass, f.CrcFail, f.Dtx, f.Skipped)
+	for _, wf := range c.Windows {
+		if wf.Epoch < 0 {
+			continue
+		}
+		fmt.Fprintf(w, "kpi: window=%d epoch=%d bler=%.3f%% throughput=%.1fkbps\n",
+			wf.Window, wf.Epoch, wf.Bler, wf.Throughput)
+	}
 	return nil
 }
 

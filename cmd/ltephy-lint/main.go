@@ -16,8 +16,9 @@
 // surface (internal/phy, internal/uplink, internal/sim) and
 // internal/sched, whose turbo window fan-out is part of the
 // serial-vs-parallel bit-exactness contract; atomiccheck runs over
-// internal/sched, internal/obs and internal/fronthaul (the telemetry
-// counters and the serving layer's per-cell accounting share the
+// internal/sched, internal/obs (including the internal/obs/kpi block
+// accumulators) and internal/fronthaul (the telemetry counters, the KPI
+// record path and the serving layer's per-cell accounting share the
 // scheduler's lock-free discipline); spawncheck and lockorder run over
 // internal/sched and internal/fronthaul, the only layers that own
 // goroutines and cross-goroutine mutexes.

@@ -1,0 +1,94 @@
+// c.go exercises the KPI record-path shape: a measurement service whose
+// per-cell / per-user accumulators are preallocated at construction, so
+// the per-event record call is pure atomic arithmetic into existing
+// storage — annotated //ltephy:hotpath like internal/obs/kpi. The
+// anti-patterns are per-event sample retention (append into package
+// storage) and per-event key formatting (fmt boxing).
+package hotpathalloc
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// blockCounters is the preallocated per-user accumulator: fixed words,
+// no per-event storage.
+type blockCounters struct {
+	pass atomic.Int64
+	fail atomic.Int64
+	bits atomic.Int64
+}
+
+// kpiCell owns one cell's accumulators, sized once at construction.
+type kpiCell struct {
+	acc   blockCounters
+	users []blockCounters
+}
+
+// kpiRegistry mirrors the real registry: a sampling gate in front of
+// preallocated cells.
+type kpiRegistry struct {
+	sampling atomic.Int64
+	cells    []kpiCell
+}
+
+// newKPI preallocates every accumulator; construction is cold, so its
+// allocations carry no diagnostics even without an annotation.
+func newKPI(cells, users int) *kpiRegistry {
+	r := &kpiRegistry{cells: make([]kpiCell, cells)}
+	for i := range r.cells {
+		r.cells[i].users = make([]blockCounters, users)
+	}
+	return r
+}
+
+// recordResult is the per-event record path: gate, index, atomic add —
+// reachable allocations would be violations, and there are none.
+//
+//ltephy:hotpath — runs once per decoded block in the serving loop.
+func (r *kpiRegistry) recordResult(cell, user int, crcOK bool, bits int) {
+	if r.sampling.Load() == 0 {
+		return
+	}
+	c := &r.cells[cell]
+	if user >= len(c.users) {
+		user = len(c.users) - 1
+	}
+	u := &c.users[user]
+	if crcOK {
+		u.pass.Add(1)
+		c.acc.pass.Add(1)
+	} else {
+		u.fail.Add(1)
+		c.acc.fail.Add(1)
+	}
+	u.bits.Add(int64(bits))
+	c.acc.bits.Add(int64(bits))
+	retainSample(cell, user, bits)
+	_ = seriesKey(cell, user)
+}
+
+// samples is per-event retention: the KPI anti-pattern — the registry
+// must fold events into counters, not keep them.
+var samples []int
+
+// retainSample appends every event into package-level storage.
+func retainSample(cell, user, bits int) {
+	samples = append(samples, bits) // want "may grow fresh heap"
+}
+
+// seriesKey formats a label per event; key construction belongs in the
+// cold snapshot/export path, not the record path.
+func seriesKey(cell, user int) string {
+	return fmt.Sprintf("cell=%d user=%d", cell, user) // want "boxes arguments"
+}
+
+// snapshotKPI is the cold read side: no directive, not reachable from a
+// seed, so its allocations are fine.
+func snapshotKPI(r *kpiRegistry) []int64 {
+	out := make([]int64, 0, len(r.cells))
+	for i := range r.cells {
+		out = append(out, r.cells[i].acc.pass.Load())
+	}
+	return out
+}

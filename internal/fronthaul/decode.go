@@ -17,6 +17,9 @@ import (
 type UserRecord struct {
 	Params   uplink.UserParams
 	Priority uint8
+	// DTX reports UserFlagDTX: the user was scheduled but transmitted
+	// nothing, so it must be counted (KPI Dtx) rather than decoded.
+	DTX      bool
 	NoiseVar float64
 	// off is the payload offset of the user's sample block.
 	off int
@@ -53,8 +56,9 @@ func ParseUsers(h Header, payload []byte, recs *[MaxUsersPerFrame]UserRecord) (i
 		r.Params.Layers = int(payload[off+4])
 		r.Params.Mod = modulation.Scheme(payload[off+5])
 		r.Priority = payload[off+6]
+		r.DTX = payload[off+7]&UserFlagDTX != 0
 		r.NoiseVar = math.Float64frombits(binary.LittleEndian.Uint64(payload[off+8:]))
-		if payload[off+7] != 0 || r.Params.Validate() != nil ||
+		if payload[off+7]&^byte(userFlagsKnown) != 0 || r.Params.Validate() != nil ||
 			r.Params.Layers > ant ||
 			!(r.NoiseVar >= 0) || math.IsInf(r.NoiseVar, 1) {
 			return 0, ErrUserRecord

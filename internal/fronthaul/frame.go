@@ -31,7 +31,8 @@
 //	4      1    layers
 //	5      1    modulation scheme
 //	6      1    priority (higher = more important)
-//	7      1    reserved (zero)
+//	7      1    user flags (bit 0 = DTX: scheduled but not transmitting;
+//	            remaining bits reserved, zero)
 //	8      8    noise variance (float64 bits)
 //
 // followed by the user's frequency-domain receive grid as complex128
@@ -85,6 +86,20 @@ const (
 	// samplesPerUserUnit is the sample count per (antenna x subcarrier):
 	// 2 reference symbols + 12 data symbols.
 	samplesPerUserUnit = uplink.SlotsPerSubframe * (1 + uplink.DataSymbolsPerSlot)
+)
+
+// Per-user record flags (byte 7 of the user header).
+const (
+	// UserFlagDTX marks a scheduled-but-absent user: the scheduler granted
+	// the user but it transmitted nothing. The record still carries a full
+	// sample grid (wire size stays a pure function of PRB x antennas); the
+	// ingest drops DTX users before admission and counts them in the KPI
+	// Dtx bucket instead of decoding noise.
+	UserFlagDTX = 0x01
+
+	// userFlagsKnown masks the flag bits this codec understands; any other
+	// set bit rejects the record.
+	userFlagsKnown = UserFlagDTX
 )
 
 // Decode errors. These are sentinels: the ingest hot path must not box
@@ -172,6 +187,9 @@ func putHeader(b []byte, h Header) {
 type FrameUser struct {
 	Data     *uplink.UserData
 	Priority uint8
+	// DTX marks the user as scheduled-but-absent (UserFlagDTX on the
+	// wire): the grid is carried but the receiver must not decode it.
+	DTX bool
 }
 
 // AppendFrame encodes one subframe as a wire frame and appends it to dst,
@@ -228,6 +246,9 @@ func putUser(b []byte, off int, u FrameUser) int {
 	b[off+5] = uint8(p.Mod)
 	b[off+6] = u.Priority
 	b[off+7] = 0
+	if u.DTX {
+		b[off+7] = UserFlagDTX
+	}
 	binary.LittleEndian.PutUint64(b[off+8:], math.Float64bits(u.Data.NoiseVar))
 	off += UserHeaderLen
 	for s := 0; s < uplink.SlotsPerSubframe; s++ {

@@ -237,8 +237,15 @@ func TestPayloadErrors(t *testing.T) {
 	if _, err := ParseUsers(h, payload, &recs); err != nil {
 		t.Fatalf("valid payload rejected: %v", err)
 	}
-	if err := mutated(func(p []byte) { p[7] = 1 }); err != ErrUserRecord {
-		t.Errorf("reserved byte: err = %v, want ErrUserRecord", err)
+	// Bit 0 of the flags byte is the DTX flag; any other bit is reserved
+	// and rejects the record.
+	if err := mutated(func(p []byte) { p[7] = UserFlagDTX }); err != nil {
+		t.Errorf("DTX flag: err = %v, want nil", err)
+	} else if !recs[0].DTX {
+		t.Error("DTX flag: record not marked DTX")
+	}
+	if err := mutated(func(p []byte) { p[7] = 0x02 }); err != ErrUserRecord {
+		t.Errorf("reserved flag bit: err = %v, want ErrUserRecord", err)
 	}
 	if err := mutated(func(p []byte) { p[4] = 9 }); err != ErrUserRecord {
 		t.Errorf("bad layers: err = %v, want ErrUserRecord", err)

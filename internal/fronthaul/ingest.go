@@ -116,6 +116,21 @@ func (in *Ingest) ReadFrame(r io.Reader) error {
 	if err != nil {
 		return err
 	}
+	// DTX compaction: scheduled-but-absent users are counted (KPI Dtx),
+	// not decoded — their records carry a grid for wire-size consistency
+	// but must not consume admission budget or decode-slot capacity.
+	live := 0
+	for i := 0; i < n; i++ {
+		if in.recs[i].DTX {
+			c.kpi.RecordDTX(c.id, h.Seq, in.recs[i].Params.ID)
+			continue
+		}
+		if live != i {
+			in.recs[live] = in.recs[i]
+		}
+		live++
+	}
+	n = live
 	for i := 0; i < n; i++ {
 		in.est[i] = c.pred.EstimateUser(in.recs[i].Params)
 		in.prio[i] = in.recs[i].Priority
@@ -130,6 +145,9 @@ func (in *Ingest) ReadFrame(r io.Reader) error {
 		case slot = <-in.slots:
 		default:
 			c.countShed(AckShedBackpressure, h.Seq, n, 0)
+			for i := 0; i < n; i++ {
+				c.kpi.RecordSkipped(c.id, h.Seq, in.recs[i].Params.ID)
+			}
 			in.ack(Ack{Cell: h.Cell, Status: AckShedBackpressure, Seq: h.Seq})
 			return nil
 		}
@@ -150,6 +168,9 @@ func (in *Ingest) ReadFrame(r io.Reader) error {
 			status = AckShedOverload
 		}
 		c.countShed(status, h.Seq, n, d.OfferedEst)
+		for i := 0; i < n; i++ {
+			c.kpi.RecordSkipped(c.id, h.Seq, in.recs[i].Params.ID)
+		}
 		in.ack(Ack{Cell: h.Cell, Status: status, Seq: h.Seq})
 		return nil
 	}
@@ -159,6 +180,11 @@ func (in *Ingest) ReadFrame(r io.Reader) error {
 		if in.admit[i] {
 			fillUser(&slot.users[k], slot.ws, h, payload, in.recs[i])
 			k++
+		} else {
+			// Admission rejected this user: its block is never decoded, so
+			// it lands in the per-user Skipped bucket — the same events the
+			// cell-level usersRejected counter sees (one number, two views).
+			c.kpi.RecordSkipped(c.id, h.Seq, in.recs[i].Params.ID)
 		}
 	}
 	now := obs.Nanotime()

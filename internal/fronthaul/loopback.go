@@ -11,6 +11,7 @@ import (
 
 	"ltephy/internal/obs"
 	"ltephy/internal/params"
+	"ltephy/internal/rng"
 	"ltephy/internal/sched"
 	"ltephy/internal/uplink"
 	"ltephy/internal/uplink/tx"
@@ -44,6 +45,10 @@ type GenConfig struct {
 	// MaxUsers caps the users per frame after load concatenation.
 	// Defaults to MaxUsersPerFrame.
 	MaxUsers int
+	// DTXProb flags each offered user DTX (scheduled-but-absent) with
+	// this probability, exercising the receiver's DTX accounting. Drawn
+	// from a per-cell rng stream so runs are reproducible.
+	DTXProb float64
 	// TX configures signal synthesis; TX.Receiver must match the server's
 	// receiver (antenna count).
 	TX tx.Config
@@ -66,6 +71,9 @@ type GenStats struct {
 	Sent, Acked                                    int64
 	Done, ShedLate, ShedOverload, ShedBackpressure int64
 	UsersSent, UsersAccepted                       int64
+	// UsersDTX counts users the generator flagged DTX (a subset of
+	// UsersSent).
+	UsersDTX int64
 	// BadAcks counts acks that failed to parse or referenced an unknown
 	// sequence number.
 	BadAcks int64
@@ -82,9 +90,9 @@ func (g GenStats) ShedFrames() int64 { return g.ShedLate + g.ShedOverload + g.Sh
 func (g GenStats) String() string {
 	return fmt.Sprintf(
 		"sent=%d acked=%d done=%d shed_late=%d shed_overload=%d shed_backpressure=%d "+
-			"users_sent=%d users_accepted=%d corrupt=%d p50=%v p90=%v p99=%v max=%v",
+			"users_sent=%d users_accepted=%d users_dtx=%d corrupt=%d p50=%v p90=%v p99=%v max=%v",
 		g.Sent, g.Acked, g.Done, g.ShedLate, g.ShedOverload, g.ShedBackpressure,
-		g.UsersSent, g.UsersAccepted, g.BadAcks, g.P50, g.P90, g.P99, g.Max)
+		g.UsersSent, g.UsersAccepted, g.UsersDTX, g.BadAcks, g.P50, g.P90, g.P99, g.Max)
 }
 
 // cellGen is one cell's generator state. The sender goroutine writes
@@ -181,6 +189,7 @@ func RunLoopback(cfg GenConfig) (GenStats, error) {
 		total.ShedBackpressure += g.stats.ShedBackpressure
 		total.UsersSent += g.stats.UsersSent
 		total.UsersAccepted += g.stats.UsersAccepted
+		total.UsersDTX += g.stats.UsersDTX
 		total.BadAcks += g.stats.BadAcks
 		lats = append(lats, g.latencies...)
 		if g.err != nil && firstErr == nil {
@@ -232,6 +241,10 @@ func (g *cellGen) run() error {
 // send writes this cell's frames at the configured interval.
 func (g *cellGen) send(conn net.Conn) error {
 	model := params.NewRandom(g.cfg.Seed + uint64(g.cellID))
+	var dtxRng *rng.RNG
+	if g.cfg.DTXProb > 0 {
+		dtxRng = rng.New(g.cfg.Seed + uint64(g.cellID)*7919)
+	}
 	var buf []byte
 	var users []FrameUser
 	var ps []uplink.UserParams
@@ -272,7 +285,12 @@ func (g *cellGen) send(conn net.Conn) error {
 		}
 		users = users[:0]
 		for slot, u := range sf.Users {
-			users = append(users, FrameUser{Data: u, Priority: g.cfg.Priority(g.cellID, seq, slot)})
+			fu := FrameUser{Data: u, Priority: g.cfg.Priority(g.cellID, seq, slot)}
+			if dtxRng != nil && dtxRng.Float64() < g.cfg.DTXProb {
+				fu.DTX = true
+				g.stats.UsersDTX++
+			}
+			users = append(users, fu)
 		}
 		buf, err = AppendFrame(buf[:0], g.cellID, seq, users)
 		if err != nil {

@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"ltephy/internal/obs"
+	"ltephy/internal/obs/kpi"
 )
 
 // WritePrometheus writes the per-cell serving counters in Prometheus text
@@ -65,16 +66,20 @@ func (s *Server) WriteAdmissionTrace(w io.Writer) error {
 }
 
 // Handler returns the server's observability endpoint: obs.Handler over
-// pool 0's telemetry registry, extended with every pool's worker counters
-// and the per-cell serving metrics, plus /trace/admission for the
-// admission timeline.
+// pool 0's telemetry registry, extended with every pool's worker counters,
+// the per-cell serving metrics and the ltephy_kpi_* series, plus
+// /trace/admission for the admission timeline and /fetch for the
+// EBLer-style KPI query endpoint. The KPI structs are also published via
+// expvar (debug/vars key "ltephy_kpi").
 func (s *Server) Handler() http.Handler {
-	extras := []func(io.Writer) error{s.WritePrometheus}
+	extras := []func(io.Writer) error{s.WritePrometheus, s.kpi.WritePrometheus}
 	for _, p := range s.pools {
 		extras = append(extras, p.WritePrometheus)
 	}
+	kpi.PublishExpvar(s.kpi)
 	mux := http.NewServeMux()
 	mux.Handle("/", obs.Handler(s.pools[0].Telemetry(), extras...))
+	mux.Handle("/fetch", kpi.FetchHandler(s.kpi))
 	mux.HandleFunc("/trace/admission", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = s.WriteAdmissionTrace(w)

@@ -11,6 +11,7 @@ import (
 
 	"ltephy/internal/cost"
 	"ltephy/internal/obs"
+	"ltephy/internal/obs/kpi"
 	"ltephy/internal/sched"
 	"ltephy/internal/uplink"
 )
@@ -55,6 +56,12 @@ type Config struct {
 	ShedOnBackpressure bool
 	// Sampling is the obs sampling knob applied to each pool's telemetry.
 	Sampling int
+	// KPISampling is the KPI registry's sampling knob: 0 disables KPI
+	// recording, any value >= 1 counts every block outcome.
+	KPISampling int
+	// KPIWindows are the KPI tumbling-window lengths in subframes
+	// (kpi.DefaultWindows when nil).
+	KPIWindows []int64
 	// RingDepth is the per-cell admission event-ring capacity
 	// (obs.DefaultRingDepth when 0).
 	RingDepth int
@@ -129,6 +136,9 @@ type cell struct {
 	pool *sched.Pool
 	pred Predictor
 	ring *obs.EventRing
+	// kpi is the server-wide KPI registry (scoped by cell id); the ingest
+	// records DTX and shed/rejected users through it.
+	kpi *kpi.Registry
 
 	// mu serialises admission decisions and the estimate accounting
 	// across connections carrying the same cell.
@@ -215,6 +225,7 @@ type Server struct {
 	budgetNs int64
 	pools    []*sched.Pool
 	cells    []*cell
+	kpi      *kpi.Registry
 
 	mu      sync.Mutex
 	lns     map[net.Listener]struct{}
@@ -238,17 +249,23 @@ func NewServer(cfg Config) (*Server, error) {
 		lns:      map[net.Listener]struct{}{},
 		conns:    map[net.Conn]struct{}{},
 	}
+	s.kpi = kpi.New(kpi.Config{Cells: cfg.Cells, MaxUsers: cfg.MaxUsers, Windows: cfg.KPIWindows})
+	s.kpi.SetSampling(cfg.KPISampling)
 	// Feedback loop: when the predictor can absorb realized turbo
 	// half-iteration counts, every result feeds it before reaching the
 	// caller's hook, so admission estimates follow early termination.
-	onResult := cfg.OnResult
-	if to, ok := cfg.Predictor.(interface{ ObserveTurbo(int) }); ok {
-		user := onResult
-		onResult = func(r uplink.UserResult) {
+	// Every result also lands in the KPI registry (CrcPass/CrcFail + bits)
+	// before the caller's hook runs.
+	user := cfg.OnResult
+	to, observeTurbo := cfg.Predictor.(interface{ ObserveTurbo(int) })
+	reg := s.kpi
+	onResult := func(r uplink.UserResult) {
+		if observeTurbo {
 			to.ObserveTurbo(r.TurboHalfIters)
-			if user != nil {
-				user(r)
-			}
+		}
+		reg.RecordResult(r.Cell, r.Seq, r.UserID, r.CRCOK, 8*len(r.Bits))
+		if user != nil {
+			user(r)
 		}
 	}
 	s.pools = make([]*sched.Pool, cfg.Pools)
@@ -277,6 +294,7 @@ func NewServer(cfg Config) (*Server, error) {
 			pool: s.pools[i%cfg.Pools],
 			pred: cfg.Predictor,
 			ring: obs.NewEventRing(cfg.RingDepth),
+			kpi:  s.kpi,
 			adm:  Admission{Capacity: cfg.Capacity, Burst: cfg.Burst},
 		}
 	}
@@ -322,6 +340,10 @@ func (s *Server) CorruptFrames() int64 { return s.corruptFrames.Load() }
 
 // Pools returns the scheduler pools (for telemetry access).
 func (s *Server) Pools() []*sched.Pool { return s.pools }
+
+// KPI returns the server's KPI registry (per-cell/per-user EBLer
+// counters; recording is gated by Config.KPISampling).
+func (s *Server) KPI() *kpi.Registry { return s.kpi }
 
 // Serve accepts connections on ln until the listener is closed (by Close
 // or externally). It always returns a non-nil error; after Close the

@@ -61,6 +61,7 @@ func (s *Slot) arm(cell uint16, seq int64, k int, now int64) {
 	s.admitted = uint8(k)
 	s.dispatchNs = now
 	s.sf.Seq = seq
+	s.sf.Cell = cell
 	s.sf.Users = s.ptrs[:k]
 }
 

@@ -1,0 +1,125 @@
+package kpi
+
+// Exporters: the FETCh-shaped HTTP endpoint (JSON or text), the
+// ltephy_kpi_* Prometheus section, and the expvar publication. All cold
+// path.
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// WritePrometheus writes the per-cell KPI counters and the derived
+// BLER/throughput gauges in Prometheus text format — designed to be
+// passed as an extra section to obs.Handler. Per-user series are not
+// exported (unbounded label cardinality); the FETCH endpoint serves the
+// per-user view.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	if _, err := io.WriteString(w,
+		"# HELP ltephy_kpi_blocks_total Transport blocks by cell and outcome (crc_pass, crc_fail, dtx, skipped).\n# TYPE ltephy_kpi_blocks_total counter\n"+
+			"# HELP ltephy_kpi_bits_total Delivered transport-block bits by cell.\n# TYPE ltephy_kpi_bits_total counter\n"+
+			"# HELP ltephy_kpi_bler_percent Block error ratio in percent, cumulative and per completed window.\n# TYPE ltephy_kpi_bler_percent gauge\n"+
+			"# HELP ltephy_kpi_throughput_kbps Delivered throughput in kbit/s, cumulative and per completed window.\n# TYPE ltephy_kpi_throughput_kbps gauge\n"); err != nil {
+		return err
+	}
+	for i := range r.cells {
+		snap := r.CellSnapshot(i)
+		cum := snap.Cumulative
+		if _, err := fmt.Fprintf(w,
+			"ltephy_kpi_blocks_total{cell=\"%d\",outcome=\"crc_pass\"} %d\n"+
+				"ltephy_kpi_blocks_total{cell=\"%d\",outcome=\"crc_fail\"} %d\n"+
+				"ltephy_kpi_blocks_total{cell=\"%d\",outcome=\"dtx\"} %d\n"+
+				"ltephy_kpi_blocks_total{cell=\"%d\",outcome=\"skipped\"} %d\n"+
+				"ltephy_kpi_bits_total{cell=\"%d\"} %d\n"+
+				"ltephy_kpi_bler_percent{cell=\"%d\",window=\"cum\"} %g\n"+
+				"ltephy_kpi_throughput_kbps{cell=\"%d\",window=\"cum\"} %g\n",
+			i, cum.CrcPass, i, cum.CrcFail, i, cum.Dtx, i, cum.Skipped,
+			i, r.cells[i].acc.cum.bits.Load(),
+			i, cum.Bler, i, cum.Throughput); err != nil {
+			return err
+		}
+		for _, wf := range snap.Windows {
+			if wf.Epoch < 0 {
+				continue // no completed window of this length yet
+			}
+			if _, err := fmt.Fprintf(w,
+				"ltephy_kpi_bler_percent{cell=\"%d\",window=\"%d\"} %g\n"+
+					"ltephy_kpi_throughput_kbps{cell=\"%d\",window=\"%d\"} %g\n",
+				i, wf.Window, wf.Bler, i, wf.Window, wf.Throughput); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeText renders one scope's FETCH struct as a single machine-greppable
+// key=value line.
+func writeText(w io.Writer, scope string, f FetchStruct) {
+	fmt.Fprintf(w, "%s reliability=%d bler=%.3f%% throughput=%.1fkbps crc_pass=%d crc_fail=%d dtx=%d skipped=%d\n",
+		scope, f.Reliability, f.Bler, f.Throughput, f.CrcPass, f.CrcFail, f.Dtx, f.Skipped)
+}
+
+// FetchHandler serves the FETCh-shaped query endpoint:
+//
+//	GET /fetch              every cell, JSON
+//	GET /fetch?cell=2       one cell
+//	GET /fetch?format=text  key=value text, one line per scope
+//
+// The JSON document is {"cells": [CellFetch...]}.
+func FetchHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var cells []CellFetch
+		if sel := req.URL.Query().Get("cell"); sel != "" {
+			i, err := strconv.Atoi(sel)
+			if err != nil || i < 0 || i >= r.Cells() {
+				http.Error(w, "unknown cell", http.StatusNotFound)
+				return
+			}
+			cells = []CellFetch{r.CellSnapshot(i)}
+		} else {
+			cells = r.Snapshot()
+		}
+		if req.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			for _, c := range cells {
+				writeText(w, fmt.Sprintf("cell=%d window=cum", c.Cell), c.Cumulative)
+				for _, wf := range c.Windows {
+					writeText(w, fmt.Sprintf("cell=%d window=%d epoch=%d", c.Cell, wf.Window, wf.Epoch), wf.FetchStruct)
+				}
+				for _, u := range c.Users {
+					writeText(w, fmt.Sprintf("cell=%d user=%d window=cum", c.Cell, u.User), u.Cumulative)
+				}
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(map[string]any{"cells": cells})
+	})
+}
+
+var expvarOnce sync.Once
+
+// PublishExpvar publishes the registry's per-cell FETCH snapshots under
+// the expvar name "ltephy_kpi". Safe to call more than once; only the
+// first registry wins (expvar names are process-global).
+func PublishExpvar(r *Registry) {
+	if r == nil {
+		return
+	}
+	expvarOnce.Do(func() {
+		expvar.Publish("ltephy_kpi", expvar.Func(func() any {
+			return r.Snapshot()
+		}))
+	})
+}

@@ -1,0 +1,159 @@
+package kpi
+
+// Snapshot side of the KPI service: the FETCh-shaped structs the HTTP
+// endpoint, expvar and the shutdown summaries serve. Everything here is
+// cold path — snapshots allocate freely; only the record path in kpi.go
+// is allocation-free.
+
+// FetchStruct mirrors the field set of the CMW's
+// FETCh:LTE:SIGNaling:EBLer:...:UPLink result: the reliability
+// indicator, the derived BLER / throughput figures and the raw counters
+// they fold.
+type FetchStruct struct {
+	// Reliability is ReliabilityOK when the scope measured at least one
+	// block, ReliabilityNoResults otherwise.
+	Reliability int `json:"reliability"`
+	// Bler is the block error ratio in percent:
+	// 100 * (CrcFail + Dtx) / (CrcPass + CrcFail + Dtx). Skipped blocks
+	// were never decoded and are excluded (see DESIGN.md §12).
+	Bler float64 `json:"bler"`
+	// Throughput is the delivered transport-block rate in kbit/s over
+	// the scope's duration (bits per subframe-millisecond = kbit/s).
+	Throughput float64 `json:"throughput"`
+	CrcPass    int64   `json:"crc_pass"`
+	CrcFail    int64   `json:"crc_fail"`
+	Dtx        int64   `json:"dtx"`
+	Skipped    int64   `json:"skipped"`
+}
+
+// fetchFrom folds one bucket into the FETCH shape. durMs is the scope's
+// duration in subframes (= milliseconds of air time); <= 0 reports zero
+// throughput.
+func fetchFrom(c *counters, durMs int64) FetchStruct {
+	f := FetchStruct{
+		Reliability: ReliabilityNoResults,
+		CrcPass:     c.crcPass.Load(),
+		CrcFail:     c.crcFail.Load(),
+		Dtx:         c.dtx.Load(),
+		Skipped:     c.skipped.Load(),
+	}
+	if f.CrcPass+f.CrcFail+f.Dtx+f.Skipped > 0 {
+		f.Reliability = ReliabilityOK
+	}
+	if measured := f.CrcPass + f.CrcFail + f.Dtx; measured > 0 {
+		f.Bler = 100 * float64(f.CrcFail+f.Dtx) / float64(measured)
+	}
+	if durMs > 0 {
+		f.Throughput = float64(c.bits.Load()) / float64(durMs)
+	}
+	return f
+}
+
+// WindowFetch is the last completed tumbling window of one length.
+type WindowFetch struct {
+	// Window is the window length in subframes.
+	Window int64 `json:"window"`
+	// Epoch is the completed window's index (it covered subframes
+	// [Epoch*Window, (Epoch+1)*Window)); -1 until a window completes.
+	Epoch int64 `json:"epoch"`
+	FetchStruct
+}
+
+// UserFetch is one user's measurement within a cell.
+type UserFetch struct {
+	User       int           `json:"user"`
+	Cumulative FetchStruct   `json:"cumulative"`
+	Windows    []WindowFetch `json:"windows"`
+}
+
+// CellFetch is one cell's measurement: the cell-wide scope plus every
+// user slot that saw at least one event.
+type CellFetch struct {
+	Cell int `json:"cell"`
+	// Subframes is the observed sequence span (the cumulative
+	// throughput denominator in milliseconds).
+	Subframes  int64         `json:"subframes"`
+	Cumulative FetchStruct   `json:"cumulative"`
+	Windows    []WindowFetch `json:"windows"`
+	Users      []UserFetch   `json:"users"`
+	// OverflowEvents counts events whose user ID fell outside the
+	// fixed table and were folded into the last slot.
+	OverflowEvents int64 `json:"overflow_events,omitempty"`
+}
+
+// spanMs returns the cell's observed subframe span in milliseconds.
+func (c *cellKPI) spanMs() int64 {
+	first, last := c.firstSeq.Load(), c.lastSeq.Load()
+	if last < 0 || first > last {
+		return 0
+	}
+	return last - first + 1
+}
+
+// fetchWindows snapshots every window's last completed bucket. Each
+// window's rotation lock is held so a snapshot racing a rotation never
+// mixes two windows' counters.
+func fetchWindows(a *accum) []WindowFetch {
+	out := make([]WindowFetch, len(a.wins))
+	for i := range a.wins {
+		w := &a.wins[i]
+		w.mu.Lock()
+		out[i] = WindowFetch{
+			Window:      w.length,
+			Epoch:       w.lastEpoch.Load(),
+			FetchStruct: fetchFrom(&w.last, w.length),
+		}
+		if out[i].Epoch == epochUnset {
+			out[i].Epoch = -1
+			out[i].FetchStruct = FetchStruct{Reliability: ReliabilityNoResults}
+		}
+		w.mu.Unlock()
+	}
+	return out
+}
+
+// active reports whether the scope has measured anything.
+func (a *accum) active() bool {
+	c := &a.cum
+	return c.crcPass.Load()+c.crcFail.Load()+c.dtx.Load()+c.skipped.Load() > 0
+}
+
+// CellSnapshot snapshots one cell's FETCH structs. Cold path.
+func (r *Registry) CellSnapshot(i int) CellFetch {
+	if r == nil || i < 0 || i >= len(r.cells) {
+		return CellFetch{Cell: i, Cumulative: FetchStruct{Reliability: ReliabilityNoResults}}
+	}
+	c := &r.cells[i]
+	dur := c.spanMs()
+	out := CellFetch{
+		Cell:           i,
+		Subframes:      dur,
+		Cumulative:     fetchFrom(&c.acc.cum, dur),
+		Windows:        fetchWindows(&c.acc),
+		OverflowEvents: c.overflow.Load(),
+	}
+	for u := range c.users {
+		ua := &c.users[u]
+		if !ua.active() {
+			continue
+		}
+		out.Users = append(out.Users, UserFetch{
+			User:       u,
+			Cumulative: fetchFrom(&ua.cum, dur),
+			Windows:    fetchWindows(ua),
+		})
+	}
+	return out
+}
+
+// Snapshot snapshots every cell. Cold path.
+func (r *Registry) Snapshot() []CellFetch {
+	if r == nil {
+		return nil
+	}
+	out := make([]CellFetch, len(r.cells))
+	for i := range out {
+		out[i] = r.CellSnapshot(i)
+	}
+	return out
+}

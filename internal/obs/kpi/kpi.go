@@ -1,0 +1,370 @@
+// Package kpi is the link-level KPI measurement service: per-cell and
+// per-user windowed block-error counters in the style of the R&S CMW
+// callbox's FETCh:...:EBLer:...:UPLink measurement. Where internal/obs
+// watches the receiver's *timing* (stage latency, deadlines), this
+// package watches its *outcome*: every decoded transport block lands in
+// exactly one of four counters —
+//
+//	CrcPass  the transport-block CRC24A verified; its bits were delivered
+//	CrcFail  the block was decoded but its CRC failed (a NACK)
+//	Dtx      the user was scheduled but transmitted nothing (the frame
+//	         carried a DTX-flagged record: scheduled-but-absent)
+//	Skipped  the eNB never decoded the block: the fronthaul shed the
+//	         whole subframe (late / overload / backpressure) or the
+//	         admission pass rejected the user
+//
+// folded into Reliability / BLER% / Throughput(kbit/s), cumulatively and
+// over tumbling subframe windows (e.g. 200/1000/10000 subframes = 0.2/1/10
+// seconds of air time).
+//
+// # Cost discipline
+//
+// The package follows the internal/obs contract: one atomic sampling
+// knob gates every record call (0 = off behind a single load; any value
+// >= 1 counts every event — KPIs are accounting, not tracing, so there
+// is no subsampling), every accumulator is a fixed preallocated array of
+// atomic counters, and no record path allocates (TestKPISteadyStateZeroAlloc
+// pins this). Window rotation is the only synchronised section: a mutex
+// taken once per window length per scope, never on the per-event path.
+//
+// # Window semantics
+//
+// Windows tumble: window w of length W covers subframes [w*W, (w+1)*W).
+// An event for subframe seq lands in window seq/W; the first event of a
+// new window publishes the previous one as the "last completed" snapshot
+// the exporters read. Events are attributed by sequence number, not
+// arrival time, so out-of-order completions within a window count
+// exactly; a straggler arriving after its window already rotated is
+// folded into the live window (bounded smear of one event at a rotation
+// boundary, acceptable for windows hundreds of subframes long).
+package kpi
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWindows are the standard measurement windows in subframes
+// (1 subframe = 1 ms of air time): 0.2 s, 1 s and 10 s.
+var DefaultWindows = []int64{200, 1000, 10000}
+
+// DefaultMaxUsers sizes the per-cell user table when the caller does not
+// choose: matches the fronthaul's MaxUsersPerFrame.
+const DefaultMaxUsers = 64
+
+// Reliability indicator values, mirroring the shape of the CMW's
+// leading reliability field: 0 reports a valid measurement.
+const (
+	// ReliabilityOK: the scope has measured at least one block.
+	ReliabilityOK = 0
+	// ReliabilityNoResults: nothing measured yet in this scope.
+	ReliabilityNoResults = 4
+)
+
+// Block outcomes.
+const (
+	outPass = iota
+	outFail
+	outDTX
+	outSkipped
+)
+
+// counters is one accumulator bucket: the four block outcomes plus the
+// delivered transport-block bits. All fields are atomics so recorders on
+// any goroutine add without locks.
+type counters struct {
+	crcPass atomic.Int64
+	crcFail atomic.Int64
+	dtx     atomic.Int64
+	skipped atomic.Int64
+	bits    atomic.Int64
+}
+
+// add counts one block outcome.
+//
+//ltephy:hotpath — runs once per block event per accumulator bucket.
+func (c *counters) add(out int, bits int64) {
+	switch out {
+	case outPass:
+		c.crcPass.Add(1)
+		c.bits.Add(bits)
+	case outFail:
+		c.crcFail.Add(1)
+	case outDTX:
+		c.dtx.Add(1)
+	default:
+		c.skipped.Add(1)
+	}
+}
+
+// epochUnset marks a window that has not seen its first event.
+const epochUnset = math.MinInt64
+
+// window is one tumbling window: the live bucket plus the last completed
+// window's totals. epoch is the live window index (seq/length).
+type window struct {
+	length int64
+	epoch  atomic.Int64
+	cur    counters
+
+	// lastEpoch/last hold the most recently completed window. Written
+	// under mu during rotation; the counters stay atomics so snapshots
+	// read them without taking the rotation lock on the record path.
+	lastEpoch atomic.Int64
+	mu        sync.Mutex // rotation + consistent snapshot only
+	last      counters
+}
+
+func (w *window) init(length int64) {
+	w.length = length
+	w.epoch.Store(epochUnset)
+	w.lastEpoch.Store(epochUnset)
+}
+
+// bucket returns the live bucket for seq, rotating first when seq opens
+// a new window.
+//
+//ltephy:hotpath — runs once per block event per window length.
+func (w *window) bucket(seq int64) *counters {
+	if e := seq / w.length; e != w.epoch.Load() {
+		w.rotate(e)
+	}
+	return &w.cur
+}
+
+// rotate publishes the live window as the last completed one and opens
+// epoch e. It runs once per window length per scope — the only lock on
+// the recording path, never contended in steady state. A concurrent
+// recorder that loses the race re-checks under the lock and falls
+// through; an event for an already-rotated (older) epoch is folded into
+// the live window (see the package comment on boundary smear).
+//
+//ltephy:blocking-ok — bounded critical section, once per window length.
+func (w *window) rotate(e int64) {
+	w.mu.Lock()
+	cur := w.epoch.Load()
+	switch {
+	case cur == epochUnset:
+		w.epoch.Store(e)
+	case e > cur:
+		w.last.crcPass.Store(w.cur.crcPass.Swap(0))
+		w.last.crcFail.Store(w.cur.crcFail.Swap(0))
+		w.last.dtx.Store(w.cur.dtx.Swap(0))
+		w.last.skipped.Store(w.cur.skipped.Swap(0))
+		w.last.bits.Store(w.cur.bits.Swap(0))
+		w.lastEpoch.Store(cur)
+		w.epoch.Store(e)
+	}
+	w.mu.Unlock()
+}
+
+// accum is one measurement scope (a cell, or one user within a cell):
+// cumulative totals plus one tumbling window per configured length.
+type accum struct {
+	cum  counters
+	wins []window
+}
+
+// record counts one block outcome into the cumulative bucket and every
+// window.
+//
+//ltephy:hotpath — runs once per block event in the serving loop.
+func (a *accum) record(seq int64, out int, bits int64) {
+	a.cum.add(out, bits)
+	for i := range a.wins {
+		a.wins[i].bucket(seq).add(out, bits)
+	}
+}
+
+// cellKPI is one cell's measurement state: the cell-wide scope, the
+// fixed per-user table, and the observed subframe span (the cumulative
+// throughput denominator).
+type cellKPI struct {
+	acc   accum
+	users []accum
+
+	firstSeq atomic.Int64 // math.MaxInt64 until the first event
+	lastSeq  atomic.Int64 // -1 until the first event
+	overflow atomic.Int64 // events folded into the last user slot
+}
+
+// span widens the observed [firstSeq, lastSeq] subframe range.
+//
+//ltephy:hotpath — runs once per block event in the serving loop.
+func (c *cellKPI) span(seq int64) {
+	for {
+		f := c.firstSeq.Load()
+		if seq >= f || c.firstSeq.CompareAndSwap(f, seq) {
+			break
+		}
+	}
+	for {
+		l := c.lastSeq.Load()
+		if seq <= l || c.lastSeq.CompareAndSwap(l, seq) {
+			break
+		}
+	}
+}
+
+// Config configures a KPI registry.
+type Config struct {
+	// Cells is the number of cells tracked (scope indices 0..Cells-1).
+	// Defaults to 1.
+	Cells int
+	// MaxUsers is the per-cell user-table capacity. User IDs outside
+	// [0, MaxUsers) fold into the last slot (counted as overflow) so the
+	// record path stays allocation-free. Defaults to DefaultMaxUsers.
+	MaxUsers int
+	// Windows are the tumbling window lengths in subframes. Defaults to
+	// DefaultWindows. Values <= 0 are dropped.
+	Windows []int64
+}
+
+// Registry holds the KPI accumulators of one serving instance. Construct
+// with New; all methods are safe for concurrent use, and every method is
+// safe on a nil receiver (recording becomes a no-op), so callers can
+// wire an optional registry without branching.
+type Registry struct {
+	// sampling gates recording: 0 = off behind one atomic load per
+	// event, >= 1 = every event is counted.
+	sampling atomic.Int64
+
+	windows []int64
+	cells   []cellKPI
+}
+
+// New returns a registry with everything preallocated and recording off
+// (SetSampling enables it).
+func New(cfg Config) *Registry {
+	if cfg.Cells <= 0 {
+		cfg.Cells = 1
+	}
+	if cfg.MaxUsers <= 0 {
+		cfg.MaxUsers = DefaultMaxUsers
+	}
+	windows := make([]int64, 0, len(cfg.Windows))
+	if cfg.Windows == nil {
+		windows = append(windows, DefaultWindows...)
+	} else {
+		for _, w := range cfg.Windows {
+			if w > 0 {
+				windows = append(windows, w)
+			}
+		}
+	}
+	r := &Registry{windows: windows, cells: make([]cellKPI, cfg.Cells)}
+	initScope := func(a *accum) {
+		a.wins = make([]window, len(windows))
+		for i := range a.wins {
+			a.wins[i].init(windows[i])
+		}
+	}
+	for c := range r.cells {
+		cell := &r.cells[c]
+		initScope(&cell.acc)
+		cell.users = make([]accum, cfg.MaxUsers)
+		for u := range cell.users {
+			initScope(&cell.users[u])
+		}
+		cell.firstSeq.Store(math.MaxInt64)
+		cell.lastSeq.Store(-1)
+	}
+	return r
+}
+
+// SetSampling sets the knob: 0 disables recording, any n >= 1 counts
+// every event (KPI counters are exact whenever recording is on).
+// Negative values clamp to 0.
+func (r *Registry) SetSampling(n int) {
+	if r == nil {
+		return
+	}
+	if n < 0 {
+		n = 0
+	}
+	r.sampling.Store(int64(n))
+}
+
+// Sampling returns the current knob value.
+func (r *Registry) Sampling() int {
+	if r == nil {
+		return 0
+	}
+	return int(r.sampling.Load())
+}
+
+// Enabled reports whether recording is on — the same single-load check
+// the record paths use.
+func (r *Registry) Enabled() bool { return r != nil && r.sampling.Load() != 0 }
+
+// Cells returns the number of tracked cells.
+func (r *Registry) Cells() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.cells)
+}
+
+// Windows returns the configured window lengths.
+func (r *Registry) Windows() []int64 {
+	if r == nil {
+		return nil
+	}
+	return r.windows
+}
+
+// RecordResult counts one decoded transport block: a CRC pass delivers
+// its payload bits, a CRC fail counts as a NACK.
+//
+//ltephy:hotpath — runs once per decoded user result in the serving loop.
+func (r *Registry) RecordResult(cell uint16, seq int64, user int, crcOK bool, bits int) {
+	if r == nil || r.sampling.Load() == 0 {
+		return
+	}
+	if crcOK {
+		r.record(cell, seq, user, outPass, int64(bits))
+		return
+	}
+	r.record(cell, seq, user, outFail, 0)
+}
+
+// RecordDTX counts one scheduled-but-absent user: the grant carried a
+// DTX-flagged record, so the receiver never saw a transmission.
+//
+//ltephy:hotpath — runs once per DTX-flagged user in the serving loop.
+func (r *Registry) RecordDTX(cell uint16, seq int64, user int) {
+	if r == nil || r.sampling.Load() == 0 {
+		return
+	}
+	r.record(cell, seq, user, outDTX, 0)
+}
+
+// RecordSkipped counts one eNB-side skip: the user's subframe was shed
+// whole (late/overload/backpressure) or the admission pass rejected the
+// user, so its block was never decoded.
+//
+//ltephy:hotpath — runs once per shed or rejected user in the serving loop.
+func (r *Registry) RecordSkipped(cell uint16, seq int64, user int) {
+	if r == nil || r.sampling.Load() == 0 {
+		return
+	}
+	r.record(cell, seq, user, outSkipped, 0)
+}
+
+// record routes one outcome into the cell scope and the user's slot.
+//
+//ltephy:hotpath — runs once per block event in the serving loop.
+func (r *Registry) record(cell uint16, seq int64, user, out int, bits int64) {
+	if int(cell) >= len(r.cells) {
+		return
+	}
+	c := &r.cells[cell]
+	c.span(seq)
+	c.acc.record(seq, out, bits)
+	if user < 0 || user >= len(c.users) {
+		user = len(c.users) - 1
+		c.overflow.Add(1)
+	}
+	c.users[user].record(seq, out, bits)
+}

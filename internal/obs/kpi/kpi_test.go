@@ -1,0 +1,341 @@
+package kpi
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func testRegistry(windows ...int64) *Registry {
+	if len(windows) == 0 {
+		windows = []int64{10, 100}
+	}
+	r := New(Config{Cells: 2, MaxUsers: 8, Windows: windows})
+	r.SetSampling(1)
+	return r
+}
+
+func TestCountersAndBler(t *testing.T) {
+	r := testRegistry()
+	// 10 subframes, 2 users: user 0 passes 100-bit blocks, user 1
+	// alternates fail / DTX, and two subframes are shed for user 1.
+	for seq := int64(0); seq < 10; seq++ {
+		r.RecordResult(0, seq, 0, true, 100)
+		switch {
+		case seq == 8 || seq == 9:
+			r.RecordSkipped(0, seq, 1)
+		case seq%2 == 0:
+			r.RecordResult(0, seq, 1, false, 0)
+		default:
+			r.RecordDTX(0, seq, 1)
+		}
+	}
+	c := r.CellSnapshot(0)
+	if c.Subframes != 10 {
+		t.Errorf("Subframes = %d, want 10", c.Subframes)
+	}
+	cum := c.Cumulative
+	if cum.Reliability != ReliabilityOK {
+		t.Errorf("Reliability = %d, want %d", cum.Reliability, ReliabilityOK)
+	}
+	if cum.CrcPass != 10 || cum.CrcFail != 4 || cum.Dtx != 4 || cum.Skipped != 2 {
+		t.Errorf("counters = pass %d fail %d dtx %d skipped %d, want 10/4/4/2",
+			cum.CrcPass, cum.CrcFail, cum.Dtx, cum.Skipped)
+	}
+	// BLER excludes Skipped: 100*(4+4)/(10+4+4).
+	if want := 100 * 8.0 / 18.0; cum.Bler != want {
+		t.Errorf("Bler = %g, want %g", cum.Bler, want)
+	}
+	// 1000 bits over 10 subframe-ms = 100 kbit/s.
+	if cum.Throughput != 100 {
+		t.Errorf("Throughput = %g, want 100", cum.Throughput)
+	}
+	if len(c.Users) != 2 {
+		t.Fatalf("got %d active users, want 2", len(c.Users))
+	}
+	u1 := c.Users[1]
+	if u1.User != 1 || u1.Cumulative.CrcFail != 4 || u1.Cumulative.Dtx != 4 || u1.Cumulative.Skipped != 2 {
+		t.Errorf("user 1 = %+v", u1.Cumulative)
+	}
+	if u1.Cumulative.Bler != 100 {
+		t.Errorf("user 1 Bler = %g, want 100", u1.Cumulative.Bler)
+	}
+	// Cell 1 untouched.
+	if c1 := r.CellSnapshot(1); c1.Cumulative.Reliability != ReliabilityNoResults || len(c1.Users) != 0 {
+		t.Errorf("cell 1 = %+v", c1)
+	}
+}
+
+func TestWindowRotation(t *testing.T) {
+	r := testRegistry(10)
+	// Window 0: 10 passes. Window 1: 5 fails. Window 2: first event
+	// publishes window 1.
+	for seq := int64(0); seq < 10; seq++ {
+		r.RecordResult(0, seq, 0, true, 100)
+	}
+	snap := r.CellSnapshot(0).Windows[0]
+	if snap.Epoch != -1 {
+		t.Errorf("no window completed yet, Epoch = %d", snap.Epoch)
+	}
+	for seq := int64(10); seq < 15; seq++ {
+		r.RecordResult(0, seq, 0, false, 0)
+	}
+	snap = r.CellSnapshot(0).Windows[0]
+	if snap.Epoch != 0 || snap.CrcPass != 10 || snap.CrcFail != 0 {
+		t.Errorf("after rotation: %+v, want epoch 0 with 10 passes", snap)
+	}
+	if snap.Bler != 0 {
+		t.Errorf("window 0 Bler = %g, want 0", snap.Bler)
+	}
+	// Window throughput: 1000 bits over the 10-subframe window.
+	if snap.Throughput != 100 {
+		t.Errorf("window 0 Throughput = %g, want 100", snap.Throughput)
+	}
+	r.RecordResult(0, 20, 0, true, 100)
+	snap = r.CellSnapshot(0).Windows[0]
+	if snap.Epoch != 1 || snap.CrcFail != 5 || snap.CrcPass != 0 {
+		t.Errorf("after second rotation: %+v, want epoch 1 with 5 fails", snap)
+	}
+	if snap.Bler != 100 {
+		t.Errorf("window 1 Bler = %g, want 100", snap.Bler)
+	}
+}
+
+func TestStragglerFoldsIntoLiveWindow(t *testing.T) {
+	r := testRegistry(10)
+	r.RecordResult(0, 5, 0, true, 100)
+	r.RecordResult(0, 15, 0, true, 100) // rotates to epoch 1
+	r.RecordResult(0, 5, 0, false, 0)   // straggler for epoch 0: folds into live
+	snap := r.CellSnapshot(0).Windows[0]
+	if snap.Epoch != 0 || snap.CrcPass != 1 || snap.CrcFail != 0 {
+		t.Errorf("completed window = %+v, want epoch 0 with 1 pass", snap)
+	}
+	// The straggler fail is in the live window; force it out.
+	r.RecordResult(0, 25, 0, true, 100)
+	snap = r.CellSnapshot(0).Windows[0]
+	if snap.Epoch != 1 || snap.CrcPass != 1 || snap.CrcFail != 1 {
+		t.Errorf("live window after fold = %+v, want epoch 1 with 1 pass + 1 fail", snap)
+	}
+}
+
+func TestSamplingGate(t *testing.T) {
+	r := testRegistry()
+	r.SetSampling(0)
+	r.RecordResult(0, 0, 0, true, 100)
+	r.RecordDTX(0, 1, 0)
+	r.RecordSkipped(0, 2, 0)
+	if c := r.CellSnapshot(0); c.Cumulative.Reliability != ReliabilityNoResults {
+		t.Errorf("recording while disabled: %+v", c.Cumulative)
+	}
+	r.SetSampling(64) // any n >= 1 counts every event
+	r.RecordResult(0, 0, 0, true, 100)
+	if c := r.CellSnapshot(0); c.Cumulative.CrcPass != 1 {
+		t.Errorf("sampling 64 should count every event: %+v", c.Cumulative)
+	}
+}
+
+func TestNilRegistrySafe(t *testing.T) {
+	var r *Registry
+	r.SetSampling(1)
+	r.RecordResult(0, 0, 0, true, 100)
+	r.RecordDTX(0, 0, 0)
+	r.RecordSkipped(0, 0, 0)
+	if r.Enabled() || r.Sampling() != 0 || r.Cells() != 0 || r.Windows() != nil {
+		t.Error("nil registry accessors should report zero values")
+	}
+	if s := r.Snapshot(); s != nil {
+		t.Errorf("nil Snapshot = %v", s)
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Errorf("nil WritePrometheus: %v", err)
+	}
+}
+
+func TestUserOverflowFoldsIntoLastSlot(t *testing.T) {
+	r := testRegistry()
+	r.RecordResult(0, 0, 999, true, 100)
+	r.RecordResult(0, 0, -1, false, 0)
+	c := r.CellSnapshot(0)
+	if c.OverflowEvents != 2 {
+		t.Errorf("OverflowEvents = %d, want 2", c.OverflowEvents)
+	}
+	if len(c.Users) != 1 || c.Users[0].User != 7 {
+		t.Fatalf("overflow should land in last slot: %+v", c.Users)
+	}
+	if u := c.Users[0].Cumulative; u.CrcPass != 1 || u.CrcFail != 1 {
+		t.Errorf("last slot = %+v", u)
+	}
+	// Out-of-range cell is dropped, not panicking.
+	r.RecordResult(9, 0, 0, true, 100)
+}
+
+// TestKPISteadyStateZeroAlloc pins the record-path invariant: once the
+// registry is warm, recording any outcome at sampling 0, 1 or 64
+// performs zero heap allocations — including subframes that cross a
+// window rotation boundary.
+func TestKPISteadyStateZeroAlloc(t *testing.T) {
+	for _, sampling := range []int{0, 1, 64} {
+		r := New(Config{Cells: 2, MaxUsers: 8, Windows: []int64{10, 100}})
+		r.SetSampling(sampling)
+		seq := int64(0)
+		record := func() {
+			r.RecordResult(0, seq, 0, true, 1000)
+			r.RecordResult(0, seq, 1, false, 0)
+			r.RecordDTX(1, seq, 2)
+			r.RecordSkipped(1, seq, 3)
+			seq += 7 // crosses the 10-subframe window every other call
+		}
+		record() // warm-up: first rotation state
+		allocs := testing.AllocsPerRun(200, record)
+		if allocs != 0 {
+			t.Errorf("sampling=%d: %v allocs/op, want 0", sampling, allocs)
+		}
+	}
+}
+
+// TestSnapshotRecordRace hammers window rotation from recorders while
+// snapshots run concurrently; run under -race this pins the
+// lock/atomic discipline, and the final counts must be exact.
+func TestSnapshotRecordRace(t *testing.T) {
+	r := New(Config{Cells: 1, MaxUsers: 4, Windows: []int64{8}})
+	r.SetSampling(1)
+	const (
+		recorders = 4
+		perG      = 2000
+	)
+	stop := make(chan struct{})
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = r.Snapshot()
+				var sb strings.Builder
+				_ = r.WritePrometheus(&sb)
+			}
+		}
+	}()
+	var recWG sync.WaitGroup
+	for g := 0; g < recorders; g++ {
+		recWG.Add(1)
+		go func(g int) {
+			defer recWG.Done()
+			for i := 0; i < perG; i++ {
+				seq := int64(g*perG + i)
+				r.RecordResult(0, seq, g, i%3 != 0, 64)
+			}
+		}(g)
+	}
+	recWG.Wait()
+	close(stop)
+	snapWG.Wait()
+	c := r.CellSnapshot(0).Cumulative
+	if got := c.CrcPass + c.CrcFail; got != recorders*perG {
+		t.Errorf("total blocks = %d, want %d", got, recorders*perG)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := testRegistry(10)
+	for seq := int64(0); seq < 25; seq++ {
+		r.RecordResult(0, seq, 0, seq%5 != 0, 120)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`ltephy_kpi_blocks_total{cell="0",outcome="crc_pass"} 20`,
+		`ltephy_kpi_blocks_total{cell="0",outcome="crc_fail"} 5`,
+		`ltephy_kpi_bits_total{cell="0"} 2400`,
+		`ltephy_kpi_bler_percent{cell="0",window="cum"} 20`,
+		`ltephy_kpi_bler_percent{cell="0",window="10"} 20`,
+		`ltephy_kpi_blocks_total{cell="1",outcome="crc_pass"} 0`,
+		"# TYPE ltephy_kpi_blocks_total counter",
+		"# TYPE ltephy_kpi_bler_percent gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Prometheus output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestFetchHandler(t *testing.T) {
+	r := testRegistry(10)
+	for seq := int64(0); seq < 10; seq++ {
+		r.RecordResult(1, seq, 3, true, 100)
+	}
+	h := FetchHandler(r)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/fetch", nil))
+	var doc struct {
+		Cells []CellFetch `json:"cells"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+	}
+	if len(doc.Cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(doc.Cells))
+	}
+	if doc.Cells[1].Cumulative.CrcPass != 10 || doc.Cells[1].Cumulative.Throughput != 100 {
+		t.Errorf("cell 1 = %+v", doc.Cells[1].Cumulative)
+	}
+	if doc.Cells[0].Cumulative.Reliability != ReliabilityNoResults {
+		t.Errorf("cell 0 should be empty: %+v", doc.Cells[0].Cumulative)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/fetch?cell=1", nil))
+	doc.Cells = nil
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Cells) != 1 || doc.Cells[0].Cell != 1 {
+		t.Errorf("?cell=1 filter: %+v", doc.Cells)
+	}
+	if len(doc.Cells[0].Users) != 1 || doc.Cells[0].Users[0].User != 3 {
+		t.Errorf("per-user struct missing: %+v", doc.Cells[0].Users)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/fetch?cell=9", nil))
+	if rec.Code != 404 {
+		t.Errorf("unknown cell: status %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/fetch?format=text", nil))
+	text := rec.Body.String()
+	if !strings.Contains(text, "cell=1 window=cum reliability=0") ||
+		!strings.Contains(text, "cell=1 user=3 window=cum") {
+		t.Errorf("text format:\n%s", text)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	r := New(Config{})
+	if r.Cells() != 1 {
+		t.Errorf("Cells = %d, want 1", r.Cells())
+	}
+	if got := r.Windows(); len(got) != len(DefaultWindows) {
+		t.Errorf("Windows = %v, want %v", got, DefaultWindows)
+	}
+	// Explicit empty (non-nil) windows means "no windows".
+	r = New(Config{Windows: []int64{}})
+	if len(r.Windows()) != 0 {
+		t.Errorf("explicit empty windows = %v", r.Windows())
+	}
+	// Non-positive lengths dropped.
+	r = New(Config{Windows: []int64{0, -5, 20}})
+	if got := r.Windows(); len(got) != 1 || got[0] != 20 {
+		t.Errorf("filtered windows = %v", got)
+	}
+}

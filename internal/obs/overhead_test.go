@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"ltephy/internal/obs"
+	"ltephy/internal/obs/kpi"
 	"ltephy/internal/phy/modulation"
 	"ltephy/internal/phy/workspace"
 	"ltephy/internal/rng"
@@ -16,7 +17,9 @@ import (
 // TestTelemetryOverheadGate is the CI overhead budget: with sampling=1
 // (every event into histograms and rings — the most expensive setting)
 // a fully instrumented subframe must cost no more than 5% over the same
-// loop with sampling=0. Gated behind LTEPHY_OVERHEAD_GATE=1 because it
+// loop with sampling=0. KPI accounting (one RecordResult per user) is
+// part of the instrumented loop, so the budget covers the measurement
+// service too. Gated behind LTEPHY_OVERHEAD_GATE=1 because it
 // benchmarks for several seconds (`make obs-overhead` runs it).
 func TestTelemetryOverheadGate(t *testing.T) {
 	if os.Getenv("LTEPHY_OVERHEAD_GATE") == "" {
@@ -42,6 +45,7 @@ func TestTelemetryOverheadGate(t *testing.T) {
 	reg := obs.New(1, obs.DefaultRingDepth)
 	rec := reg.Worker(0)
 	dl := reg.Deadline()
+	kreg := kpi.New(kpi.Config{Cells: 1})
 	ws := workspace.New()
 	jobs := make([]*uplink.UserJob, len(sf.Users))
 	for i := range jobs {
@@ -68,6 +72,8 @@ func TestTelemetryOverheadGate(t *testing.T) {
 				}
 			}
 			dl.Complete(seq, obs.Nanotime())
+			r := j.Result()
+			kreg.RecordResult(0, seq, r.UserID, r.CRCOK, 8*len(r.Bits))
 		}
 		seq++
 	}
@@ -76,6 +82,7 @@ func TestTelemetryOverheadGate(t *testing.T) {
 
 	measure := func(sampling int) float64 {
 		reg.SetSampling(sampling)
+		kreg.SetSampling(sampling)
 		res := testing.Benchmark(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				run()

@@ -23,6 +23,7 @@ import (
 // allocate.
 type queuedUser struct {
 	seq  int64
+	cell uint16
 	data *uplink.UserData
 	done *sync.WaitGroup // non-nil when a caller waits for the subframe
 	fin  *SubframeFin    // non-nil when a completion hook fires at subframe end
@@ -225,7 +226,7 @@ func (p *Pool) ActiveWorkers() int { return int(p.active.Load()) }
 func (p *Pool) SubmitSubframe(sf *uplink.Subframe) {
 	for _, u := range sf.Users {
 		p.pending.Add(1)
-		p.global.enqueue(queuedUser{seq: sf.Seq, data: u})
+		p.global.enqueue(queuedUser{seq: sf.Seq, cell: sf.Cell, data: u})
 	}
 }
 
@@ -241,7 +242,7 @@ func (p *Pool) SubmitSubframeFin(sf *uplink.Subframe, fin *SubframeFin) {
 	fin.remaining.Store(int64(len(sf.Users)))
 	for _, u := range sf.Users {
 		p.pending.Add(1)
-		p.global.enqueue(queuedUser{seq: sf.Seq, data: u, fin: fin})
+		p.global.enqueue(queuedUser{seq: sf.Seq, cell: sf.Cell, data: u, fin: fin})
 	}
 }
 
@@ -252,7 +253,7 @@ func (p *Pool) ProcessSubframe(sf *uplink.Subframe) {
 	wg.Add(len(sf.Users))
 	for _, u := range sf.Users {
 		p.pending.Add(1)
-		p.global.enqueue(queuedUser{seq: sf.Seq, data: u, done: &wg})
+		p.global.enqueue(queuedUser{seq: sf.Seq, cell: sf.Cell, data: u, done: &wg})
 	}
 	wg.Wait()
 }
@@ -532,6 +533,7 @@ func (w *worker) processUser(qu queuedUser) {
 
 	res := job.Result()
 	res.Seq = qu.seq
+	res.Cell = qu.cell
 	if w.pool.cfg.OnResult != nil {
 		w.pool.cfg.OnResult(res)
 	}

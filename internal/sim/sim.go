@@ -22,6 +22,7 @@ import (
 
 	"ltephy/internal/cost"
 	"ltephy/internal/obs"
+	"ltephy/internal/obs/kpi"
 	"ltephy/internal/params"
 	"ltephy/internal/uplink"
 )
@@ -140,6 +141,15 @@ type Config struct {
 	// subframe (e.g. Calibration.EstimateActivityFunc); consulted only
 	// when EstObs is set.
 	EstimateActivity func(seq int64, users []uplink.UserParams) float64
+	// KPI, when non-nil, receives one block outcome per simulated user
+	// job: an on-time completion counts as a delivered CRC pass (bits =
+	// the user's channel-bit capacity for the subframe), a deadline miss
+	// as Skipped (LTE semantics: a late subframe is useless). Recording
+	// is decision-free, so simulation results are bit-identical with KPI
+	// on or off.
+	KPI *kpi.Registry
+	// KPICell is the cell index KPI outcomes are recorded under.
+	KPICell uint16
 }
 
 // DefaultConfig returns the paper's evaluation setup.
@@ -492,10 +502,20 @@ func Run(cfg Config, m params.Model, n int) (*Result, error) {
 			return
 		}
 		// Job finished.
+		late := false
 		if lag := now - j.deadline; lag > 0 {
+			late = true
 			res.LateSubframes++
 			if lag > res.MaxLagCycles {
 				res.MaxLagCycles = lag
+			}
+		}
+		if cfg.KPI != nil {
+			if late {
+				cfg.KPI.RecordSkipped(cfg.KPICell, j.seq, j.p.ID)
+			} else {
+				bits := uplink.DataSymbolsPerSubframe * j.n * j.p.Layers * j.p.Mod.Bits()
+				cfg.KPI.RecordResult(cfg.KPICell, j.seq, j.p.ID, true, bits)
 			}
 		}
 		res.TotalJobs++

@@ -677,6 +677,7 @@ func ProcessSubframe(cfg ReceiverConfig, sf *Subframe) ([]UserResult, error) {
 			return nil, fmt.Errorf("subframe %d: %w", sf.Seq, err)
 		}
 		r.Seq = sf.Seq
+		r.Cell = sf.Cell
 		results = append(results, r)
 	}
 	return results, nil

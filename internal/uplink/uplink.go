@@ -116,7 +116,11 @@ func (u *UserData) Antennas() int { return len(u.RefRx[0]) }
 // Subframe is the unit of work dispatched every DELTA milliseconds: the
 // scheduled users and their input data.
 type Subframe struct {
-	Seq   int64
+	Seq int64
+	// Cell identifies the serving cell the subframe belongs to (0 for
+	// single-cell callers). Carried through to each UserResult so KPI
+	// accounting can attribute outcomes when pools multiplex cells.
+	Cell  uint16
 	Users []*UserData
 }
 
@@ -133,6 +137,8 @@ func (s *Subframe) TotalPRB() int {
 type UserResult struct {
 	UserID int
 	Seq    int64
+	// Cell is the serving cell copied from the subframe.
+	Cell uint16
 	// CRCOK reports whether the transport-block CRC24A verified.
 	CRCOK bool
 	// Bits is the decoded payload (excluding CRC).
