@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet lint build test race zeroalloc obs-overhead bench bench-fft bench-e2e bench-lane bench-turbo bench-compare fuzz-smoke serve-smoke kpi-smoke print-govulncheck-version
+.PHONY: check vet lint build test race zeroalloc obs-overhead bench bench-fft bench-e2e bench-lane bench-turbo bench-compare fuzz-smoke serve-smoke kpi-smoke fleet-smoke print-govulncheck-version
 
 check: lint build race zeroalloc obs-overhead fft-sweep kpi-smoke
 	$(GO) test ./...
@@ -146,6 +146,33 @@ serve-smoke:
 	grep -q 'corrupt=0' bin/smoke/out.txt || { echo "serve-smoke: wire corruption"; exit 1; }; \
 	grep -q 'done=8000' bin/smoke/out.txt || { echo "serve-smoke: not all subframes served"; exit 1; }; \
 	echo "serve-smoke: OK"
+
+# Fleet smoke (ISSUE 10): two runs of the fleet harness, both gated on
+# exactly-once delivery (0 lost subframes, KPI rollup == users offered)
+# and on the measured shed fraction landing within 10% (relative) of the
+# admission estimator's credited-budget prediction.
+#   1. Process fleet: 2 real lte-enb processes x 4 cells at 2x load,
+#      with one forced live migration mid-run and one forced worker
+#      crash (checkpoint round + SIGKILL, supervisor restores from
+#      snapshots on the relaunch).
+#   2. Scale: 16 cells on 2 in-process workers through a full diurnal
+#      ramp (-day = run length).
+# JSON summaries land under results/ (CI uploads them as artifacts).
+fleet-smoke:
+	@rm -rf bin/fleet && mkdir -p bin/fleet results
+	$(GO) build -o bin/fleet/ ./cmd/lte-enb ./cmd/lte-bench
+	./bin/fleet/lte-bench -fleet 2 -cells 4 -subframes 200 -workers 2 \
+		-load 2 -dtx 0.1 -maxprb 2 -seed 7 -migrate-at 60 -crash-at 140 \
+		-enb-bin bin/fleet/lte-enb -fleet-dir bin/fleet \
+		-assert-exactly-once -assert-shed-within 0.1 \
+		-json results/fleet_smoke.json | tee bin/fleet/smoke.txt
+	@grep -q 'migrated cell 2' bin/fleet/smoke.txt || { echo "fleet-smoke: migration did not run"; exit 1; }
+	@grep -q 'worker 0 back' bin/fleet/smoke.txt || { echo "fleet-smoke: crashed worker was not restored"; exit 1; }
+	./bin/fleet/lte-bench -fleet 2 -cells 16 -subframes 100 -workers 2 \
+		-load 2 -day 100 -dtx 0.1 -maxprb 2 -seed 11 \
+		-assert-exactly-once -assert-shed-within 0.1 \
+		-json results/fleet_scale.json
+	@echo "fleet-smoke: OK"
 
 # KPI measurement smoke (ISSUE 9): a 3-point BLER-vs-SNR campaign through
 # the full-turbo receive path, asserting the physics — BLER monotone

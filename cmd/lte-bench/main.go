@@ -12,6 +12,9 @@
 //	lte-bench -fftbench                    # FFT engine microbenchmarks
 //	lte-bench -loopback /tmp/enb.sock -network unix -speedup 2
 //	                                       # drive an lte-enb server at 2x real time
+//	lte-bench -fleet 2 -cells 4 -load 2 -migrate-at 15 -crash-at 35
+//	                                       # fleet harness: supervised workers, live
+//	                                       # migration and a forced crash mid-run
 package main
 
 import (
@@ -88,6 +91,16 @@ func run(args []string, w io.Writer) error {
 	speedup := fs.Float64("speedup", 1, "loopback: real-time rate multiplier — one frame every delta/speedup per cell (0 = as fast as the transport allows)")
 	genLoad := fs.Float64("load", 1, "loopback: offered-load multiplier (parameter-model draws concatenated per subframe)")
 	dtxProb := fs.Float64("dtx", 0, "loopback: probability a scheduled user is DTX-flagged (absent UE, feeds the KPI Dtx counter)")
+	jsonOut := fs.String("json", "", "loopback/fleet: write a machine-readable JSON run summary to this file")
+	fleetProcs := fs.Int("fleet", 0, "run the fleet harness against this many supervised worker processes, then exit (0 = off)")
+	enbBin := fs.String("enb-bin", "", "fleet: spawn real lte-enb processes with this binary (default: in-process workers)")
+	fleetDir := fs.String("fleet-dir", "", "fleet: scratch directory for process ports files (default: a temp dir)")
+	capacity := fs.Float64("capacity", 1, "fleet: per-worker admission activity budget per period")
+	day := fs.Int("day", 0, "fleet: diurnal day length in subframes (0 = the run length, one day per run)")
+	migrateAt := fs.Int64("migrate-at", 0, "fleet: live-migrate one cell to the next worker at this sequence (0 = off)")
+	crashAt := fs.Int64("crash-at", 0, "fleet: run a checkpoint round then kill worker 0 at this sequence (0 = off)")
+	assertExactlyOnce := fs.Bool("assert-exactly-once", false, "fleet: fail unless zero subframes are lost and the KPI rollup covers every offered user exactly once")
+	assertShed := fs.Float64("assert-shed-within", 0, "fleet: fail unless the measured shed fraction is within this relative tolerance of the estimator's prediction (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -149,6 +162,34 @@ func run(args []string, w io.Writer) error {
 		return runBLERSweep(w, rc, grid, *sweepSubframes, *maxPRB, *seed, *outDir, *assertMonotone)
 	}
 
+	if *fleetProcs > 0 {
+		txCfg := tx.DefaultConfig()
+		txCfg.Receiver = rc
+		txCfg.SNRdB = *snr
+		txCfg.ThroughFrontend = *frontendPath
+		return runFleet(w, fleetRun{
+			Procs:             *fleetProcs,
+			Cells:             *cells,
+			Subframes:         *subframes,
+			Workers:           *workers,
+			Delta:             *delta,
+			Capacity:          *capacity,
+			Load:              *genLoad,
+			Day:               *day,
+			DTXProb:           *dtxProb,
+			Seed:              *seed,
+			MaxPRB:            *maxPRB,
+			TX:                txCfg,
+			EnbBin:            *enbBin,
+			Dir:               *fleetDir,
+			MigrateAt:         *migrateAt,
+			CrashAt:           *crashAt,
+			AssertExactlyOnce: *assertExactlyOnce,
+			AssertShedWithin:  *assertShed,
+			JSONOut:           *jsonOut,
+		})
+	}
+
 	if *loopback != "" {
 		interval := time.Duration(0)
 		if *speedup > 0 {
@@ -171,12 +212,30 @@ func run(args []string, w io.Writer) error {
 			MaxPRB:    *maxPRB,
 			TX:        txCfg,
 		})
+		elapsed := time.Since(start)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "loopback: %d cells x %d subframes in %v\n",
-			*cells, *subframes, time.Since(start).Round(time.Millisecond))
+			*cells, *subframes, elapsed.Round(time.Millisecond))
 		fmt.Fprintf(w, "loopback: %s\n", stats)
+		if *jsonOut != "" {
+			sum := struct {
+				Mode      string             `json:"mode"`
+				Cells     int                `json:"cells"`
+				Subframes int                `json:"subframes"`
+				Load      float64            `json:"load"`
+				ElapsedNs int64              `json:"elapsed_ns"`
+				Stats     fronthaul.GenStats `json:"stats"`
+				P99Ns     int64              `json:"p99_ns"`
+				P999Ns    int64              `json:"p999_ns"`
+			}{"loopback", *cells, *subframes, *genLoad, elapsed.Nanoseconds(),
+				stats, stats.P99.Nanoseconds(), stats.P999.Nanoseconds()}
+			if err := writeJSON(*jsonOut, sum); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "loopback: summary -> %s\n", *jsonOut)
+		}
 		return nil
 	}
 

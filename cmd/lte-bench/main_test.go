@@ -98,6 +98,48 @@ func TestRunBLERSweep(t *testing.T) {
 	}
 }
 
+// TestRunFleetSmoke is the CLI face of the fleet harness: in-process
+// workers, a forced migration and a forced crash, the exactly-once and
+// shed-budget gates on, and the JSON artifact written.
+func TestRunFleetSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "fleet.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-fleet", "2", "-cells", "4", "-subframes", "40", "-workers", "2",
+		"-load", "2", "-dtx", "0.1", "-maxprb", "2", "-seed", "7",
+		"-migrate-at", "12", "-crash-at", "28",
+		"-assert-exactly-once", "-assert-shed-within", "0.1",
+		"-json", out,
+	}, &buf)
+	if err != nil {
+		t.Fatalf("fleet run: %v\n%s", err, buf.String())
+	}
+	for _, want := range []string{
+		"migrating cell 2", "killing worker 0", "exactly-once OK", "shed budget OK", "lost=0",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, buf.String())
+		}
+	}
+	var sum struct {
+		Mode  string `json:"mode"`
+		Stats struct {
+			Sent int64 `json:"Sent"`
+			Lost int64 `json:"Lost"`
+		} `json:"stats"`
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("json artifact: %v", err)
+	}
+	if err := json.Unmarshal(raw, &sum); err != nil {
+		t.Fatalf("json artifact: %v", err)
+	}
+	if sum.Mode != "fleet" || sum.Stats.Sent != 160 || sum.Stats.Lost != 0 {
+		t.Errorf("summary: %+v", sum)
+	}
+}
+
 func TestParseSNRGrid(t *testing.T) {
 	grid, err := parseSNRGrid(" 6, -2,0 ")
 	if err != nil {

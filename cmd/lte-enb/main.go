@@ -14,9 +14,17 @@
 // Drive it with the loopback generator:
 //
 //	lte-bench -loopback :5061 -cells 4 -subframes 2000 -speedup 2
+//
+// With -control the daemon also serves the fleet control protocol
+// (drain, checkpoint, restore, release, stats — see DESIGN.md §13), and
+// the same binary doubles as the operator client:
+//
+//	lte-enb -listen :5061 -control :5062 -cells 4
+//	lte-enb -drain 2 -connect :5062 -drain-timeout 2s   # drain one cell
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -71,8 +79,31 @@ func run(args []string, w io.Writer, stop <-chan struct{}) error {
 	kpiWindows := fs.String("kpi-windows", "", "comma-separated KPI window lengths in subframes (default 200,1000,10000)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /fetch, /trace, /trace/admission and /debug/vars on this address")
 	seed := fs.Uint64("seed", 1, "steal-RNG seed for the pools")
+	control := fs.String("control", "", "serve the fleet control protocol (drain/checkpoint/restore/stats) on this address")
+	drainTimeout := fs.Duration("drain-timeout", 2*time.Second, "drain barrier timeout: how long a drain waits for in-flight subframes")
+	harq := fs.Bool("harq", false, "keep per-user HARQ soft buffers and combine retransmissions (needs -turbo full and -rate)")
+	rate := fs.Float64("rate", 0, "turbo code rate for rate matching (0 = none; required by -harq)")
+	portsFile := fs.String("ports-file", "", "write the bound listener addresses as JSON once serving (fleet launcher handshake)")
+	drainCell := fs.Int("drain", -1, "client mode: drain this cell on a running daemon (-connect) and exit")
+	connect := fs.String("connect", "", "control address of a running daemon (client mode)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *drainCell >= 0 {
+		if *connect == "" {
+			return errors.New("-drain needs -connect (the daemon's -control address)")
+		}
+		ctl, err := fronthaul.DialControl(*network, *connect)
+		if err != nil {
+			return err
+		}
+		defer ctl.Close()
+		if err := ctl.Drain(uint16(*drainCell), *drainTimeout); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "lte-enb: cell %d drained\n", *drainCell)
+		return nil
 	}
 
 	rc := uplink.DefaultConfig()
@@ -86,6 +117,7 @@ func run(args []string, w io.Writer, stop <-chan struct{}) error {
 	if *turboIter > 0 {
 		rc.TurboIterations = *turboIter
 	}
+	rc.CodeRate = *rate
 	windows, err := parseWindows(*kpiWindows)
 	if err != nil {
 		return err
@@ -103,6 +135,8 @@ func run(args []string, w io.Writer, stop <-chan struct{}) error {
 		SlotsPerConn:       *slots,
 		MaxUsers:           *maxUsers,
 		ShedOnBackpressure: *shedBackpressure,
+		HARQ:               *harq,
+		DrainTimeout:       *drainTimeout,
 		Sampling:           *obsSampling,
 		KPISampling:        *kpiSampling,
 		KPIWindows:         windows,
@@ -125,8 +159,9 @@ func run(args []string, w io.Writer, stop <-chan struct{}) error {
 		return err
 	}
 
+	var mln net.Listener
 	if *metricsAddr != "" {
-		mln, err := net.Listen("tcp", *metricsAddr)
+		mln, err = net.Listen("tcp", *metricsAddr)
 		if err != nil {
 			ln.Close()
 			srv.Close()
@@ -135,6 +170,46 @@ func run(args []string, w io.Writer, stop <-chan struct{}) error {
 		defer mln.Close()
 		go func() { _ = http.Serve(mln, srv.Handler()) }()
 		fmt.Fprintf(w, "lte-enb: telemetry on http://%s\n", mln.Addr())
+	}
+
+	var cln net.Listener
+	if *control != "" {
+		cln, err = net.Listen("tcp", *control)
+		if err != nil {
+			ln.Close()
+			srv.Close()
+			return err
+		}
+		go func() { _ = srv.ServeControl(cln) }()
+		fmt.Fprintf(w, "lte-enb: control on %s\n", cln.Addr())
+	}
+
+	if *portsFile != "" {
+		// The fleet launcher polls this file to learn the ephemeral
+		// addresses; write-then-rename so it never reads a partial JSON.
+		pf := struct {
+			Data    string `json:"data"`
+			Control string `json:"control,omitempty"`
+			Metrics string `json:"metrics,omitempty"`
+		}{Data: ln.Addr().String()}
+		if cln != nil {
+			pf.Control = cln.Addr().String()
+		}
+		if mln != nil {
+			pf.Metrics = mln.Addr().String()
+		}
+		data, err := json.Marshal(pf)
+		if err == nil {
+			tmp := *portsFile + ".tmp"
+			if err = os.WriteFile(tmp, data, 0o644); err == nil {
+				err = os.Rename(tmp, *portsFile)
+			}
+		}
+		if err != nil {
+			ln.Close()
+			srv.Close()
+			return fmt.Errorf("write -ports-file: %w", err)
+		}
 	}
 
 	ecfg := srv.Config()
@@ -157,10 +232,11 @@ func run(args []string, w io.Writer, stop <-chan struct{}) error {
 	for _, st := range srv.Stats() {
 		fmt.Fprintf(w, "cell %d: accepted=%d shed_late=%d shed_overload=%d shed_backpressure=%d "+
 			"users_accepted=%d users_rejected=%d deadline_met=%d deadline_missed=%d "+
-			"offered_est=%.3f admitted_est=%.3f\n",
+			"offered_est=%.3f admitted_est=%.3f duplicate=%d redirected=%d harq_recovered=%d\n",
 			st.Cell, st.FramesAccepted, st.FramesShedLate, st.FramesShedOverload,
 			st.FramesShedBackpressure, st.UsersAccepted, st.UsersRejected,
-			st.DeadlineMet, st.DeadlineMissed, st.OfferedEst, st.AdmittedEst)
+			st.DeadlineMet, st.DeadlineMissed, st.OfferedEst, st.AdmittedEst,
+			st.FramesDuplicate, st.FramesRedirected, st.HARQRecovered)
 	}
 	fmt.Fprintf(w, "corrupt_frames=%d\n", srv.CorruptFrames())
 	if reg := srv.KPI(); reg.Enabled() {

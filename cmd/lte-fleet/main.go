@@ -1,0 +1,185 @@
+// lte-fleet is the multi-eNB coordinator daemon: it spawns N lte-enb
+// worker processes, health-checks and restarts them (restoring cell
+// state from the latest checkpoints), owns the cell→process placement
+// map, runs a background checkpoint round, and optionally rebalances
+// cells onto less-loaded workers by live migration (drain → checkpoint
+// → restore → release, see DESIGN.md §13).
+//
+// Usage:
+//
+//	lte-fleet -workers 2 -cells 4 -enb-bin ./lte-enb
+//	lte-fleet -workers 4 -cells 16 -checkpoint-every 5s -rebalance-every 30s
+//	lte-fleet -workers 2 -cells 4 -- -turbo full -capacity 0.8
+//
+// Flags after "--" are passed through to every lte-enb worker.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"syscall"
+	"time"
+
+	"ltephy/internal/fleet"
+)
+
+func main() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	stop := make(chan struct{})
+	go func() { <-sig; close(stop) }()
+	if err := run(os.Args[1:], os.Stdout, stop); err != nil {
+		fmt.Fprintln(os.Stderr, "lte-fleet:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags, brings the fleet up and supervises it until stop
+// closes. Extracted from main so the command is testable.
+func run(args []string, w io.Writer, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("lte-fleet", flag.ContinueOnError)
+	fs.SetOutput(w)
+	workers := fs.Int("workers", 2, "worker processes to spawn")
+	cells := fs.Int("cells", 4, "fleet-wide cell count (cells 0..cells-1)")
+	enbBin := fs.String("enb-bin", "", "lte-enb binary path (default: next to this binary, else $PATH)")
+	dir := fs.String("dir", "", "scratch directory for ports files (default: a temp dir)")
+	checkpointEvery := fs.Duration("checkpoint-every", 2*time.Second, "background checkpoint round period (0 = off)")
+	drainTimeout := fs.Duration("drain-timeout", 2*time.Second, "drain barrier timeout per migration/checkpoint")
+	healthEvery := fs.Duration("health-interval", 500*time.Millisecond, "worker health probe period")
+	maxRestarts := fs.Int("max-restarts", 0, "give up on a worker after this many consecutive failed restarts (0 = unlimited)")
+	rebalanceEvery := fs.Duration("rebalance-every", 0, "periodic rebalance pass (0 = off)")
+	rebalanceMoves := fs.Int("rebalance-moves", 1, "migrations allowed per rebalance pass")
+	rebalanceTol := fs.Float64("rebalance-tolerance", 0.1, "load imbalance fraction tolerated before migrating")
+	rebalanceShed := fs.Float64("rebalance-shed", 0.05, "observed shed fraction that marks a worker hot")
+	statusEvery := fs.Duration("status-every", 10*time.Second, "placement/stats report period (0 = off)")
+	metrics := fs.Bool("metrics", true, "workers serve /metrics and /fetch on loopback")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *workers <= 0 || *cells <= 0 {
+		return errors.New("-workers and -cells must be positive")
+	}
+
+	bin := *enbBin
+	if bin == "" {
+		if self, err := os.Executable(); err == nil {
+			sibling := filepath.Join(filepath.Dir(self), "lte-enb")
+			if _, err := os.Stat(sibling); err == nil {
+				bin = sibling
+			}
+		}
+		if bin == "" {
+			bin = "lte-enb" // resolved via $PATH by exec
+		}
+	}
+	scratch := *dir
+	if scratch == "" {
+		var err error
+		scratch, err = os.MkdirTemp("", "lte-fleet-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(scratch)
+	}
+
+	l := &fleet.ExecLauncher{
+		Bin:       bin,
+		Dir:       scratch,
+		Cells:     *cells,
+		ExtraArgs: fs.Args(),
+		Metrics:   *metrics,
+		Stderr:    os.Stderr,
+	}
+	co, err := fleet.New(fleet.Config{
+		Workers:            *workers,
+		Cells:              *cells,
+		Launcher:           l,
+		DrainTimeout:       *drainTimeout,
+		CheckpointInterval: *checkpointEvery,
+		HealthInterval:     *healthEvery,
+		MaxRestarts:        *maxRestarts,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(w, "lte-fleet: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer co.Close()
+
+	fmt.Fprintf(w, "lte-fleet: serving %d cells on %d workers (%s), dir %s\n",
+		*cells, *workers, bin, scratch)
+	printPlacement(w, co)
+
+	var statusC, rebalanceC <-chan time.Time
+	if *statusEvery > 0 {
+		t := time.NewTicker(*statusEvery)
+		defer t.Stop()
+		statusC = t.C
+	}
+	if *rebalanceEvery > 0 {
+		t := time.NewTicker(*rebalanceEvery)
+		defer t.Stop()
+		rebalanceC = t.C
+	}
+
+	for {
+		select {
+		case <-stop:
+			fmt.Fprintln(w, "lte-fleet: shutting down")
+			printStatus(w, co)
+			return nil
+		case <-statusC:
+			printStatus(w, co)
+		case <-rebalanceC:
+			moves, err := co.RebalanceOnce(*rebalanceMoves, *rebalanceTol, *rebalanceShed)
+			if err != nil {
+				fmt.Fprintf(w, "lte-fleet: rebalance: %v\n", err)
+			}
+			for _, m := range moves {
+				fmt.Fprintf(w, "lte-fleet: migrated cell %d: worker %d -> %d\n", m.Cell, m.From, m.To)
+			}
+		}
+	}
+}
+
+// printPlacement reports the cell→worker map grouped by worker.
+func printPlacement(w io.Writer, co *fleet.Coordinator) {
+	p := co.Placement()
+	byWorker := map[int][]int{}
+	for cell, owner := range p.Owner {
+		byWorker[owner] = append(byWorker[owner], cell)
+	}
+	owners := make([]int, 0, len(byWorker))
+	for o := range byWorker {
+		owners = append(owners, o)
+	}
+	sort.Ints(owners)
+	for _, o := range owners {
+		sort.Ints(byWorker[o])
+		fmt.Fprintf(w, "lte-fleet: placement epoch %d: worker %d serves cells %v\n",
+			p.Epoch, o, byWorker[o])
+	}
+}
+
+// printStatus reports the placement plus per-cell serving stats scraped
+// over each owner's control socket.
+func printStatus(w io.Writer, co *fleet.Coordinator) {
+	printPlacement(w, co)
+	stats, err := co.Stats()
+	if err != nil {
+		fmt.Fprintf(w, "lte-fleet: stats: %v\n", err)
+	}
+	for _, st := range stats {
+		fmt.Fprintf(w, "lte-fleet: cell %d: accepted=%d duplicate=%d redirected=%d "+
+			"shed_overload=%d shed_backpressure=%d offered_est=%.3f admitted_est=%.3f\n",
+			st.Cell, st.FramesAccepted, st.FramesDuplicate, st.FramesRedirected,
+			st.FramesShedOverload, st.FramesShedBackpressure, st.OfferedEst, st.AdmittedEst)
+	}
+}

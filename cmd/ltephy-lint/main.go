@@ -17,11 +17,12 @@
 // internal/sched, whose turbo window fan-out is part of the
 // serial-vs-parallel bit-exactness contract; atomiccheck runs over
 // internal/sched, internal/obs (including the internal/obs/kpi block
-// accumulators) and internal/fronthaul (the telemetry counters, the KPI
+// accumulators), internal/fronthaul (the telemetry counters, the KPI
 // record path and the serving layer's per-cell accounting share the
-// scheduler's lock-free discipline); spawncheck and lockorder run over
-// internal/sched and internal/fronthaul, the only layers that own
-// goroutines and cross-goroutine mutexes.
+// scheduler's lock-free discipline) and internal/fleet (the
+// coordinator's worker-slot swaps); spawncheck and lockorder run over
+// internal/sched, internal/fronthaul and internal/fleet, the layers
+// that own goroutines and cross-goroutine mutexes.
 //
 // Exit codes: 0 clean (or every finding baselined), 1 findings, 2 driver
 // failure (bad flags, load or type-check error).
@@ -54,9 +55,9 @@ var scopes = map[string][]string{
 	analysis.BlockingCall.Name: nil,
 	analysis.CrossArena.Name:   nil,
 	analysis.Determinism.Name:  {"/internal/phy", "/internal/uplink", "/internal/sim", "/internal/sched"},
-	analysis.AtomicCheck.Name:  {"/internal/sched", "/internal/obs", "/internal/fronthaul"},
-	analysis.SpawnCheck.Name:   {"/internal/sched", "/internal/fronthaul"},
-	analysis.LockOrder.Name:    {"/internal/sched", "/internal/fronthaul"},
+	analysis.AtomicCheck.Name:  {"/internal/sched", "/internal/obs", "/internal/fronthaul", "/internal/fleet"},
+	analysis.SpawnCheck.Name:   {"/internal/sched", "/internal/fronthaul", "/internal/fleet"},
+	analysis.LockOrder.Name:    {"/internal/sched", "/internal/fronthaul", "/internal/fleet"},
 }
 
 var all = []*analysis.Analyzer{

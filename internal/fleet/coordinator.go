@@ -1,0 +1,551 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"ltephy/internal/fronthaul"
+)
+
+// Config configures a Coordinator.
+type Config struct {
+	// Workers is the fleet size (worker indices 0..Workers-1).
+	Workers int
+	// Cells is the fleet-wide cell count.
+	Cells int
+	// Launcher starts (and restarts) workers.
+	Launcher Launcher
+	// DrainTimeout bounds each migration/checkpoint drain (0 = the
+	// workers' default).
+	DrainTimeout time.Duration
+	// CheckpointInterval is the period of the background checkpoint
+	// round (drain → checkpoint → resume per cell, snapshots retained
+	// for crash recovery). 0 disables the background round; explicit
+	// CheckpointRound calls still work.
+	CheckpointInterval time.Duration
+	// HealthInterval is the supervision probe period. Defaults to 500ms.
+	HealthInterval time.Duration
+	// BackoffMin/BackoffMax bound the exponential restart backoff.
+	// Default 100ms / 5s.
+	BackoffMin, BackoffMax time.Duration
+	// MaxRestarts gives up on a worker after this many consecutive
+	// failed restarts (0 = unlimited).
+	MaxRestarts int
+	// Logf receives supervision events (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.Cells <= 0 {
+		return c, errors.New("fleet: Cells must be positive")
+	}
+	if c.Launcher == nil {
+		return c, errors.New("fleet: Launcher is required")
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 500 * time.Millisecond
+	}
+	if c.BackoffMin <= 0 {
+		c.BackoffMin = 100 * time.Millisecond
+	}
+	if c.BackoffMax < c.BackoffMin {
+		c.BackoffMax = 5 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c, nil
+}
+
+// workerState is the coordinator's view of one fleet slot.
+type workerState struct {
+	mu       sync.Mutex
+	w        Worker
+	ctrl     *fronthaul.ControlClient
+	restarts int
+	// gen bumps on every (re)launch so stale health probes don't kill a
+	// fresh process.
+	gen int64
+}
+
+// Coordinator supervises the fleet: it launches workers, restarts
+// crashed ones with exponential backoff (restoring their cells from the
+// last checkpoints), owns the placement map and executes migrations.
+type Coordinator struct {
+	cfg Config
+
+	mu        sync.Mutex
+	workers   []*workerState
+	placement Placement
+	snapshots [][]byte // last checkpoint per cell (nil = none yet)
+	// stable[cell] is the admission sequence the last checkpoint covers
+	// (-1 until one is taken): everything at or below it survives a
+	// worker crash via restore, so generators may retire those frames
+	// from their replay rings.
+	stable []int64
+	closed bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New launches the fleet and starts supervision. On error every
+// already-launched worker is killed.
+//
+//ltephy:spawn-point — supervise and checkpointLoop are wg-bracketed;
+// Close joins both via wg.Wait.
+func New(cfg Config) (*Coordinator, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	co := &Coordinator{
+		cfg:       cfg,
+		workers:   make([]*workerState, cfg.Workers),
+		placement: InitialPlacement(cfg.Cells, cfg.Workers),
+		snapshots: make([][]byte, cfg.Cells),
+		stable:    make([]int64, cfg.Cells),
+		stop:      make(chan struct{}),
+	}
+	for i := range co.stable {
+		co.stable[i] = -1
+	}
+	for i := range co.workers {
+		ws := &workerState{}
+		if err := co.launch(ws, i, nil); err != nil {
+			for _, prev := range co.workers {
+				if prev != nil && prev.w != nil {
+					prev.w.Kill()
+				}
+			}
+			return nil, fmt.Errorf("fleet: launch worker %d: %w", i, err)
+		}
+		co.workers[i] = ws
+	}
+	co.wg.Add(1)
+	go co.supervise() //ltephy:spawn-point joined by Close via wg
+	if cfg.CheckpointInterval > 0 {
+		co.wg.Add(1)
+		go co.checkpointLoop() //ltephy:spawn-point joined by Close via wg
+	}
+	return co, nil
+}
+
+// cellSnap pairs a cell with the retained checkpoint to restore on a
+// relaunched worker.
+type cellSnap struct {
+	cell int
+	snap []byte
+}
+
+// launch starts (or restarts) a worker slot, dials its control listener
+// and restores the given snapshots — all BEFORE swapping the worker into
+// the slot. Resolve must not hand out the new data-plane address until
+// admission/KPI/HARQ state is back, or a generator's replay would be
+// admitted from scratch and double-counted. Caller holds no locks;
+// ws.mu guards the swap.
+func (co *Coordinator) launch(ws *workerState, index int, snaps []cellSnap) error {
+	w, err := co.cfg.Launcher.Launch(index)
+	if err != nil {
+		return err
+	}
+	network, addr := w.ControlAddr()
+	ctrl, err := fronthaul.DialControl(network, addr)
+	if err != nil {
+		w.Kill()
+		return err
+	}
+	for _, s := range snaps {
+		if err := ctrl.Restore(uint16(s.cell), s.snap); err != nil {
+			co.cfg.Logf("fleet: restore cell %d on worker %d: %v", s.cell, index, err)
+		}
+	}
+	ws.mu.Lock()
+	if ws.ctrl != nil {
+		ws.ctrl.Close()
+	}
+	ws.w = w
+	ws.ctrl = ctrl
+	ws.gen++
+	ws.mu.Unlock()
+	return nil
+}
+
+// Placement returns a copy of the current placement.
+func (co *Coordinator) Placement() Placement {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.placement.Clone()
+}
+
+// Resolve returns the data-plane address currently serving a cell, with
+// the placement epoch it was read under.
+func (co *Coordinator) Resolve(cell int) (network, addr string, epoch int64, err error) {
+	co.mu.Lock()
+	if cell < 0 || cell >= len(co.placement.Owner) {
+		co.mu.Unlock()
+		return "", "", 0, fmt.Errorf("fleet: unknown cell %d", cell)
+	}
+	owner := co.placement.Owner[cell]
+	epoch = co.placement.Epoch
+	co.mu.Unlock()
+	ws := co.workers[owner]
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if ws.w == nil {
+		return "", "", 0, fmt.Errorf("fleet: worker %d down", owner)
+	}
+	network, addr = ws.w.DataAddr()
+	return network, addr, epoch, nil
+}
+
+// control returns the live control client for a worker index.
+func (co *Coordinator) control(worker int) (*fronthaul.ControlClient, error) {
+	if worker < 0 || worker >= len(co.workers) {
+		return nil, fmt.Errorf("fleet: unknown worker %d", worker)
+	}
+	ws := co.workers[worker]
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if ws.ctrl == nil {
+		return nil, fmt.Errorf("fleet: worker %d has no control connection", worker)
+	}
+	return ws.ctrl, nil
+}
+
+// Worker returns the worker currently filling a fleet slot (tests and
+// the smoke harness's crash injection).
+func (co *Coordinator) Worker(index int) (Worker, error) {
+	if index < 0 || index >= len(co.workers) {
+		return nil, fmt.Errorf("fleet: unknown worker %d", index)
+	}
+	ws := co.workers[index]
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if ws.w == nil {
+		return nil, fmt.Errorf("fleet: worker %d down", index)
+	}
+	return ws.w, nil
+}
+
+// Migrate moves a cell live: drain on the source, checkpoint, restore
+// on the target, release the source, flip the placement. The generator
+// sees AckRedirect from the source while the move is in flight,
+// re-resolves, and replays unacknowledged frames to the target — where
+// replays of already-counted subframes answer AckDuplicate.
+func (co *Coordinator) Migrate(cell, to int) error {
+	co.mu.Lock()
+	if co.closed {
+		co.mu.Unlock()
+		return errors.New("fleet: coordinator closed")
+	}
+	if cell < 0 || cell >= len(co.placement.Owner) {
+		co.mu.Unlock()
+		return fmt.Errorf("fleet: unknown cell %d", cell)
+	}
+	from := co.placement.Owner[cell]
+	co.mu.Unlock()
+	if to == from {
+		return nil
+	}
+	src, err := co.control(from)
+	if err != nil {
+		return err
+	}
+	dst, err := co.control(to)
+	if err != nil {
+		return err
+	}
+	cid := uint16(cell)
+	if err := src.Drain(cid, co.cfg.DrainTimeout); err != nil {
+		return fmt.Errorf("fleet: drain cell %d on worker %d: %w", cell, from, err)
+	}
+	snap, err := src.Checkpoint(cid)
+	if err != nil {
+		// Roll back: reopen the cell where it was.
+		_ = src.Resume(cid)
+		return fmt.Errorf("fleet: checkpoint cell %d: %w", cell, err)
+	}
+	if err := dst.Restore(cid, snap); err != nil {
+		_ = src.Resume(cid)
+		return fmt.Errorf("fleet: restore cell %d on worker %d: %w", cell, to, err)
+	}
+	if err := src.Release(cid); err != nil {
+		// The target already owns the cell; a failed release only risks
+		// double-counting on a later scrape of the source, so surface it.
+		co.cfg.Logf("fleet: release cell %d on worker %d: %v", cell, from, err)
+	}
+	co.mu.Lock()
+	co.placement.Owner[cell] = to
+	co.placement.Epoch++
+	co.storeSnapshotLocked(cell, snap)
+	co.mu.Unlock()
+	co.cfg.Logf("fleet: migrated cell %d: worker %d -> %d", cell, from, to)
+	return nil
+}
+
+// storeSnapshotLocked retains a snapshot and its stable sequence.
+// Caller holds co.mu.
+func (co *Coordinator) storeSnapshotLocked(cell int, snap []byte) {
+	co.snapshots[cell] = snap
+	if ck, err := fronthaul.DecodeCheckpoint(snap); err == nil && ck.Admission.Started {
+		co.stable[cell] = ck.Admission.LastSeq
+	}
+}
+
+// StableSeq returns the admission sequence the cell's last retained
+// checkpoint covers (-1 before the first checkpoint). Subframes at or
+// below it survive a worker crash without replay; generators trim
+// their replay rings against it.
+func (co *Coordinator) StableSeq(cell int) int64 {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if cell < 0 || cell >= len(co.stable) {
+		return -1
+	}
+	return co.stable[cell]
+}
+
+// CheckpointCell drains, checkpoints and resumes one cell in place,
+// retaining the snapshot for crash recovery. The pause is the drain
+// barrier only — typically a few subframe periods.
+func (co *Coordinator) CheckpointCell(cell int) error {
+	co.mu.Lock()
+	if cell < 0 || cell >= len(co.placement.Owner) {
+		co.mu.Unlock()
+		return fmt.Errorf("fleet: unknown cell %d", cell)
+	}
+	owner := co.placement.Owner[cell]
+	co.mu.Unlock()
+	ctrl, err := co.control(owner)
+	if err != nil {
+		return err
+	}
+	cid := uint16(cell)
+	if err := ctrl.Drain(cid, co.cfg.DrainTimeout); err != nil {
+		return err
+	}
+	snap, err := ctrl.Checkpoint(cid)
+	if rerr := ctrl.Resume(cid); err == nil {
+		err = rerr
+	}
+	if err != nil {
+		return err
+	}
+	co.mu.Lock()
+	co.storeSnapshotLocked(cell, snap)
+	co.mu.Unlock()
+	return nil
+}
+
+// CheckpointRound checkpoints every cell (first error wins, the round
+// still visits all cells).
+func (co *Coordinator) CheckpointRound() error {
+	var firstErr error
+	for cell := 0; cell < co.cfg.Cells; cell++ {
+		if err := co.CheckpointCell(cell); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Snapshot returns the last retained checkpoint for a cell (nil if none
+// was taken yet).
+func (co *Coordinator) Snapshot(cell int) []byte {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if cell < 0 || cell >= len(co.snapshots) {
+		return nil
+	}
+	return co.snapshots[cell]
+}
+
+// checkpointLoop runs the periodic checkpoint round.
+func (co *Coordinator) checkpointLoop() {
+	defer co.wg.Done()
+	t := time.NewTicker(co.cfg.CheckpointInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-co.stop:
+			return
+		case <-t.C:
+			if err := co.CheckpointRound(); err != nil {
+				co.cfg.Logf("fleet: checkpoint round: %v", err)
+			}
+		}
+	}
+}
+
+// supervise watches every worker and restarts crashed ones.
+func (co *Coordinator) supervise() {
+	defer co.wg.Done()
+	probe := &http.Client{Timeout: 2 * time.Second}
+	t := time.NewTicker(co.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-co.stop:
+			return
+		case <-t.C:
+		}
+		for i, ws := range co.workers {
+			ws.mu.Lock()
+			w, gen := ws.w, ws.gen
+			ws.mu.Unlock()
+			if w == nil {
+				continue // gave up on this slot
+			}
+			dead := false
+			select {
+			case <-w.Done():
+				dead = true
+			default:
+				// Liveness probe when the worker exposes one; a worker that
+				// stops answering is treated as crashed.
+				if url := w.FetchURL(); url != "" {
+					if resp, err := probe.Get(url + "/healthz"); err != nil {
+						dead = true
+					} else {
+						resp.Body.Close()
+						dead = resp.StatusCode != http.StatusOK
+					}
+				}
+			}
+			if dead {
+				co.restart(ws, i, gen)
+			}
+		}
+	}
+}
+
+// restart relaunches a crashed worker with exponential backoff and
+// restores its cells from the retained checkpoints. gen guards against
+// racing a concurrent restart of the same slot.
+func (co *Coordinator) restart(ws *workerState, index int, gen int64) {
+	ws.mu.Lock()
+	if ws.gen != gen {
+		ws.mu.Unlock()
+		return // someone already relaunched this slot
+	}
+	if ws.w != nil {
+		ws.w.Kill()
+		ws.w = nil
+	}
+	restarts := ws.restarts
+	ws.restarts++
+	ws.mu.Unlock()
+
+	if co.cfg.MaxRestarts > 0 && restarts >= co.cfg.MaxRestarts {
+		co.cfg.Logf("fleet: worker %d exceeded %d restarts, giving up", index, co.cfg.MaxRestarts)
+		return
+	}
+	backoff := co.cfg.BackoffMin << uint(restarts)
+	if backoff > co.cfg.BackoffMax || backoff <= 0 {
+		backoff = co.cfg.BackoffMax
+	}
+	co.cfg.Logf("fleet: worker %d down, restarting in %v (attempt %d)", index, backoff, restarts+1)
+	select {
+	case <-co.stop:
+		return
+	case <-time.After(backoff):
+	}
+	// Gather the worker's cells and their last checkpoints: launch
+	// restores them before the worker becomes resolvable, so admission
+	// resumes at the checkpointed sequence — the generator's replay of
+	// frames past it is admitted exactly once and earlier replays answer
+	// AckDuplicate.
+	co.mu.Lock()
+	snaps := make([]cellSnap, 0, len(co.placement.Owner))
+	for cell, owner := range co.placement.Owner {
+		if owner == index && co.snapshots[cell] != nil {
+			snaps = append(snaps, cellSnap{cell: cell, snap: co.snapshots[cell]})
+		}
+	}
+	co.mu.Unlock()
+	if err := co.launch(ws, index, snaps); err != nil {
+		co.cfg.Logf("fleet: relaunch worker %d: %v", index, err)
+		return
+	}
+	co.mu.Lock()
+	co.placement.Epoch++
+	co.mu.Unlock()
+	co.cfg.Logf("fleet: worker %d back, %d cells restored", index, len(snaps))
+}
+
+// Stats scrapes every cell's serving counters from its current owner.
+func (co *Coordinator) Stats() ([]fronthaul.CellStats, error) {
+	out := make([]fronthaul.CellStats, 0, co.cfg.Cells)
+	var firstErr error
+	for cell := 0; cell < co.cfg.Cells; cell++ {
+		co.mu.Lock()
+		owner := co.placement.Owner[cell]
+		co.mu.Unlock()
+		ctrl, err := co.control(owner)
+		if err == nil {
+			var st fronthaul.CellStats
+			if st, err = ctrl.Stats(uint16(cell)); err == nil {
+				out = append(out, st)
+				continue
+			}
+		}
+		if firstErr == nil {
+			firstErr = fmt.Errorf("fleet: stats cell %d: %w", cell, err)
+		}
+	}
+	return out, firstErr
+}
+
+// Rebalance plans and executes up to maxMoves migrations from the
+// current scraped load (see Rebalance for the policy).
+func (co *Coordinator) RebalanceOnce(maxMoves int, tolerance, shedHot float64) ([]Move, error) {
+	stats, err := co.Stats()
+	if err != nil {
+		return nil, err
+	}
+	loads := make([]CellLoad, 0, len(stats))
+	for _, st := range stats {
+		l := CellLoad{Cell: st.Cell, Activity: st.OfferedEst}
+		if st.OfferedEst > 0 {
+			l.ShedFraction = 1 - st.AdmittedEst/st.OfferedEst
+		}
+		loads = append(loads, l)
+	}
+	moves := Rebalance(co.Placement(), loads, co.cfg.Workers, maxMoves, tolerance, shedHot)
+	for _, m := range moves {
+		if err := co.Migrate(m.Cell, m.To); err != nil {
+			return moves, err
+		}
+	}
+	return moves, nil
+}
+
+// Close stops supervision and kills every worker.
+func (co *Coordinator) Close() {
+	co.mu.Lock()
+	if co.closed {
+		co.mu.Unlock()
+		return
+	}
+	co.closed = true
+	co.mu.Unlock()
+	close(co.stop)
+	co.wg.Wait()
+	for _, ws := range co.workers {
+		ws.mu.Lock()
+		if ws.ctrl != nil {
+			ws.ctrl.Close()
+		}
+		if ws.w != nil {
+			ws.w.Kill()
+		}
+		ws.mu.Unlock()
+	}
+}

@@ -1,0 +1,245 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ltephy/internal/fronthaul"
+)
+
+// testServerConfig is the worker template the fleet tests share: KPI
+// recording on (the reconcile asserts need it), generous deadline, flat
+// predictor with enough capacity that nominal load sheds nothing.
+func testServerConfig() fronthaul.Config {
+	return fronthaul.Config{
+		Workers:        2,
+		Pools:          1,
+		Delta:          time.Millisecond,
+		DeadlineBudget: time.Minute,
+		Predictor:      fronthaul.FlatPredictor{PerPRB: 1e-3},
+		Capacity:       1,
+		KPISampling:    1,
+		Seed:           7,
+	}
+}
+
+// newTestFleet brings up an in-process fleet and registers cleanup.
+func newTestFleet(t *testing.T, workers, cells int, cfg Config) *Coordinator {
+	t.Helper()
+	l := &InProcLauncher{Cfg: InProcConfig{Server: testServerConfig(), Cells: cells, Metrics: true}}
+	cfg.Workers = workers
+	cfg.Cells = cells
+	cfg.Launcher = l
+	if cfg.HealthInterval == 0 {
+		cfg.HealthInterval = 25 * time.Millisecond
+	}
+	if cfg.BackoffMin == 0 {
+		cfg.BackoffMin = 10 * time.Millisecond
+	}
+	if cfg.DrainTimeout == 0 {
+		cfg.DrainTimeout = 5 * time.Second
+	}
+	cfg.Logf = t.Logf
+	co, err := New(cfg)
+	if err != nil {
+		t.Fatalf("fleet.New: %v", err)
+	}
+	t.Cleanup(func() { co.Close(); l.Close() })
+	return co
+}
+
+// TestFleetHarnessExactlyOnce is the fleet acceptance test: 2 workers x
+// 4 cells under the diurnal harness, with a live migration AND a forced
+// worker crash mid-run. Zero subframes lost, and the fleet KPI rollup
+// accounts for every offered user exactly once.
+func TestFleetHarnessExactlyOnce(t *testing.T) {
+	const (
+		workers   = 2
+		cells     = 4
+		subframes = 50
+	)
+	co := newTestFleet(t, workers, cells, Config{})
+
+	// Cell 0's generator fires the fault injections at fixed sequences:
+	// a live migration of cell 2 (worker 0 -> 1) a third of the way in,
+	// then a checkpoint round followed by a hard kill of worker 0.
+	onSeq := func(seq int64) {
+		switch seq {
+		case 15:
+			if err := co.Migrate(2, 1); err != nil {
+				t.Errorf("Migrate(2, 1): %v", err)
+			}
+		case 35:
+			if err := co.CheckpointRound(); err != nil {
+				t.Errorf("CheckpointRound: %v", err)
+			}
+			w, err := co.Worker(0)
+			if err != nil {
+				t.Errorf("Worker(0): %v", err)
+				return
+			}
+			w.Kill()
+		}
+	}
+
+	stats, err := RunHarness(HarnessConfig{
+		Coordinator: co,
+		Cells:       cells,
+		Subframes:   subframes,
+		Load:        1.5,
+		Seed:        7,
+		MaxPRB:      2,
+		DTXProb:     0.1,
+		OnSeq:       onSeq,
+	})
+	if err != nil {
+		t.Fatalf("RunHarness: %v\n%s", err, stats)
+	}
+	t.Logf("harness: %s", stats)
+
+	if stats.Lost != 0 {
+		t.Fatalf("lost %d subframes: %s", stats.Lost, stats)
+	}
+	if stats.BadAcks != 0 {
+		t.Fatalf("bad acks: %s", stats)
+	}
+	if want := int64(cells * subframes); stats.Sent != want {
+		t.Fatalf("sent %d subframes, want %d", stats.Sent, want)
+	}
+	if stats.Done+stats.ShedOverload+stats.ShedBackpressure+stats.Duplicate != stats.Sent {
+		t.Fatalf("terminal acks do not cover every subframe: %s", stats)
+	}
+	// The crash forces reconnects and replays; the drained source forces
+	// redirects that surface as replays too.
+	if stats.Reconnects == 0 || stats.Replayed == 0 {
+		t.Fatalf("fault injection left no trace (reconnects=%d replayed=%d)",
+			stats.Reconnects, stats.Replayed)
+	}
+
+	// Exactly-once: every offered user is in exactly one KPI bucket,
+	// across a migration and a crash-restore.
+	total := stats.Fleet.Total
+	if got := total.CrcPass + total.CrcFail + total.Dtx + total.Skipped; got != stats.UsersSent {
+		t.Fatalf("KPI sum %d != users sent %d (pass=%d fail=%d dtx=%d skipped=%d)",
+			got, stats.UsersSent, total.CrcPass, total.CrcFail, total.Dtx, total.Skipped)
+	}
+	if total.Dtx != stats.UsersDTX {
+		t.Fatalf("KPI dtx %d != generator dtx %d", total.Dtx, stats.UsersDTX)
+	}
+
+	// The migration stuck.
+	if p := co.Placement(); p.Owner[2] != 1 {
+		t.Fatalf("cell 2 owned by worker %d after migration, want 1", p.Owner[2])
+	}
+	if p := co.Placement(); p.Epoch == 0 {
+		t.Fatalf("placement epoch never advanced")
+	}
+
+	// The summary line carries the fields the CI smoke job greps.
+	line := stats.String()
+	for _, key := range []string{"sent=", "lost=", "kpi_total=", "predicted_shed=", "measured_shed=", "p999="} {
+		if !strings.Contains(line, key) {
+			t.Fatalf("summary line missing %q: %s", key, line)
+		}
+	}
+}
+
+// TestFleetHarnessDeterministicDelivery: two identical runs (no fault
+// injection) deliver identical subframe and user accounting.
+func TestFleetHarnessDeterministicDelivery(t *testing.T) {
+	run := func() HarnessStats {
+		co := newTestFleet(t, 2, 4, Config{})
+		stats, err := RunHarness(HarnessConfig{
+			Coordinator: co,
+			Cells:       4,
+			Subframes:   30,
+			Load:        1,
+			Seed:        11,
+			MaxPRB:      2,
+			DTXProb:     0.2,
+		})
+		if err != nil {
+			t.Fatalf("RunHarness: %v", err)
+		}
+		co.Close()
+		return stats
+	}
+	a, b := run(), run()
+	if a.Sent != b.Sent || a.UsersSent != b.UsersSent || a.UsersDTX != b.UsersDTX ||
+		a.Done != b.Done || a.ShedOverload != b.ShedOverload {
+		t.Fatalf("runs diverged:\n  %s\n  %s", a, b)
+	}
+	if a.Fleet.Total != b.Fleet.Total {
+		t.Fatalf("fleet KPI diverged:\n  %+v\n  %+v", a.Fleet.Total, b.Fleet.Total)
+	}
+}
+
+// TestCoordinatorRestartRestoresCells: kill a worker with no traffic in
+// flight; supervision relaunches it and the placement still resolves.
+func TestCoordinatorRestartRestoresCells(t *testing.T) {
+	co := newTestFleet(t, 2, 4, Config{})
+	w0, err := co.Worker(0)
+	if err != nil {
+		t.Fatalf("Worker(0): %v", err)
+	}
+	epoch0 := co.Placement().Epoch
+	w0.Kill()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		w, err := co.Worker(0)
+		if err == nil && w != w0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker 0 never restarted")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, _, _, err := co.Resolve(0); err != nil {
+		// The swap may race the resolve by a beat; retry briefly.
+		time.Sleep(100 * time.Millisecond)
+		if _, _, _, err := co.Resolve(0); err != nil {
+			t.Fatalf("Resolve after restart: %v", err)
+		}
+	}
+	if co.Placement().Epoch == epoch0 {
+		t.Fatalf("restart did not advance the placement epoch")
+	}
+}
+
+// TestRebalanceOnceMoves: with every cell on worker 0 and real scraped
+// load, RebalanceOnce migrates at least one cell to worker 1.
+func TestRebalanceOnceMoves(t *testing.T) {
+	co := newTestFleet(t, 2, 2, Config{})
+	// Both cells start round-robin (0->0, 1->1); move cell 1 back to
+	// worker 0 so the load is fully skewed.
+	if err := co.Migrate(1, 0); err != nil {
+		t.Fatalf("Migrate(1, 0): %v", err)
+	}
+	// Offer traffic so the scraped activity is nonzero.
+	stats, err := RunHarness(HarnessConfig{
+		Coordinator: co,
+		Cells:       2,
+		Subframes:   20,
+		Load:        1,
+		Seed:        3,
+		MaxPRB:      2,
+	})
+	if err != nil {
+		t.Fatalf("RunHarness: %v", err)
+	}
+	if stats.Lost != 0 {
+		t.Fatalf("lost subframes before rebalance: %s", stats)
+	}
+	moves, err := co.RebalanceOnce(1, 0.01, 0.5)
+	if err != nil {
+		t.Fatalf("RebalanceOnce: %v", err)
+	}
+	if len(moves) != 1 || moves[0].To != 1 {
+		t.Fatalf("moves = %v, want one move to worker 1", moves)
+	}
+	if p := co.Placement(); p.Owner[moves[0].Cell] != 1 {
+		t.Fatalf("placement not updated by rebalance: %v", p.Owner)
+	}
+}

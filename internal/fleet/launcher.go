@@ -1,0 +1,318 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strconv"
+	"sync"
+	"time"
+
+	"ltephy/internal/fronthaul"
+)
+
+// Worker is one supervised eNB serving process, however it is hosted:
+// an lte-enb child process (ExecLauncher) or an in-process
+// fronthaul.Server (InProcLauncher, used by tests and lte-bench -fleet).
+type Worker interface {
+	// Index is the worker's fleet slot (stable across restarts).
+	Index() int
+	// DataAddr returns the data-plane listener ("tcp"/"unix", address).
+	DataAddr() (network, addr string)
+	// ControlAddr returns the control-plane listener.
+	ControlAddr() (network, addr string)
+	// FetchURL is the base URL of the worker's observability endpoint
+	// ("" when metrics are disabled).
+	FetchURL() string
+	// Done is closed when the worker process exits, however it died.
+	Done() <-chan struct{}
+	// Kill force-stops the worker (supervisor shutdown and crash
+	// injection in the smoke harness).
+	Kill()
+}
+
+// Launcher starts workers. Launch blocks until the worker's listeners
+// are reachable (the coordinator dials control immediately after).
+type Launcher interface {
+	Launch(index int) (Worker, error)
+}
+
+// ---- in-process launcher ----
+
+// InProcConfig templates the servers an InProcLauncher hosts. Cells is
+// the fleet-wide cell count: every worker serves the full cell index
+// space (a cell's frames are only routed to its owner, and migration
+// needs the target to already have the cell's serving state allocated).
+type InProcConfig struct {
+	// Server is the per-worker fronthaul configuration (Cells is
+	// overridden with the fleet cell count).
+	Server fronthaul.Config
+	// Cells is the fleet-wide cell index space.
+	Cells int
+	// Metrics serves each worker's observability mux on a loopback
+	// listener when true.
+	Metrics bool
+}
+
+// InProcLauncher hosts workers as in-process fronthaul servers on
+// loopback TCP listeners. It exercises the same wire protocols as real
+// processes (data, control and HTTP scrape all cross real sockets);
+// only process isolation is simulated — Kill closes the server instead
+// of killing a PID.
+type InProcLauncher struct {
+	Cfg InProcConfig
+
+	mu      sync.Mutex
+	workers []*inProcWorker
+}
+
+// inProcWorker is one hosted server and its listeners.
+type inProcWorker struct {
+	index    int
+	srv      *fronthaul.Server
+	dataLn   net.Listener
+	ctrlLn   net.Listener
+	httpLn   net.Listener
+	fetchURL string
+	done     chan struct{}
+	killOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// Launch implements Launcher.
+//
+// Every goroutine is wg-bracketed: the serve loops and the metrics
+// server unblock when Kill closes their listeners, the reaper consumes
+// one serve error (srvErr is buffered for both) and closes done; the
+// launcher's Close joins the bracket after killing the worker.
+//
+//ltephy:spawn-point
+func (l *InProcLauncher) Launch(index int) (Worker, error) {
+	cfg := l.Cfg.Server
+	if l.Cfg.Cells > 0 {
+		cfg.Cells = l.Cfg.Cells
+	}
+	srv, err := fronthaul.NewServer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	w := &inProcWorker{index: index, srv: srv, done: make(chan struct{})}
+	if w.dataLn, err = net.Listen("tcp", "127.0.0.1:0"); err != nil {
+		srv.Close()
+		return nil, err
+	}
+	if w.ctrlLn, err = net.Listen("tcp", "127.0.0.1:0"); err != nil {
+		w.dataLn.Close()
+		srv.Close()
+		return nil, err
+	}
+	if l.Cfg.Metrics {
+		if w.httpLn, err = net.Listen("tcp", "127.0.0.1:0"); err != nil {
+			w.ctrlLn.Close()
+			w.dataLn.Close()
+			srv.Close()
+			return nil, err
+		}
+		w.fetchURL = "http://" + w.httpLn.Addr().String()
+		w.wg.Add(1)
+		go func() {
+			defer w.wg.Done()
+			_ = http.Serve(w.httpLn, srv.Handler())
+		}()
+	}
+	srvErr := make(chan error, 2)
+	w.wg.Add(3)
+	go func() {
+		defer w.wg.Done()
+		srvErr <- srv.Serve(w.dataLn)
+	}()
+	go func() {
+		defer w.wg.Done()
+		srvErr <- srv.ServeControl(w.ctrlLn)
+	}()
+	go func() {
+		defer w.wg.Done()
+		<-srvErr // either listener failing means the worker is dead
+		w.Kill()
+	}()
+	l.mu.Lock()
+	l.workers = append(l.workers, w)
+	l.mu.Unlock()
+	return w, nil
+}
+
+// Close kills every worker the launcher ever started and joins their
+// goroutines (the reaper may not call Kill on itself, so the wait lives
+// here rather than in Kill).
+func (l *InProcLauncher) Close() {
+	l.mu.Lock()
+	ws := append([]*inProcWorker(nil), l.workers...)
+	l.mu.Unlock()
+	for _, w := range ws {
+		w.Kill()
+	}
+	for _, w := range ws {
+		w.wg.Wait()
+	}
+}
+
+func (w *inProcWorker) Index() int { return w.index }
+
+func (w *inProcWorker) DataAddr() (string, string) {
+	return "tcp", w.dataLn.Addr().String()
+}
+
+func (w *inProcWorker) ControlAddr() (string, string) {
+	return "tcp", w.ctrlLn.Addr().String()
+}
+
+func (w *inProcWorker) FetchURL() string { return w.fetchURL }
+
+func (w *inProcWorker) Done() <-chan struct{} { return w.done }
+
+// Server exposes the hosted server for white-box assertions in tests.
+func (w *inProcWorker) Server() *fronthaul.Server { return w.srv }
+
+func (w *inProcWorker) Kill() {
+	w.killOnce.Do(func() {
+		w.dataLn.Close()
+		w.ctrlLn.Close()
+		if w.httpLn != nil {
+			w.httpLn.Close()
+		}
+		w.srv.Close()
+		close(w.done)
+	})
+}
+
+// ---- exec launcher ----
+
+// portsFile is the JSON handshake an lte-enb child writes once its
+// listeners are bound (the -ports-file flag): the parent polls the file
+// to learn the ephemeral addresses.
+type portsFile struct {
+	Data    string `json:"data"`
+	Control string `json:"control"`
+	Metrics string `json:"metrics,omitempty"`
+}
+
+// ExecLauncher spawns real lte-enb child processes. Each child listens
+// on ephemeral loopback ports and reports them through a ports file in
+// Dir.
+type ExecLauncher struct {
+	// Bin is the lte-enb binary path.
+	Bin string
+	// Dir holds per-worker ports files (and is a convenient artifact
+	// home). Required.
+	Dir string
+	// Cells is the fleet-wide cell index space every worker serves.
+	Cells int
+	// ExtraArgs are appended to every worker's command line (pools,
+	// capacity, turbo mode, ...).
+	ExtraArgs []string
+	// Metrics asks workers to serve their observability endpoint.
+	Metrics bool
+	// StartTimeout bounds the ports-file handshake. Defaults to 10s.
+	StartTimeout time.Duration
+	// Stderr, when non-nil, receives every child's combined output.
+	Stderr *os.File
+}
+
+// execWorker is one spawned lte-enb process.
+type execWorker struct {
+	index    int
+	cmd      *exec.Cmd
+	ports    portsFile
+	done     chan struct{}
+	killOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// Launch implements Launcher: spawn the child, wait for its ports file,
+// verify the control listener answers.
+//
+//ltephy:spawn-point — the child reaper is wg-bracketed; Kill joins it
+// after SIGKILL, so a killed worker is always reaped (no zombies).
+func (l *ExecLauncher) Launch(index int) (Worker, error) {
+	if l.Bin == "" || l.Dir == "" {
+		return nil, errors.New("fleet: ExecLauncher needs Bin and Dir")
+	}
+	timeout := l.StartTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	pf := l.Dir + "/worker" + strconv.Itoa(index) + ".ports"
+	os.Remove(pf)
+	args := []string{
+		"-listen", "127.0.0.1:0",
+		"-control", "127.0.0.1:0",
+		"-cells", strconv.Itoa(l.Cells),
+		"-ports-file", pf,
+	}
+	if l.Metrics {
+		args = append(args, "-metrics-addr", "127.0.0.1:0")
+	}
+	args = append(args, l.ExtraArgs...)
+	cmd := exec.Command(l.Bin, args...)
+	if l.Stderr != nil {
+		cmd.Stdout = l.Stderr
+		cmd.Stderr = l.Stderr
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	w := &execWorker{index: index, cmd: cmd, done: make(chan struct{})}
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		_ = cmd.Wait()
+		close(w.done)
+	}()
+
+	deadline := time.Now().Add(timeout)
+	for {
+		data, err := os.ReadFile(pf)
+		if err == nil && json.Unmarshal(data, &w.ports) == nil && w.ports.Control != "" {
+			break
+		}
+		select {
+		case <-w.done:
+			return nil, fmt.Errorf("fleet: worker %d exited during startup", index)
+		default:
+		}
+		if time.Now().After(deadline) {
+			w.Kill()
+			return nil, fmt.Errorf("fleet: worker %d ports handshake timed out after %v", index, timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return w, nil
+}
+
+func (w *execWorker) Index() int { return w.index }
+
+func (w *execWorker) DataAddr() (string, string) { return "tcp", w.ports.Data }
+
+func (w *execWorker) ControlAddr() (string, string) { return "tcp", w.ports.Control }
+
+func (w *execWorker) FetchURL() string {
+	if w.ports.Metrics == "" {
+		return ""
+	}
+	return "http://" + w.ports.Metrics
+}
+
+func (w *execWorker) Done() <-chan struct{} { return w.done }
+
+func (w *execWorker) Kill() {
+	w.killOnce.Do(func() {
+		if w.cmd.Process != nil {
+			_ = w.cmd.Process.Kill()
+		}
+	})
+	w.wg.Wait()
+}

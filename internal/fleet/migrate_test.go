@@ -1,0 +1,183 @@
+package fleet
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"ltephy/internal/fronthaul"
+	"ltephy/internal/phy/modulation"
+	"ltephy/internal/rng"
+	"ltephy/internal/uplink"
+	"ltephy/internal/uplink/tx"
+)
+
+// harqTrace is a two-transmission HARQ scenario: a heavily punctured
+// rv-0 transmission that fails CRC on its own, then an rv-2
+// retransmission of the same payload whose soft-combined decode
+// recovers the block (the scenario TestHARQIncrementalRedundancy pins
+// at the receiver level).
+type harqTrace struct {
+	rx     uplink.ReceiverConfig
+	frames [][]byte // one single-user frame per transmission round
+}
+
+func newHARQTrace(t *testing.T) harqTrace {
+	t.Helper()
+	cfg := tx.DefaultConfig()
+	cfg.Receiver.Turbo = uplink.TurboFull
+	cfg.Receiver.CodeRate = 0.85
+	cfg.SNRdB = 7
+
+	p := uplink.UserParams{ID: 1, PRB: 6, Layers: 1, Mod: modulation.QAM16}
+	format, err := uplink.NewTransportFormatRate(p, uplink.TurboFull, cfg.Receiver.CodeRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]uint8, format.PayloadBits)
+	pr := rng.New(77)
+	for i := range payload {
+		payload[i] = pr.Bit()
+	}
+
+	tr := harqTrace{rx: cfg.Receiver}
+	for round, seed := range []uint64{101, 202} {
+		u, err := tx.GenerateWithPayload(cfg, p, rng.New(seed), payload, uplink.RVForRound(round))
+		if err != nil {
+			t.Fatal(err)
+		}
+		frame, err := fronthaul.AppendFrame(nil, 0, int64(round), []fronthaul.FrameUser{{Data: u}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.frames = append(tr.frames, frame)
+	}
+	return tr
+}
+
+// sendOne dials the cell's current owner, sends one frame and waits for
+// its Done ack.
+func sendOne(t *testing.T, co *Coordinator, frame []byte) {
+	t.Helper()
+	network, addr, _, err := co.Resolve(0)
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	var buf [fronthaul.AckLen]byte
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := io.ReadFull(conn, buf[:]); err != nil {
+		t.Fatalf("read ack: %v", err)
+	}
+	a, err := fronthaul.ParseAck(&buf)
+	if err != nil {
+		t.Fatalf("ParseAck: %v", err)
+	}
+	if a.Status != fronthaul.AckDone {
+		t.Fatalf("ack = %+v, want done", a)
+	}
+}
+
+// runHARQTrace plays the trace against a fresh fleet, checkpointing
+// after the first transmission — via a live migration to a second
+// worker when migrate is set, via an in-place checkpoint round
+// otherwise — and returns the mid-trace and final snapshots.
+func runHARQTrace(t *testing.T, tr harqTrace, migrate bool) (mid, final []byte) {
+	t.Helper()
+	srvCfg := fronthaul.Config{
+		Workers:        1,
+		Pools:          1,
+		Receiver:       tr.rx,
+		DeadlineBudget: time.Minute,
+		Predictor:      fronthaul.FlatPredictor{PerPRB: 1e-3},
+		HARQ:           true,
+		KPISampling:    1,
+		Seed:           3,
+	}
+	l := &InProcLauncher{Cfg: InProcConfig{Server: srvCfg, Cells: 1}}
+	co, err := New(Config{
+		Workers:      2,
+		Cells:        1,
+		Launcher:     l,
+		DrainTimeout: 5 * time.Second,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("fleet.New: %v", err)
+	}
+	defer func() { co.Close(); l.Close() }()
+
+	sendOne(t, co, tr.frames[0])
+	if migrate {
+		if err := co.Migrate(0, 1); err != nil {
+			t.Fatalf("Migrate: %v", err)
+		}
+	} else {
+		if err := co.CheckpointCell(0); err != nil {
+			t.Fatalf("CheckpointCell: %v", err)
+		}
+	}
+	mid = co.Snapshot(0)
+	sendOne(t, co, tr.frames[1])
+	if err := co.CheckpointCell(0); err != nil {
+		t.Fatalf("final CheckpointCell: %v", err)
+	}
+	final = co.Snapshot(0)
+	return mid, final
+}
+
+// TestMigrationBitIdentity: a live migration between the two HARQ
+// transmissions must be invisible in every checkpointed bit — the
+// mid-trace snapshot (carrying the accumulated soft-buffer mother) and
+// the final snapshot (carrying the combined-decode KPI) are
+// byte-identical to an unmigrated run's.
+func TestMigrationBitIdentity(t *testing.T) {
+	tr := newHARQTrace(t)
+
+	baseMid, baseFinal := runHARQTrace(t, tr, false)
+	migMid, migFinal := runHARQTrace(t, tr, true)
+
+	ckMid, err := fronthaul.DecodeCheckpoint(baseMid)
+	if err != nil {
+		t.Fatalf("decode mid snapshot: %v", err)
+	}
+	if ckMid.KPI.Cell.CrcPass != 0 {
+		t.Skip("first transmission decoded on its own; scenario needs a harsher channel seed")
+	}
+	if len(ckMid.HARQ) != 1 || len(ckMid.HARQ[0].Mother) == 0 {
+		t.Fatalf("mid snapshot carries no HARQ soft state: %+v", ckMid.HARQ)
+	}
+	if ckMid.KPI.Cell.CrcFail != 1 {
+		t.Fatalf("mid snapshot KPI: %+v, want one CRC fail", ckMid.KPI.Cell)
+	}
+
+	if !bytes.Equal(baseMid, migMid) {
+		t.Fatalf("mid-trace snapshots differ: migration perturbed checkpointed state")
+	}
+	if !bytes.Equal(baseFinal, migFinal) {
+		t.Fatalf("final snapshots differ: migration perturbed the HARQ continuation")
+	}
+
+	// The retransmission must have been recovered by soft combining, on
+	// the migrated target no less: the ledger slot retired and the block
+	// counts as delivered.
+	ckFinal, err := fronthaul.DecodeCheckpoint(baseFinal)
+	if err != nil {
+		t.Fatalf("decode final snapshot: %v", err)
+	}
+	if len(ckFinal.HARQ) != 0 {
+		t.Fatalf("final snapshot still holds HARQ state: %+v", ckFinal.HARQ)
+	}
+	if c := ckFinal.KPI.Cell; c.CrcPass != 1 || c.CrcFail != 1 || c.Bits == 0 {
+		t.Fatalf("final KPI: %+v, want the combined block delivered", c)
+	}
+}

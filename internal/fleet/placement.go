@@ -1,0 +1,168 @@
+// Package fleet is the multi-eNB control plane: a coordinator that
+// supervises a fleet of lte-enb worker processes, owns the cell→worker
+// placement map, migrates cells live between workers (drain →
+// checkpoint → restore → release over the fronthaul control protocol)
+// and rebalances placement from estimator-predicted activity and
+// observed shedding. The fleet-scale load harness lives here too,
+// driving tens of cells against the fleet with replay-exact delivery
+// across worker crashes and migrations. DESIGN.md §13 documents the
+// protocol.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Placement is the authoritative cell→worker map. The epoch increments
+// on every change (migration, worker restart), so generators can detect
+// staleness cheaply: a redirect ack means "re-resolve and compare
+// epochs".
+type Placement struct {
+	// Epoch counts placement changes.
+	Epoch int64
+	// Owner[cell] is the owning worker index.
+	Owner []int
+}
+
+// Clone deep-copies the placement.
+func (p Placement) Clone() Placement {
+	return Placement{Epoch: p.Epoch, Owner: append([]int(nil), p.Owner...)}
+}
+
+// InitialPlacement distributes cells round-robin across workers —
+// deterministic and balanced under uniform load.
+func InitialPlacement(cells, workers int) Placement {
+	p := Placement{Owner: make([]int, cells)}
+	for c := range p.Owner {
+		p.Owner[c] = c % workers
+	}
+	return p
+}
+
+// CellLoad is the rebalancer's per-cell input, scraped from the workers'
+// serving counters: the estimator-predicted activity the cell offered
+// over the scrape interval, and the shed fraction it actually observed.
+type CellLoad struct {
+	Cell int
+	// Activity is the predicted offered activity (CellStats.OfferedEst
+	// delta over the interval).
+	Activity float64
+	// ShedFraction is 1 - AdmittedEst/OfferedEst over the interval (0
+	// when nothing was offered).
+	ShedFraction float64
+}
+
+// Move is one rebalancing migration.
+type Move struct {
+	Cell, From, To int
+}
+
+// Rebalance plans migrations that even out predicted activity across
+// workers. It is deterministic: cells are considered heaviest-first
+// (ties by lower cell index), each move sends a cell from the currently
+// most-loaded worker to the least-loaded one, and planning stops when
+// the imbalance drops under tolerance or maxMoves is reached. Cells
+// whose observed shed fraction exceeds shedHot are prioritised — a
+// shedding cell is overloaded where it is regardless of what the
+// estimator predicts.
+//
+// The returned moves assume they are applied in order (each move
+// updates the working placement).
+func Rebalance(p Placement, loads []CellLoad, workers, maxMoves int, tolerance, shedHot float64) []Move {
+	if workers <= 1 || maxMoves <= 0 || len(p.Owner) == 0 {
+		return nil
+	}
+	activity := make(map[int]float64, len(loads))
+	hot := make(map[int]bool, len(loads))
+	for _, l := range loads {
+		if l.Cell >= 0 && l.Cell < len(p.Owner) {
+			activity[l.Cell] = l.Activity
+			hot[l.Cell] = l.ShedFraction > shedHot
+		}
+	}
+	owner := append([]int(nil), p.Owner...)
+	perWorker := make([]float64, workers)
+	for c, w := range owner {
+		if w >= 0 && w < workers {
+			perWorker[w] += activity[c]
+		}
+	}
+	// Candidate order: hot cells first, then heaviest, then cell index.
+	cells := make([]int, len(owner))
+	for i := range cells {
+		cells[i] = i
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		a, b := cells[i], cells[j]
+		if hot[a] != hot[b] {
+			return hot[a]
+		}
+		if activity[a] != activity[b] {
+			return activity[a] > activity[b]
+		}
+		return a < b
+	})
+
+	var moves []Move
+	for len(moves) < maxMoves {
+		src, dst := argMax(perWorker), argMin(perWorker)
+		if src == dst || perWorker[src]-perWorker[dst] <= tolerance {
+			break
+		}
+		// Pick the first candidate on the overloaded worker whose move
+		// narrows the gap instead of flipping the imbalance.
+		gap := perWorker[src] - perWorker[dst]
+		moved := false
+		for _, c := range cells {
+			if owner[c] != src {
+				continue
+			}
+			if a := activity[c]; a > 0 && a < gap {
+				moves = append(moves, Move{Cell: c, From: src, To: dst})
+				owner[c] = dst
+				perWorker[src] -= a
+				perWorker[dst] += a
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	return moves
+}
+
+// argMax returns the index of the largest value (lowest index wins ties).
+func argMax(v []float64) int {
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// argMin returns the index of the smallest value (lowest index wins ties).
+func argMin(v []float64) int {
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] < v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// validate checks a placement covers cells 0..n-1 with worker indices
+// under workers.
+func (p Placement) validate(workers int) error {
+	for c, w := range p.Owner {
+		if w < 0 || w >= workers {
+			return fmt.Errorf("fleet: cell %d owned by unknown worker %d", c, w)
+		}
+	}
+	return nil
+}

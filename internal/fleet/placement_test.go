@@ -1,0 +1,93 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestInitialPlacementRoundRobin: cells distribute evenly and
+// deterministically.
+func TestInitialPlacementRoundRobin(t *testing.T) {
+	p := InitialPlacement(8, 3)
+	want := []int{0, 1, 2, 0, 1, 2, 0, 1}
+	if !reflect.DeepEqual(p.Owner, want) {
+		t.Fatalf("owner = %v, want %v", p.Owner, want)
+	}
+	if err := p.validate(3); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+}
+
+// TestRebalanceEvensOut: a skewed placement converges toward balance,
+// and planning is deterministic.
+func TestRebalanceEvensOut(t *testing.T) {
+	// All four cells on worker 0; activity 4,3,2,1.
+	p := Placement{Owner: []int{0, 0, 0, 0}}
+	loads := []CellLoad{
+		{Cell: 0, Activity: 4},
+		{Cell: 1, Activity: 3},
+		{Cell: 2, Activity: 2},
+		{Cell: 3, Activity: 1},
+	}
+	moves := Rebalance(p, loads, 2, 10, 0.5, 0.5)
+	if len(moves) == 0 {
+		t.Fatalf("no moves planned for a fully skewed placement")
+	}
+	// Apply and check the final imbalance honours the tolerance.
+	owner := append([]int(nil), p.Owner...)
+	for _, m := range moves {
+		if owner[m.Cell] != m.From {
+			t.Fatalf("move %+v does not match working placement %v", m, owner)
+		}
+		owner[m.Cell] = m.To
+	}
+	per := make([]float64, 2)
+	for c, w := range owner {
+		per[w] += loads[c].Activity
+	}
+	if gap := per[0] - per[1]; gap < -3 || gap > 3 {
+		// 10 total activity: anything within one heavy cell of even is fine.
+		t.Fatalf("rebalance left imbalance %v (owners %v)", per, owner)
+	}
+
+	again := Rebalance(p, loads, 2, 10, 0.5, 0.5)
+	if !reflect.DeepEqual(moves, again) {
+		t.Fatalf("rebalance is not deterministic: %v vs %v", moves, again)
+	}
+}
+
+// TestRebalanceHotCellsFirst: a shedding cell moves before a heavier
+// quiet one.
+func TestRebalanceHotCellsFirst(t *testing.T) {
+	p := Placement{Owner: []int{0, 0, 1}}
+	loads := []CellLoad{
+		{Cell: 0, Activity: 3, ShedFraction: 0},
+		{Cell: 1, Activity: 2, ShedFraction: 0.4}, // hot
+		{Cell: 2, Activity: 1, ShedFraction: 0},
+	}
+	moves := Rebalance(p, loads, 2, 1, 0.1, 0.2)
+	if len(moves) != 1 || moves[0].Cell != 1 || moves[0].To != 1 {
+		t.Fatalf("moves = %v, want the hot cell 1 moved to worker 1", moves)
+	}
+}
+
+// TestRebalanceRespectsLimits: no moves under tolerance, none past
+// maxMoves, none for a single worker.
+func TestRebalanceRespectsLimits(t *testing.T) {
+	p := Placement{Owner: []int{0, 1}}
+	loads := []CellLoad{{Cell: 0, Activity: 1}, {Cell: 1, Activity: 1.2}}
+	if moves := Rebalance(p, loads, 2, 10, 0.5, 0.5); len(moves) != 0 {
+		t.Fatalf("balanced placement produced moves: %v", moves)
+	}
+	if moves := Rebalance(p, loads, 1, 10, 0, 0.5); len(moves) != 0 {
+		t.Fatalf("single worker produced moves: %v", moves)
+	}
+	skew := Placement{Owner: []int{0, 0, 0, 0}}
+	skewLoads := []CellLoad{
+		{Cell: 0, Activity: 1}, {Cell: 1, Activity: 1},
+		{Cell: 2, Activity: 1}, {Cell: 3, Activity: 1},
+	}
+	if moves := Rebalance(skew, skewLoads, 2, 1, 0, 0.5); len(moves) > 1 {
+		t.Fatalf("maxMoves=1 produced %d moves", len(moves))
+	}
+}

@@ -144,6 +144,12 @@ type Decision struct {
 	AdmittedEst float64
 	// OfferedEst is the predicted activity of all offered users.
 	OfferedEst float64
+	// GrantedEst is the activity budget this pass actually credited: the
+	// initial burst on the first admitted subframe, afterwards the
+	// per-period capacity refill clamped to the burst cap (banked budget
+	// lost at the cap is NOT counted). Summed over a run it is the
+	// denominator of the estimator-predicted shed budget.
+	GrantedEst float64
 }
 
 const admitEps = 1e-12
@@ -169,11 +175,14 @@ func (a *Admission) Decide(seq int64, est []float64, prio []uint8, admit []bool)
 	if !a.started {
 		a.budget = a.Burst
 		a.started = true
+		d.GrantedEst = a.Burst
 	} else {
-		a.budget += a.Capacity * float64(seq-a.lastSeq)
-		if a.budget > a.Burst {
-			a.budget = a.Burst
+		credit := a.Capacity * float64(seq-a.lastSeq)
+		if a.budget+credit > a.Burst {
+			credit = a.Burst - a.budget
 		}
+		a.budget += credit
+		d.GrantedEst = credit
 	}
 	a.lastSeq = seq
 
@@ -209,3 +218,33 @@ func (a *Admission) Decide(seq int64, est []float64, prio []uint8, admit []bool)
 
 // Budget returns the current unspent budget (for tests and metrics).
 func (a *Admission) Budget() float64 { return a.budget }
+
+// AdmissionState is the controller's checkpointable progress: everything
+// Decide mutates. Because admission runs in virtual time, restoring this
+// state on another process and replaying the same frame sequence yields
+// bit-identical decisions — the property live migration's exactly-once
+// KPI accounting rests on.
+type AdmissionState struct {
+	// LastSeq is the last admitted subframe sequence (replays at or below
+	// it are duplicates).
+	LastSeq int64
+	// Budget is the unspent activity budget at LastSeq.
+	Budget float64
+	// Started records whether the controller has admitted anything yet.
+	Started bool
+}
+
+// State snapshots the controller for a checkpoint. The caller serialises
+// against Decide (the cell mutex, or a drained cell).
+func (a *Admission) State() AdmissionState {
+	return AdmissionState{LastSeq: a.lastSeq, Budget: a.budget, Started: a.started}
+}
+
+// Restore overwrites the controller's progress from a checkpoint. The
+// capacity/burst configuration is not part of the state: the target cell
+// is configured identically by construction.
+func (a *Admission) Restore(st AdmissionState) {
+	a.lastSeq = st.LastSeq
+	a.budget = st.Budget
+	a.started = st.Started
+}

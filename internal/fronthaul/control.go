@@ -1,0 +1,358 @@
+package fronthaul
+
+// Control plane: a tiny length-prefixed request/response protocol the
+// fleet coordinator drives cell drains, checkpoints, restores and
+// releases over (DESIGN.md §13). It runs on its own listener — control
+// traffic must not queue behind data-plane frames — and every operation
+// is cold path, so the codec favours self-validation (magic, version,
+// CRC on payloads) over throughput.
+//
+// Request:  "LTEC" | ver u8 | op u8 | cell u16 | arg u32 | payloadLen u32
+//           | payload | IEEE CRC-32 of payload (only when payloadLen > 0)
+// Response: "LTER" | ver u8 | status u8 | cell u16 | payloadLen u32
+//           | payload | IEEE CRC-32 of payload (only when payloadLen > 0)
+//
+// OpDrain's arg is the drain timeout in milliseconds (0 = server
+// default). OpCheckpoint answers with the snapshot as payload; OpRestore
+// carries it as the request payload. OpStats answers with a JSON
+// CellStats snapshot. Error responses carry the error text as payload.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Control opcodes.
+const (
+	OpDrain      = 1 // stop admitting, wait for in-flight subframes
+	OpCheckpoint = 2 // serialise a drained cell's state
+	OpRestore    = 3 // install a snapshot and open the cell
+	OpResume     = 4 // lift a drain without migrating
+	OpRelease    = 5 // clear a migrated-away cell on the source
+	OpStats      = 6 // JSON CellStats snapshot
+)
+
+// Control response statuses.
+const (
+	CtrlOK             = 0
+	CtrlErrUnknownCell = 1
+	CtrlErrNotDrained  = 2
+	CtrlErrTimeout     = 3
+	CtrlErrBadRequest  = 4
+	CtrlErrInternal    = 5
+)
+
+const (
+	ctrlReqMagic  = "LTEC"
+	ctrlRespMagic = "LTER"
+	ctrlVersion   = 1
+	ctrlReqLen    = 16
+	ctrlRespLen   = 12
+	// ctrlMaxPayload bounds control payloads (snapshots dominate: cumulative
+	// KPI tables plus HARQ mother buffers).
+	ctrlMaxPayload = 64 << 20
+)
+
+// ErrControl reports a control-protocol violation (the connection closes).
+var ErrControl = errors.New("fronthaul: bad control message")
+
+// ctrlError maps a control status to an error on the client side.
+func ctrlError(status uint8, text string) error {
+	switch status {
+	case CtrlOK:
+		return nil
+	case CtrlErrUnknownCell:
+		return fmt.Errorf("%w: %s", ErrUnknownCell, text)
+	case CtrlErrNotDrained:
+		return fmt.Errorf("%w: %s", ErrNotDraining, text)
+	case CtrlErrTimeout:
+		return fmt.Errorf("%w: %s", ErrDrainTimeout, text)
+	default:
+		return fmt.Errorf("fronthaul: control status %d: %s", status, text)
+	}
+}
+
+// ctrlStatusFor maps a server-side error to a wire status.
+func ctrlStatusFor(err error) uint8 {
+	switch {
+	case err == nil:
+		return CtrlOK
+	case errors.Is(err, ErrUnknownCell):
+		return CtrlErrUnknownCell
+	case errors.Is(err, ErrNotDraining):
+		return CtrlErrNotDrained
+	case errors.Is(err, ErrDrainTimeout):
+		return CtrlErrTimeout
+	case errors.Is(err, ErrCheckpoint), errors.Is(err, ErrControl):
+		return CtrlErrBadRequest
+	default:
+		return CtrlErrInternal
+	}
+}
+
+// writeCtrlPayload appends payload + CRC after a header write.
+func writeCtrlPayload(w io.Writer, payload []byte) error {
+	if len(payload) == 0 {
+		return nil
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	_, err := w.Write(crc[:])
+	return err
+}
+
+// readCtrlPayload reads and verifies a CRC-trailed payload.
+func readCtrlPayload(r io.Reader, n uint32) ([]byte, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	if n > ctrlMaxPayload {
+		return nil, fmt.Errorf("%w: payload %d bytes", ErrControl, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(r, crc[:]); err != nil {
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(crc[:]) {
+		return nil, fmt.Errorf("%w: payload CRC mismatch", ErrControl)
+	}
+	return payload, nil
+}
+
+// ServeControl accepts control connections on ln until the listener
+// closes (by Close or externally). Each connection runs a sequential
+// request/response loop; handler lifecycle is owned by s.wg exactly as
+// Serve's data-plane handlers are.
+//
+//ltephy:spawn-point
+func (s *Server) ServeControl(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		ln.Close()
+		return net.ErrClosed
+	}
+	s.lns[ln] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.lns, ln)
+		s.mu.Unlock()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closing {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handleControl(conn)
+	}
+}
+
+// handleControl runs one control connection's request loop.
+//
+// Blocking is the contract here: requests are paced by the coordinator
+// and drains deliberately wait for data-plane quiescence.
+//
+//ltephy:coldpath
+//ltephy:blocking-ok
+func (s *Server) handleControl(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	var hdr [ctrlReqLen]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		if string(hdr[:4]) != ctrlReqMagic || hdr[4] != ctrlVersion {
+			return
+		}
+		op := hdr[5]
+		cellID := int(binary.LittleEndian.Uint16(hdr[6:8]))
+		arg := binary.LittleEndian.Uint32(hdr[8:12])
+		payload, err := readCtrlPayload(conn, binary.LittleEndian.Uint32(hdr[12:16]))
+		if err != nil {
+			return // framing is gone; close
+		}
+		var resp []byte
+		switch op {
+		case OpDrain:
+			err = s.DrainCell(cellID, time.Duration(arg)*time.Millisecond)
+		case OpCheckpoint:
+			resp, err = s.CheckpointCell(cellID)
+		case OpRestore:
+			err = s.RestoreCell(cellID, payload)
+		case OpResume:
+			err = s.ResumeCell(cellID)
+		case OpRelease:
+			err = s.ReleaseCell(cellID)
+		case OpStats:
+			if _, cerr := s.controlCell(cellID); cerr != nil {
+				err = cerr
+			} else {
+				resp, err = json.Marshal(s.CellStats(cellID))
+			}
+		default:
+			err = fmt.Errorf("%w: op %d", ErrControl, op)
+		}
+		status := ctrlStatusFor(err)
+		if err != nil {
+			resp = []byte(err.Error())
+		}
+		if werr := writeCtrlResponse(conn, status, uint16(cellID), resp); werr != nil {
+			return
+		}
+	}
+}
+
+// writeCtrlResponse emits one response header + payload.
+func writeCtrlResponse(w io.Writer, status uint8, cell uint16, payload []byte) error {
+	var hdr [ctrlRespLen]byte
+	copy(hdr[:4], ctrlRespMagic)
+	hdr[4] = ctrlVersion
+	hdr[5] = status
+	binary.LittleEndian.PutUint16(hdr[6:8], cell)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	return writeCtrlPayload(w, payload)
+}
+
+// ControlClient is the coordinator's handle on one worker's control
+// listener. Methods are safe for concurrent use (requests serialise on
+// the connection).
+type ControlClient struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// DialControl connects to a worker's control listener.
+func DialControl(network, addr string) (*ControlClient, error) {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &ControlClient{conn: conn}, nil
+}
+
+// NewControlClient wraps an existing connection (tests, in-process pipes).
+func NewControlClient(conn net.Conn) *ControlClient {
+	return &ControlClient{conn: conn}
+}
+
+// Close closes the control connection.
+func (c *ControlClient) Close() error { return c.conn.Close() }
+
+// roundTrip issues one request and reads its response.
+//
+//ltephy:coldpath
+//ltephy:blocking-ok
+func (c *ControlClient) roundTrip(op uint8, cell uint16, arg uint32, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var hdr [ctrlReqLen]byte
+	copy(hdr[:4], ctrlReqMagic)
+	hdr[4] = ctrlVersion
+	hdr[5] = op
+	binary.LittleEndian.PutUint16(hdr[6:8], cell)
+	binary.LittleEndian.PutUint32(hdr[8:12], arg)
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(payload)))
+	if _, err := c.conn.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	if err := writeCtrlPayload(c.conn, payload); err != nil {
+		return nil, err
+	}
+	var rh [ctrlRespLen]byte
+	if _, err := io.ReadFull(c.conn, rh[:]); err != nil {
+		return nil, err
+	}
+	if string(rh[:4]) != ctrlRespMagic || rh[4] != ctrlVersion {
+		return nil, fmt.Errorf("%w: bad response header", ErrControl)
+	}
+	resp, err := readCtrlPayload(c.conn, binary.LittleEndian.Uint32(rh[8:12]))
+	if err != nil {
+		return nil, err
+	}
+	if status := rh[5]; status != CtrlOK {
+		return nil, ctrlError(status, string(resp))
+	}
+	return resp, nil
+}
+
+// Drain drains a cell; timeout <= 0 uses the worker's default.
+func (c *ControlClient) Drain(cell uint16, timeout time.Duration) error {
+	var ms uint32
+	if timeout > 0 {
+		ms = uint32(timeout.Milliseconds())
+		if ms == 0 {
+			ms = 1
+		}
+	}
+	_, err := c.roundTrip(OpDrain, cell, ms, nil)
+	return err
+}
+
+// Checkpoint serialises a drained cell's state.
+func (c *ControlClient) Checkpoint(cell uint16) ([]byte, error) {
+	return c.roundTrip(OpCheckpoint, cell, 0, nil)
+}
+
+// Restore installs a snapshot on the worker and opens the cell.
+func (c *ControlClient) Restore(cell uint16, snapshot []byte) error {
+	_, err := c.roundTrip(OpRestore, cell, 0, snapshot)
+	return err
+}
+
+// Resume lifts a drain without migrating.
+func (c *ControlClient) Resume(cell uint16) error {
+	_, err := c.roundTrip(OpResume, cell, 0, nil)
+	return err
+}
+
+// Release clears a migrated-away cell on the source worker.
+func (c *ControlClient) Release(cell uint16) error {
+	_, err := c.roundTrip(OpRelease, cell, 0, nil)
+	return err
+}
+
+// Stats fetches one cell's serving counters.
+func (c *ControlClient) Stats(cell uint16) (CellStats, error) {
+	var st CellStats
+	resp, err := c.roundTrip(OpStats, cell, 0, nil)
+	if err != nil {
+		return st, err
+	}
+	if err := json.Unmarshal(resp, &st); err != nil {
+		return st, fmt.Errorf("%w: stats payload: %v", ErrControl, err)
+	}
+	return st, nil
+}

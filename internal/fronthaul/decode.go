@@ -19,7 +19,9 @@ type UserRecord struct {
 	Priority uint8
 	// DTX reports UserFlagDTX: the user was scheduled but transmitted
 	// nothing, so it must be counted (KPI Dtx) rather than decoded.
-	DTX      bool
+	DTX bool
+	// RV is the transmission's redundancy version (wire flag bits 1-2).
+	RV       uint8
 	NoiseVar float64
 	// off is the payload offset of the user's sample block.
 	off int
@@ -57,6 +59,7 @@ func ParseUsers(h Header, payload []byte, recs *[MaxUsersPerFrame]UserRecord) (i
 		r.Params.Mod = modulation.Scheme(payload[off+5])
 		r.Priority = payload[off+6]
 		r.DTX = payload[off+7]&UserFlagDTX != 0
+		r.RV = (payload[off+7] & UserFlagRVMask) >> UserFlagRVShift
 		r.NoiseVar = math.Float64frombits(binary.LittleEndian.Uint64(payload[off+8:]))
 		if payload[off+7]&^byte(userFlagsKnown) != 0 || r.Params.Validate() != nil ||
 			r.Params.Layers > ant ||
@@ -89,6 +92,7 @@ func ParseUsers(h Header, payload []byte, recs *[MaxUsersPerFrame]UserRecord) (i
 func fillUser(dst *uplink.UserData, ws *workspace.Arena, h Header, payload []byte, rec UserRecord) {
 	dst.Params = rec.Params
 	dst.NoiseVar = rec.NoiseVar
+	dst.RV = rec.RV
 	dst.Payload = nil
 	dst.Channel = nil
 	ant := int(h.Antennas)

@@ -97,9 +97,18 @@ const (
 	// Dtx bucket instead of decoding noise.
 	UserFlagDTX = 0x01
 
+	// UserFlagRVMask (bits 1-2) carries the transmission's redundancy
+	// version (0-3): 0 marks a first transmission, nonzero values mark
+	// HARQ retransmissions rate-matched at that RV. Servers running the
+	// HARQ ledger soft-combine retransmissions; everything else ignores
+	// the bits (the decode is RV-aware through the transport format
+	// regardless).
+	UserFlagRVMask  = 0x06
+	UserFlagRVShift = 1
+
 	// userFlagsKnown masks the flag bits this codec understands; any other
 	// set bit rejects the record.
-	userFlagsKnown = UserFlagDTX
+	userFlagsKnown = UserFlagDTX | UserFlagRVMask
 )
 
 // Decode errors. These are sentinels: the ingest hot path must not box
@@ -245,9 +254,9 @@ func putUser(b []byte, off int, u FrameUser) int {
 	b[off+4] = uint8(p.Layers)
 	b[off+5] = uint8(p.Mod)
 	b[off+6] = u.Priority
-	b[off+7] = 0
+	b[off+7] = (u.Data.RV & 3) << UserFlagRVShift
 	if u.DTX {
-		b[off+7] = UserFlagDTX
+		b[off+7] |= UserFlagDTX
 	}
 	binary.LittleEndian.PutUint64(b[off+8:], math.Float64bits(u.Data.NoiseVar))
 	off += UserHeaderLen
@@ -289,17 +298,29 @@ const (
 	// AckShedBackpressure: the whole subframe was shed because the
 	// connection had no free decode slot (only with Config.ShedOnBackpressure).
 	AckShedBackpressure
+	// AckDuplicate: the subframe's sequence was not newer than the cell's
+	// last admitted subframe — the frame is a replay (reconnect or
+	// migration) of work already accounted for. Unlike the shed statuses
+	// it is NOT counted in the KPI Skipped bucket: the original pass
+	// already placed every user in exactly one bucket, so counting the
+	// replay would double-book.
+	AckDuplicate
+	// AckRedirect: the cell is draining or has migrated off this process.
+	// The frame was not processed and not KPI-counted; the generator must
+	// re-resolve the cell's placement and replay the frame to the new
+	// owner.
+	AckRedirect
 )
 
 // AckStatusNames are the exporter labels for ack statuses.
-var AckStatusNames = [4]string{"done", "shed_late", "shed_overload", "shed_backpressure"}
+var AckStatusNames = [6]string{"done", "shed_late", "shed_overload", "shed_backpressure", "duplicate", "redirect"}
 
 // Ack is the per-frame response:
 //
 //	offset size field
 //	0      4    magic "LTEA"
 //	4      2    cell index
-//	6      1    status (AckDone..AckShedBackpressure)
+//	6      1    status (AckDone..AckRedirect)
 //	7      1    users accepted
 //	8      8    subframe sequence number (int64)
 type Ack struct {
@@ -329,7 +350,7 @@ func ParseAck(b *[AckLen]byte) (Ack, error) {
 		UsersAccepted: b[7],
 		Seq:           int64(binary.LittleEndian.Uint64(b[8:16])),
 	}
-	if a.Status > AckShedBackpressure {
+	if a.Status > AckRedirect {
 		return Ack{}, ErrAckMagic
 	}
 	return a, nil

@@ -237,14 +237,19 @@ func TestPayloadErrors(t *testing.T) {
 	if _, err := ParseUsers(h, payload, &recs); err != nil {
 		t.Fatalf("valid payload rejected: %v", err)
 	}
-	// Bit 0 of the flags byte is the DTX flag; any other bit is reserved
-	// and rejects the record.
+	// Bit 0 of the flags byte is the DTX flag and bits 1-2 carry the HARQ
+	// redundancy version; any other bit is reserved and rejects the record.
 	if err := mutated(func(p []byte) { p[7] = UserFlagDTX }); err != nil {
 		t.Errorf("DTX flag: err = %v, want nil", err)
 	} else if !recs[0].DTX {
 		t.Error("DTX flag: record not marked DTX")
 	}
-	if err := mutated(func(p []byte) { p[7] = 0x02 }); err != ErrUserRecord {
+	if err := mutated(func(p []byte) { p[7] = 3 << UserFlagRVShift }); err != nil {
+		t.Errorf("RV flag: err = %v, want nil", err)
+	} else if recs[0].RV != 3 {
+		t.Errorf("RV flag: RV = %d, want 3", recs[0].RV)
+	}
+	if err := mutated(func(p []byte) { p[7] = 0x08 }); err != ErrUserRecord {
 		t.Errorf("reserved flag bit: err = %v, want ErrUserRecord", err)
 	}
 	if err := mutated(func(p []byte) { p[4] = 9 }); err != ErrUserRecord {

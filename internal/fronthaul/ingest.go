@@ -41,6 +41,10 @@ type Ingest struct {
 	est     [MaxUsersPerFrame]float64
 	prio    [MaxUsersPerFrame]uint8
 	admit   [MaxUsersPerFrame]bool
+	// dtxIDs stages the frame's DTX user ids: they are recorded only
+	// after the admission pass has ruled the frame is not a replayed
+	// duplicate, or every replay would re-count them.
+	dtxIDs [MaxUsersPerFrame]int
 }
 
 // IsDecodeError reports whether err is a frame-codec violation — the
@@ -64,6 +68,17 @@ func (in *Ingest) stage(n int) []byte {
 		in.staging = make([]byte, n) //ltephy:alloc-ok high-water staging growth
 	}
 	return in.staging[:n]
+}
+
+// recordDTX flushes the frame's staged DTX users into the KPI. Called
+// only on paths that ruled out a replayed duplicate (plus the
+// pre-admission backpressure shed, which cannot tell).
+//
+//ltephy:hotpath — runs once per non-duplicate frame in the serving loop.
+func (in *Ingest) recordDTX(c *cell, seq int64, dtxN int) {
+	for i := 0; i < dtxN; i++ {
+		c.kpi.RecordDTX(c.id, seq, in.dtxIDs[i])
+	}
 }
 
 // ReadFrame ingests exactly one frame: read header, payload and trailer;
@@ -112,6 +127,16 @@ func (in *Ingest) ReadFrame(r io.Reader) error {
 	if c == nil {
 		return ErrUnknownCell
 	}
+	// A draining (or migrated-away) cell redirects before any accounting:
+	// the frame will be replayed to the cell's new owner, so recording
+	// anything here (even DTX) would double-book the fleet KPI. The flag
+	// is re-checked under c.mu below to close the race with a concurrent
+	// DrainCell.
+	if c.draining.Load() {
+		c.framesRedirected.Add(1)
+		in.ack(Ack{Cell: h.Cell, Status: AckRedirect, Seq: h.Seq})
+		return nil
+	}
 	n, err := ParseUsers(h, payload, &in.recs)
 	if err != nil {
 		return err
@@ -119,10 +144,13 @@ func (in *Ingest) ReadFrame(r io.Reader) error {
 	// DTX compaction: scheduled-but-absent users are counted (KPI Dtx),
 	// not decoded — their records carry a grid for wire-size consistency
 	// but must not consume admission budget or decode-slot capacity.
-	live := 0
+	// Recording is deferred until the admission pass has ruled out a
+	// replayed duplicate (exactly-once KPI accounting across replays).
+	live, dtxN := 0, 0
 	for i := 0; i < n; i++ {
 		if in.recs[i].DTX {
-			c.kpi.RecordDTX(c.id, h.Seq, in.recs[i].Params.ID)
+			in.dtxIDs[dtxN] = in.recs[i].Params.ID
+			dtxN++
 			continue
 		}
 		if live != i {
@@ -144,6 +172,11 @@ func (in *Ingest) ReadFrame(r io.Reader) error {
 		select {
 		case slot = <-in.slots:
 		default:
+			// Backpressure sheds before the admission pass, so it cannot
+			// tell a replay from a fresh frame; exactly-once accounting
+			// under replay therefore requires the default blocking mode
+			// (DESIGN.md §13).
+			in.recordDTX(c, h.Seq, dtxN)
 			c.countShed(AckShedBackpressure, h.Seq, n, 0)
 			for i := 0; i < n; i++ {
 				c.kpi.RecordSkipped(c.id, h.Seq, in.recs[i].Params.ID)
@@ -156,25 +189,53 @@ func (in *Ingest) ReadFrame(r io.Reader) error {
 	}
 
 	c.mu.Lock()
+	if c.draining.Load() {
+		// DrainCell set the flag after the early check above; it holds
+		// c.mu while flipping, so from here on no frame passes.
+		c.mu.Unlock()
+		in.slots <- slot
+		c.framesRedirected.Add(1)
+		in.ack(Ack{Cell: h.Cell, Status: AckRedirect, Seq: h.Seq})
+		return nil
+	}
 	d := c.adm.Decide(h.Seq, in.est[:n], in.prio[:n], in.admit[:n])
-	c.offeredEst += d.OfferedEst
-	c.admittedEst += d.AdmittedEst
+	if !d.Late {
+		// Duplicates carry no new load: the original pass already
+		// accumulated this subframe's estimate, so counting the replay
+		// would inflate the predicted shed fraction.
+		c.offeredEst += d.OfferedEst
+		c.admittedEst += d.AdmittedEst
+		c.grantedEst += d.GrantedEst
+	}
+	if !d.Late && !d.Overload {
+		// Count the dispatch inside the admission section so a drain that
+		// acquires c.mu afterwards observes it (complete() decrements).
+		c.inflight.Add(1)
+	}
 	c.mu.Unlock()
 
-	if d.Late || d.Overload {
+	if d.Late {
+		// A non-newer sequence on an in-order transport is a replay
+		// (reconnect or migration), not a late subframe: the original pass
+		// already placed every user in exactly one KPI bucket, so the
+		// duplicate is acknowledged without processing or accounting.
 		in.slots <- slot
-		status := AckShedLate
-		if d.Overload {
-			status = AckShedOverload
-		}
-		c.countShed(status, h.Seq, n, d.OfferedEst)
+		c.framesDuplicate.Add(1)
+		in.ack(Ack{Cell: h.Cell, Status: AckDuplicate, Seq: h.Seq})
+		return nil
+	}
+	if d.Overload {
+		in.slots <- slot
+		in.recordDTX(c, h.Seq, dtxN)
+		c.countShed(AckShedOverload, h.Seq, n, d.OfferedEst)
 		for i := 0; i < n; i++ {
 			c.kpi.RecordSkipped(c.id, h.Seq, in.recs[i].Params.ID)
 		}
-		in.ack(Ack{Cell: h.Cell, Status: status, Seq: h.Seq})
+		in.ack(Ack{Cell: h.Cell, Status: AckShedOverload, Seq: h.Seq})
 		return nil
 	}
 
+	in.recordDTX(c, h.Seq, dtxN)
 	k := 0
 	for i := 0; i < n; i++ {
 		if in.admit[i] {

@@ -70,16 +70,21 @@ type GenConfig struct {
 type GenStats struct {
 	Sent, Acked                                    int64
 	Done, ShedLate, ShedOverload, ShedBackpressure int64
-	UsersSent, UsersAccepted                       int64
+	// Duplicate counts replay acks (AckDuplicate) and Redirected counts
+	// drain/migration acks (AckRedirect) — both normal under fleet
+	// operation, both zero in a plain loopback run.
+	Duplicate, Redirected    int64
+	UsersSent, UsersAccepted int64
 	// UsersDTX counts users the generator flagged DTX (a subset of
 	// UsersSent).
 	UsersDTX int64
 	// BadAcks counts acks that failed to parse or referenced an unknown
 	// sequence number.
 	BadAcks int64
-	// P50/P90/P99/Max are percentiles of the send-to-done-ack latency of
-	// completed subframes.
-	P50, P90, P99, Max time.Duration
+	// P50/P90/P99/P999/Max are percentiles of the send-to-done-ack latency
+	// of completed subframes (P999 = p99.9, the fleet harness's tail
+	// metric).
+	P50, P90, P99, P999, Max time.Duration
 }
 
 // ShedFrames sums the shed dispositions.
@@ -90,9 +95,13 @@ func (g GenStats) ShedFrames() int64 { return g.ShedLate + g.ShedOverload + g.Sh
 func (g GenStats) String() string {
 	return fmt.Sprintf(
 		"sent=%d acked=%d done=%d shed_late=%d shed_overload=%d shed_backpressure=%d "+
-			"users_sent=%d users_accepted=%d users_dtx=%d corrupt=%d p50=%v p90=%v p99=%v max=%v",
+			"duplicate=%d redirected=%d "+
+			"users_sent=%d users_accepted=%d users_dtx=%d corrupt=%d "+
+			"p50=%v p90=%v p99=%v p999=%v max=%v",
 		g.Sent, g.Acked, g.Done, g.ShedLate, g.ShedOverload, g.ShedBackpressure,
-		g.UsersSent, g.UsersAccepted, g.UsersDTX, g.BadAcks, g.P50, g.P90, g.P99, g.Max)
+		g.Duplicate, g.Redirected,
+		g.UsersSent, g.UsersAccepted, g.UsersDTX, g.BadAcks,
+		g.P50, g.P90, g.P99, g.P999, g.Max)
 }
 
 // cellGen is one cell's generator state. The sender goroutine writes
@@ -187,6 +196,8 @@ func RunLoopback(cfg GenConfig) (GenStats, error) {
 		total.ShedLate += g.stats.ShedLate
 		total.ShedOverload += g.stats.ShedOverload
 		total.ShedBackpressure += g.stats.ShedBackpressure
+		total.Duplicate += g.stats.Duplicate
+		total.Redirected += g.stats.Redirected
 		total.UsersSent += g.stats.UsersSent
 		total.UsersAccepted += g.stats.UsersAccepted
 		total.UsersDTX += g.stats.UsersDTX
@@ -196,7 +207,7 @@ func RunLoopback(cfg GenConfig) (GenStats, error) {
 			firstErr = fmt.Errorf("cell %d: %w", g.cellID, g.err)
 		}
 	}
-	total.P50, total.P90, total.P99, total.Max = percentiles(lats)
+	total.P50, total.P90, total.P99, total.P999, total.Max = percentiles(lats)
 	return total, firstErr
 }
 
@@ -335,20 +346,24 @@ func (g *cellGen) readAcks(conn net.Conn) error {
 			g.stats.ShedOverload++
 		case AckShedBackpressure:
 			g.stats.ShedBackpressure++
+		case AckDuplicate:
+			g.stats.Duplicate++
+		case AckRedirect:
+			g.stats.Redirected++
 		}
 	}
 	return nil
 }
 
-// percentiles returns the p50/p90/p99/max of the given latencies.
-func percentiles(lats []int64) (p50, p90, p99, max time.Duration) {
+// percentiles returns the p50/p90/p99/p99.9/max of the given latencies.
+func percentiles(lats []int64) (p50, p90, p99, p999, max time.Duration) {
 	if len(lats) == 0 {
-		return 0, 0, 0, 0
+		return 0, 0, 0, 0, 0
 	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	at := func(q float64) time.Duration {
 		i := int(q * float64(len(lats)-1))
 		return time.Duration(lats[i])
 	}
-	return at(0.50), at(0.90), at(0.99), time.Duration(lats[len(lats)-1])
+	return at(0.50), at(0.90), at(0.99), at(0.999), time.Duration(lats[len(lats)-1])
 }

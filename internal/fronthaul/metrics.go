@@ -1,6 +1,7 @@
 package fronthaul
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -16,7 +17,9 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 		"# HELP ltephy_cell_frames_total Subframe frames by cell and disposition.\n# TYPE ltephy_cell_frames_total counter\n"+
 			"# HELP ltephy_cell_users_total User records by cell and disposition.\n# TYPE ltephy_cell_users_total counter\n"+
 			"# HELP ltephy_cell_deadline_total Admitted subframes by cell and deadline outcome.\n# TYPE ltephy_cell_deadline_total counter\n"+
-			"# HELP ltephy_cell_activity_estimate_total Cumulative predicted activity by cell, offered vs admitted.\n# TYPE ltephy_cell_activity_estimate_total counter\n"); err != nil {
+			"# HELP ltephy_cell_activity_estimate_total Cumulative predicted activity by cell, offered vs admitted.\n# TYPE ltephy_cell_activity_estimate_total counter\n"+
+			"# HELP ltephy_cell_harq_recovered_total CRC-failed blocks delivered by HARQ soft combining.\n# TYPE ltephy_cell_harq_recovered_total counter\n"+
+			"# HELP ltephy_cell_draining Whether the cell is drained/redirecting (migration control plane).\n# TYPE ltephy_cell_draining gauge\n"); err != nil {
 		return err
 	}
 	for i := range s.cells {
@@ -26,15 +29,21 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 				"ltephy_cell_frames_total{cell=\"%d\",disposition=\"shed_late\"} %d\n"+
 				"ltephy_cell_frames_total{cell=\"%d\",disposition=\"shed_overload\"} %d\n"+
 				"ltephy_cell_frames_total{cell=\"%d\",disposition=\"shed_backpressure\"} %d\n"+
+				"ltephy_cell_frames_total{cell=\"%d\",disposition=\"duplicate\"} %d\n"+
+				"ltephy_cell_frames_total{cell=\"%d\",disposition=\"redirected\"} %d\n"+
 				"ltephy_cell_users_total{cell=\"%d\",disposition=\"accepted\"} %d\n"+
 				"ltephy_cell_users_total{cell=\"%d\",disposition=\"rejected\"} %d\n"+
 				"ltephy_cell_deadline_total{cell=\"%d\",outcome=\"met\"} %d\n"+
 				"ltephy_cell_deadline_total{cell=\"%d\",outcome=\"missed\"} %d\n"+
+				"ltephy_cell_harq_recovered_total{cell=\"%d\"} %d\n"+
+				"ltephy_cell_draining{cell=\"%d\"} %d\n"+
 				"ltephy_cell_activity_estimate_total{cell=\"%d\",kind=\"offered\"} %g\n"+
 				"ltephy_cell_activity_estimate_total{cell=\"%d\",kind=\"admitted\"} %g\n",
 			i, st.FramesAccepted, i, st.FramesShedLate, i, st.FramesShedOverload,
-			i, st.FramesShedBackpressure, i, st.UsersAccepted, i, st.UsersRejected,
+			i, st.FramesShedBackpressure, i, st.FramesDuplicate, i, st.FramesRedirected,
+			i, st.UsersAccepted, i, st.UsersRejected,
 			i, st.DeadlineMet, i, st.DeadlineMissed,
+			i, st.HARQRecovered, i, boolGauge(st.Draining),
 			i, st.OfferedEst, i, st.AdmittedEst); err != nil {
 			return err
 		}
@@ -46,6 +55,14 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 		return err
 	}
 	return nil
+}
+
+// boolGauge renders a bool as a 0/1 Prometheus gauge value.
+func boolGauge(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // AdmissionEvents snapshots every cell's admission event ring: admit and
@@ -83,6 +100,25 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/trace/admission", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = s.WriteAdmissionTrace(w)
+	})
+	// /cells is the fleet coordinator's rebalancing feed: the per-cell
+	// serving counters (activity estimates, shed and drain state) as JSON.
+	mux.HandleFunc("/cells", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(s.Stats())
+	})
+	// /healthz answers 200 while the server is serving — the coordinator's
+	// liveness probe.
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		s.mu.Lock()
+		closing := s.closing
+		s.mu.Unlock()
+		if closing {
+			http.Error(w, "closing", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		_, _ = io.WriteString(w, "ok\n")
 	})
 	return mux
 }

@@ -54,6 +54,18 @@ type Config struct {
 	// ShedOnBackpressure sheds frames when no decode slot is free instead
 	// of blocking the read loop (transport backpressure).
 	ShedOnBackpressure bool
+	// HARQ enables the server-side soft-combining ledger: CRC-failed
+	// transmissions accumulate per-(cell,user) soft buffers
+	// (uplink.HARQProcess) keyed by the wire RV flag, and a verified
+	// combined decode counts the block as delivered in the KPI. Requires
+	// the rate-matched TurboFull receiver (Turbo == TurboFull and
+	// CodeRate > 0) and forces Receiver.KeepSoftBits. The ledger is the
+	// per-user state live cell migration checkpoints.
+	HARQ bool
+	// DrainTimeout bounds a control-plane cell drain: how long DrainCell
+	// waits for in-flight subframes to complete before giving up.
+	// Defaults to 2s.
+	DrainTimeout time.Duration
 	// Sampling is the obs sampling knob applied to each pool's telemetry.
 	Sampling int
 	// KPISampling is the KPI registry's sampling knob: 0 disables KPI
@@ -126,6 +138,15 @@ func (c Config) withDefaults() (Config, error) {
 	if c.MaxPayload <= 0 {
 		c.MaxPayload = DefaultMaxPayload
 	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 2 * time.Second
+	}
+	if c.HARQ {
+		if c.Receiver.Turbo != uplink.TurboFull || c.Receiver.CodeRate == 0 {
+			return c, fmt.Errorf("fronthaul: HARQ requires the rate-matched TurboFull receiver (turbo=full, rate > 0)")
+		}
+		c.Receiver.KeepSoftBits = true
+	}
 	return c, nil
 }
 
@@ -141,20 +162,37 @@ type cell struct {
 	kpi *kpi.Registry
 
 	// mu serialises admission decisions and the estimate accounting
-	// across connections carrying the same cell.
+	// across connections carrying the same cell. The draining flag is
+	// written under mu and re-checked under mu in the ingest's admission
+	// section, so no frame can slip past a drain: once DrainCell returns,
+	// every frame either completed (counted by inflight) or was
+	// redirect-acked.
 	mu          sync.Mutex
 	adm         Admission
 	offeredEst  float64
 	admittedEst float64
+	grantedEst  float64
+
+	// draining marks the cell drained/redirecting: new frames are
+	// answered AckRedirect without processing or KPI accounting. Set by
+	// DrainCell (and left set after a migration), cleared by ResumeCell
+	// and RestoreCell.
+	draining atomic.Bool
+	// inflight counts dispatched subframes whose completion hook has not
+	// fired yet — the SubframeFin-driven drain barrier.
+	inflight atomic.Int64
 
 	framesAccepted         atomic.Int64
 	framesShedLate         atomic.Int64
 	framesShedOverload     atomic.Int64
 	framesShedBackpressure atomic.Int64
+	framesDuplicate        atomic.Int64
+	framesRedirected       atomic.Int64
 	usersAccepted          atomic.Int64
 	usersRejected          atomic.Int64
 	deadlineMet            atomic.Int64
 	deadlineMissed         atomic.Int64
+	harqRecovered          atomic.Int64
 }
 
 // countAdmit records an accepted subframe (k users admitted, rej
@@ -201,15 +239,31 @@ type CellStats struct {
 	FramesShedLate         int64
 	FramesShedOverload     int64
 	FramesShedBackpressure int64
-	UsersAccepted          int64
-	UsersRejected          int64
-	DeadlineMet            int64
-	DeadlineMissed         int64
+	// FramesDuplicate counts replayed frames (sequence not newer than the
+	// last admitted) answered AckDuplicate without processing — NOT shed:
+	// the original pass already accounted for them.
+	FramesDuplicate int64
+	// FramesRedirected counts frames answered AckRedirect while the cell
+	// was draining or migrated away.
+	FramesRedirected int64
+	UsersAccepted    int64
+	UsersRejected    int64
+	DeadlineMet      int64
+	DeadlineMissed   int64
+	// HARQRecovered counts CRC-failed blocks later delivered by the
+	// soft-combining ledger (Config.HARQ).
+	HARQRecovered int64
+	// Draining reports whether the cell is drained/redirecting.
+	Draining bool
 	// OfferedEst and AdmittedEst are the cumulative predicted activity of
 	// all offered vs admitted users; 1 - AdmittedEst/OfferedEst is the
-	// shed fraction the estimator predicted.
+	// realized (activity-weighted) shed fraction. GrantedEst is the
+	// activity budget the admission controller actually credited (burst +
+	// clamped per-period refills); 1 - GrantedEst/OfferedEst is the shed
+	// fraction the estimator predicted for the granted budget.
 	OfferedEst  float64
 	AdmittedEst float64
+	GrantedEst  float64
 }
 
 // FramesShed sums the shed counters.
@@ -226,6 +280,8 @@ type Server struct {
 	pools    []*sched.Pool
 	cells    []*cell
 	kpi      *kpi.Registry
+	// harq is the soft-combining ledger (nil unless Config.HARQ).
+	harq *harqLedger
 
 	mu      sync.Mutex
 	lns     map[net.Listener]struct{}
@@ -251,11 +307,17 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	s.kpi = kpi.New(kpi.Config{Cells: cfg.Cells, MaxUsers: cfg.MaxUsers, Windows: cfg.KPIWindows})
 	s.kpi.SetSampling(cfg.KPISampling)
+	if cfg.HARQ {
+		s.harq = newHARQLedger(cfg.Receiver)
+	}
 	// Feedback loop: when the predictor can absorb realized turbo
 	// half-iteration counts, every result feeds it before reaching the
 	// caller's hook, so admission estimates follow early termination.
 	// Every result also lands in the KPI registry (CrcPass/CrcFail + bits)
-	// before the caller's hook runs.
+	// before the caller's hook runs. With the HARQ ledger, a CRC failure
+	// first tries soft-combining: a verified combined decode counts the
+	// block as delivered (CrcPass with the recovered payload's bits)
+	// instead of a NACK, keeping the one-bucket-per-user invariant.
 	user := cfg.OnResult
 	to, observeTurbo := cfg.Predictor.(interface{ ObserveTurbo(int) })
 	reg := s.kpi
@@ -263,7 +325,18 @@ func NewServer(cfg Config) (*Server, error) {
 		if observeTurbo {
 			to.ObserveTurbo(r.TurboHalfIters)
 		}
-		reg.RecordResult(r.Cell, r.Seq, r.UserID, r.CRCOK, 8*len(r.Bits))
+		crcOK, bits := r.CRCOK, 8*len(r.Bits)
+		if s.harq != nil {
+			if crcOK {
+				s.harq.clear(r.Cell, r.UserID)
+			} else if payload, ok := s.harq.absorb(r); ok {
+				crcOK, bits = true, 8*len(payload)
+				if c := s.lookupCell(r.Cell); c != nil {
+					c.harqRecovered.Add(1)
+				}
+			}
+		}
+		reg.RecordResult(r.Cell, r.Seq, r.UserID, crcOK, bits)
 		if user != nil {
 			user(r)
 		}
@@ -308,7 +381,7 @@ func (s *Server) Config() Config { return s.cfg }
 func (s *Server) CellStats(i int) CellStats {
 	c := s.cells[i]
 	c.mu.Lock()
-	offered, admitted := c.offeredEst, c.admittedEst
+	offered, admitted, granted := c.offeredEst, c.admittedEst, c.grantedEst
 	c.mu.Unlock()
 	return CellStats{
 		Cell:                   i,
@@ -316,12 +389,17 @@ func (s *Server) CellStats(i int) CellStats {
 		FramesShedLate:         c.framesShedLate.Load(),
 		FramesShedOverload:     c.framesShedOverload.Load(),
 		FramesShedBackpressure: c.framesShedBackpressure.Load(),
+		FramesDuplicate:        c.framesDuplicate.Load(),
+		FramesRedirected:       c.framesRedirected.Load(),
 		UsersAccepted:          c.usersAccepted.Load(),
 		UsersRejected:          c.usersRejected.Load(),
 		DeadlineMet:            c.deadlineMet.Load(),
 		DeadlineMissed:         c.deadlineMissed.Load(),
+		HARQRecovered:          c.harqRecovered.Load(),
+		Draining:               c.draining.Load(),
 		OfferedEst:             offered,
 		AdmittedEst:            admitted,
+		GrantedEst:             granted,
 	}
 }
 
@@ -476,6 +554,9 @@ func (s *Server) complete(in *Ingest, acks chan Ack, sl *Slot) {
 	acks <- Ack{Cell: sl.cell, Status: AckDone, UsersAccepted: sl.admitted, Seq: sl.seq}
 	sl.recycle()
 	in.slots <- sl
+	// Decrement last: a drain observing inflight == 0 knows the ack has
+	// been queued and the slot returned.
+	c.inflight.Add(-1)
 }
 
 // Close stops accepting, closes every live connection, waits for the

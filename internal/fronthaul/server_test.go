@@ -264,9 +264,10 @@ func TestServerShedsByPriority(t *testing.T) {
 	}
 }
 
-// TestServerShedsLateSubframe: a sequence number at or below the last
-// admitted one is shed whole.
-func TestServerShedsLateSubframe(t *testing.T) {
+// TestServerAcksDuplicateSubframe: a sequence number at or below the
+// last admitted one is a replay — acknowledged AckDuplicate without
+// processing or KPI accounting.
+func TestServerAcksDuplicateSubframe(t *testing.T) {
 	const ant = 2
 	srv, addr := startServer(t, Config{
 		Cells:          1,
@@ -296,10 +297,10 @@ func TestServerShedsLateSubframe(t *testing.T) {
 	if a := bySeq[5]; a.Status != AckDone {
 		t.Fatalf("seq 5: %+v, want done", a)
 	}
-	if a := bySeq[3]; a.Status != AckShedLate {
-		t.Fatalf("seq 3: %+v, want shed_late", a)
+	if a := bySeq[3]; a.Status != AckDuplicate {
+		t.Fatalf("seq 3: %+v, want duplicate", a)
 	}
-	if st := srv.CellStats(0); st.FramesShedLate != 1 || st.FramesAccepted != 1 {
+	if st := srv.CellStats(0); st.FramesDuplicate != 1 || st.FramesShedLate != 0 || st.FramesAccepted != 1 {
 		t.Fatalf("cell stats: %+v", st)
 	}
 }

@@ -1,0 +1,104 @@
+package kpi
+
+// Fleet-side aggregation: the coordinator scrapes each worker process's
+// /fetch endpoint and folds the per-worker []CellFetch snapshots into
+// one fleet-wide rollup. Counters for the same cell index are summed
+// across workers — after a migration release exactly one worker holds a
+// cell's cumulative counters, so the sum is exact, and a mid-migration
+// scrape at worst attributes a cell to the target before the source
+// cleared (transiently high, never lost). Cold path.
+
+// FleetFetch is the fleet-wide KPI rollup.
+type FleetFetch struct {
+	// Cells are the merged per-cell snapshots (cumulative counters only:
+	// tumbling windows and user tables are per-worker views and are not
+	// merged), ascending by cell index.
+	Cells []CellFetch `json:"cells"`
+	// Total folds every cell's cumulative counters.
+	Total FetchStruct `json:"total"`
+	// Subframes is the widest observed per-cell subframe span — the
+	// fleet throughput denominator (cells run concurrently, so spans
+	// overlap rather than add).
+	Subframes int64 `json:"subframes"`
+}
+
+// AggregateCells merges per-worker /fetch snapshots into the fleet
+// rollup.
+func AggregateCells(workers ...[]CellFetch) FleetFetch {
+	type agg struct {
+		c        Counters
+		bits     float64
+		sub      int64
+		overflow int64
+	}
+	byCell := map[int]*agg{}
+	maxCell := -1
+	for _, cells := range workers {
+		for _, cf := range cells {
+			a := byCell[cf.Cell]
+			if a == nil {
+				a = &agg{}
+				byCell[cf.Cell] = a
+				if cf.Cell > maxCell {
+					maxCell = cf.Cell
+				}
+			}
+			a.c.CrcPass += cf.Cumulative.CrcPass
+			a.c.CrcFail += cf.Cumulative.CrcFail
+			a.c.Dtx += cf.Cumulative.Dtx
+			a.c.Skipped += cf.Cumulative.Skipped
+			// Throughput is bits per subframe-millisecond over the scope's
+			// span, so the delivered bits are recoverable exactly.
+			a.bits += cf.Cumulative.Throughput * float64(cf.Subframes)
+			a.sub += cf.Subframes
+			a.overflow += cf.OverflowEvents
+		}
+	}
+	var out FleetFetch
+	var totBits float64
+	var tot Counters
+	for cellID := 0; cellID <= maxCell; cellID++ {
+		a := byCell[cellID]
+		if a == nil {
+			continue
+		}
+		out.Cells = append(out.Cells, CellFetch{
+			Cell:           cellID,
+			Subframes:      a.sub,
+			Cumulative:     fetchFromCounters(a.c, a.bits, a.sub),
+			OverflowEvents: a.overflow,
+		})
+		tot.CrcPass += a.c.CrcPass
+		tot.CrcFail += a.c.CrcFail
+		tot.Dtx += a.c.Dtx
+		tot.Skipped += a.c.Skipped
+		totBits += a.bits
+		if a.sub > out.Subframes {
+			out.Subframes = a.sub
+		}
+	}
+	out.Total = fetchFromCounters(tot, totBits, out.Subframes)
+	return out
+}
+
+// fetchFromCounters derives the FETCH-shaped figures from raw counters —
+// the aggregation-side twin of fetchFrom.
+func fetchFromCounters(c Counters, bits float64, durMs int64) FetchStruct {
+	f := FetchStruct{
+		Reliability: ReliabilityNoResults,
+		CrcPass:     c.CrcPass,
+		CrcFail:     c.CrcFail,
+		Dtx:         c.Dtx,
+		Skipped:     c.Skipped,
+	}
+	if f.CrcPass+f.CrcFail+f.Dtx+f.Skipped > 0 {
+		f.Reliability = ReliabilityOK
+	}
+	if measured := f.CrcPass + f.CrcFail + f.Dtx; measured > 0 {
+		f.Bler = 100 * float64(f.CrcFail+f.Dtx) / float64(measured)
+	}
+	if durMs > 0 {
+		f.Throughput = bits / float64(durMs)
+	}
+	return f
+}

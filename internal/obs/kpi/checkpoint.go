@@ -1,0 +1,135 @@
+package kpi
+
+// Checkpoint side of the KPI service: raw counter export/restore for
+// live cell migration (DESIGN.md §13). A migrating cell's cumulative
+// counters travel inside the fronthaul checkpoint so the fleet-wide
+// CrcPass/CrcFail/Dtx/Skipped sums reconcile exactly across processes:
+// the target restores the source's counts, the source clears them, and
+// replayed subframes past the checkpoint sequence are re-counted exactly
+// once by the deterministic admission replay.
+//
+// Tumbling windows are deliberately NOT checkpointed: they are
+// short-horizon observability, restart empty on the target and converge
+// within one window length. Cumulative counters are the reconciliation
+// ledger and are exact.
+//
+// Everything here is cold path (once per migration/crash), so snapshots
+// allocate freely.
+
+import "math"
+
+// Counters is one bucket's raw counter snapshot.
+type Counters struct {
+	CrcPass, CrcFail, Dtx, Skipped, Bits int64
+}
+
+// load snapshots an accumulator bucket.
+func (c *counters) load() Counters {
+	return Counters{
+		CrcPass: c.crcPass.Load(),
+		CrcFail: c.crcFail.Load(),
+		Dtx:     c.dtx.Load(),
+		Skipped: c.skipped.Load(),
+		Bits:    c.bits.Load(),
+	}
+}
+
+// store overwrites an accumulator bucket.
+func (c *counters) store(v Counters) {
+	c.crcPass.Store(v.CrcPass)
+	c.crcFail.Store(v.CrcFail)
+	c.dtx.Store(v.Dtx)
+	c.skipped.Store(v.Skipped)
+	c.bits.Store(v.Bits)
+}
+
+// IsZero reports whether every counter is zero.
+func (c Counters) IsZero() bool {
+	return c.CrcPass == 0 && c.CrcFail == 0 && c.Dtx == 0 && c.Skipped == 0 && c.Bits == 0
+}
+
+// UserCounters is one active user slot's cumulative counters.
+type UserCounters struct {
+	User int
+	Counters
+}
+
+// CellState is one cell's checkpointable cumulative KPI state.
+type CellState struct {
+	// FirstSeq/LastSeq are the observed subframe span (math.MaxInt64/-1
+	// when nothing was measured). Overflow counts events folded into the
+	// last user slot.
+	FirstSeq, LastSeq, Overflow int64
+	// Cell is the cell-wide cumulative bucket.
+	Cell Counters
+	// Users holds every user slot with at least one event, ascending.
+	Users []UserCounters
+}
+
+// ExportCell snapshots one cell's cumulative counters for a checkpoint.
+// Cold path; call only while the cell is drained (no concurrent
+// recorders for that cell), or the per-bucket loads may tear across
+// events.
+func (r *Registry) ExportCell(cell int) CellState {
+	st := CellState{FirstSeq: math.MaxInt64, LastSeq: -1}
+	if r == nil || cell < 0 || cell >= len(r.cells) {
+		return st
+	}
+	c := &r.cells[cell]
+	st.FirstSeq = c.firstSeq.Load()
+	st.LastSeq = c.lastSeq.Load()
+	st.Overflow = c.overflow.Load()
+	st.Cell = c.acc.cum.load()
+	for u := range c.users {
+		if v := c.users[u].cum.load(); !v.IsZero() {
+			st.Users = append(st.Users, UserCounters{User: u, Counters: v})
+		}
+	}
+	return st
+}
+
+// resetWindows empties a scope's tumbling windows (live and last) so a
+// restored cell starts its windows fresh.
+func resetWindows(a *accum) {
+	for i := range a.wins {
+		w := &a.wins[i]
+		w.mu.Lock()
+		w.cur.store(Counters{})
+		w.last.store(Counters{})
+		w.epoch.Store(epochUnset)
+		w.lastEpoch.Store(epochUnset)
+		w.mu.Unlock()
+	}
+}
+
+// RestoreCell overwrites one cell's cumulative counters with a
+// checkpointed state: every user slot is zeroed first, the given slots
+// installed, and the tumbling windows reset. Cold path; call only while
+// the cell is not being recorded into.
+func (r *Registry) RestoreCell(cell int, st CellState) {
+	if r == nil || cell < 0 || cell >= len(r.cells) {
+		return
+	}
+	c := &r.cells[cell]
+	c.firstSeq.Store(st.FirstSeq)
+	c.lastSeq.Store(st.LastSeq)
+	c.overflow.Store(st.Overflow)
+	c.acc.cum.store(st.Cell)
+	resetWindows(&c.acc)
+	for u := range c.users {
+		c.users[u].cum.store(Counters{})
+		resetWindows(&c.users[u])
+	}
+	for _, uc := range st.Users {
+		if uc.User >= 0 && uc.User < len(c.users) {
+			c.users[uc.User].cum.store(uc.Counters)
+		}
+	}
+}
+
+// ResetCell zeroes one cell's counters entirely (migration release on
+// the source process: the checkpoint carried the counts to the target,
+// so keeping them here would double-book the fleet rollup).
+func (r *Registry) ResetCell(cell int) {
+	r.RestoreCell(cell, CellState{FirstSeq: math.MaxInt64, LastSeq: -1})
+}

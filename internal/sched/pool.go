@@ -265,6 +265,12 @@ func (p *Pool) Drain() {
 	}
 }
 
+// Pending returns the number of submitted users not yet completed — the
+// pool-level quiescence gauge per-cell drains poll alongside their own
+// SubframeFin accounting (a pool multiplexes cells, so Pending()==0 is
+// sufficient but not necessary for one cell to be drained).
+func (p *Pool) Pending() int64 { return p.pending.Load() }
+
 // Close stops the workers after the queues drain.
 func (p *Pool) Close() {
 	p.Drain()

@@ -47,6 +47,33 @@ func (f TransportFormat) NewHARQCfg(cfg ReceiverConfig) (*HARQProcess, error) {
 // Rounds returns how many transmissions have been absorbed.
 func (h *HARQProcess) Rounds() int { return h.rounds }
 
+// Mother returns the accumulated mother-rate LLR buffer. The slice is
+// the process's live state: callers may copy it out (checkpointing) but
+// must not mutate it.
+func (h *HARQProcess) Mother() []float64 { return h.mother }
+
+// RestoreHARQCfg rebuilds a combining process from checkpointed state:
+// the absorbed-round count and a snapshot of the mother buffer (copied
+// in). The format and cfg must match the ones the snapshot was taken
+// under — mother accumulation is plain float64 addition in a fixed
+// order, so a restored process continues bit-identically.
+func (f TransportFormat) RestoreHARQCfg(cfg ReceiverConfig, rounds int, mother []float64) (*HARQProcess, error) {
+	h, err := f.NewHARQCfg(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(mother) != len(h.mother) {
+		return nil, fmt.Errorf("uplink: HARQ restore got %d mother LLRs, format expects %d",
+			len(mother), len(h.mother))
+	}
+	if rounds < 0 {
+		return nil, fmt.Errorf("uplink: HARQ restore with negative round count %d", rounds)
+	}
+	copy(h.mother, mother)
+	h.rounds = rounds
+	return h, nil
+}
+
 // HalfIters returns the realized turbo half-iteration count of the most
 // recent Absorb.
 func (h *HARQProcess) HalfIters() int { return h.halfIters }

@@ -590,10 +590,23 @@ func (j *UserJob) finish(ws *workspace.Arena) {
 	if j.U.Channel != nil {
 		res.ChannelMSE = j.channelMSE()
 	}
+	j.stampServing(&res)
 	// Scratch released here; softBits intentionally survives on the arena
 	// until the job-lifetime mark is released.
 	j.res = res
 	ws.Release(m)
+}
+
+// stampServing attaches the serving-layer metadata to a finished result:
+// the scheduling parameters, the transmission's redundancy version and —
+// with Cfg.KeepSoftBits — a heap copy of the soft bits that outlives the
+// job's arena (HARQ ledgers above the scheduler consume it).
+func (j *UserJob) stampServing(res *UserResult) {
+	res.Params = j.U.Params
+	res.RV = j.U.RV
+	if j.Cfg.KeepSoftBits {
+		res.SoftBits = append([]float64(nil), j.softBits...) //ltephy:alloc-ok opt-in soft-bit export
+	}
 }
 
 // channelMSE computes the normalised estimation error against ground truth,

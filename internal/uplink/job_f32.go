@@ -490,6 +490,7 @@ func (j *UserJob) finishF32(ws *workspace.Arena) {
 	if j.U.Channel != nil {
 		res.ChannelMSE = j.channelMSEF32()
 	}
+	j.stampServing(&res)
 	// Scratch released here; softBits intentionally survives on the arena
 	// until the job-lifetime mark is released, as in finish.
 	j.res = res

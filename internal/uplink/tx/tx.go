@@ -122,6 +122,7 @@ func GenerateWithPayload(cfg Config, p uplink.UserParams, r *rng.RNG, payload []
 
 	u := &uplink.UserData{
 		Params:   p,
+		RV:       uint8(rv & 3),
 		NoiseVar: noiseVar,
 		Payload:  payload,
 		Channel:  ch,

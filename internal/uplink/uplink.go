@@ -99,6 +99,11 @@ type UserData struct {
 	// NoiseVar is the per-subcarrier noise variance the receiver assumes
 	// (genie-aided, as is usual in benchmarks).
 	NoiseVar float64
+	// RV is the redundancy version this transmission was rate-matched
+	// with (0 for a first transmission; retransmissions follow
+	// RVForRound). Carried through to UserResult so HARQ soft-combining
+	// above the receiver can accumulate at the right offsets.
+	RV uint8
 	// RefRx[slot][antenna][k]: the received reference symbol.
 	RefRx [SlotsPerSubframe][][]complex128
 	// DataRx[slot][sym][antenna][k]: the six data symbols per slot.
@@ -139,6 +144,17 @@ type UserResult struct {
 	Seq    int64
 	// Cell is the serving cell copied from the subframe.
 	Cell uint16
+	// Params are the scheduling parameters the user was decoded with
+	// (Params.ID == UserID). HARQ combining above the receiver needs them
+	// to reconstruct the transport format for soft-buffer state.
+	Params UserParams
+	// RV is the redundancy version copied from UserData.RV.
+	RV uint8
+	// SoftBits is a heap copy of the demapped, descrambled LLR stream,
+	// present only with ReceiverConfig.KeepSoftBits — the input
+	// HARQProcess.Absorb consumes when soft-combining runs outside the
+	// job's arena lifetime (e.g. the fronthaul HARQ ledger).
+	SoftBits []float64
 	// CRCOK reports whether the transport-block CRC24A verified.
 	CRCOK bool
 	// Bits is the decoded payload (excluding CRC).
@@ -309,6 +325,11 @@ type ReceiverConfig struct {
 	// Scramble enables bit scrambling with the user-specific Gold sequence
 	// (TS 36.211 §5.3.1) between coding and modulation.
 	Scramble bool
+	// KeepSoftBits makes the finish stage copy the demapped LLR stream
+	// into UserResult.SoftBits (heap memory, one allocation per user).
+	// Off by default: the zero-alloc hot path stays allocation-free and
+	// SoftBits stays nil. HARQ-combining servers opt in.
+	KeepSoftBits bool
 	// InterleaverColumns configures the symbol block interleaver.
 	InterleaverColumns int
 }
