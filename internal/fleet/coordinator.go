@@ -72,6 +72,10 @@ type workerState struct {
 	// gen bumps on every (re)launch so stale health probes don't kill a
 	// fresh process.
 	gen int64
+	// restarting is set while a restart goroutine owns the slot, so a
+	// second health tick firing before the first goroutine has run its
+	// gen check cannot start a concurrent restart of the same slot.
+	restarting bool
 }
 
 // Coordinator supervises the fleet: it launches workers, restarts
@@ -83,6 +87,14 @@ type Coordinator struct {
 	mu        sync.Mutex
 	workers   []*workerState
 	placement Placement
+	// cellMu serialises the drain-based state machines per cell: Migrate
+	// and CheckpointCell each hold the cell's mutex across their whole
+	// drain → checkpoint → restore/resume sequence. Without it the
+	// background checkpoint round can interleave with a migration of the
+	// same cell, checkpoint the released (zeroed) cell on the old owner,
+	// overwrite the retained snapshot with empty state and Resume the
+	// cell on the source — breaking exactly-once.
+	cellMu    []sync.Mutex
 	snapshots [][]byte // last checkpoint per cell (nil = none yet)
 	// stable[cell] is the admission sequence the last checkpoint covers
 	// (-1 until one is taken): everything at or below it survives a
@@ -109,6 +121,7 @@ func New(cfg Config) (*Coordinator, error) {
 		cfg:       cfg,
 		workers:   make([]*workerState, cfg.Workers),
 		placement: InitialPlacement(cfg.Cells, cfg.Workers),
+		cellMu:    make([]sync.Mutex, cfg.Cells),
 		snapshots: make([][]byte, cfg.Cells),
 		stable:    make([]int64, cfg.Cells),
 		stop:      make(chan struct{}),
@@ -163,7 +176,13 @@ func (co *Coordinator) launch(ws *workerState, index int, snaps []cellSnap) erro
 	}
 	for _, s := range snaps {
 		if err := ctrl.Restore(uint16(s.cell), s.snap); err != nil {
-			co.cfg.Logf("fleet: restore cell %d on worker %d: %v", s.cell, index, err)
+			// A worker without its checkpointed state must not become
+			// resolvable: scratch admission would re-admit the generator's
+			// replay from sequence 0 and double-count. Fail the launch so
+			// restart() retries with backoff.
+			ctrl.Close()
+			w.Kill()
+			return fmt.Errorf("restore cell %d: %w", s.cell, err)
 		}
 	}
 	ws.mu.Lock()
@@ -240,14 +259,18 @@ func (co *Coordinator) Worker(index int) (Worker, error) {
 // re-resolves, and replays unacknowledged frames to the target — where
 // replays of already-counted subframes answer AckDuplicate.
 func (co *Coordinator) Migrate(cell, to int) error {
+	if cell < 0 || cell >= co.cfg.Cells {
+		return fmt.Errorf("fleet: unknown cell %d", cell)
+	}
+	// Hold the cell's migration mutex across the whole move so a
+	// concurrent CheckpointCell (checkpointLoop) or Migrate of the same
+	// cell cannot interleave with the drain/checkpoint/release sequence.
+	co.cellMu[cell].Lock()
+	defer co.cellMu[cell].Unlock()
 	co.mu.Lock()
 	if co.closed {
 		co.mu.Unlock()
 		return errors.New("fleet: coordinator closed")
-	}
-	if cell < 0 || cell >= len(co.placement.Owner) {
-		co.mu.Unlock()
-		return fmt.Errorf("fleet: unknown cell %d", cell)
 	}
 	from := co.placement.Owner[cell]
 	co.mu.Unlock()
@@ -314,13 +337,17 @@ func (co *Coordinator) StableSeq(cell int) int64 {
 
 // CheckpointCell drains, checkpoints and resumes one cell in place,
 // retaining the snapshot for crash recovery. The pause is the drain
-// barrier only — typically a few subframe periods.
+// barrier only — typically a few subframe periods. The cell's migration
+// mutex is held throughout, so the owner read here stays the owner for
+// the whole drain/checkpoint/resume sequence even while RebalanceOnce
+// or an explicit Migrate runs concurrently.
 func (co *Coordinator) CheckpointCell(cell int) error {
-	co.mu.Lock()
-	if cell < 0 || cell >= len(co.placement.Owner) {
-		co.mu.Unlock()
+	if cell < 0 || cell >= co.cfg.Cells {
 		return fmt.Errorf("fleet: unknown cell %d", cell)
 	}
+	co.cellMu[cell].Lock()
+	defer co.cellMu[cell].Unlock()
+	co.mu.Lock()
 	owner := co.placement.Owner[cell]
 	co.mu.Unlock()
 	ctrl, err := co.control(owner)
@@ -384,7 +411,12 @@ func (co *Coordinator) checkpointLoop() {
 	}
 }
 
-// supervise watches every worker and restarts crashed ones.
+// supervise watches every worker and restarts crashed ones. Each
+// restart (backoff sleep included) runs in its own goroutine so one
+// slot backing off never stalls crash detection on the others.
+//
+//ltephy:spawn-point — restart goroutines are wg-bracketed; Close joins
+// them via wg.Wait after closing stop (which aborts their backoff).
 func (co *Coordinator) supervise() {
 	defer co.wg.Done()
 	probe := &http.Client{Timeout: 2 * time.Second}
@@ -420,64 +452,81 @@ func (co *Coordinator) supervise() {
 				}
 			}
 			if dead {
-				co.restart(ws, i, gen)
+				co.wg.Add(1)
+				go func(ws *workerState, i int, gen int64) {
+					defer co.wg.Done()
+					co.restart(ws, i, gen)
+				}(ws, i, gen)
 			}
 		}
 	}
 }
 
 // restart relaunches a crashed worker with exponential backoff and
-// restores its cells from the retained checkpoints. gen guards against
-// racing a concurrent restart of the same slot.
+// restores its cells from the retained checkpoints, retrying failed
+// relaunches (each attempt consumes one MaxRestarts credit). gen and
+// the restarting flag guard against a concurrent restart of the same
+// slot; the backoff sleep runs on the caller's (per-slot) goroutine.
 func (co *Coordinator) restart(ws *workerState, index int, gen int64) {
 	ws.mu.Lock()
-	if ws.gen != gen {
+	if ws.gen != gen || ws.restarting {
 		ws.mu.Unlock()
-		return // someone already relaunched this slot
+		return // someone already owns this slot's relaunch
 	}
+	ws.restarting = true
 	if ws.w != nil {
 		ws.w.Kill()
 		ws.w = nil
 	}
-	restarts := ws.restarts
-	ws.restarts++
 	ws.mu.Unlock()
+	defer func() {
+		ws.mu.Lock()
+		ws.restarting = false
+		ws.mu.Unlock()
+	}()
 
-	if co.cfg.MaxRestarts > 0 && restarts >= co.cfg.MaxRestarts {
-		co.cfg.Logf("fleet: worker %d exceeded %d restarts, giving up", index, co.cfg.MaxRestarts)
-		return
-	}
-	backoff := co.cfg.BackoffMin << uint(restarts)
-	if backoff > co.cfg.BackoffMax || backoff <= 0 {
-		backoff = co.cfg.BackoffMax
-	}
-	co.cfg.Logf("fleet: worker %d down, restarting in %v (attempt %d)", index, backoff, restarts+1)
-	select {
-	case <-co.stop:
-		return
-	case <-time.After(backoff):
-	}
-	// Gather the worker's cells and their last checkpoints: launch
-	// restores them before the worker becomes resolvable, so admission
-	// resumes at the checkpointed sequence — the generator's replay of
-	// frames past it is admitted exactly once and earlier replays answer
-	// AckDuplicate.
-	co.mu.Lock()
-	snaps := make([]cellSnap, 0, len(co.placement.Owner))
-	for cell, owner := range co.placement.Owner {
-		if owner == index && co.snapshots[cell] != nil {
-			snaps = append(snaps, cellSnap{cell: cell, snap: co.snapshots[cell]})
+	for {
+		ws.mu.Lock()
+		restarts := ws.restarts
+		ws.restarts++
+		ws.mu.Unlock()
+		if co.cfg.MaxRestarts > 0 && restarts >= co.cfg.MaxRestarts {
+			co.cfg.Logf("fleet: worker %d exceeded %d restarts, giving up", index, co.cfg.MaxRestarts)
+			return
 		}
-	}
-	co.mu.Unlock()
-	if err := co.launch(ws, index, snaps); err != nil {
-		co.cfg.Logf("fleet: relaunch worker %d: %v", index, err)
+		backoff := co.cfg.BackoffMin << uint(restarts)
+		if backoff > co.cfg.BackoffMax || backoff <= 0 {
+			backoff = co.cfg.BackoffMax
+		}
+		co.cfg.Logf("fleet: worker %d down, restarting in %v (attempt %d)", index, backoff, restarts+1)
+		select {
+		case <-co.stop:
+			return
+		case <-time.After(backoff):
+		}
+		// Gather the worker's cells and their last checkpoints: launch
+		// restores them before the worker becomes resolvable, so admission
+		// resumes at the checkpointed sequence — the generator's replay of
+		// frames past it is admitted exactly once and earlier replays answer
+		// AckDuplicate.
+		co.mu.Lock()
+		snaps := make([]cellSnap, 0, len(co.placement.Owner))
+		for cell, owner := range co.placement.Owner {
+			if owner == index && co.snapshots[cell] != nil {
+				snaps = append(snaps, cellSnap{cell: cell, snap: co.snapshots[cell]})
+			}
+		}
+		co.mu.Unlock()
+		if err := co.launch(ws, index, snaps); err != nil {
+			co.cfg.Logf("fleet: relaunch worker %d: %v", index, err)
+			continue
+		}
+		co.mu.Lock()
+		co.placement.Epoch++
+		co.mu.Unlock()
+		co.cfg.Logf("fleet: worker %d back, %d cells restored", index, len(snaps))
 		return
 	}
-	co.mu.Lock()
-	co.placement.Epoch++
-	co.mu.Unlock()
-	co.cfg.Logf("fleet: worker %d back, %d cells restored", index, len(snaps))
 }
 
 // Stats scrapes every cell's serving counters from its current owner.

@@ -1,7 +1,9 @@
 package fleet
 
 import (
+	"errors"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -172,6 +174,137 @@ func TestFleetHarnessDeterministicDelivery(t *testing.T) {
 	}
 	if a.Fleet.Total != b.Fleet.Total {
 		t.Fatalf("fleet KPI diverged:\n  %+v\n  %+v", a.Fleet.Total, b.Fleet.Total)
+	}
+}
+
+// TestCheckpointLoopDuringMigration: background checkpoint rounds race
+// live migrations of the same cell (the lte-fleet deployment shape when
+// both -checkpoint-every and -rebalance-every are set). The per-cell
+// migration mutex must keep each drain/checkpoint/resume sequence
+// atomic: no subframe lost, exactly-once KPI accounting, and the
+// retained snapshot must hold real admission state — a checkpoint of
+// the released cell on the old owner would overwrite it with scratch
+// state and resume the cell where it no longer lives.
+func TestCheckpointLoopDuringMigration(t *testing.T) {
+	const (
+		workers   = 2
+		cells     = 4
+		subframes = 60
+	)
+	co := newTestFleet(t, workers, cells, Config{CheckpointInterval: 5 * time.Millisecond})
+
+	// Ping-pong cell 2 between the workers while the checkpoint loop runs.
+	onSeq := func(seq int64) {
+		if seq%10 != 5 {
+			return
+		}
+		to := int((seq / 10) % 2)
+		if err := co.Migrate(2, to); err != nil {
+			t.Errorf("Migrate(2, %d) at seq %d: %v", to, seq, err)
+		}
+	}
+	stats, err := RunHarness(HarnessConfig{
+		Coordinator: co,
+		Cells:       cells,
+		Subframes:   subframes,
+		Load:        1.5,
+		Seed:        13,
+		MaxPRB:      2,
+		DTXProb:     0.1,
+		OnSeq:       onSeq,
+	})
+	if err != nil {
+		t.Fatalf("RunHarness: %v\n%s", err, stats)
+	}
+	t.Logf("harness: %s", stats)
+	if stats.Lost != 0 {
+		t.Fatalf("lost %d subframes: %s", stats.Lost, stats)
+	}
+	if stats.BadAcks != 0 {
+		t.Fatalf("bad acks: %s", stats)
+	}
+	total := stats.Fleet.Total
+	if got := total.CrcPass + total.CrcFail + total.Dtx + total.Skipped; got != stats.UsersSent {
+		t.Fatalf("KPI sum %d != users sent %d (pass=%d fail=%d dtx=%d skipped=%d)",
+			got, stats.UsersSent, total.CrcPass, total.CrcFail, total.Dtx, total.Skipped)
+	}
+	// The migrated cell's retained snapshot must carry live admission
+	// state, not the zeroed state of a released cell.
+	snap := co.Snapshot(2)
+	if snap == nil {
+		t.Fatalf("no retained snapshot for the migrated cell")
+	}
+	ck, err := fronthaul.DecodeCheckpoint(snap)
+	if err != nil {
+		t.Fatalf("DecodeCheckpoint: %v", err)
+	}
+	if !ck.Admission.Started {
+		t.Fatalf("retained snapshot for cell 2 holds scratch admission state")
+	}
+}
+
+// flakyLauncher delegates to an InProcLauncher but fails each slot's
+// first relaunch, exercising restart's retry loop: a failed launch
+// (e.g. a failed checkpoint Restore) must consume a backoff credit and
+// retry, not abandon the slot.
+type flakyLauncher struct {
+	inner *InProcLauncher
+
+	mu       sync.Mutex
+	launches map[int]int
+}
+
+func (l *flakyLauncher) Launch(index int) (Worker, error) {
+	l.mu.Lock()
+	n := l.launches[index]
+	l.launches[index]++
+	l.mu.Unlock()
+	if n == 1 {
+		return nil, errors.New("injected relaunch failure")
+	}
+	return l.inner.Launch(index)
+}
+
+// TestRestartRetriesFailedRelaunch: worker 0 is killed, its first
+// relaunch fails, and supervision still brings it back on the next
+// backoff attempt.
+func TestRestartRetriesFailedRelaunch(t *testing.T) {
+	inner := &InProcLauncher{Cfg: InProcConfig{Server: testServerConfig(), Cells: 2, Metrics: true}}
+	l := &flakyLauncher{inner: inner, launches: map[int]int{}}
+	co, err := New(Config{
+		Workers:        2,
+		Cells:          2,
+		Launcher:       l,
+		HealthInterval: 25 * time.Millisecond,
+		BackoffMin:     10 * time.Millisecond,
+		DrainTimeout:   5 * time.Second,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("fleet.New: %v", err)
+	}
+	t.Cleanup(func() { co.Close(); inner.Close() })
+
+	w0, err := co.Worker(0)
+	if err != nil {
+		t.Fatalf("Worker(0): %v", err)
+	}
+	w0.Kill()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if w, err := co.Worker(0); err == nil && w != w0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker 0 never came back after the failed relaunch")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	l.mu.Lock()
+	launches := l.launches[0]
+	l.mu.Unlock()
+	if launches != 3 {
+		t.Fatalf("worker 0 launched %d times, want 3 (initial + failed relaunch + retry)", launches)
 	}
 }
 

@@ -267,8 +267,12 @@ func TestReplayAfterConnLossIdempotent(t *testing.T) {
 	}
 }
 
-// TestDrainResumeCycle: a drained cell redirects, a resumed one admits
-// the very same sequence.
+// TestDrainResumeCycle: a drained cell redirects; after Resume the
+// redirect is sticky on the old connection (only a fresh connection's
+// in-order replay may continue the cell's sequence space — otherwise a
+// later in-flight frame admitted on the old connection would advance
+// duplicate detection past the redirected one, and its replay would be
+// swallowed uncounted), while a reconnect is admitted.
 func TestDrainResumeCycle(t *testing.T) {
 	const ant = 2
 	srv, addr := startServer(t, controlServerConfig(ant))
@@ -290,11 +294,19 @@ func TestDrainResumeCycle(t *testing.T) {
 	if err := ctl.Resume(0); err != nil {
 		t.Fatalf("Resume: %v", err)
 	}
+	// Same connection: the redirect stays sticky even after the drain
+	// lifted.
 	rc.send(frame)
-	if a, err := rc.readAck(); err != nil || a.Status != AckDone {
-		t.Fatalf("resumed cell: ack=%+v err=%v", a, err)
+	if a, err := rc.readAck(); err != nil || a.Status != AckRedirect {
+		t.Fatalf("resumed cell, old conn: ack=%+v err=%v, want redirect", a, err)
 	}
-	if st := srv.CellStats(0); st.FramesRedirected != 1 || st.FramesAccepted != 1 {
+	// Fresh connection: the replayed sequence is admitted.
+	rc2 := dialRaw(t, addr)
+	rc2.send(frame)
+	if a, err := rc2.readAck(); err != nil || a.Status != AckDone {
+		t.Fatalf("resumed cell, new conn: ack=%+v err=%v", a, err)
+	}
+	if st := srv.CellStats(0); st.FramesRedirected != 2 || st.FramesAccepted != 1 {
 		t.Fatalf("cell stats: %+v", st)
 	}
 }

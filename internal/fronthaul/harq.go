@@ -131,15 +131,11 @@ func (l *harqLedger) snapshotCell(cell uint16) []HARQState {
 }
 
 // restoreCell installs a cell's checkpointed slots, replacing any
-// existing state for that cell.
+// existing state for that cell. Every entry is built and validated
+// before the live map is touched, so a failed restore leaves the
+// ledger unchanged rather than with partial cell state.
 func (l *harqLedger) restoreCell(cell uint16, states []HARQState) error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	for k := range l.entries {
-		if uint16(k>>16) == cell {
-			delete(l.entries, k)
-		}
-	}
+	fresh := make(map[uint32]*harqEntry, len(states))
 	for _, st := range states {
 		p := uplink.UserParams{ID: st.User, PRB: st.PRB, Layers: st.Layers, Mod: st.Mod}
 		f, err := uplink.NewTransportFormatRate(p, l.cfg.Turbo, l.cfg.CodeRate)
@@ -150,7 +146,17 @@ func (l *harqLedger) restoreCell(cell uint16, states []HARQState) error {
 		if err != nil {
 			return fmt.Errorf("fronthaul: HARQ restore user %d: %w", st.User, err)
 		}
-		l.entries[harqKey(cell, st.User)] = &harqEntry{params: p, proc: proc}
+		fresh[harqKey(cell, st.User)] = &harqEntry{params: p, proc: proc}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for k := range l.entries {
+		if uint16(k>>16) == cell {
+			delete(l.entries, k)
+		}
+	}
+	for k, e := range fresh {
+		l.entries[k] = e
 	}
 	return nil
 }

@@ -45,6 +45,15 @@ type Ingest struct {
 	// after the admission pass has ruled the frame is not a replayed
 	// duplicate, or every replay would re-count them.
 	dtxIDs [MaxUsersPerFrame]int
+	// redirected pins cells this connection has answered AckRedirect
+	// for: every later frame for such a cell must also redirect. The
+	// redirect contract is "reconnect and replay in order from the
+	// oldest unacked sequence" — admitting a later in-flight frame on
+	// the old connection after the drain lifts would advance the cell's
+	// duplicate-detection sequence past the redirected frame, and its
+	// replay would be swallowed as a duplicate without ever being
+	// counted (lazily allocated; nil until the first redirect).
+	redirected map[uint16]bool
 }
 
 // IsDecodeError reports whether err is a frame-codec violation — the
@@ -68,6 +77,19 @@ func (in *Ingest) stage(n int) []byte {
 		in.staging = make([]byte, n) //ltephy:alloc-ok high-water staging growth
 	}
 	return in.staging[:n]
+}
+
+// redirect acks one frame with AckRedirect and pins the cell as
+// redirected for the rest of this connection (see the redirected field).
+//
+//ltephy:coldpath — runs only while a cell drains or after it migrated.
+func (in *Ingest) redirect(c *cell, cellID uint16, seq int64) {
+	if in.redirected == nil {
+		in.redirected = make(map[uint16]bool) //ltephy:alloc-ok cold redirect path
+	}
+	in.redirected[cellID] = true
+	c.framesRedirected.Add(1)
+	in.ack(Ack{Cell: cellID, Status: AckRedirect, Seq: seq})
 }
 
 // recordDTX flushes the frame's staged DTX users into the KPI. Called
@@ -131,10 +153,11 @@ func (in *Ingest) ReadFrame(r io.Reader) error {
 	// the frame will be replayed to the cell's new owner, so recording
 	// anything here (even DTX) would double-book the fleet KPI. The flag
 	// is re-checked under c.mu below to close the race with a concurrent
-	// DrainCell.
-	if c.draining.Load() {
-		c.framesRedirected.Add(1)
-		in.ack(Ack{Cell: h.Cell, Status: AckRedirect, Seq: h.Seq})
+	// DrainCell. Once a cell has redirected on this connection it keeps
+	// redirecting even after the drain lifts: only a fresh connection's
+	// in-order replay may continue the cell's sequence space.
+	if c.draining.Load() || in.redirected[h.Cell] {
+		in.redirect(c, h.Cell, h.Seq)
 		return nil
 	}
 	n, err := ParseUsers(h, payload, &in.recs)
@@ -194,8 +217,7 @@ func (in *Ingest) ReadFrame(r io.Reader) error {
 		// c.mu while flipping, so from here on no frame passes.
 		c.mu.Unlock()
 		in.slots <- slot
-		c.framesRedirected.Add(1)
-		in.ack(Ack{Cell: h.Cell, Status: AckRedirect, Seq: h.Seq})
+		in.redirect(c, h.Cell, h.Seq)
 		return nil
 	}
 	d := c.adm.Decide(h.Seq, in.est[:n], in.prio[:n], in.admit[:n])
